@@ -1,0 +1,76 @@
+// Ablation for the paper's Discussion claim that "clustering algorithms are
+// highly sensitive to which features are used for similarity computation":
+// sub-experiments are clustered agglomeratively (average linkage) into one
+// cluster per workload under Hist-FP + L2,1, and the partition quality
+// (purity, adjusted Rand index) is compared across feature sets, including
+// the deliberately-bad bottom-7 features.
+
+#include "bench_util.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "similarity/clustering.h"
+#include "similarity/measures.h"
+#include "telemetry/subsample.h"
+
+namespace wpred::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation - clustering sensitivity to the feature set",
+         "top-7 features give near-perfect workload clusters; bad features "
+         "destroy the partition (Discussion, 'not all techniques are equal')");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "TPC-DS", "Twitter", "YCSB"};
+  config.skus = {MakeCpuSku(16)};
+  config.terminals = {8};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const AggregateObservations agg =
+      RequireOk(BuildAggregateObservations(corpus, 10), "aggregates");
+  auto selector = RequireOk(CreateSelector("fANOVA"), "selector");
+  const FeatureRanking ranking = ScoresToRanking(
+      RequireOk(selector->ScoreFeatures(agg.x, agg.labels), "scores"));
+
+  // Bottom-7: the worst-ranked features.
+  std::vector<size_t> bottom7;
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    if (ranking.ranks[f] > static_cast<int>(kNumFeatures) - 7) {
+      bottom7.push_back(f);
+    }
+  }
+
+  const ExperimentCorpus subs = RequireOk(SubsampleCorpus(corpus, 10), "subs");
+  const std::vector<int> labels = subs.WorkloadLabels();
+  const int k = static_cast<int>(corpus.WorkloadNames().size());
+
+  struct FeatureSet {
+    std::string name;
+    std::vector<size_t> features;
+  };
+  const std::vector<FeatureSet> sets = {
+      {"top-7 (fANOVA)", ranking.TopK(7)},
+      {"resource-only", ResourceFeatureIndices()},
+      {"all 29", AllFeatureIndices()},
+      {"bottom-7 (worst)", bottom7}};
+
+  TablePrinter table({"feature set", "purity", "adjusted Rand index"});
+  for (const FeatureSet& set : sets) {
+    const Matrix distances = RequireOk(
+        PairwiseDistances(subs, Representation::kHistFp, "L2,1-Norm",
+                          set.features),
+        "distances");
+    const Clustering clusters =
+        RequireOk(AgglomerativeCluster(distances, k), "clustering");
+    table.AddRow({set.name,
+                  F3(RequireOk(ClusterPurity(clusters, labels), "purity")),
+                  F3(RequireOk(AdjustedRandIndex(clusters, labels), "ari"))});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

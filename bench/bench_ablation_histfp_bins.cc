@@ -1,0 +1,90 @@
+// Ablation (DESIGN.md design choice + paper Section 5.2's n = 10 default):
+// how the Hist-FP bin count trades identification accuracy against
+// fingerprint size and build cost. Too few bins wash out distribution
+// shape; past ~10 bins the accuracy saturates while storage grows linearly
+// — the "little computational overhead and low storage" takeaway of
+// Section 5.3 made quantitative.
+
+#include <chrono>
+
+#include "bench_util.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "similarity/eval.h"
+#include "similarity/measures.h"
+#include "telemetry/subsample.h"
+
+namespace wpred::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation - Hist-FP bin count (accuracy vs size vs build time)",
+         "accuracy saturates near the paper's default of 10 bins");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "TPC-DS", "Twitter", "YCSB"};
+  config.skus = {MakeCpuSku(16)};
+  config.terminals = {4, 8, 32};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  // Resource-only features: the noisiest pool (Table 4), where bin
+  // resolution actually matters.
+  const std::vector<size_t> features = ResourceFeatureIndices();
+
+  const ExperimentCorpus subs = RequireOk(SubsampleCorpus(corpus, 10), "subs");
+  // Fine-grained retrieval: identify the exact (workload, terminals)
+  // configuration, not just the workload — concurrency levels of the same
+  // workload differ only in distribution shape, which is what bins resolve.
+  std::vector<std::pair<std::string, int>> configs;
+  std::vector<int> labels(subs.size());
+  std::vector<int> blocks(subs.size());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    const std::pair<std::string, int> key = {subs[i].workload,
+                                             subs[i].terminals};
+    auto it = std::find(configs.begin(), configs.end(), key);
+    if (it == configs.end()) {
+      configs.push_back(key);
+      it = configs.end() - 1;
+    }
+    labels[i] = static_cast<int>(it - configs.begin());
+    blocks[i] = static_cast<int>(i / 10);
+  }
+  const NormalizationContext ctx = ComputeNormalization(subs);
+
+  TablePrinter table({"bins", "1-NN accuracy", "fingerprint doubles",
+                      "build time / experiment (us)"});
+  for (int bins : {2, 5, 10, 20, 50}) {
+    // Build fingerprints, timing the construction.
+    std::vector<Matrix> reps;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Experiment& e : subs.experiments()) {
+      reps.push_back(RequireOk(BuildHistFp(e, features, ctx, bins), "hist"));
+    }
+    const double us_per =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(subs.size());
+
+    Matrix distances(subs.size(), subs.size());
+    for (size_t i = 0; i < subs.size(); ++i) {
+      for (size_t j = i + 1; j < subs.size(); ++j) {
+        const double d =
+            RequireOk(MeasureDistance("L2,1-Norm", reps[i], reps[j]), "dist");
+        distances(i, j) = d;
+        distances(j, i) = d;
+      }
+    }
+    const double accuracy =
+        RequireOk(OneNnAccuracy(distances, labels, blocks), "1-NN");
+    table.AddRow({StrFormat("%d", bins), F3(accuracy),
+                  StrFormat("%zu", reps[0].size()), F1(us_per)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

@@ -1,0 +1,115 @@
+// Ablation (paper Appendix C): dimensionality reduction (PCA) as an
+// alternative to feature selection. Both reduce the 29-feature space to k
+// dimensions; workload identification then runs 1-NN in the reduced space.
+// The paper argues PCA is handicapped here: components ignore the modelling
+// objective and destroy interpretability. This bench quantifies the
+// accuracy side and prints the interpretability contrast.
+
+#include "bench_util.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "linalg/stats.h"
+#include "ml/pca.h"
+#include "similarity/eval.h"
+
+namespace wpred::bench {
+namespace {
+
+// Blocked 1-NN accuracy on row vectors under Euclidean distance.
+double OneNnOnRows(const Matrix& rows, const std::vector<int>& labels,
+                   const std::vector<int>& blocks) {
+  Matrix distances(rows.rows(), rows.rows());
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    for (size_t j = i + 1; j < rows.rows(); ++j) {
+      double acc = 0.0;
+      for (size_t c = 0; c < rows.cols(); ++c) {
+        const double d = rows(i, c) - rows(j, c);
+        acc += d * d;
+      }
+      distances(i, j) = std::sqrt(acc);
+      distances(j, i) = distances(i, j);
+    }
+  }
+  return RequireOk(OneNnAccuracy(distances, labels, blocks), "1-NN");
+}
+
+void Run() {
+  Banner("Ablation (Appendix C) - PCA vs feature selection at equal k",
+         "PCA competitive on accuracy at moderate k but uninterpretable; "
+         "selection keeps named features");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "TPC-DS", "Twitter", "YCSB"};
+  config.skus = {MakeCpuSku(16)};
+  config.terminals = {4, 8, 32};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const AggregateObservations agg =
+      RequireOk(BuildAggregateObservations(corpus, 10), "aggregates");
+
+  // Fine-grained task: identify the exact (workload, terminals) config.
+  std::vector<std::pair<std::string, int>> configs;
+  std::vector<int> labels(agg.x.rows());
+  std::vector<int> blocks(agg.x.rows());
+  for (size_t i = 0; i < agg.x.rows(); ++i) {
+    const Experiment& parent = corpus[agg.experiment_idx[i]];
+    const std::pair<std::string, int> key = {parent.workload,
+                                             parent.terminals};
+    auto it = std::find(configs.begin(), configs.end(), key);
+    if (it == configs.end()) {
+      configs.push_back(key);
+      it = configs.end() - 1;
+    }
+    labels[i] = static_cast<int>(it - configs.begin());
+    blocks[i] = static_cast<int>(agg.experiment_idx[i]);
+  }
+
+  auto selector = RequireOk(CreateSelector("fANOVA"), "selector");
+  const FeatureRanking ranking = ScoresToRanking(
+      RequireOk(selector->ScoreFeatures(agg.x, labels), "scores"));
+
+  StandardScaler scaler;
+  const Matrix standardized = scaler.FitTransform(agg.x);
+
+  TablePrinter table({"k", "top-k selection acc", "PCA-k acc",
+                      "PCA var explained"});
+  for (size_t k : {2, 3, 5, 7, 10}) {
+    const Matrix selected = standardized.SelectCols(ranking.TopK(k));
+    const double sel_acc = OneNnOnRows(selected, labels, blocks);
+
+    Pca pca;
+    Require(pca.Fit(agg.x, k), "pca fit");
+    const Matrix projected = RequireOk(pca.Transform(agg.x), "pca transform");
+    const double pca_acc = OneNnOnRows(projected, labels, blocks);
+    double explained = 0.0;
+    for (double r : pca.explained_variance_ratio()) explained += r;
+
+    table.AddRow({StrFormat("%zu", k), F3(sel_acc), F3(pca_acc),
+                  F3(explained)});
+  }
+  table.Print(std::cout);
+
+  // Interpretability contrast: what does "dimension 1" mean in each world?
+  Pca pca;
+  Require(pca.Fit(agg.x, 3), "pca fit");
+  std::printf("\nTop-3 selected features (named, auditable): ");
+  for (size_t f : ranking.TopK(3)) {
+    std::printf("%s ", std::string(FeatureName(FeatureFromIndex(f))).c_str());
+  }
+  std::printf("\nPCA component 1 (a blend; |loading| > 0.2 shown): ");
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    const double loading = pca.components()(f, 0);
+    if (std::fabs(loading) > 0.2) {
+      std::printf("%+.2f*%s ", loading,
+                  std::string(FeatureName(FeatureFromIndex(f))).c_str());
+    }
+  }
+  std::printf("\nPaper Appendix C: components summarise variance without "
+              "regard to the objective and lose interpretability.\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

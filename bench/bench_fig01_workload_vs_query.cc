@@ -1,0 +1,108 @@
+// Reproduces paper Figure 1 (the motivating example): predicting YCSB
+// latency on new hardware per transaction type versus for the workload as a
+// whole. Per-type pairwise models are trained on the same reference runs as
+// the workload-level model, yet their per-type predictions carry visibly
+// larger errors (paper: 4.75%-16.57% per type vs 1.99% workload-level),
+// because workload-level latency averages out cross-type interaction noise.
+
+#include <map>
+
+#include "bench_util.h"
+#include "linalg/stats.h"
+#include "ml/linear_regression.h"
+#include "sim/engine.h"
+#include "sim/workload_spec.h"
+
+namespace wpred::bench {
+namespace {
+
+Experiment RunYcsb(int cpus, int run) {
+  RunRequest request;
+  request.workload = MakeYcsb();
+  request.sku = MakeCpuSku(cpus);
+  request.terminals = 8;
+  request.run_id = run;
+  request.config = FastSimConfig();
+  request.config.seed = 0xf161 + static_cast<uint64_t>(run * 977 + cpus);
+  request.config.data_group = run % 3;
+  return RequireOk(RunExperiment(request), "ycsb run");
+}
+
+void Run() {
+  Banner("Figure 1 - per-transaction-type vs workload-level latency "
+         "prediction (YCSB, 2 -> 8 CPUs)",
+         "per-type APE is several times the workload-level APE");
+
+  constexpr int kTrainRuns = 3;
+  constexpr int kTestRuns = 10;
+
+  std::vector<Experiment> train2, train8, test2, test8;
+  for (int run = 0; run < kTrainRuns; ++run) {
+    train2.push_back(RunYcsb(2, run));
+    train8.push_back(RunYcsb(8, run));
+  }
+  for (int run = kTrainRuns; run < kTrainRuns + kTestRuns; ++run) {
+    test2.push_back(RunYcsb(2, run));
+    test8.push_back(RunYcsb(8, run));
+  }
+
+  const std::vector<std::string> types = {"Read",   "Scan",   "Insert",
+                                          "Update", "Delete", "ReadModifyWrite"};
+
+  // Pairwise latency model per transaction type: lat@2 -> lat@8, linear.
+  auto fit_model = [&](auto latency_of) {
+    Matrix x(kTrainRuns, 1);
+    Vector y(kTrainRuns);
+    for (int run = 0; run < kTrainRuns; ++run) {
+      x(run, 0) = latency_of(train2[run]);
+      y[run] = latency_of(train8[run]);
+    }
+    LinearRegression model;
+    Require(model.Fit(x, y), "latency model fit");
+    return model;
+  };
+
+  TablePrinter table({"prediction target", "mean APE%", "min APE%",
+                      "max APE%"});
+  double per_type_ape_sum = 0.0;
+  for (const std::string& type : types) {
+    auto latency_of = [&type](const Experiment& e) {
+      return e.perf.latency_ms_by_type.at(type);
+    };
+    const LinearRegression model = fit_model(latency_of);
+    Vector apes;
+    for (int t = 0; t < kTestRuns; ++t) {
+      const double predicted =
+          RequireOk(model.Predict({latency_of(test2[t])}), "predict");
+      const double actual = latency_of(test8[t]);
+      apes.push_back(100.0 * std::fabs(predicted - actual) / actual);
+    }
+    per_type_ape_sum += Mean(apes);
+    table.AddRow({"txn " + type, F1(Mean(apes)), F1(Min(apes)), F1(Max(apes))});
+  }
+  table.AddSeparator();
+
+  auto workload_latency = [](const Experiment& e) {
+    return e.perf.mean_latency_ms;
+  };
+  const LinearRegression workload_model = fit_model(workload_latency);
+  Vector workload_apes;
+  for (int t = 0; t < kTestRuns; ++t) {
+    const double predicted = RequireOk(
+        workload_model.Predict({workload_latency(test2[t])}), "predict");
+    const double actual = workload_latency(test8[t]);
+    workload_apes.push_back(100.0 * std::fabs(predicted - actual) / actual);
+  }
+  table.AddRow({"WORKLOAD-LEVEL", F1(Mean(workload_apes)),
+                F1(Min(workload_apes)), F1(Max(workload_apes))});
+  table.Print(std::cout);
+
+  std::printf("Mean per-type APE %.2f%% vs workload-level APE %.2f%% "
+              "(paper: 4.75-16.57%% per type vs 1.99%% workload-level).\n",
+              per_type_ape_sum / types.size(), Mean(workload_apes));
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

@@ -1,0 +1,126 @@
+// Reproduces paper Figure 3: Lasso regularisation paths on the 2-CPU
+// hardware setting, one panel per experiment — TPC-C (two separate runs),
+// Twitter, TPC-H, YCSB. For each panel the top-7 features by |coefficient|
+// at the weakest regularisation are printed, plus the α at which each first
+// enters the model (the paper's path plots encode the same information).
+//
+// Shapes to check (Insight 1): the two TPC-C runs overlap but do not match
+// exactly; TPC-C and Twitter share many top features (both point-lookup
+// workloads); TPC-H's important set is IO/memory-flavoured and overlaps
+// little with TPC-C/Twitter; YCSB mixes both flavours.
+
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "ml/lasso.h"
+
+namespace wpred::bench {
+namespace {
+
+struct Panel {
+  std::string title;
+  size_t experiment_idx;
+};
+
+std::set<size_t> RunPanel(const AggregateObservations& agg,
+                          const std::vector<int>& workload_labels,
+                          size_t exp_idx, const std::string& title) {
+  // One-vs-rest target: this experiment's sub-samples against sub-samples
+  // of other workloads (shared protocol, core/workbench.h).
+  const SelectionProblem problem = RequireOk(
+      BuildOneVsRestProblem(agg, workload_labels, exp_idx), "problem");
+  const Vector y(problem.y.begin(), problem.y.end());
+  const LassoPathResult path =
+      RequireOk(LassoPath(problem.x, y, 40), "lasso path");
+
+  // Entry alpha per feature: the largest alpha with a non-zero coefficient.
+  const size_t last = path.coefficients.rows() - 1;
+  std::vector<std::pair<double, size_t>> order;  // (-|coef| at last, feature)
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    order.push_back({-std::fabs(path.coefficients(last, f)), f});
+  }
+  std::sort(order.begin(), order.end());
+
+  std::printf("\n%s (top-7 by |coefficient| at weakest regularisation):\n",
+              title.c_str());
+  TablePrinter table({"rank", "feature", "|coef|", "enters at alpha"});
+  std::set<size_t> top7;
+  for (int rank = 0; rank < 7; ++rank) {
+    const size_t f = order[static_cast<size_t>(rank)].second;
+    top7.insert(f);
+    double entry_alpha = 0.0;
+    for (size_t a = 0; a < path.alphas.size(); ++a) {
+      if (path.coefficients(a, f) != 0.0) {
+        entry_alpha = path.alphas[a];
+        break;
+      }
+    }
+    table.AddRow({StrFormat("%d", rank + 1),
+                  std::string(FeatureName(FeatureFromIndex(f))),
+                  F3(-order[static_cast<size_t>(rank)].first),
+                  StrFormat("%.4f", entry_alpha)});
+  }
+  table.Print(std::cout);
+  return top7;
+}
+
+size_t Overlap(const std::set<size_t>& a, const std::set<size_t>& b) {
+  size_t n = 0;
+  for (size_t f : a) {
+    if (b.contains(f)) ++n;
+  }
+  return n;
+}
+
+void Run() {
+  Banner("Figure 3 - Lasso paths per experiment at 2 CPUs",
+         "TPC-C runs overlap but differ; TPC-C and Twitter share most "
+         "top-7 features; TPC-H overlaps little with them; YCSB mixes");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "Twitter", "TPC-H", "YCSB"};
+  config.skus = {MakeCpuSku(2)};
+  config.terminals = {8};
+  config.runs = 2;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const AggregateObservations agg =
+      RequireOk(BuildAggregateObservations(corpus, 10), "aggregates");
+  const std::vector<int> workload_labels = corpus.WorkloadLabels();
+
+  auto find_experiment = [&](const std::string& workload, int run) {
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (corpus[i].workload == workload && corpus[i].run_id == run) return i;
+    }
+    std::fprintf(stderr, "experiment not found\n");
+    std::exit(1);
+  };
+
+  const auto tpcc_a = RunPanel(agg, workload_labels,
+                               find_experiment("TPC-C", 0), "(a) TPC-C run 1");
+  const auto tpcc_b = RunPanel(agg, workload_labels,
+                               find_experiment("TPC-C", 1), "(b) TPC-C run 2");
+  const auto twitter = RunPanel(agg, workload_labels,
+                                find_experiment("Twitter", 0), "(c) Twitter");
+  const auto tpch = RunPanel(agg, workload_labels,
+                             find_experiment("TPC-H", 0), "(d) TPC-H");
+  const auto ycsb = RunPanel(agg, workload_labels,
+                             find_experiment("YCSB", 0), "(e) YCSB");
+
+  std::printf("\nTop-7 overlaps (paper: TPC-C runs mostly overlap; "
+              "TPC-C & Twitter share 6; TPC-C & TPC-H share 1):\n");
+  TablePrinter table({"pair", "shared top-7 features"});
+  table.AddRow({"TPC-C run1 & run2", StrFormat("%zu", Overlap(tpcc_a, tpcc_b))});
+  table.AddRow({"TPC-C & Twitter", StrFormat("%zu", Overlap(tpcc_a, twitter))});
+  table.AddRow({"TPC-C & TPC-H", StrFormat("%zu", Overlap(tpcc_a, tpch))});
+  table.AddRow({"Twitter & TPC-H", StrFormat("%zu", Overlap(twitter, tpch))});
+  table.AddRow({"YCSB & TPC-H", StrFormat("%zu", Overlap(ycsb, tpch))});
+  table.AddRow({"YCSB & TPC-C", StrFormat("%zu", Overlap(ycsb, tpcc_a))});
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

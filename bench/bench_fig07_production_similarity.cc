@@ -1,0 +1,98 @@
+// Reproduces paper Figure 7 (Section 5.2.3): classifying the unknown
+// production workload PW against TPC-C / TPC-H / TPC-DS / Twitter on an
+// 80-vcore setup, using PLAN FEATURES ONLY (the paper's setup instance had
+// no resource tracking) with Hist-FP + Canberra, for top-3 / top-7 / all
+// plan features. Expected: PW lands closest to TPC-H, and top-7 separates
+// more cleanly than top-3 or all.
+
+#include <map>
+
+#include "bench_util.h"
+#include "telemetry/subsample.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "linalg/stats.h"
+#include "similarity/measures.h"
+
+namespace wpred::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 7 - PW vs standardized workloads (plan-only, Canberra)",
+         "PW most similar to TPC-H; top-7 more decisive than top-3/all");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "TPC-DS", "Twitter", "PW"};
+  config.skus = {MakeLargeSku()};
+  config.terminals = {16};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+
+  // Rank plan features only (resource features are "missing" here).
+  const AggregateObservations agg =
+      RequireOk(BuildAggregateObservations(corpus, 10), "aggregates");
+  const std::vector<size_t> plan = PlanFeatureIndices();
+  Matrix plan_x = agg.x.SelectCols(plan);
+  auto selector = RequireOk(CreateSelector("RFE LogReg"), "selector");
+  const FeatureRanking plan_ranking = ScoresToRanking(
+      RequireOk(selector->ScoreFeatures(plan_x, agg.labels), "scores"));
+
+  auto plan_top = [&](size_t k) {
+    std::vector<size_t> subset;
+    for (size_t local : plan_ranking.TopK(k)) subset.push_back(plan[local]);
+    return subset;
+  };
+  std::map<std::string, std::vector<size_t>> feature_sets;
+  feature_sets["top-3 plan"] = plan_top(3);
+  feature_sets["top-7 plan"] = plan_top(7);
+  feature_sets["all plan"] = plan;
+
+  const ExperimentCorpus subs = RequireOk(SubsampleCorpus(corpus, 10), "subs");
+  std::map<std::string, std::vector<size_t>> rows_by_workload;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    rows_by_workload[subs[i].workload].push_back(i);
+  }
+
+  TablePrinter table(
+      {"feature set", "reference", "PW mean norm. distance", "rank"});
+  for (const auto& [set_name, features] : feature_sets) {
+    const Matrix distances =
+        RequireOk(PairwiseDistances(subs, Representation::kHistFp, "Canb-Norm",
+                                    features),
+                  "distances");
+    std::map<std::string, double> mean_distance;
+    double max_mean = 0.0;
+    for (const auto& [target, rows] : rows_by_workload) {
+      if (target == "PW") continue;
+      Vector values;
+      for (size_t q : rows_by_workload.at("PW")) {
+        for (size_t t : rows) values.push_back(distances(q, t));
+      }
+      mean_distance[target] = Mean(values);
+      max_mean = std::max(max_mean, mean_distance[target]);
+    }
+    // Rank references by distance.
+    std::vector<std::pair<double, std::string>> order;
+    for (const auto& [target, d] : mean_distance) order.push_back({d, target});
+    std::sort(order.begin(), order.end());
+    std::map<std::string, int> rank;
+    for (size_t i = 0; i < order.size(); ++i) rank[order[i].second] = static_cast<int>(i) + 1;
+
+    for (const auto& [target, d] : mean_distance) {
+      table.AddRow({set_name, target, F3(d / max_mean),
+                    StrFormat("%d%s", rank[target],
+                              rank[target] == 1 ? "  <- most similar" : "")});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  std::printf("Paper: PW's top plan features align with YCSB/TPC-H; manual\n"
+              "inspection confirmed PW queries are mostly simple analytical\n"
+              "queries, i.e. TPC-H-like. Check the rank-1 rows above.\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

@@ -1,0 +1,95 @@
+// Reproduces paper Figure 8: single vs pairwise scaling-model contexts with
+// LMM as the strategy, TPC-C as the workload, across 2/4/8/16-CPU SKUs and
+// three time-of-day data groups. The single model captures the overall
+// trend; the pairwise models expose per-transition structure (and per-group
+// offsets) the single curve smooths away.
+
+#include "bench_util.h"
+#include "linalg/stats.h"
+#include "ml/lmm.h"
+#include "predict/scaling_model.h"
+
+namespace wpred::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 8 - single vs pairwise scaling models (LMM, TPC-C)",
+         "throughput rises with CPUs; pairwise transitions differ per pair "
+         "and per data group in ways the single model flattens");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C"};
+  config.skus = DefaultSkuLadder();
+  config.terminals = {32};
+  config.runs = 3;  // one run per data group, like the paper
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const std::vector<SkuPerfPoint> points =
+      RequireOk(CollectScalingPoints(corpus, "TPC-C", 32, 10), "points");
+
+  // (a) Single LMM over all SKUs with data-group random intercepts.
+  SingleScalingModel single;
+  Require(single.Fit("LMM", points), "single fit");
+
+  // Direct LMM access for the confidence band.
+  Matrix x(points.size(), 1);
+  Vector y(points.size());
+  std::vector<int> groups(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    x(i, 0) = points[i].sku_value;
+    y[i] = points[i].perf;
+    groups[i] = points[i].group;
+  }
+  LinearMixedModel lmm;
+  Require(lmm.Fit(x, y, groups), "lmm fit");
+  const double half_width =
+      RequireOk(lmm.PredictionHalfWidth95(), "half width");
+
+  std::printf("(a) Single LMM model, per data group (95%% CI half-width "
+              "%.1f tps):\n", half_width);
+  TablePrinter single_table({"group", "#CPUs", "mean measured", "LMM fit"});
+  for (int group = 0; group < 3; ++group) {
+    for (double cpus : {2.0, 4.0, 8.0, 16.0}) {
+      Vector measured;
+      for (const SkuPerfPoint& p : points) {
+        if (p.group == group && p.sku_value == cpus) measured.push_back(p.perf);
+      }
+      const double fit = RequireOk(lmm.PredictForGroup({cpus}, group), "fit");
+      single_table.AddRow({StrFormat("%d", group), F1(cpus), F1(Mean(measured)),
+                           F1(fit)});
+    }
+    single_table.AddSeparator();
+  }
+  single_table.Print(std::cout);
+
+  // (b) Pairwise LMM models: the transition slope per SKU pair.
+  PairwiseScalingModel pairwise;
+  Require(pairwise.Fit("LMM", points), "pairwise fit");
+  std::printf("\n(b) Pairwise LMM transitions (predicted perf at target for "
+              "the group-mean source perf):\n");
+  TablePrinter pair_table({"pair", "group", "mean perf@from",
+                           "predicted perf@to", "mean measured@to"});
+  const std::vector<std::pair<double, double>> upward = {
+      {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}, {8, 16}};
+  for (const auto& [from, to] : upward) {
+    for (int group = 0; group < 3; ++group) {
+      Vector from_perf, to_perf;
+      for (const SkuPerfPoint& p : points) {
+        if (p.group != group) continue;
+        if (p.sku_value == from) from_perf.push_back(p.perf);
+        if (p.sku_value == to) to_perf.push_back(p.perf);
+      }
+      const double predicted = RequireOk(
+          pairwise.PredictTransition(from, to, Mean(from_perf), group),
+          "transition");
+      pair_table.AddRow({StrFormat("%g->%g", from, to), StrFormat("%d", group),
+                         F1(Mean(from_perf)), F1(predicted), F1(Mean(to_perf))});
+    }
+  }
+  pair_table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

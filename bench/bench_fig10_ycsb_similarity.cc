@@ -1,0 +1,60 @@
+// Reproduces paper Figure 10: Hist-FP + L2,1 similarity of YCSB to the
+// reference workloads. The paper finds YCSB most similar to TPC-C, closely
+// followed by Twitter, with TPC-H clearly farther away.
+
+#include <map>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+
+namespace wpred::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 10 - Hist-FP L2,1 similarity of YCSB to other workloads",
+         "order: TPC-C closest, Twitter close behind, TPC-H far");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "Twitter", "TPC-H"};
+  config.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+  config.terminals = {8};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus reference =
+      RequireOk(GenerateCorpus(config), "reference corpus");
+
+  PipelineConfig pipe_config;  // defaults: RFE LogReg top-7, Hist-FP, L2,1
+  Pipeline pipeline(pipe_config);
+  Require(pipeline.Fit(reference), "pipeline fit");
+
+  const Experiment ycsb = RequireOk(
+      RunOne("YCSB", MakeCpuSku(2), 8, 0, FastSimConfig(), 777), "ycsb run");
+  const auto ranked =
+      RequireOk(pipeline.RankWorkloads(ycsb), "rank workloads");
+
+  // Normalise distances to the farthest workload = 1.
+  double max_distance = 0.0;
+  for (const auto& r : ranked) max_distance = std::max(max_distance, r.mean_distance);
+
+  TablePrinter table({"reference workload", "normalized distance",
+                      "paper's ordering"});
+  const std::map<std::string, std::string> paper_order = {
+      {"TPC-C", "1st (most similar)"},
+      {"Twitter", "2nd (close behind)"},
+      {"TPC-H", "3rd (farthest)"}};
+  for (const auto& r : ranked) {
+    table.AddRow({r.workload, F3(r.mean_distance / max_distance),
+                  paper_order.at(r.workload)});
+  }
+  table.Print(std::cout);
+  std::printf("Selected top-7 features (RFE LogReg): ");
+  for (size_t f : pipeline.selected_features()) {
+    std::printf("%s ", std::string(FeatureName(FeatureFromIndex(f))).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

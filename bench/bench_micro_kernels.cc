@@ -1,0 +1,178 @@
+// Google-benchmark microbenchmarks of wpred's hot kernels: the similarity
+// measures and representations the paper sweeps (norm distances, DTW, LCSS,
+// Hist-FP construction, BCPD), the ML training loops behind the selection
+// and scaling strategies (lasso coordinate descent, CART, SVR, logistic
+// regression), and the discrete-event engine itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/lasso.h"
+#include "ml/logistic_regression.h"
+#include "ml/svr.h"
+#include "sim/engine.h"
+#include "sim/hardware.h"
+#include "sim/workload_spec.h"
+#include "similarity/bcpd.h"
+#include "similarity/dtw.h"
+#include "similarity/lcss.h"
+#include "similarity/norms.h"
+#include "similarity/representation.h"
+
+namespace wpred {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.Uniform(0.0, 1.0);
+  return m;
+}
+
+void BM_L21Norm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 10, 1);
+  const Matrix b = RandomMatrix(n, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L21Distance(a, b).value());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 10);
+}
+BENCHMARK(BM_L21Norm)->Arg(10)->Arg(360);
+
+void BM_CanberraNorm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 10, 1);
+  const Matrix b = RandomMatrix(n, 10, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CanberraDistance(a, b).value());
+  }
+}
+BENCHMARK(BM_CanberraNorm)->Arg(360);
+
+void BM_DependentDtw(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 7, 3);
+  const Matrix b = RandomMatrix(n, 7, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DependentDtwDistance(a, b).value());
+  }
+}
+BENCHMARK(BM_DependentDtw)->Arg(36)->Arg(360);
+
+void BM_IndependentLcss(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, 7, 5);
+  const Matrix b = RandomMatrix(n, 7, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependentLcssDistance(a, b, 0.15).value());
+  }
+}
+BENCHMARK(BM_IndependentLcss)->Arg(36)->Arg(360);
+
+void BM_HistFpBuild(benchmark::State& state) {
+  Rng rng(7);
+  Experiment e;
+  e.resource.values = RandomMatrix(360, kNumResourceFeatures, 8);
+  e.plans.values = RandomMatrix(66, kNumPlanFeatures, 9);
+  e.plans.query_names.assign(66, "q");
+  ExperimentCorpus corpus;
+  corpus.Add(e);
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  const std::vector<size_t> features = AllFeatureIndices();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildHistFp(e, features, ctx).value());
+  }
+}
+BENCHMARK(BM_HistFpBuild);
+
+void BM_Bcpd(benchmark::State& state) {
+  Rng rng(11);
+  Vector series;
+  for (int i = 0; i < 360; ++i) {
+    series.push_back(rng.Gaussian(i < 180 ? 0.3 : 0.7, 0.05));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DetectChangePoints(series).value());
+  }
+}
+BENCHMARK(BM_Bcpd);
+
+void BM_LassoCoordinateDescent(benchmark::State& state) {
+  Rng rng(13);
+  const size_t n = 330;
+  Matrix x = RandomMatrix(n, kNumFeatures, 14);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = x(i, 3) * 5.0 + rng.Gaussian(0, 0.1);
+  for (auto _ : state) {
+    Lasso lasso(0.01);
+    benchmark::DoNotOptimize(lasso.Fit(x, y).ok());
+  }
+}
+BENCHMARK(BM_LassoCoordinateDescent);
+
+void BM_CartFit(benchmark::State& state) {
+  Rng rng(15);
+  const size_t n = 330;
+  Matrix x = RandomMatrix(n, kNumFeatures, 16);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = x(i, 2) > 0.5 ? 1 : 0;
+  for (auto _ : state) {
+    DecisionTreeClassifier tree;
+    benchmark::DoNotOptimize(tree.Fit(x, y).ok());
+  }
+}
+BENCHMARK(BM_CartFit);
+
+void BM_LogisticRegressionFit(benchmark::State& state) {
+  Rng rng(17);
+  const size_t n = 330;
+  Matrix x = RandomMatrix(n, kNumFeatures, 18);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = x(i, 2) > 0.5 ? 1 : 0;
+  for (auto _ : state) {
+    LogisticRegression model(1e-3, 80);
+    benchmark::DoNotOptimize(model.Fit(x, y).ok());
+  }
+}
+BENCHMARK(BM_LogisticRegressionFit);
+
+void BM_SvrFit(benchmark::State& state) {
+  Rng rng(19);
+  const size_t n = 30;
+  Matrix x = RandomMatrix(n, 1, 20);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = 100.0 * x(i, 0) + rng.Gaussian(0, 2);
+  for (auto _ : state) {
+    SvmRegressor svr;
+    benchmark::DoNotOptimize(svr.Fit(x, y).ok());
+  }
+}
+BENCHMARK(BM_SvrFit);
+
+void BM_EngineRun(benchmark::State& state) {
+  // One Twitter experiment at 30 simulated seconds; reports how many
+  // simulated transactions the DES processes per wall second.
+  RunRequest request;
+  request.workload = MakeTwitter();
+  request.sku = MakeCpuSku(4);
+  request.terminals = 16;
+  request.config.duration_s = 30.0;
+  request.config.sample_period_s = 0.5;
+  uint64_t txns = 0;
+  for (auto _ : state) {
+    request.config.seed++;
+    const auto result = RunExperiment(request);
+    benchmark::DoNotOptimize(result.ok());
+    txns += static_cast<uint64_t>(result.value().perf.throughput_tps * 30.0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(txns));
+  state.SetLabel("items = simulated transactions");
+}
+BENCHMARK(BM_EngineRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wpred
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// Reproduces paper Table 4: reliability (mAP) and discrimination power
+// (NDCG) of similarity-computation mechanisms across the three data
+// representations (MTS, Hist-FP, Phase-FP), similarity measures (norms,
+// DTW, LCSS), and feature subsets (plan top-3/7/all, resource top-3/5/all,
+// combined top-3/7/all) on TPC-C / TPC-H / Twitter at 16 CPUs.
+//
+// Shape to check against the paper (Insight 3): Hist-FP with L1,1 / L2,1 /
+// Frobenius / Canberra is consistently near-perfect; MTS works with
+// resource features only and is slightly weaker; LCSS is the weakest;
+// Phase-FP sits in between.
+
+#include <map>
+
+#include "bench_util.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "similarity/eval.h"
+#include "similarity/measures.h"
+#include "telemetry/subsample.h"
+
+namespace wpred::bench {
+namespace {
+
+struct FeatureSet {
+  std::string label;
+  std::vector<size_t> features;
+};
+
+void Run() {
+  Banner("Table 4 - similarity computation mechanisms (mAP / NDCG)",
+         "Hist-FP + {L1,1, L2,1, Fro, Canb} near-perfect; LCSS weakest; "
+         "MTS is resource-only");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "Twitter"};
+  config.skus = {MakeCpuSku(16)};
+  config.terminals = {4, 8, 32};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const AggregateObservations agg =
+      RequireOk(BuildAggregateObservations(corpus, 10), "aggregates");
+
+  // RFE LogReg rankings per feature pool (Table 5's protocol).
+  auto selector = RequireOk(CreateSelector("RFE LogReg"), "selector");
+  auto rank_pool = [&](const std::vector<size_t>& pool, size_t k) {
+    const Matrix x = agg.x.SelectCols(pool);
+    const FeatureRanking ranking = ScoresToRanking(
+        RequireOk(selector->ScoreFeatures(x, agg.labels), "scores"));
+    std::vector<size_t> top;
+    for (size_t local : ranking.TopK(k)) top.push_back(pool[local]);
+    return top;
+  };
+
+  const std::vector<size_t> plan = PlanFeatureIndices();
+  const std::vector<size_t> resource = ResourceFeatureIndices();
+  const std::vector<size_t> all = AllFeatureIndices();
+  const std::vector<FeatureSet> plan_sets = {
+      {"plan-3", rank_pool(plan, 3)},
+      {"plan-7", rank_pool(plan, 7)},
+      {"plan-all", plan}};
+  const std::vector<FeatureSet> resource_sets = {
+      {"res-3", rank_pool(resource, 3)},
+      {"res-5", rank_pool(resource, 5)},
+      {"res-all", resource}};
+  const std::vector<FeatureSet> combined_sets = {
+      {"comb-3", rank_pool(all, 3)},
+      {"comb-7", rank_pool(all, 7)},
+      {"comb-all", all}};
+
+  const ExperimentCorpus subs = RequireOk(SubsampleCorpus(corpus, 10), "subs");
+  const std::vector<int> labels = subs.WorkloadLabels();
+  std::vector<int> type_labels(subs.size());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    type_labels[i] = static_cast<int>(subs[i].type);
+  }
+
+  auto evaluate = [&](Representation representation, const std::string& measure,
+                      const std::vector<size_t>& features, std::string* map_out,
+                      std::string* ndcg_out) {
+    const auto distances =
+        PairwiseDistances(subs, representation, measure, features);
+    if (!distances.ok()) {
+      *map_out = "-";
+      *ndcg_out = "-";
+      return;
+    }
+    *map_out = F3(RequireOk(MeanAveragePrecision(distances.value(), labels),
+                            "mAP"));
+    *ndcg_out =
+        F3(RequireOk(Ndcg(distances.value(), labels, type_labels), "ndcg"));
+  };
+
+  auto print_block = [&](const std::string& title, Representation rep,
+                         const std::vector<std::string>& measures,
+                         const std::vector<std::vector<FeatureSet>>& groups) {
+    std::printf("\n(%s)\n", title.c_str());
+    std::vector<std::string> header = {"measure", "metric"};
+    for (const auto& group : groups) {
+      for (const FeatureSet& set : group) header.push_back(set.label);
+    }
+    TablePrinter table(header);
+    for (const std::string& measure : measures) {
+      std::vector<std::string> map_row = {measure, "mAP"};
+      std::vector<std::string> ndcg_row = {"", "NDCG"};
+      for (const auto& group : groups) {
+        for (const FeatureSet& set : group) {
+          std::string map_cell, ndcg_cell;
+          evaluate(rep, measure, set.features, &map_cell, &ndcg_cell);
+          map_row.push_back(map_cell);
+          ndcg_row.push_back(ndcg_cell);
+        }
+      }
+      table.AddRow(map_row);
+      table.AddRow(ndcg_row);
+      table.AddSeparator();
+    }
+    table.Print(std::cout);
+  };
+
+  // (a) MTS: resource features only; norms + elastic measures.
+  print_block("a: MTS representation — resource features only",
+              Representation::kMts,
+              {"L2,1-Norm", "L1,1-Norm", "Fro-Norm", "Canb-Norm",
+               "Dependent-DTW", "Independent-DTW", "Dependent-LCSS",
+               "Independent-LCSS"},
+              {resource_sets});
+
+  // (b) Hist-FP: all three pools, norm measures.
+  print_block("b: Hist-FP representation", Representation::kHistFp,
+              {"L2,1-Norm", "L1,1-Norm", "Fro-Norm", "Canb-Norm", "Chi2-Norm",
+               "Corr-Norm"},
+              {plan_sets, resource_sets, combined_sets});
+
+  // (c) Phase-FP: all three pools, the paper's three norms.
+  print_block("c: Phase-FP representation", Representation::kPhaseFp,
+              {"L2,1-Norm", "L1,1-Norm", "Fro-Norm"},
+              {plan_sets, resource_sets, combined_sets});
+
+  std::printf("\nPaper Table 4: Hist-FP rows are ~1.000 mAP everywhere; MTS\n"
+              "norms 0.96-1.0 with Independent-LCSS lowest (0.896-0.931);\n"
+              "Phase-FP has several '-' (failed 1-NN) cells.\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

@@ -1,0 +1,210 @@
+// Reproduces paper Table 6: mean test NRMSE (5-fold CV) of throughput
+// prediction for six modelling strategies under both modelling contexts
+// (pairwise / single), across seven workload settings (TPC-C and Twitter
+// with 4/8/32 terminals, TPC-H serial), plus the naive inverse-linear
+// scaling baseline and mean training times.
+//
+// Protocol: the 30 (group, run, sub-sample) identities per workload setting
+// are split into 5 folds; each fold's models are trained on the other
+// identities' observations at every SKU and evaluated per upward SKU pair —
+// the same folds feed both contexts, so the NRMSE normalisation matches.
+//
+// Shape to check against the paper: every learned strategy lands in one
+// NRMSE band (paper: 0.23-0.37) with GB/SVM strongest; NNet blows up
+// (paper: 2.4 mean); the baseline is orders of magnitude worse than all
+// learned strategies (paper: 31.5 mean).
+
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "ml/cross_validation.h"
+#include "ml/metrics.h"
+#include "predict/baseline.h"
+#include "predict/scaling_model.h"
+#include "predict/strategies.h"
+
+namespace wpred::bench {
+namespace {
+
+struct WorkloadSetting {
+  std::string workload;
+  int terminals;
+  std::string label;
+};
+
+using Identity = std::tuple<int, int, int>;  // group, run, sample
+
+Identity IdOf(const SkuPerfPoint& p) {
+  return {p.group, p.run_id, p.sample_id};
+}
+Identity IdOf(const MatchedPair& m) {
+  return {m.group, m.run_id, m.sample_id};
+}
+
+struct CellResult {
+  double nrmse = 0.0;
+  double fit_seconds = 0.0;
+};
+
+void Run() {
+  Banner("Table 6 - throughput prediction NRMSE (5-fold CV)",
+         "GB/SVM best; NNet catastrophically worse; baseline worse still");
+
+  const std::vector<WorkloadSetting> settings = {
+      {"TPC-C", 4, "TPC-C_4"},     {"TPC-C", 8, "TPC-C_8"},
+      {"TPC-C", 32, "TPC-C_32"},   {"Twitter", 4, "Twitter_4"},
+      {"Twitter", 8, "Twitter_8"}, {"Twitter", 32, "Twitter_32"},
+      {"TPC-H", 1, "TPC-H_1"}};
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "Twitter", "TPC-H"};
+  config.skus = DefaultSkuLadder();
+  config.terminals = {4, 8, 32};
+  config.runs = 3;
+  config.sim = FastSimConfig();
+  std::printf("Generating corpus (3 workloads x 4 SKUs x terminals x 3 "
+              "runs)...\n");
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+
+  const std::vector<std::pair<double, double>> upward = {
+      {2, 4}, {2, 8}, {2, 16}, {4, 8}, {4, 16}, {8, 16}};
+
+  std::map<std::string, std::map<std::string, std::map<std::string, CellResult>>>
+      results;  // context -> strategy -> setting
+  std::map<std::string, double> baseline_row;
+
+  for (const WorkloadSetting& setting : settings) {
+    const std::vector<SkuPerfPoint> points = RequireOk(
+        CollectScalingPoints(corpus, setting.workload, setting.terminals, 10),
+        "points");
+
+    // Baseline: inverse-linear scaling, no training.
+    {
+      double total = 0.0;
+      for (const auto& [from, to] : upward) {
+        Vector actual, predicted;
+        for (const MatchedPair& m : MatchAcrossSkus(points, from, to)) {
+          actual.push_back(m.perf_to);
+          predicted.push_back(
+              InverseLinearScalingBaseline(from, to, m.perf_from));
+        }
+        total += Nrmse(actual, predicted);
+      }
+      baseline_row[setting.label] = total / upward.size();
+    }
+
+    // Shared identity folds.
+    std::set<Identity> identity_set;
+    for (const SkuPerfPoint& p : points) identity_set.insert(IdOf(p));
+    const std::vector<Identity> identities(identity_set.begin(),
+                                           identity_set.end());
+    Rng rng(0x7ab1e6);
+    const std::vector<FoldSplit> folds =
+        RequireOk(KFoldSplits(identities.size(), 5, rng), "folds");
+
+    for (const std::string& strategy : AllScalingStrategyNames()) {
+      // (actual, predicted) pools per pair per context.
+      std::map<std::pair<double, double>, std::pair<Vector, Vector>> pool_pair;
+      std::map<std::pair<double, double>, std::pair<Vector, Vector>> pool_single;
+      double pair_seconds = 0.0;
+      double single_seconds = 0.0;
+
+      for (const FoldSplit& fold : folds) {
+        std::set<Identity> test_ids;
+        for (size_t i : fold.test) test_ids.insert(identities[i]);
+
+        std::vector<SkuPerfPoint> train_points;
+        for (const SkuPerfPoint& p : points) {
+          if (!test_ids.contains(IdOf(p))) train_points.push_back(p);
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        PairwiseScalingModel pairwise;
+        Require(pairwise.Fit(strategy, train_points), "pairwise fit");
+        const auto t1 = std::chrono::steady_clock::now();
+        SingleScalingModel single;
+        Require(single.Fit(strategy, train_points), "single fit");
+        const auto t2 = std::chrono::steady_clock::now();
+        // The pairwise context trains 12 pair models; report the mean per
+        // transition to stay comparable with one single-context fit.
+        pair_seconds += std::chrono::duration<double>(t1 - t0).count() / 12.0;
+        single_seconds += std::chrono::duration<double>(t2 - t1).count();
+
+        for (const auto& [from, to] : upward) {
+          for (const MatchedPair& m : MatchAcrossSkus(points, from, to)) {
+            if (!test_ids.contains(IdOf(m))) continue;
+            pool_pair[{from, to}].first.push_back(m.perf_to);
+            pool_pair[{from, to}].second.push_back(RequireOk(
+                pairwise.PredictTransition(from, to, m.perf_from, m.group),
+                "pairwise transition"));
+            pool_single[{from, to}].first.push_back(m.perf_to);
+            pool_single[{from, to}].second.push_back(
+                RequireOk(single.Predict(to, m.group), "single predict"));
+          }
+        }
+      }
+
+      double pair_nrmse = 0.0;
+      double single_nrmse = 0.0;
+      for (const auto& [pair, pool] : pool_pair) {
+        pair_nrmse += Nrmse(pool.first, pool.second);
+      }
+      for (const auto& [pair, pool] : pool_single) {
+        single_nrmse += Nrmse(pool.first, pool.second);
+      }
+      results["Pairwise"][strategy][setting.label] = {
+          pair_nrmse / upward.size(), pair_seconds / folds.size()};
+      results["Single"][strategy][setting.label] = {
+          single_nrmse / upward.size(), single_seconds / folds.size()};
+    }
+  }
+
+  for (const char* context : {"Pairwise", "Single"}) {
+    std::printf("\n%s models:\n", context);
+    std::vector<std::string> header = {"Strategy", "Train(s)"};
+    for (const WorkloadSetting& s : settings) header.push_back(s.label);
+    header.push_back("Mean");
+    TablePrinter table(header);
+    for (const std::string& strategy : AllScalingStrategyNames()) {
+      std::vector<std::string> row = {strategy};
+      double mean_nrmse = 0.0;
+      double mean_seconds = 0.0;
+      for (const WorkloadSetting& s : settings) {
+        mean_nrmse += results[context][strategy][s.label].nrmse;
+        mean_seconds += results[context][strategy][s.label].fit_seconds;
+      }
+      row.push_back(StrFormat("%.4f", mean_seconds / settings.size()));
+      for (const WorkloadSetting& s : settings) {
+        row.push_back(F3(results[context][strategy][s.label].nrmse));
+      }
+      row.push_back(F3(mean_nrmse / settings.size()));
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\nBaseline (inverse-linear scaling):\n");
+  std::vector<std::string> header = {"Strategy"};
+  for (const WorkloadSetting& s : settings) header.push_back(s.label);
+  header.push_back("Mean");
+  TablePrinter table(header);
+  std::vector<std::string> row = {"Baseline"};
+  double mean = 0.0;
+  for (const WorkloadSetting& s : settings) {
+    row.push_back(F3(baseline_row[s.label]));
+    mean += baseline_row[s.label];
+  }
+  row.push_back(F3(mean / settings.size()));
+  table.AddRow(row);
+  table.Print(std::cout);
+  std::printf("Paper means: pairwise GB 0.271 (best), SVM 0.279, NNet 2.40; "
+              "single GB 0.273, NNet 2.46; baseline 31.47.\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

@@ -1,0 +1,75 @@
+// Offline corpus workflow: in production, telemetry collection and
+// prediction are separate jobs. This example simulates a reference corpus
+// once, persists it as .wpred.csv files, then — as a "different process" —
+// loads it back from disk and serves a prediction, without touching the
+// simulator again.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/pipeline.h"
+#include "core/workbench.h"
+#include "telemetry/io.h"
+
+using namespace wpred;
+
+int main() {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "wpred_offline_corpus";
+  std::filesystem::create_directories(dir);
+
+  // --- Collection job: simulate once, persist to disk. ---
+  {
+    WorkbenchConfig config;
+    config.workloads = {"TPC-C", "Twitter", "TPC-H"};
+    config.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+    config.terminals = {8};
+    config.runs = 3;
+    config.sim.duration_s = 120.0;
+    config.sim.sample_period_s = 0.5;
+    std::printf("[collector] simulating + persisting reference corpus...\n");
+    const auto corpus = GenerateCorpus(config);
+    if (!corpus.ok()) return 1;
+    if (const Status st = WriteCorpus(corpus.value(), dir.string()); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    size_t files = 0;
+    uintmax_t bytes = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      ++files;
+      bytes += entry.file_size();
+    }
+    std::printf("[collector] wrote %zu files, %.1f KiB total, to %s\n", files,
+                bytes / 1024.0, dir.c_str());
+  }
+
+  // --- Prediction job: load from disk, fit, serve. ---
+  {
+    std::printf("[predictor] loading corpus from disk...\n");
+    const auto corpus = ReadCorpus(dir.string());
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[predictor] %zu experiments loaded\n", corpus->size());
+
+    Pipeline pipeline{PipelineConfig{}};
+    if (!pipeline.Fit(corpus.value()).ok()) return 1;
+
+    const auto observed = RunOne(
+        "YCSB", MakeCpuSku(2), 8, 0,
+        SimConfig{.duration_s = 120.0, .sample_period_s = 0.5}, 2024);
+    if (!observed.ok()) return 1;
+    const auto prediction = pipeline.PredictThroughput(observed.value(), 8);
+    if (!prediction.ok()) return 1;
+    std::printf("[predictor] customer workload ~ %s; predicted %.0f tps on "
+                "8 CPUs (observed %.0f tps on 2 CPUs)\n",
+                prediction->reference_workload.c_str(),
+                prediction->throughput_tps,
+                observed.value().perf.throughput_tps);
+  }
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the wpred end-to-end pipeline in ~60 lines.
+//
+// 1. Simulate a reference corpus of known workloads across two SKUs.
+// 2. Fit the pipeline (feature selection -> similarity -> scaling models).
+// 3. Observe a "new" workload on the small SKU and predict its throughput
+//    on the large SKU.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/workbench.h"
+#include "sim/hardware.h"
+
+using namespace wpred;
+
+int main() {
+  // --- 1. Reference corpus: TPC-C / Twitter / TPC-H on 2 and 8 CPUs. ---
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "Twitter", "TPC-H"};
+  config.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+  config.terminals = {8};
+  config.runs = 3;
+  config.sim.duration_s = 120.0;   // compressed from the paper's 1 h
+  config.sim.sample_period_s = 0.5;
+
+  std::printf("Simulating the reference corpus...\n");
+  const auto corpus = GenerateCorpus(config);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- 2. Fit the pipeline (paper defaults: RFE LogReg top-7 features,
+  //        Hist-FP representation, L2,1 distance, pairwise SVR models). ---
+  Pipeline pipeline{PipelineConfig{}};
+  if (const Status st = pipeline.Fit(corpus.value()); !st.ok()) {
+    std::fprintf(stderr, "fit: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Pipeline fitted. Selected features:");
+  for (size_t f : pipeline.selected_features()) {
+    std::printf(" %s", std::string(FeatureName(FeatureFromIndex(f))).c_str());
+  }
+  std::printf("\n");
+
+  // --- 3. A workload the pipeline has never seen: YCSB on 2 CPUs. ---
+  const auto observed =
+      RunOne("YCSB", MakeCpuSku(2), 8, /*run=*/0, config.sim, /*seed=*/123);
+  if (!observed.ok()) return 1;
+  std::printf("Observed YCSB on 2 CPUs: %.0f tps\n",
+              observed.value().perf.throughput_tps);
+
+  const auto prediction = pipeline.PredictThroughput(observed.value(), 8);
+  if (!prediction.ok()) {
+    std::fprintf(stderr, "%s\n", prediction.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Most similar reference workload: %s (distance %.3f)\n",
+              prediction->reference_workload.c_str(),
+              prediction->similarity_distance);
+  std::printf("Predicted YCSB throughput on 8 CPUs: %.0f tps\n",
+              prediction->throughput_tps);
+
+  // Check against the simulator's ground truth.
+  const auto truth =
+      RunOne("YCSB", MakeCpuSku(8), 8, /*run=*/0, config.sim, /*seed=*/123);
+  if (truth.ok()) {
+    std::printf("Actual throughput on 8 CPUs:          %.0f tps\n",
+                truth.value().perf.throughput_tps);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// SKU advisor: the paper's Example 1 scenario. A customer runs a workload
+// on a small SKU and wants to know the cheapest SKU that still meets a
+// latency SLA after migration. The advisor predicts throughput on every
+// candidate SKU via the pipeline and converts it to an expected latency
+// using the closed-loop relationship (interactive response time law).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/workbench.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "sim/hardware.h"
+
+using namespace wpred;
+
+namespace {
+
+// Closed-loop latency estimate from predicted throughput: with N terminals
+// of think time Z, R = N/X - Z (interactive response time law).
+double LatencyFromThroughputMs(double throughput_tps, int terminals,
+                               double think_time_ms) {
+  if (throughput_tps <= 0.0) return 1e9;
+  return 1000.0 * terminals / throughput_tps - think_time_ms;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kSlaLatencyMs = 3.0;
+  constexpr int kTerminals = 8;
+  constexpr double kYcsbThinkMs = 2.0;
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "Twitter", "TPC-H"};
+  config.skus = DefaultSkuLadder();  // 2, 4, 8, 16 CPUs
+  config.terminals = {kTerminals};
+  config.runs = 3;
+  config.sim.duration_s = 120.0;
+  config.sim.sample_period_s = 0.5;
+
+  std::printf("Building the reference corpus over the SKU ladder...\n");
+  const auto corpus = GenerateCorpus(config);
+  if (!corpus.ok()) return 1;
+
+  Pipeline pipeline{PipelineConfig{}};
+  if (!pipeline.Fit(corpus.value()).ok()) return 1;
+
+  const auto observed =
+      RunOne("YCSB", MakeCpuSku(2), kTerminals, 0, config.sim, 777);
+  if (!observed.ok()) return 1;
+  const double observed_latency = observed.value().perf.mean_latency_ms;
+  std::printf("Customer workload on 2 CPUs: %.0f tps, %.2f ms mean latency "
+              "(SLA: %.1f ms)\n\n",
+              observed.value().perf.throughput_tps, observed_latency,
+              kSlaLatencyMs);
+
+  TablePrinter table({"SKU", "predicted tput (tps)", "predicted latency (ms)",
+                      "meets SLA", "rel. cost"});
+  std::string recommendation = "none";
+  for (const Sku& sku : DefaultSkuLadder()) {
+    const auto prediction =
+        pipeline.PredictThroughput(observed.value(), sku.cpus);
+    if (!prediction.ok()) continue;
+    const double latency = LatencyFromThroughputMs(
+        prediction->throughput_tps, kTerminals, kYcsbThinkMs);
+    const bool ok = latency <= kSlaLatencyMs;
+    if (ok && recommendation == "none") recommendation = sku.name;
+    table.AddRow({sku.name, ToFixed(prediction->throughput_tps, 0),
+                  ToFixed(latency, 2), ok ? "yes" : "no",
+                  ToFixed(sku.cpus / 2.0, 1) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf("\nCheapest SLA-compliant SKU: %s\n", recommendation.c_str());
+  return 0;
+}

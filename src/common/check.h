@@ -1,0 +1,62 @@
+#ifndef WPRED_COMMON_CHECK_H_
+#define WPRED_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Invariant-checking macros in the spirit of glog's CHECK family.
+//
+// These are for *programmer errors* (violated preconditions, broken
+// invariants): they abort the process with a diagnostic. Recoverable errors
+// (bad user input, numerical failures on degenerate data) must instead be
+// reported through Status / Result<T>; see common/status.h.
+
+namespace wpred::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, condition,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Builds the optional streamed message for WPRED_CHECK(cond) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace wpred::internal
+
+#define WPRED_CHECK(condition)                                       \
+  while (!(condition))                                               \
+  ::wpred::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define WPRED_CHECK_EQ(a, b) WPRED_CHECK((a) == (b))
+#define WPRED_CHECK_NE(a, b) WPRED_CHECK((a) != (b))
+#define WPRED_CHECK_LT(a, b) WPRED_CHECK((a) < (b))
+#define WPRED_CHECK_LE(a, b) WPRED_CHECK((a) <= (b))
+#define WPRED_CHECK_GT(a, b) WPRED_CHECK((a) > (b))
+#define WPRED_CHECK_GE(a, b) WPRED_CHECK((a) >= (b))
+
+#endif  // WPRED_COMMON_CHECK_H_

@@ -1,0 +1,118 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace wpred {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string RenderRow(const std::vector<std::string>& row) {
+  std::string line;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) line += ',';
+    line += QuoteField(row[i]);
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  WPRED_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  WPRED_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out = RenderRow(header_);
+  for (const auto& row : rows_) out += RenderRow(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << ToString();
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_has_content = true;
+        break;
+      case '\n':
+        if (row_has_content || !field.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_has_content = false;
+        }
+        break;
+      case '\r':
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quoted field");
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace wpred

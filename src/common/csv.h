@@ -1,0 +1,36 @@
+#ifndef WPRED_COMMON_CSV_H_
+#define WPRED_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wpred {
+
+/// Minimal CSV writer used to export bench series (e.g. for external
+/// plotting). Fields containing separators/quotes/newlines are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Serialises header + rows.
+  std::string ToString() const;
+
+  /// Writes the CSV to `path`; returns IoError on failure.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text (the subset CsvWriter emits). Returns rows including the
+/// header row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text);
+
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_CSV_H_

@@ -1,0 +1,130 @@
+#ifndef WPRED_COMMON_STATUS_H_
+#define WPRED_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+// Arrow/RocksDB-style error model: fallible operations return Status (or
+// Result<T> for value-producing operations) instead of throwing. Exceptions
+// never cross wpred public API boundaries.
+
+namespace wpred {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNumericalError,
+  kIoError,
+  kUnimplemented,
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: an OK singleton or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    WPRED_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    WPRED_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    WPRED_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    WPRED_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wpred
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define WPRED_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::wpred::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define WPRED_CONCAT_IMPL(a, b) a##b
+#define WPRED_CONCAT(a, b) WPRED_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define WPRED_ASSIGN_OR_RETURN(lhs, expr)                         \
+  auto WPRED_CONCAT(_result_, __LINE__) = (expr);                 \
+  if (!WPRED_CONCAT(_result_, __LINE__).ok())                     \
+    return WPRED_CONCAT(_result_, __LINE__).status();             \
+  lhs = std::move(WPRED_CONCAT(_result_, __LINE__)).value()
+
+#endif  // WPRED_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef WPRED_COMMON_STRING_UTIL_H_
+#define WPRED_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wpred {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string ToFixed(double value, int digits);
+
+/// Formats `value` compactly: fixed for moderate magnitudes, scientific
+/// otherwise; NaN/inf rendered as "nan"/"inf".
+std::string FormatCompact(double value);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view text);
+
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_STRING_UTIL_H_

@@ -1,0 +1,35 @@
+#ifndef WPRED_COMMON_TABLE_PRINTER_H_
+#define WPRED_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wpred {
+
+/// Renders rows of strings as an aligned ASCII table. Used by the paper
+/// reproduction benches to print each table/figure's rows in a stable,
+/// diffable format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// Renders the table.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_TABLE_PRINTER_H_

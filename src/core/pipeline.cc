@@ -1,0 +1,195 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "similarity/measures.h"
+
+namespace wpred {
+
+Status Pipeline::Fit(const ExperimentCorpus& reference) {
+  if (reference.size() < 2) {
+    return Status::InvalidArgument("reference corpus too small");
+  }
+  fitted_ = false;
+
+  // Stage 1: feature selection on aggregate observations.
+  WPRED_ASSIGN_OR_RETURN(
+      AggregateObservations aggregates,
+      BuildAggregateObservations(reference, config_.subsamples));
+  WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
+                         CreateSelector(config_.selector));
+  WPRED_ASSIGN_OR_RETURN(Vector scores,
+                         selector->ScoreFeatures(aggregates.x,
+                                                 aggregates.labels));
+  if (config_.representation == Representation::kMts) {
+    // MTS can only represent resource features; exclude plan features from
+    // the ranking by zeroing them below every resource feature.
+    for (size_t f = kNumResourceFeatures; f < scores.size(); ++f) {
+      scores[f] = -std::numeric_limits<double>::infinity();
+    }
+  }
+  selected_features_ = ScoresToRanking(scores).TopK(config_.top_k);
+  if (config_.representation == Representation::kMts) {
+    // Defensive: drop any plan feature that slipped in via k > 7.
+    std::vector<size_t> resource_only;
+    for (size_t f : selected_features_) {
+      if (f < kNumResourceFeatures) resource_only.push_back(f);
+    }
+    selected_features_ = std::move(resource_only);
+    if (selected_features_.empty()) {
+      return Status::FailedPrecondition(
+          "MTS representation selected no resource features");
+    }
+  }
+
+  // Stage 2: similarity machinery — shared normalisation + reference
+  // representations.
+  ctx_ = ComputeNormalization(reference);
+  reference_reps_.clear();
+  reference_workloads_.clear();
+  for (const Experiment& e : reference.experiments()) {
+    WPRED_ASSIGN_OR_RETURN(
+        Matrix rep, BuildRepresentation(config_.representation, e,
+                                        selected_features_, ctx_));
+    reference_reps_.push_back(std::move(rep));
+    reference_workloads_.push_back(e.workload);
+  }
+
+  // Stage 3: scaling models per (workload, terminal count).
+  pairwise_.clear();
+  single_.clear();
+  std::set<std::pair<std::string, int>> keys;
+  for (const Experiment& e : reference.experiments()) {
+    keys.insert({e.workload, e.terminals});
+  }
+  for (const auto& [workload, terminals] : keys) {
+    WPRED_ASSIGN_OR_RETURN(
+        std::vector<SkuPerfPoint> points,
+        CollectScalingPoints(reference, workload, terminals,
+                             config_.subsamples));
+    if (DistinctSkuValues(points).size() < 2) continue;  // single-SKU corpus
+    PairwiseScalingModel pairwise;
+    WPRED_RETURN_IF_ERROR(pairwise.Fit(config_.strategy, points));
+    pairwise_[{workload, terminals}] = std::move(pairwise);
+    SingleScalingModel single;
+    WPRED_RETURN_IF_ERROR(single.Fit(config_.strategy, points));
+    single_[{workload, terminals}] = std::move(single);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankWorkloads(
+    const Experiment& observed) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  WPRED_ASSIGN_OR_RETURN(
+      Matrix rep, BuildRepresentation(config_.representation, observed,
+                                      selected_features_, ctx_));
+  std::map<std::string, std::pair<double, size_t>> totals;  // sum, count
+  for (size_t i = 0; i < reference_reps_.size(); ++i) {
+    WPRED_ASSIGN_OR_RETURN(
+        const double d,
+        MeasureDistance(config_.measure, rep, reference_reps_[i]));
+    auto& [sum, count] = totals[reference_workloads_[i]];
+    sum += d;
+    count += 1;
+  }
+  std::vector<WorkloadDistance> ranked;
+  ranked.reserve(totals.size());
+  for (const auto& [workload, agg] : totals) {
+    ranked.push_back({workload, agg.first / static_cast<double>(agg.second)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const WorkloadDistance& a, const WorkloadDistance& b) {
+              return a.mean_distance < b.mean_distance;
+            });
+  return ranked;
+}
+
+Result<const PairwiseScalingModel*> Pipeline::PairwiseModelFor(
+    const std::string& workload, int terminals) const {
+  // Exact (workload, terminals) first, then the closest terminal count.
+  const auto exact = pairwise_.find({workload, terminals});
+  if (exact != pairwise_.end()) return &exact->second;
+  const PairwiseScalingModel* best = nullptr;
+  int best_gap = std::numeric_limits<int>::max();
+  for (const auto& [key, model] : pairwise_) {
+    if (key.first != workload) continue;
+    const int gap = std::abs(key.second - terminals);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = &model;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no scaling model for workload " + workload);
+  }
+  return best;
+}
+
+Result<const SingleScalingModel*> Pipeline::SingleModelFor(
+    const std::string& workload, int terminals) const {
+  const auto exact = single_.find({workload, terminals});
+  if (exact != single_.end()) return &exact->second;
+  const SingleScalingModel* best = nullptr;
+  int best_gap = std::numeric_limits<int>::max();
+  for (const auto& [key, model] : single_) {
+    if (key.first != workload) continue;
+    const int gap = std::abs(key.second - terminals);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = &model;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no scaling model for workload " + workload);
+  }
+  return best;
+}
+
+Result<Pipeline::Prediction> Pipeline::PredictThroughput(
+    const Experiment& observed, int target_cpus) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  WPRED_ASSIGN_OR_RETURN(std::vector<WorkloadDistance> ranked,
+                         RankWorkloads(observed));
+  if (ranked.empty()) return Status::FailedPrecondition("no reference workloads");
+
+  Prediction prediction;
+  prediction.reference_workload = ranked.front().workload;
+  prediction.similarity_distance = ranked.front().mean_distance;
+
+  const double from = observed.cpus;
+  const double to = target_cpus;
+  const double perf = observed.perf.throughput_tps;
+  if (config_.context == ModelContext::kPairwise) {
+    WPRED_ASSIGN_OR_RETURN(
+        const PairwiseScalingModel* model,
+        PairwiseModelFor(prediction.reference_workload, observed.terminals));
+    Result<double> transition =
+        model->PredictTransitionScaled(from, to, perf, observed.data_group);
+    if (!transition.ok()) {
+      // Unseen SKU pair: fall back to the single curve.
+      WPRED_ASSIGN_OR_RETURN(
+          const SingleScalingModel* single,
+          SingleModelFor(prediction.reference_workload, observed.terminals));
+      transition = single->PredictTransition(from, to, perf,
+                                             observed.data_group);
+    }
+    WPRED_ASSIGN_OR_RETURN(prediction.throughput_tps, std::move(transition));
+  } else {
+    WPRED_ASSIGN_OR_RETURN(
+        const SingleScalingModel* single,
+        SingleModelFor(prediction.reference_workload, observed.terminals));
+    WPRED_ASSIGN_OR_RETURN(
+        prediction.throughput_tps,
+        single->PredictTransition(from, to, perf, observed.data_group));
+  }
+  return prediction;
+}
+
+}  // namespace wpred

@@ -1,0 +1,97 @@
+#ifndef WPRED_CORE_PIPELINE_H_
+#define WPRED_CORE_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/workbench.h"
+#include "predict/scaling_model.h"
+#include "similarity/representation.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+/// Configuration of the end-to-end prediction pipeline — one choice per
+/// stage of the paper's Figure 2, defaulting to the combination the paper's
+/// own end-to-end experiment uses (Section 6.2.3): RFE + logistic
+/// regression for top-7 features, Hist-FP + L2,1 similarity, pairwise SVR
+/// scaling models.
+struct PipelineConfig {
+  std::string selector = "RFE LogReg";
+  size_t top_k = 7;
+  Representation representation = Representation::kHistFp;
+  std::string measure = "L2,1-Norm";
+  std::string strategy = "SVM";
+  ModelContext context = ModelContext::kPairwise;
+  /// Sub-experiments per experiment for feature selection / augmentation.
+  size_t subsamples = 10;
+};
+
+/// The paper's primary artifact: feature selection → workload similarity →
+/// resource scaling prediction, wired end to end.
+///
+/// Fit() consumes a reference corpus of monitored workloads across SKUs; it
+/// (1) runs the configured feature-selection strategy on aggregate
+/// observations to pick the top-k features, (2) freezes a shared
+/// normalisation context and the reference representations, and (3) fits a
+/// scaling model per reference workload × terminal count.
+///
+/// PredictThroughput() takes telemetry of a (new) workload observed on one
+/// SKU, finds the most similar reference workload in representation space,
+/// and transfers that workload's scaling model to predict throughput on the
+/// target SKU.
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+  Status Fit(const ExperimentCorpus& reference);
+
+  bool fitted() const { return fitted_; }
+  const std::vector<size_t>& selected_features() const {
+    return selected_features_;
+  }
+  const NormalizationContext& normalization() const { return ctx_; }
+
+  /// Mean representation distance from `observed` to each reference
+  /// workload, ascending (most similar first).
+  struct WorkloadDistance {
+    std::string workload;
+    double mean_distance;
+  };
+  Result<std::vector<WorkloadDistance>> RankWorkloads(
+      const Experiment& observed) const;
+
+  /// Full end-to-end prediction.
+  struct Prediction {
+    double throughput_tps = 0.0;
+    std::string reference_workload;
+    double similarity_distance = 0.0;
+  };
+  Result<Prediction> PredictThroughput(const Experiment& observed,
+                                       int target_cpus) const;
+
+ private:
+  Result<const PairwiseScalingModel*> PairwiseModelFor(
+      const std::string& workload, int terminals) const;
+  Result<const SingleScalingModel*> SingleModelFor(const std::string& workload,
+                                                   int terminals) const;
+
+  PipelineConfig config_;
+  bool fitted_ = false;
+
+  std::vector<size_t> selected_features_;
+  NormalizationContext ctx_;
+  // Reference representations (one per reference experiment).
+  std::vector<Matrix> reference_reps_;
+  std::vector<std::string> reference_workloads_;
+  // Scaling models keyed by (workload, terminals).
+  std::map<std::pair<std::string, int>, PairwiseScalingModel> pairwise_;
+  std::map<std::pair<std::string, int>, SingleScalingModel> single_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_CORE_PIPELINE_H_

@@ -1,0 +1,51 @@
+#include "featsel/embedded.h"
+
+#include "ml/lasso.h"
+#include "ml/random_forest.h"
+
+namespace wpred {
+namespace {
+
+Vector LabelsAsTarget(const std::vector<int>& y) {
+  return Vector(y.begin(), y.end());
+}
+
+}  // namespace
+
+Result<Vector> LassoSelector::ScoreFeatures(const Matrix& x,
+                                            const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  if (alpha_ratio_ <= 0.0 || alpha_ratio_ >= 1.0) {
+    return Status::InvalidArgument("alpha_ratio must be in (0, 1)");
+  }
+  const Vector target = LabelsAsTarget(y);
+  const double alpha = LassoAlphaMax(x, target) * alpha_ratio_;
+  Lasso lasso(alpha);
+  WPRED_RETURN_IF_ERROR(lasso.Fit(x, target));
+  return lasso.FeatureImportances();
+}
+
+Result<Vector> ElasticNetSelector::ScoreFeatures(const Matrix& x,
+                                                 const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  if (alpha_ratio_ <= 0.0 || alpha_ratio_ >= 1.0) {
+    return Status::InvalidArgument("alpha_ratio must be in (0, 1)");
+  }
+  const Vector target = LabelsAsTarget(y);
+  const double alpha = LassoAlphaMax(x, target) * alpha_ratio_;
+  ElasticNet enet(alpha, l1_ratio_);
+  WPRED_RETURN_IF_ERROR(enet.Fit(x, target));
+  return enet.FeatureImportances();
+}
+
+Result<Vector> RandomForestSelector::ScoreFeatures(const Matrix& x,
+                                                   const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  ForestParams params;
+  params.num_trees = num_trees_;
+  RandomForestClassifier forest(params);
+  WPRED_RETURN_IF_ERROR(forest.Fit(x, y));
+  return forest.FeatureImportances();
+}
+
+}  // namespace wpred

@@ -1,0 +1,57 @@
+#ifndef WPRED_FEATSEL_EMBEDDED_H_
+#define WPRED_FEATSEL_EMBEDDED_H_
+
+#include "featsel/selector.h"
+
+namespace wpred {
+
+// Embedded strategies (paper Section 4.1.2): importance falls out of model
+// training itself.
+
+/// Lasso on the (numeric) class label; importance = |standardised coef|.
+/// `alpha_ratio` scales the data-dependent α_max (0 < ratio < 1); the
+/// regularisation keeps correlated duplicates out.
+class LassoSelector : public FeatureSelector {
+ public:
+  explicit LassoSelector(double alpha_ratio = 0.01) : alpha_ratio_(alpha_ratio) {}
+  std::string name() const override { return "Lasso"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+
+ private:
+  double alpha_ratio_;
+};
+
+/// Elastic net on the class label (L1 keeps the selection, L2 spreads
+/// importance over correlated predictors instead of picking arbitrarily).
+class ElasticNetSelector : public FeatureSelector {
+ public:
+  ElasticNetSelector(double alpha_ratio = 0.01, double l1_ratio = 0.5)
+      : alpha_ratio_(alpha_ratio), l1_ratio_(l1_ratio) {}
+  std::string name() const override { return "ElasticNet"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+
+ private:
+  double alpha_ratio_;
+  double l1_ratio_;
+};
+
+/// Random-forest impurity importances on the classification problem.
+class RandomForestSelector : public FeatureSelector {
+ public:
+  explicit RandomForestSelector(int num_trees = 200) : num_trees_(num_trees) {}
+  std::string name() const override { return "RandomForest"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+
+ private:
+  int num_trees_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_FEATSEL_EMBEDDED_H_

@@ -1,0 +1,140 @@
+#include "featsel/filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "linalg/stats.h"
+
+namespace wpred {
+
+namespace featsel_internal {
+
+Status ValidateSelectionProblem(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty observation matrix");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("row count mismatch between x and y");
+  }
+  for (int label : y) {
+    if (label < 0) return Status::InvalidArgument("labels must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace featsel_internal
+
+Result<Vector> VarianceThresholdSelector::ScoreFeatures(
+    const Matrix& x, const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  MinMaxScaler scaler;
+  const Matrix normalized = scaler.FitTransform(x);
+  Vector scores(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    scores[c] = Variance(normalized.Col(c));
+  }
+  return scores;
+}
+
+Result<Vector> PearsonSelector::ScoreFeatures(const Matrix& x,
+                                              const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  const Vector target(y.begin(), y.end());
+  Vector scores(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    scores[c] = std::fabs(PearsonCorrelation(x.Col(c), target));
+  }
+  return scores;
+}
+
+Result<Vector> FAnovaSelector::ScoreFeatures(const Matrix& x,
+                                             const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  // Group rows by class.
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < y.size(); ++i) groups[y[i]].push_back(i);
+  const size_t k = groups.size();
+  const size_t n = x.rows();
+  if (k < 2) return Status::InvalidArgument("need at least two classes");
+  if (n <= k) return Status::InvalidArgument("too few rows for ANOVA");
+
+  Vector scores(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    const Vector col = x.Col(c);
+    const double grand_mean = Mean(col);
+    double ss_between = 0.0;
+    double ss_within = 0.0;
+    for (const auto& [label, idx] : groups) {
+      double group_mean = 0.0;
+      for (size_t i : idx) group_mean += col[i];
+      group_mean /= static_cast<double>(idx.size());
+      ss_between += static_cast<double>(idx.size()) *
+                    (group_mean - grand_mean) * (group_mean - grand_mean);
+      for (size_t i : idx) {
+        ss_within += (col[i] - group_mean) * (col[i] - group_mean);
+      }
+    }
+    const double ms_between = ss_between / static_cast<double>(k - 1);
+    const double ms_within = ss_within / static_cast<double>(n - k);
+    scores[c] = ms_within > 0.0 ? ms_between / ms_within
+                                : (ms_between > 0.0 ? 1e12 : 0.0);
+  }
+  return scores;
+}
+
+Result<Vector> MutualInfoSelector::ScoreFeatures(const Matrix& x,
+                                                 const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  if (bins_ < 2) return Status::InvalidArgument("bins must be >= 2");
+  const size_t n = x.rows();
+  int num_classes = 0;
+  for (int label : y) num_classes = std::max(num_classes, label + 1);
+
+  Vector class_p(static_cast<size_t>(num_classes), 0.0);
+  for (int label : y) class_p[static_cast<size_t>(label)] += 1.0 / n;
+
+  Vector scores(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    const Vector col = x.Col(c);
+    const double lo = Min(col);
+    const double hi = Max(col);
+    if (hi <= lo) {
+      scores[c] = 0.0;  // constant feature carries no information
+      continue;
+    }
+    // Joint histogram over (bin, class).
+    Matrix joint(static_cast<size_t>(bins_), static_cast<size_t>(num_classes));
+    Vector bin_p(static_cast<size_t>(bins_), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      int b = static_cast<int>((col[i] - lo) / (hi - lo) * bins_);
+      b = std::clamp(b, 0, bins_ - 1);
+      joint(static_cast<size_t>(b), static_cast<size_t>(y[i])) += 1.0 / n;
+      bin_p[static_cast<size_t>(b)] += 1.0 / n;
+    }
+    double mi = 0.0;
+    for (int b = 0; b < bins_; ++b) {
+      for (int cls = 0; cls < num_classes; ++cls) {
+        const double pxy = joint(static_cast<size_t>(b),
+                                 static_cast<size_t>(cls));
+        if (pxy <= 0.0) continue;
+        mi += pxy * std::log(pxy / (bin_p[static_cast<size_t>(b)] *
+                                    class_p[static_cast<size_t>(cls)]));
+      }
+    }
+    scores[c] = mi;
+  }
+  return scores;
+}
+
+Result<Vector> BaselineSelector::ScoreFeatures(const Matrix& x,
+                                               const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  Vector scores(x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    scores[c] = static_cast<double>(x.cols() - c);
+  }
+  return scores;
+}
+
+}  // namespace wpred

@@ -1,0 +1,65 @@
+#ifndef WPRED_FEATSEL_FILTER_H_
+#define WPRED_FEATSEL_FILTER_H_
+
+#include "featsel/selector.h"
+
+namespace wpred {
+
+// Filter strategies (paper Section 4.1.1): score each feature before any
+// model is fit. Fast, univariate, may keep correlated predictors.
+
+/// Scores features by their variance after min-max normalisation (so scales
+/// are comparable); the target is ignored.
+class VarianceThresholdSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "Variance"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+};
+
+/// |Pearson correlation| between each feature and the (numeric) class label.
+class PearsonSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "Pearson"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+};
+
+/// One-way ANOVA F-statistic of each feature across classes (fANOVA).
+class FAnovaSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "fANOVA"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+};
+
+/// Mutual information between each feature (discretised into equal-width
+/// bins) and the class label.
+class MutualInfoSelector : public FeatureSelector {
+ public:
+  explicit MutualInfoSelector(int bins = 10) : bins_(bins) {}
+  std::string name() const override { return "MIGain"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kScore; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+
+ private:
+  int bins_;
+};
+
+/// The paper's Table 3 baseline: no selection at all — features keep their
+/// catalog order, so "top-k" is simply the first k catalog features.
+class BaselineSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "Baseline"; }
+  SelectorOutput output_kind() const override { return SelectorOutput::kRank; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_FEATSEL_FILTER_H_

@@ -1,0 +1,52 @@
+#include "featsel/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace wpred {
+
+std::vector<size_t> FeatureRanking::TopK(size_t k) const {
+  std::vector<size_t> order(ranks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [this](size_t a, size_t b) { return ranks[a] < ranks[b]; });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+FeatureRanking ScoresToRanking(const Vector& scores) {
+  FeatureRanking ranking;
+  ranking.scores = scores;
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  ranking.ranks.assign(scores.size(), 0);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    ranking.ranks[order[pos]] = static_cast<int>(pos) + 1;
+  }
+  return ranking;
+}
+
+std::vector<size_t> TopKByAggregateRank(
+    const std::vector<FeatureRanking>& rankings, size_t k) {
+  WPRED_CHECK(!rankings.empty());
+  const size_t p = rankings[0].ranks.size();
+  std::vector<long> totals(p, 0);
+  for (const FeatureRanking& r : rankings) {
+    WPRED_CHECK_EQ(r.ranks.size(), p) << "inconsistent feature arity";
+    for (size_t i = 0; i < p; ++i) totals[i] += r.ranks[i];
+  }
+  std::vector<size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&totals](size_t a, size_t b) {
+    return totals[a] < totals[b];
+  });
+  order.resize(std::min(k, p));
+  return order;
+}
+
+}  // namespace wpred

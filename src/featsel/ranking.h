@@ -1,0 +1,33 @@
+#ifndef WPRED_FEATSEL_RANKING_H_
+#define WPRED_FEATSEL_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Importance ranking of p features: ranks[i] is the rank of feature i,
+/// 1 = most important. Derived from scores (higher = better) with ties
+/// broken by feature index for determinism.
+struct FeatureRanking {
+  std::vector<int> ranks;
+  Vector scores;
+
+  /// Indices of the k best-ranked features, in rank order.
+  std::vector<size_t> TopK(size_t k) const;
+};
+
+/// Converts scores (higher = more important) into a 1-based ranking.
+FeatureRanking ScoresToRanking(const Vector& scores);
+
+/// Paper Section 4.2: aggregates rankings produced per experiment and
+/// returns the k features with the lowest aggregate (summed) rank, in
+/// ascending aggregate-rank order.
+std::vector<size_t> TopKByAggregateRank(
+    const std::vector<FeatureRanking>& rankings, size_t k);
+
+}  // namespace wpred
+
+#endif  // WPRED_FEATSEL_RANKING_H_

@@ -1,0 +1,83 @@
+#include "featsel/registry.h"
+
+#include "featsel/embedded.h"
+#include "featsel/filter.h"
+#include "featsel/wrapper.h"
+
+namespace wpred {
+
+Result<std::unique_ptr<FeatureSelector>> CreateSelector(
+    const std::string& name) {
+  if (name == "Variance") {
+    return std::unique_ptr<FeatureSelector>(new VarianceThresholdSelector());
+  }
+  if (name == "fANOVA") {
+    return std::unique_ptr<FeatureSelector>(new FAnovaSelector());
+  }
+  if (name == "MIGain") {
+    return std::unique_ptr<FeatureSelector>(new MutualInfoSelector());
+  }
+  if (name == "Pearson") {
+    return std::unique_ptr<FeatureSelector>(new PearsonSelector());
+  }
+  if (name == "Lasso") {
+    return std::unique_ptr<FeatureSelector>(new LassoSelector());
+  }
+  if (name == "ElasticNet") {
+    return std::unique_ptr<FeatureSelector>(new ElasticNetSelector());
+  }
+  if (name == "RandomForest") {
+    return std::unique_ptr<FeatureSelector>(new RandomForestSelector());
+  }
+  if (name == "RFE Linear") {
+    return std::unique_ptr<FeatureSelector>(
+        new RfeSelector(WrapperEstimator::kLinear));
+  }
+  if (name == "RFE DecTree") {
+    return std::unique_ptr<FeatureSelector>(
+        new RfeSelector(WrapperEstimator::kDecisionTree));
+  }
+  if (name == "RFE LogReg") {
+    return std::unique_ptr<FeatureSelector>(
+        new RfeSelector(WrapperEstimator::kLogReg));
+  }
+  if (name == "Fw SFS Linear") {
+    return std::unique_ptr<FeatureSelector>(
+        new SfsSelector(WrapperEstimator::kLinear, /*forward=*/true));
+  }
+  if (name == "Fw SFS DecTree") {
+    return std::unique_ptr<FeatureSelector>(
+        new SfsSelector(WrapperEstimator::kDecisionTree, /*forward=*/true));
+  }
+  if (name == "Fw SFS LogReg") {
+    return std::unique_ptr<FeatureSelector>(
+        new SfsSelector(WrapperEstimator::kLogReg, /*forward=*/true));
+  }
+  if (name == "Bw SFS Linear") {
+    return std::unique_ptr<FeatureSelector>(
+        new SfsSelector(WrapperEstimator::kLinear, /*forward=*/false));
+  }
+  if (name == "Bw SFS DecTree") {
+    return std::unique_ptr<FeatureSelector>(
+        new SfsSelector(WrapperEstimator::kDecisionTree, /*forward=*/false));
+  }
+  if (name == "Bw SFS LogReg") {
+    return std::unique_ptr<FeatureSelector>(
+        new SfsSelector(WrapperEstimator::kLogReg, /*forward=*/false));
+  }
+  if (name == "Baseline") {
+    return std::unique_ptr<FeatureSelector>(new BaselineSelector());
+  }
+  return Status::NotFound("unknown feature-selection strategy: " + name);
+}
+
+std::vector<std::string> AllSelectorNames() {
+  return {"Variance",       "fANOVA",        "MIGain",
+          "Pearson",        "Lasso",         "ElasticNet",
+          "RandomForest",   "RFE Linear",    "RFE DecTree",
+          "RFE LogReg",     "Fw SFS Linear", "Fw SFS DecTree",
+          "Fw SFS LogReg",  "Bw SFS Linear", "Bw SFS DecTree",
+          "Bw SFS LogReg",  "Baseline"};
+}
+
+}  // namespace wpred

@@ -1,0 +1,26 @@
+#ifndef WPRED_FEATSEL_REGISTRY_H_
+#define WPRED_FEATSEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "featsel/selector.h"
+
+namespace wpred {
+
+/// Creates a feature-selection strategy by its paper Table 3 name:
+/// "Variance", "fANOVA", "MIGain", "Pearson", "Lasso", "ElasticNet",
+/// "RandomForest", "RFE Linear", "RFE DecTree", "RFE LogReg",
+/// "Fw SFS Linear", "Fw SFS DecTree", "Fw SFS LogReg",
+/// "Bw SFS Linear", "Bw SFS DecTree", "Bw SFS LogReg", "Baseline".
+Result<std::unique_ptr<FeatureSelector>> CreateSelector(
+    const std::string& name);
+
+/// All strategy names in the paper's Table 3 row order (baseline last).
+std::vector<std::string> AllSelectorNames();
+
+}  // namespace wpred
+
+#endif  // WPRED_FEATSEL_REGISTRY_H_

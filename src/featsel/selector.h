@@ -1,0 +1,43 @@
+#ifndef WPRED_FEATSEL_SELECTOR_H_
+#define WPRED_FEATSEL_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// How a strategy expresses importance (paper Section 4.2): score-based
+/// strategies emit a continuous score per feature; rank-based (wrapper)
+/// strategies emit an ordering.
+enum class SelectorOutput { kScore, kRank };
+
+/// A feature-selection strategy. Input is an observation matrix (rows =
+/// observations over the feature catalog) and a class label per row (the
+/// workload-membership target used throughout Section 4). Output is a
+/// per-feature importance score where HIGHER means more important; rank
+/// based strategies encode rank r as score (p − r) so both kinds flow
+/// through the same rank-aggregation machinery.
+class FeatureSelector {
+ public:
+  virtual ~FeatureSelector() = default;
+
+  virtual std::string name() const = 0;
+  virtual SelectorOutput output_kind() const = 0;
+
+  virtual Result<Vector> ScoreFeatures(const Matrix& x,
+                                       const std::vector<int>& y) = 0;
+};
+
+namespace featsel_internal {
+
+/// Shared validation for selector inputs.
+Status ValidateSelectionProblem(const Matrix& x, const std::vector<int>& y);
+
+}  // namespace featsel_internal
+
+}  // namespace wpred
+
+#endif  // WPRED_FEATSEL_SELECTOR_H_

@@ -1,0 +1,195 @@
+#include "featsel/wrapper.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/linear_regression.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+
+namespace wpred {
+namespace {
+
+// Wrapper-internal estimator hyper-parameters are deliberately light: the
+// point of wrappers is subset search, not squeezing the estimator.
+constexpr int kLogRegIters = 80;
+constexpr uint64_t kCvSeed = 0xfeed5e1;
+
+Result<Vector> EstimatorImportances(WrapperEstimator estimator, const Matrix& x,
+                                    const std::vector<int>& y) {
+  switch (estimator) {
+    case WrapperEstimator::kLinear: {
+      LinearRegression model;
+      WPRED_RETURN_IF_ERROR(model.Fit(x, Vector(y.begin(), y.end())));
+      return model.FeatureImportances();
+    }
+    case WrapperEstimator::kDecisionTree: {
+      DecisionTreeClassifier model;
+      WPRED_RETURN_IF_ERROR(model.Fit(x, y));
+      return model.FeatureImportances();
+    }
+    case WrapperEstimator::kLogReg: {
+      LogisticRegression model(1e-3, kLogRegIters);
+      WPRED_RETURN_IF_ERROR(model.Fit(x, y));
+      return model.FeatureImportances();
+    }
+  }
+  return Status::InvalidArgument("unknown estimator");
+}
+
+// Cross-validated subset score: accuracy for classifiers, R² for the linear
+// probability model. Higher is better.
+Result<double> CvSubsetScore(WrapperEstimator estimator, const Matrix& x,
+                             const std::vector<int>& y, int folds) {
+  Rng rng(kCvSeed);
+  WPRED_ASSIGN_OR_RETURN(std::vector<FoldSplit> splits,
+                         KFoldSplits(x.rows(), folds, rng));
+  double total = 0.0;
+  for (const FoldSplit& split : splits) {
+    const Matrix x_train = x.SelectRows(split.train);
+    const Matrix x_test = x.SelectRows(split.test);
+    std::vector<int> y_train(split.train.size());
+    std::vector<int> y_test(split.test.size());
+    for (size_t i = 0; i < split.train.size(); ++i) y_train[i] = y[split.train[i]];
+    for (size_t i = 0; i < split.test.size(); ++i) y_test[i] = y[split.test[i]];
+
+    if (estimator == WrapperEstimator::kLinear) {
+      LinearRegression model;
+      WPRED_RETURN_IF_ERROR(model.Fit(x_train, Vector(y_train.begin(),
+                                                      y_train.end())));
+      WPRED_ASSIGN_OR_RETURN(Vector pred, model.PredictBatch(x_test));
+      total += R2(Vector(y_test.begin(), y_test.end()), pred);
+    } else if (estimator == WrapperEstimator::kDecisionTree) {
+      DecisionTreeClassifier model;
+      WPRED_RETURN_IF_ERROR(model.Fit(x_train, y_train));
+      WPRED_ASSIGN_OR_RETURN(std::vector<int> pred, model.PredictBatch(x_test));
+      total += Accuracy(y_test, pred);
+    } else {
+      LogisticRegression model(1e-3, kLogRegIters);
+      WPRED_RETURN_IF_ERROR(model.Fit(x_train, y_train));
+      WPRED_ASSIGN_OR_RETURN(std::vector<int> pred, model.PredictBatch(x_test));
+      total += Accuracy(y_test, pred);
+    }
+  }
+  return total / folds;
+}
+
+Vector RanksToScores(const std::vector<int>& ranks) {
+  Vector scores(ranks.size());
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    scores[i] = static_cast<double>(ranks.size() - ranks[i]);
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::string_view WrapperEstimatorName(WrapperEstimator estimator) {
+  switch (estimator) {
+    case WrapperEstimator::kLinear:
+      return "Linear";
+    case WrapperEstimator::kDecisionTree:
+      return "DecTree";
+    case WrapperEstimator::kLogReg:
+      return "LogReg";
+  }
+  return "Unknown";
+}
+
+std::string RfeSelector::name() const {
+  return "RFE " + std::string(WrapperEstimatorName(estimator_));
+}
+
+Result<Vector> RfeSelector::ScoreFeatures(const Matrix& x,
+                                          const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  StandardScaler scaler;
+  const Matrix xs = scaler.FitTransform(x);
+
+  std::vector<size_t> remaining(x.cols());
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<int> ranks(x.cols(), 0);
+
+  while (remaining.size() > 1) {
+    const Matrix subset = xs.SelectCols(remaining);
+    WPRED_ASSIGN_OR_RETURN(Vector importances,
+                           EstimatorImportances(estimator_, subset, y));
+    size_t weakest = 0;
+    for (size_t i = 1; i < importances.size(); ++i) {
+      if (importances[i] < importances[weakest]) weakest = i;
+    }
+    ranks[remaining[weakest]] = static_cast<int>(remaining.size());
+    remaining.erase(remaining.begin() + static_cast<long>(weakest));
+  }
+  ranks[remaining[0]] = 1;
+  return RanksToScores(ranks);
+}
+
+std::string SfsSelector::name() const {
+  return std::string(forward_ ? "Fw SFS " : "Bw SFS ") +
+         std::string(WrapperEstimatorName(estimator_));
+}
+
+Result<Vector> SfsSelector::ScoreFeatures(const Matrix& x,
+                                          const std::vector<int>& y) {
+  WPRED_RETURN_IF_ERROR(featsel_internal::ValidateSelectionProblem(x, y));
+  if (cv_folds_ < 2) return Status::InvalidArgument("cv_folds must be >= 2");
+  StandardScaler scaler;
+  const Matrix xs = scaler.FitTransform(x);
+  const size_t p = x.cols();
+  std::vector<int> ranks(p, 0);
+
+  if (forward_) {
+    std::vector<size_t> selected;
+    std::vector<size_t> remaining(p);
+    std::iota(remaining.begin(), remaining.end(), 0);
+    int next_rank = 1;
+    while (!remaining.empty()) {
+      double best_score = -1e300;
+      size_t best_pos = 0;
+      for (size_t pos = 0; pos < remaining.size(); ++pos) {
+        std::vector<size_t> candidate = selected;
+        candidate.push_back(remaining[pos]);
+        WPRED_ASSIGN_OR_RETURN(
+            const double score,
+            CvSubsetScore(estimator_, xs.SelectCols(candidate), y, cv_folds_));
+        if (score > best_score) {
+          best_score = score;
+          best_pos = pos;
+        }
+      }
+      selected.push_back(remaining[best_pos]);
+      ranks[remaining[best_pos]] = next_rank++;
+      remaining.erase(remaining.begin() + static_cast<long>(best_pos));
+    }
+  } else {
+    std::vector<size_t> selected(p);
+    std::iota(selected.begin(), selected.end(), 0);
+    int worst_rank = static_cast<int>(p);
+    while (selected.size() > 1) {
+      double best_score = -1e300;
+      size_t drop_pos = 0;
+      for (size_t pos = 0; pos < selected.size(); ++pos) {
+        std::vector<size_t> candidate = selected;
+        candidate.erase(candidate.begin() + static_cast<long>(pos));
+        WPRED_ASSIGN_OR_RETURN(
+            const double score,
+            CvSubsetScore(estimator_, xs.SelectCols(candidate), y, cv_folds_));
+        if (score > best_score) {
+          best_score = score;
+          drop_pos = pos;
+        }
+      }
+      ranks[selected[drop_pos]] = worst_rank--;
+      selected.erase(selected.begin() + static_cast<long>(drop_pos));
+    }
+    ranks[selected[0]] = 1;
+  }
+  return RanksToScores(ranks);
+}
+
+}  // namespace wpred

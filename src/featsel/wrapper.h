@@ -1,0 +1,52 @@
+#ifndef WPRED_FEATSEL_WRAPPER_H_
+#define WPRED_FEATSEL_WRAPPER_H_
+
+#include "featsel/selector.h"
+
+namespace wpred {
+
+// Wrapper strategies (paper Section 4.1.3): repeatedly train an estimator on
+// candidate feature subsets. Accurate but orders of magnitude slower than
+// filters — Table 3's timing column exists to show exactly that.
+
+/// Estimator family a wrapper trains internally.
+enum class WrapperEstimator { kLinear, kDecisionTree, kLogReg };
+
+std::string_view WrapperEstimatorName(WrapperEstimator estimator);
+
+/// Recursive Feature Elimination: fit the estimator on the remaining
+/// features, drop the least important one, repeat. Feature dropped first
+/// gets the worst rank.
+class RfeSelector : public FeatureSelector {
+ public:
+  explicit RfeSelector(WrapperEstimator estimator) : estimator_(estimator) {}
+  std::string name() const override;
+  SelectorOutput output_kind() const override { return SelectorOutput::kRank; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+
+ private:
+  WrapperEstimator estimator_;
+};
+
+/// Sequential Feature Selection, forward (greedily add the feature whose
+/// addition maximises cross-validated estimator performance) or backward
+/// (greedily remove the feature whose removal maximises it).
+class SfsSelector : public FeatureSelector {
+ public:
+  SfsSelector(WrapperEstimator estimator, bool forward, int cv_folds = 3)
+      : estimator_(estimator), forward_(forward), cv_folds_(cv_folds) {}
+  std::string name() const override;
+  SelectorOutput output_kind() const override { return SelectorOutput::kRank; }
+  Result<Vector> ScoreFeatures(const Matrix& x,
+                               const std::vector<int>& y) override;
+
+ private:
+  WrapperEstimator estimator_;
+  bool forward_;
+  int cv_folds_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_FEATSEL_WRAPPER_H_

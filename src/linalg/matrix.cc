@@ -1,0 +1,168 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace wpred {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    WPRED_CHECK_EQ(row.size(), cols_) << "ragged initializer";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    WPRED_CHECK_EQ(rows[r].size(), m.cols_) << "ragged rows";
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  WPRED_CHECK_LT(r, rows_);
+  return Vector(data_.begin() + static_cast<long>(r * cols_),
+                data_.begin() + static_cast<long>((r + 1) * cols_));
+}
+
+Vector Matrix::Col(size_t c) const {
+  WPRED_CHECK_LT(c, cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& values) {
+  WPRED_CHECK_LT(r, rows_);
+  WPRED_CHECK_EQ(values.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
+}
+
+void Matrix::SetCol(size_t c, const Vector& values) {
+  WPRED_CHECK_LT(c, cols_);
+  WPRED_CHECK_EQ(values.size(), rows_);
+  for (size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& col_indices) const {
+  Matrix out(rows_, col_indices.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t j = 0; j < col_indices.size(); ++j) {
+      WPRED_CHECK_LT(col_indices[j], cols_);
+      out(r, j) = data_[r * cols_ + col_indices[j]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix out(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    WPRED_CHECK_LT(row_indices[i], rows_);
+    for (size_t c = 0; c < cols_; ++c) {
+      out(i, c) = data_[row_indices[i] * cols_ + c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = data_[r * cols_ + c];
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  WPRED_CHECK_EQ(rows_, other.rows_);
+  WPRED_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  WPRED_CHECK_EQ(rows_, other.rows_);
+  WPRED_CHECK_EQ(cols_, other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  WPRED_CHECK_EQ(cols_, other.rows_) << "shape mismatch in matmul";
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = data_[r * cols_ + k];
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other.data_[k * other.cols_ + c];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= scalar;
+  return out;
+}
+
+Vector Matrix::Apply(const Vector& x) const {
+  WPRED_CHECK_EQ(x.size(), cols_);
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")\n";
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "  [";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << FormatCompact(data_[r * cols_ + c]);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  WPRED_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+Vector Axpy(const Vector& a, double s, const Vector& b) {
+  WPRED_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+}  // namespace wpred

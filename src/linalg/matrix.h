@@ -1,0 +1,99 @@
+#ifndef WPRED_LINALG_MATRIX_H_
+#define WPRED_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wpred {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. The workhorse container for feature
+/// matrices, time-series, histograms, and model internals. Small and
+/// deliberately simple: wpred's data sizes (hundreds to a few thousand
+/// observations, tens of features) never require BLAS.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initialiser lists; all rows must have equal arity.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix whose rows are the given vectors (all same length).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    WPRED_CHECK_LT(r, rows_);
+    WPRED_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    WPRED_CHECK_LT(r, rows_);
+    WPRED_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies row r out as a Vector.
+  Vector Row(size_t r) const;
+  /// Copies column c out as a Vector.
+  Vector Col(size_t c) const;
+  /// Overwrites row r.
+  void SetRow(size_t r, const Vector& values);
+  /// Overwrites column c.
+  void SetCol(size_t c, const Vector& values);
+
+  /// Returns a new matrix restricted to the given column indices, in order.
+  Matrix SelectCols(const std::vector<size_t>& col_indices) const;
+  /// Returns a new matrix restricted to the given row indices, in order.
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  Matrix Transposed() const;
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix operator*(const Matrix& other) const;  // matrix product
+  Matrix operator*(double scalar) const;
+
+  /// Matrix-vector product (x has cols() entries).
+  Vector Apply(const Vector& x) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+  /// Human-readable rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product of equal-length vectors.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& a);
+
+/// a + s * b, elementwise (equal lengths).
+Vector Axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace wpred
+
+#endif  // WPRED_LINALG_MATRIX_H_

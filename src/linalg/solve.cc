@@ -1,0 +1,195 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace wpred {
+namespace {
+
+constexpr double kSingularEps = 1e-12;
+
+// Forward substitution: solves L y = b for lower-triangular L.
+Vector ForwardSubst(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+// Back substitution: solves Lᵀ x = y for lower-triangular L.
+Vector BackSubstTransposed(const Matrix& l, const Vector& y) {
+  const size_t n = l.rows();
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= l(j, i) * x[j];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  WPRED_CHECK_EQ(a.rows(), a.cols()) << "Cholesky requires a square matrix";
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) {
+          return Status::NumericalError("matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  WPRED_CHECK_EQ(a.rows(), b.size());
+  WPRED_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  return BackSubstTransposed(l, ForwardSubst(l, b));
+}
+
+namespace {
+
+// LU decomposition with partial pivoting, in place. Returns false if
+// singular. `perm` receives the row permutation; `sign` the permutation sign.
+bool LuDecompose(Matrix& a, std::vector<size_t>& perm, double& sign) {
+  const size_t n = a.rows();
+  perm.resize(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  sign = 1.0;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kSingularEps) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(perm[pivot], perm[col]);
+      sign = -sign;
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      a(r, col) = factor;
+      for (size_t c = col + 1; c < n; ++c) a(r, c) -= factor * a(col, c);
+    }
+  }
+  return true;
+}
+
+Vector LuBackSolve(const Matrix& lu, const std::vector<size_t>& perm,
+                   const Vector& b) {
+  const size_t n = lu.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    for (size_t j = 0; j < i; ++j) acc -= lu(i, j) * y[j];
+    y[i] = acc;
+  }
+  Vector x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double acc = y[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= lu(i, j) * x[j];
+    x[i] = acc / lu(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
+  WPRED_CHECK_EQ(a.rows(), a.cols());
+  WPRED_CHECK_EQ(a.rows(), b.size());
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  double sign = 1.0;
+  if (!LuDecompose(lu, perm, sign)) {
+    return Status::NumericalError("singular matrix in LuSolve");
+  }
+  return LuBackSolve(lu, perm, b);
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  WPRED_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  double sign = 1.0;
+  if (!LuDecompose(lu, perm, sign)) {
+    return Status::NumericalError("singular matrix in Inverse");
+  }
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e.assign(n, 0.0);
+    e[c] = 1.0;
+    const Vector col = LuBackSolve(lu, perm, e);
+    inv.SetCol(c, col);
+  }
+  return inv;
+}
+
+double Determinant(const Matrix& a) {
+  WPRED_CHECK_EQ(a.rows(), a.cols());
+  Matrix lu = a;
+  std::vector<size_t> perm;
+  double sign = 1.0;
+  if (!LuDecompose(lu, perm, sign)) return 0.0;
+  double det = sign;
+  for (size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+Result<Vector> SolveLeastSquares(const Matrix& x, const Vector& y,
+                                 double ridge) {
+  WPRED_CHECK_EQ(x.rows(), y.size());
+  WPRED_CHECK_GE(ridge, 0.0);
+  const size_t p = x.cols();
+  // Gram matrix XᵀX and right-hand side Xᵀy.
+  Matrix gram(p, p);
+  Vector rhs(p, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t i = 0; i < p; ++i) {
+      const double xi = x(r, i);
+      if (xi == 0.0) continue;
+      rhs[i] += xi * y[r];
+      for (size_t j = i; j < p; ++j) gram(i, j) += xi * x(r, j);
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+  for (size_t i = 0; i < p; ++i) gram(i, i) += ridge;
+
+  Result<Vector> solved = CholeskySolve(gram, rhs);
+  if (solved.ok()) return solved;
+  // Rank-deficient design: retry with a small jitter proportional to the
+  // average diagonal magnitude.
+  double diag_mean = 0.0;
+  for (size_t i = 0; i < p; ++i) diag_mean += gram(i, i);
+  diag_mean = p > 0 ? diag_mean / static_cast<double>(p) : 1.0;
+  const double jitter = std::max(1e-8 * diag_mean, 1e-10);
+  for (size_t i = 0; i < p; ++i) gram(i, i) += jitter;
+  return CholeskySolve(gram, rhs);
+}
+
+}  // namespace wpred

@@ -1,0 +1,34 @@
+#ifndef WPRED_LINALG_SOLVE_H_
+#define WPRED_LINALG_SOLVE_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Cholesky factorisation A = L Lᵀ of a symmetric positive-definite matrix.
+/// Returns NumericalError if A is not (numerically) positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Solves the square system A x = b via LU with partial pivoting.
+/// Returns NumericalError for (numerically) singular A.
+Result<Vector> LuSolve(const Matrix& a, const Vector& b);
+
+/// Inverse of a square matrix via LU; NumericalError if singular.
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Least-squares solve min ||X w - y||² + ridge ||w||² via the normal
+/// equations (XᵀX + ridge·I) w = Xᵀy. With ridge = 0 falls back to a tiny
+/// stabilising jitter if XᵀX is singular.
+Result<Vector> SolveLeastSquares(const Matrix& x, const Vector& y,
+                                 double ridge = 0.0);
+
+/// Determinant via LU (0 for singular matrices).
+double Determinant(const Matrix& a);
+
+}  // namespace wpred
+
+#endif  // WPRED_LINALG_SOLVE_H_

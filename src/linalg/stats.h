@@ -1,0 +1,99 @@
+#ifndef WPRED_LINALG_STATS_H_
+#define WPRED_LINALG_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const Vector& v);
+
+/// Population variance (divides by n); 0 for n < 1.
+double Variance(const Vector& v);
+
+/// Sample variance (divides by n-1); 0 for n < 2.
+double SampleVariance(const Vector& v);
+
+/// Population standard deviation.
+double StdDev(const Vector& v);
+
+/// Median (averages the middle pair for even n); 0 for empty input.
+double Median(const Vector& v);
+
+/// Linear-interpolated quantile, q in [0, 1]; 0 for empty input.
+double Quantile(const Vector& v, double q);
+
+/// Population covariance of two equal-length vectors.
+double Covariance(const Vector& a, const Vector& b);
+
+/// Pearson correlation coefficient in [-1, 1]; 0 if either side is constant.
+double PearsonCorrelation(const Vector& a, const Vector& b);
+
+/// Min / max of a vector (CHECKs non-empty).
+double Min(const Vector& v);
+double Max(const Vector& v);
+
+/// Per-feature summary of a data matrix (columns are features).
+struct ColumnStats {
+  Vector mean;
+  Vector stddev;  // population
+  Vector min;
+  Vector max;
+};
+ColumnStats ComputeColumnStats(const Matrix& x);
+
+/// Standardises columns to zero mean / unit variance. Constant columns map
+/// to all-zero. Fit on training data, apply anywhere.
+class StandardScaler {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+  Vector TransformRow(const Vector& row) const;
+  /// Fit + Transform in one pass.
+  Matrix FitTransform(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+  const Vector& mean() const { return mean_; }
+  const Vector& stddev() const { return stddev_; }
+
+ private:
+  Vector mean_;
+  Vector stddev_;
+};
+
+/// Rescales columns to [0, 1] using per-column min/max. Constant columns map
+/// to 0. This is the normalisation the paper applies before histogram
+/// fingerprinting (Section 4.3).
+class MinMaxScaler {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+  Matrix FitTransform(const Matrix& x);
+
+  bool fitted() const { return !min_.empty(); }
+  const Vector& min() const { return min_; }
+  const Vector& max() const { return max_; }
+
+ private:
+  Vector min_;
+  Vector max_;
+};
+
+/// Target scaler for single-output regression.
+class TargetScaler {
+ public:
+  void Fit(const Vector& y);
+  Vector Transform(const Vector& y) const;
+  double InverseTransform(double y_scaled) const;
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_LINALG_STATS_H_

@@ -1,0 +1,61 @@
+#include "ml/cross_validation.h"
+
+#include <chrono>
+
+#include "linalg/stats.h"
+
+namespace wpred {
+
+Result<std::vector<FoldSplit>> KFoldSplits(size_t n, int k, Rng& rng) {
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (static_cast<size_t>(k) > n) {
+    return Status::InvalidArgument("k exceeds the number of observations");
+  }
+  const std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<FoldSplit> folds(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    folds[i % static_cast<size_t>(k)].test.push_back(perm[i]);
+  }
+  for (int f = 0; f < k; ++f) {
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      folds[f].train.insert(folds[f].train.end(), folds[other].test.begin(),
+                            folds[other].test.end());
+    }
+  }
+  return folds;
+}
+
+Result<CrossValResult> CrossValidateRegressor(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Matrix& x, const Vector& y, int k, const RegressionMetric& metric,
+    Rng& rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("row count mismatch between x and y");
+  }
+  WPRED_ASSIGN_OR_RETURN(std::vector<FoldSplit> folds,
+                         KFoldSplits(x.rows(), k, rng));
+  CrossValResult result;
+  double fit_seconds = 0.0;
+  for (const FoldSplit& fold : folds) {
+    const Matrix x_train = x.SelectRows(fold.train);
+    const Matrix x_test = x.SelectRows(fold.test);
+    Vector y_train(fold.train.size()), y_test(fold.test.size());
+    for (size_t i = 0; i < fold.train.size(); ++i) y_train[i] = y[fold.train[i]];
+    for (size_t i = 0; i < fold.test.size(); ++i) y_test[i] = y[fold.test[i]];
+
+    std::unique_ptr<Regressor> model = factory();
+    const auto t0 = std::chrono::steady_clock::now();
+    WPRED_RETURN_IF_ERROR(model->Fit(x_train, y_train));
+    fit_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    WPRED_ASSIGN_OR_RETURN(Vector y_pred, model->PredictBatch(x_test));
+    result.fold_scores.push_back(metric(y_test, y_pred));
+  }
+  result.mean_score = Mean(result.fold_scores);
+  result.mean_fit_seconds = fit_seconds / static_cast<double>(folds.size());
+  return result;
+}
+
+}  // namespace wpred

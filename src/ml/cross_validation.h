@@ -1,0 +1,44 @@
+#ifndef WPRED_ML_CROSS_VALIDATION_H_
+#define WPRED_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace wpred {
+
+/// One train/test index split.
+struct FoldSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Shuffled k-fold splits of [0, n). Every index appears in exactly one test
+/// fold; fold sizes differ by at most one. Requires 2 <= k <= n.
+Result<std::vector<FoldSplit>> KFoldSplits(size_t n, int k, Rng& rng);
+
+/// Regression metric over (y_true, y_pred).
+using RegressionMetric = std::function<double(const Vector&, const Vector&)>;
+
+/// Per-fold score plus mean training wall time.
+struct CrossValResult {
+  Vector fold_scores;
+  double mean_score = 0.0;
+  double mean_fit_seconds = 0.0;
+};
+
+/// k-fold cross-validation of a regression model built per fold by
+/// `factory`. The paper evaluates every scaling strategy this way (5-fold,
+/// NRMSE; Table 6).
+Result<CrossValResult> CrossValidateRegressor(
+    const std::function<std::unique_ptr<Regressor>()>& factory,
+    const Matrix& x, const Vector& y, int k, const RegressionMetric& metric,
+    Rng& rng);
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_CROSS_VALIDATION_H_

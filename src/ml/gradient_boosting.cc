@@ -1,0 +1,92 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "linalg/stats.h"
+
+namespace wpred {
+
+Status GradientBoostingRegressor::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("row count mismatch between x and y");
+  }
+  if (params_.num_stages < 1) {
+    return Status::InvalidArgument("num_stages must be >= 1");
+  }
+  if (params_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (params_.subsample <= 0.0 || params_.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0, 1]");
+  }
+  fitted_ = false;
+  stages_.clear();
+  num_features_ = x.cols();
+
+  base_prediction_ = Mean(y);
+  Vector residual(y.size());
+  for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - base_prediction_;
+
+  TreeParams tree_params;
+  tree_params.max_depth = params_.max_depth;
+  tree_params.min_samples_leaf = params_.min_samples_leaf;
+
+  Rng rng(params_.seed);
+  const size_t rows_per_stage = std::max<size_t>(
+      1, static_cast<size_t>(params_.subsample * static_cast<double>(x.rows())));
+
+  stages_.reserve(params_.num_stages);
+  for (int stage = 0; stage < params_.num_stages; ++stage) {
+    std::vector<size_t> rows;
+    if (rows_per_stage == x.rows()) {
+      rows.resize(x.rows());
+      std::iota(rows.begin(), rows.end(), 0);
+    } else {
+      rows = rng.Permutation(x.rows());
+      rows.resize(rows_per_stage);
+    }
+    internal::FittedTree tree = internal::BuildTree(
+        x, residual, /*classification=*/false, 0, tree_params, rows);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      residual[i] -= params_.learning_rate * tree.Evaluate(x.Row(i));
+    }
+    stages_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> GradientBoostingRegressor::Predict(const Vector& row) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (row.size() != num_features_) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  double acc = base_prediction_;
+  for (const auto& tree : stages_) {
+    acc += params_.learning_rate * tree.Evaluate(row);
+  }
+  return acc;
+}
+
+Result<Vector> GradientBoostingRegressor::FeatureImportances() const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  Vector importances(num_features_, 0.0);
+  for (const auto& tree : stages_) {
+    for (size_t f = 0; f < num_features_; ++f) {
+      importances[f] += tree.importances[f];
+    }
+  }
+  double total = 0.0;
+  for (double v : importances) total += v;
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+}  // namespace wpred

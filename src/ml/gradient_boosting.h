@@ -1,0 +1,44 @@
+#ifndef WPRED_ML_GRADIENT_BOOSTING_H_
+#define WPRED_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace wpred {
+
+/// Gradient-boosting hyper-parameters.
+struct GbParams {
+  int num_stages = 100;
+  double learning_rate = 0.1;
+  int max_depth = 3;
+  size_t min_samples_leaf = 1;
+  /// Row subsampling per stage (stochastic gradient boosting); 1.0 = all.
+  double subsample = 1.0;
+  uint64_t seed = 23;
+};
+
+/// Least-squares gradient-boosted regression trees (Friedman 2001): each
+/// stage fits a shallow CART tree to the current residuals and is added with
+/// shrinkage `learning_rate`.
+class GradientBoostingRegressor : public Regressor {
+ public:
+  explicit GradientBoostingRegressor(GbParams params = {}) : params_(params) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  Result<double> Predict(const Vector& row) const override;
+  bool fitted() const override { return fitted_; }
+  Result<Vector> FeatureImportances() const override;
+
+ private:
+  GbParams params_;
+  double base_prediction_ = 0.0;
+  std::vector<internal::FittedTree> stages_;
+  size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_GRADIENT_BOOSTING_H_

@@ -1,0 +1,73 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+
+namespace wpred {
+
+Status LinearRegression::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("row count mismatch between x and y");
+  }
+  fitted_ = false;
+
+  // Augment with an (un-regularised via tiny ridge share) intercept column.
+  Matrix design(x.rows(), x.cols() + 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    design(r, 0) = 1.0;
+    for (size_t c = 0; c < x.cols(); ++c) design(r, c + 1) = x(r, c);
+  }
+  WPRED_ASSIGN_OR_RETURN(Vector w, SolveLeastSquares(design, y, ridge_));
+  intercept_ = w[0];
+  coef_.assign(w.begin() + 1, w.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> LinearRegression::Predict(const Vector& row) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (row.size() != coef_.size()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  return intercept_ + Dot(coef_, row);
+}
+
+Result<Vector> LinearRegression::FeatureImportances() const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  Vector importances(coef_.size());
+  for (size_t i = 0; i < coef_.size(); ++i) {
+    importances[i] = std::fabs(coef_[i]);
+  }
+  return importances;
+}
+
+Matrix PolynomialExpand(const Matrix& x, int degree) {
+  WPRED_CHECK_GE(degree, 1);
+  Matrix out(x.rows(), x.cols() * static_cast<size_t>(degree));
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      double power = 1.0;
+      for (int d = 0; d < degree; ++d) {
+        power *= x(r, c);
+        out(r, c + static_cast<size_t>(d) * x.cols()) = power;
+      }
+    }
+  }
+  return out;
+}
+
+Status PolynomialRegression::Fit(const Matrix& x, const Vector& y) {
+  if (degree_ < 1) return Status::InvalidArgument("degree must be >= 1");
+  return linear_.Fit(PolynomialExpand(x, degree_), y);
+}
+
+Result<double> PolynomialRegression::Predict(const Vector& row) const {
+  const Matrix expanded = PolynomialExpand(Matrix::FromRows({row}), degree_);
+  return linear_.Predict(expanded.Row(0));
+}
+
+}  // namespace wpred

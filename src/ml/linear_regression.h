@@ -1,0 +1,51 @@
+#ifndef WPRED_ML_LINEAR_REGRESSION_H_
+#define WPRED_ML_LINEAR_REGRESSION_H_
+
+#include "ml/model.h"
+
+namespace wpred {
+
+/// Ordinary least squares (optionally ridge-regularised) linear regression
+/// with an intercept. Feature importances are |coefficients| — meaningful
+/// when inputs are standardised (RFE/SFS standardise before fitting).
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double ridge = 0.0) : ridge_(ridge) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  Result<double> Predict(const Vector& row) const override;
+  bool fitted() const override { return fitted_; }
+  Result<Vector> FeatureImportances() const override;
+
+  const Vector& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double ridge_;
+  Vector coef_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Expands a feature matrix with polynomial powers of each column
+/// (degree >= 1; no cross terms): [x, x², ..., x^degree].
+Matrix PolynomialExpand(const Matrix& x, int degree);
+
+/// Linear regression on a polynomial expansion of the inputs.
+class PolynomialRegression : public Regressor {
+ public:
+  explicit PolynomialRegression(int degree = 2, double ridge = 0.0)
+      : degree_(degree), linear_(ridge) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  Result<double> Predict(const Vector& row) const override;
+  bool fitted() const override { return linear_.fitted(); }
+
+ private:
+  int degree_;
+  LinearRegression linear_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_LINEAR_REGRESSION_H_

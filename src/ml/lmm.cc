@@ -1,0 +1,150 @@
+#include "ml/lmm.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "linalg/stats.h"
+
+namespace wpred {
+
+Status LinearMixedModel::Fit(const Matrix& x, const Vector& y,
+                             const std::vector<int>& groups) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (x.rows() != y.size() || x.rows() != groups.size()) {
+    return Status::InvalidArgument("row count mismatch");
+  }
+  fitted_ = false;
+  num_features_ = x.cols();
+
+  // Group bookkeeping.
+  std::map<int, std::vector<size_t>> members;
+  for (size_t i = 0; i < groups.size(); ++i) members[groups[i]].push_back(i);
+
+  const size_t n = x.rows();
+  Matrix design(n, x.cols() + 1);
+  for (size_t r = 0; r < n; ++r) {
+    design(r, 0) = 1.0;
+    for (size_t c = 0; c < x.cols(); ++c) design(r, c + 1) = x(r, c);
+  }
+
+  // Initialise with OLS; variance components from the residual split.
+  WPRED_ASSIGN_OR_RETURN(Vector w, SolveLeastSquares(design, y, 1e-10));
+  sigma_e2_ = 1.0;
+  sigma_u2_ = 1.0;
+
+  Vector residual(n);
+  std::map<int, double> u;
+  for (const auto& [g, idx] : members) u[g] = 0.0;
+
+  double prev_objective = 1e300;
+  for (int iter = 0; iter < max_iter_; ++iter) {
+    // E-step: BLUP random intercepts given β.
+    for (size_t r = 0; r < n; ++r) residual[r] = y[r] - Dot(design.Row(r), w);
+    for (const auto& [g, idx] : members) {
+      double mean_res = 0.0;
+      for (size_t i : idx) mean_res += residual[i];
+      mean_res /= static_cast<double>(idx.size());
+      const double ng = static_cast<double>(idx.size());
+      const double shrink = ng * sigma_u2_ / (ng * sigma_u2_ + sigma_e2_);
+      u[g] = shrink * mean_res;
+    }
+    // M-step 1: refit β on y with random effects removed.
+    Vector adjusted(n);
+    for (size_t r = 0; r < n; ++r) adjusted[r] = y[r] - u[groups[r]];
+    WPRED_ASSIGN_OR_RETURN(w, SolveLeastSquares(design, adjusted, 1e-10));
+    // M-step 2: variance components from within/between residuals.
+    double sse = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double e = y[r] - Dot(design.Row(r), w) - u[groups[r]];
+      sse += e * e;
+    }
+    sigma_e2_ = std::max(1e-12, sse / static_cast<double>(n));
+    double uss = 0.0;
+    for (const auto& [g, idx] : members) {
+      const double ng = static_cast<double>(idx.size());
+      // E[u²] = BLUP² + posterior variance.
+      const double post_var =
+          sigma_u2_ * sigma_e2_ / (ng * sigma_u2_ + sigma_e2_);
+      uss += u[g] * u[g] + post_var;
+    }
+    sigma_u2_ = std::max(1e-12, uss / static_cast<double>(members.size()));
+
+    const double objective = sse;
+    if (std::fabs(prev_objective - objective) <
+        tol_ * (1.0 + std::fabs(objective))) {
+      break;
+    }
+    prev_objective = objective;
+  }
+
+  intercept_ = w[0];
+  beta_.assign(w.begin() + 1, w.end());
+  random_effects_ = std::move(u);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> LinearMixedModel::Predict(const Vector& row) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (row.size() != num_features_) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  return intercept_ + Dot(beta_, row);
+}
+
+Result<double> LinearMixedModel::PredictForGroup(const Vector& row,
+                                                 int group) const {
+  WPRED_ASSIGN_OR_RETURN(double marginal, Predict(row));
+  return marginal + RandomEffect(group);
+}
+
+double LinearMixedModel::RandomEffect(int group) const {
+  const auto it = random_effects_.find(group);
+  return it != random_effects_.end() ? it->second : 0.0;
+}
+
+Result<double> LinearMixedModel::PredictionHalfWidth95() const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  return 1.96 * std::sqrt(sigma_e2_ + sigma_u2_);
+}
+
+std::vector<size_t> LmmRegressor::FixedColumns(size_t total) const {
+  std::vector<size_t> cols;
+  for (size_t c = 0; c < total; ++c) {
+    if (c != group_column_) cols.push_back(c);
+  }
+  return cols;
+}
+
+Status LmmRegressor::Fit(const Matrix& x, const Vector& y) {
+  if (x.cols() <= group_column_) {
+    return Status::InvalidArgument("group column out of range");
+  }
+  if (x.cols() < 2) {
+    return Status::InvalidArgument("need at least one fixed-effect feature");
+  }
+  num_features_ = x.cols();
+  std::vector<int> groups(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    groups[r] = static_cast<int>(std::llround(x(r, group_column_)));
+  }
+  return model_.Fit(x.SelectCols(FixedColumns(x.cols())), y, groups);
+}
+
+Result<double> LmmRegressor::Predict(const Vector& row) const {
+  if (!model_.fitted()) return Status::FailedPrecondition("model not fitted");
+  if (row.size() != num_features_) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  Vector fixed;
+  fixed.reserve(row.size() - 1);
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c != group_column_) fixed.push_back(row[c]);
+  }
+  const int group = static_cast<int>(std::llround(row[group_column_]));
+  return model_.PredictForGroup(fixed, group);
+}
+
+}  // namespace wpred

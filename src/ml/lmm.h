@@ -1,0 +1,81 @@
+#ifndef WPRED_ML_LMM_H_
+#define WPRED_ML_LMM_H_
+
+#include <map>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace wpred {
+
+/// Linear mixed-effects model with a random intercept per group:
+///
+///   y_ij = x_ij'β + b + u_j + ε_ij,   u_j ~ N(0, σ_u²),  ε ~ N(0, σ_e²)
+///
+/// fit by EM-style alternation between GLS for the fixed effects and BLUP /
+/// variance-component updates. Groups model the paper's time-of-day data
+/// groups (Section 6.2.1, Figure 8): predictions can target a known group
+/// (fixed + random effect) or marginalise over groups (fixed effects only).
+class LinearMixedModel {
+ public:
+  explicit LinearMixedModel(int max_iter = 60, double tol = 1e-8)
+      : max_iter_(max_iter), tol_(tol) {}
+
+  /// Fits on observations with group identifiers (arbitrary ints).
+  Status Fit(const Matrix& x, const Vector& y, const std::vector<int>& groups);
+
+  /// Marginal prediction (random effect = 0).
+  Result<double> Predict(const Vector& row) const;
+
+  /// Group-conditional prediction; unknown groups fall back to marginal.
+  Result<double> PredictForGroup(const Vector& row, int group) const;
+
+  /// Approximate half-width of the 95% prediction interval.
+  Result<double> PredictionHalfWidth95() const;
+
+  bool fitted() const { return fitted_; }
+  double sigma_u2() const { return sigma_u2_; }
+  double sigma_e2() const { return sigma_e2_; }
+  const Vector& fixed_effects() const { return beta_; }
+  double intercept() const { return intercept_; }
+  /// Estimated random intercept of a group (0 if unseen).
+  double RandomEffect(int group) const;
+
+ private:
+  int max_iter_;
+  double tol_;
+
+  Vector beta_;
+  double intercept_ = 0.0;
+  std::map<int, double> random_effects_;
+  double sigma_u2_ = 0.0;
+  double sigma_e2_ = 0.0;
+  size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+/// Adapter exposing the LMM through the Regressor interface. Fit() derives
+/// groups from a caller-provided column index (the group id is stored as a
+/// feature column); prediction is group-conditional when that column holds a
+/// known group and marginal otherwise.
+class LmmRegressor : public Regressor {
+ public:
+  /// `group_column`: index of the feature column holding group ids. That
+  /// column is excluded from the fixed-effects design.
+  explicit LmmRegressor(size_t group_column) : group_column_(group_column) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  Result<double> Predict(const Vector& row) const override;
+  bool fitted() const override { return model_.fitted(); }
+
+ private:
+  std::vector<size_t> FixedColumns(size_t total) const;
+
+  size_t group_column_;
+  LinearMixedModel model_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_LMM_H_

@@ -1,0 +1,165 @@
+#include "ml/mars.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "linalg/stats.h"
+
+namespace wpred {
+namespace {
+
+// Least-squares fit of [1 | columns] against y; returns SSE and writes the
+// solution (intercept first).
+Result<double> FitColumns(const std::vector<Vector>& columns, const Vector& y,
+                          Vector* solution) {
+  const size_t n = y.size();
+  Matrix design(n, columns.size() + 1);
+  for (size_t r = 0; r < n; ++r) {
+    design(r, 0) = 1.0;
+    for (size_t c = 0; c < columns.size(); ++c) design(r, c + 1) = columns[c][r];
+  }
+  WPRED_ASSIGN_OR_RETURN(Vector w, SolveLeastSquares(design, y, 1e-8));
+  double sse = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double pred = Dot(design.Row(r), w);
+    sse += (y[r] - pred) * (y[r] - pred);
+  }
+  if (solution != nullptr) *solution = std::move(w);
+  return sse;
+}
+
+}  // namespace
+
+double MarsRegressor::EvaluateTerm(const Hinge& term, const Vector& row) const {
+  const double d = term.positive ? row[term.feature] - term.knot
+                                 : term.knot - row[term.feature];
+  return std::max(0.0, d);
+}
+
+Status MarsRegressor::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("row count mismatch between x and y");
+  }
+  fitted_ = false;
+  terms_.clear();
+  num_features_ = x.cols();
+  const size_t n = x.rows();
+
+  // Candidate knots: interior quantiles of each feature.
+  std::vector<std::vector<double>> knots(x.cols());
+  for (size_t f = 0; f < x.cols(); ++f) {
+    Vector col = x.Col(f);
+    std::sort(col.begin(), col.end());
+    col.erase(std::unique(col.begin(), col.end()), col.end());
+    if (col.size() < 2) continue;  // constant feature: no knots
+    const size_t want = std::min(params_.knots_per_feature, col.size() - 1);
+    for (size_t k = 0; k < want; ++k) {
+      const double q = static_cast<double>(k + 1) / (want + 1);
+      knots[f].push_back(Quantile(col, q));
+    }
+  }
+
+  // Forward pass: greedily add the best hinge pair.
+  std::vector<Vector> columns;  // basis columns (without intercept)
+  std::vector<Hinge> hinges;
+  WPRED_ASSIGN_OR_RETURN(double best_sse, FitColumns(columns, y, nullptr));
+  while (hinges.size() + 2 <= params_.max_terms) {
+    double round_best = best_sse;
+    Hinge round_pos{0, 0.0, true};
+    bool found = false;
+    for (size_t f = 0; f < x.cols(); ++f) {
+      for (double knot : knots[f]) {
+        // Build the pair's columns.
+        Vector pos(n), neg(n);
+        for (size_t r = 0; r < n; ++r) {
+          pos[r] = std::max(0.0, x(r, f) - knot);
+          neg[r] = std::max(0.0, knot - x(r, f));
+        }
+        columns.push_back(std::move(pos));
+        columns.push_back(std::move(neg));
+        const Result<double> sse = FitColumns(columns, y, nullptr);
+        columns.pop_back();
+        columns.pop_back();
+        if (sse.ok() && sse.value() < round_best - 1e-12) {
+          round_best = sse.value();
+          round_pos = {f, knot, true};
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    for (bool positive : {true, false}) {
+      Hinge h{round_pos.feature, round_pos.knot, positive};
+      Vector col(n);
+      for (size_t r = 0; r < n; ++r) col[r] = EvaluateTerm(h, x.Row(r));
+      columns.push_back(std::move(col));
+      hinges.push_back(h);
+    }
+    best_sse = round_best;
+  }
+
+  // Backward pass: drop terms while GCV improves.
+  auto gcv = [&](double sse, size_t num_terms) {
+    const double c =
+        1.0 + static_cast<double>(num_terms) +
+        params_.gcv_penalty * (static_cast<double>(num_terms) / 2.0);
+    const double denom = 1.0 - c / static_cast<double>(n);
+    if (denom <= 0.0) return 1e300;
+    return (sse / static_cast<double>(n)) / (denom * denom);
+  };
+
+  WPRED_ASSIGN_OR_RETURN(double current_sse, FitColumns(columns, y, nullptr));
+  double current_gcv = gcv(current_sse, hinges.size());
+  bool improved = true;
+  while (improved && !hinges.empty()) {
+    improved = false;
+    size_t drop = 0;
+    double best_gcv = current_gcv;
+    double best_drop_sse = current_sse;
+    for (size_t i = 0; i < hinges.size(); ++i) {
+      std::vector<Vector> reduced = columns;
+      reduced.erase(reduced.begin() + static_cast<long>(i));
+      const Result<double> sse = FitColumns(reduced, y, nullptr);
+      if (!sse.ok()) continue;
+      const double candidate = gcv(sse.value(), hinges.size() - 1);
+      if (candidate < best_gcv - 1e-12) {
+        best_gcv = candidate;
+        best_drop_sse = sse.value();
+        drop = i;
+        improved = true;
+      }
+    }
+    if (improved) {
+      columns.erase(columns.begin() + static_cast<long>(drop));
+      hinges.erase(hinges.begin() + static_cast<long>(drop));
+      current_gcv = best_gcv;
+      current_sse = best_drop_sse;
+    }
+  }
+
+  Vector solution;
+  WPRED_RETURN_IF_ERROR(FitColumns(columns, y, &solution).status());
+  intercept_ = solution[0];
+  coef_.assign(solution.begin() + 1, solution.end());
+  terms_ = std::move(hinges);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> MarsRegressor::Predict(const Vector& row) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (row.size() != num_features_) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  double acc = intercept_;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    acc += coef_[i] * EvaluateTerm(terms_[i], row);
+  }
+  return acc;
+}
+
+}  // namespace wpred

@@ -1,0 +1,56 @@
+#ifndef WPRED_ML_MARS_H_
+#define WPRED_ML_MARS_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace wpred {
+
+/// MARS hyper-parameters.
+struct MarsParams {
+  /// Maximum basis terms after the intercept (hinge pairs count as two).
+  size_t max_terms = 14;
+  /// Candidate knots per feature (taken at data quantiles).
+  size_t knots_per_feature = 16;
+  /// GCV complexity penalty per knot (Friedman recommends 2-3).
+  double gcv_penalty = 3.0;
+};
+
+/// Multivariate Adaptive Regression Splines (Friedman 1991), additive
+/// first-order form: a greedy forward pass adds the hinge pair
+/// {max(0, x_j − t), max(0, t − x_j)} that most reduces SSE, then a backward
+/// pass prunes terms by generalised cross-validation. Yields the piecewise
+/// linear fits the paper uses as a non-linear scaling strategy (Section
+/// 6.1.2).
+class MarsRegressor : public Regressor {
+ public:
+  explicit MarsRegressor(MarsParams params = {}) : params_(params) {}
+
+  Status Fit(const Matrix& x, const Vector& y) override;
+  Result<double> Predict(const Vector& row) const override;
+  bool fitted() const override { return fitted_; }
+
+  /// Number of retained basis terms (excluding the intercept).
+  size_t NumTerms() const { return terms_.size(); }
+
+ private:
+  struct Hinge {
+    size_t feature;
+    double knot;
+    bool positive;  // max(0, x - t) vs max(0, t - x)
+  };
+
+  double EvaluateTerm(const Hinge& term, const Vector& row) const;
+
+  MarsParams params_;
+  std::vector<Hinge> terms_;
+  Vector coef_;          // one per term
+  double intercept_ = 0.0;
+  size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_MARS_H_

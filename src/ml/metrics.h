@@ -1,0 +1,34 @@
+#ifndef WPRED_ML_METRICS_H_
+#define WPRED_ML_METRICS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Root mean squared error.
+double Rmse(const Vector& y_true, const Vector& y_pred);
+
+/// NRMSE per the paper (Section 6.2): RMSE normalised by the range of the
+/// observed values ("deviation from the actual observed throughput value
+/// ranges"). Falls back to normalising by |mean| when the range is zero.
+double Nrmse(const Vector& y_true, const Vector& y_pred);
+
+/// Mean absolute percentage error (fractional, e.g. 0.206 for 20.6%).
+/// Entries with y_true == 0 are skipped.
+double Mape(const Vector& y_true, const Vector& y_pred);
+
+/// Coefficient of determination; 1 for a perfect fit, <= 0 for fits no
+/// better than the mean.
+double R2(const Vector& y_true, const Vector& y_pred);
+
+/// Fraction of matching labels.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const Vector& y_true, const Vector& y_pred);
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_METRICS_H_

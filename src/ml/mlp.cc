@@ -1,0 +1,188 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace wpred {
+namespace {
+
+// Adam state per parameter tensor.
+struct AdamState {
+  std::vector<double> m;
+  std::vector<double> v;
+};
+
+void AdamStep(std::vector<double>& params, const std::vector<double>& grad,
+              AdamState& state, double lr, int t) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  if (state.m.empty()) {
+    state.m.assign(params.size(), 0.0);
+    state.v.assign(params.size(), 0.0);
+  }
+  const double bc1 = 1.0 - std::pow(kBeta1, t);
+  const double bc2 = 1.0 - std::pow(kBeta2, t);
+  for (size_t i = 0; i < params.size(); ++i) {
+    state.m[i] = kBeta1 * state.m[i] + (1.0 - kBeta1) * grad[i];
+    state.v[i] = kBeta2 * state.v[i] + (1.0 - kBeta2) * grad[i] * grad[i];
+    params[i] -= lr * (state.m[i] / bc1) / (std::sqrt(state.v[i] / bc2) + kEps);
+  }
+}
+
+}  // namespace
+
+Status MlpRegressor::Fit(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("empty design matrix");
+  }
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("row count mismatch between x and y");
+  }
+  if (params_.epochs < 1 || params_.batch_size < 1) {
+    return Status::InvalidArgument("bad epochs/batch_size");
+  }
+  fitted_ = false;
+
+  Matrix xs;
+  Vector ys;
+  if (params_.standardize) {
+    xs = x_scaler_.FitTransform(x);
+    y_scaler_.Fit(y);
+    ys = y_scaler_.Transform(y);
+  } else {
+    xs = x;
+    ys = y;
+  }
+
+  dims_.clear();
+  dims_.push_back(x.cols());
+  for (size_t h : params_.hidden_layers) {
+    if (h == 0) return Status::InvalidArgument("hidden layer of width 0");
+    dims_.push_back(h);
+  }
+  dims_.push_back(1);
+
+  const size_t num_layers = dims_.size() - 1;
+  Rng rng(params_.seed);
+  weights_.assign(num_layers, Matrix());
+  biases_.assign(num_layers, Vector());
+  for (size_t l = 0; l < num_layers; ++l) {
+    weights_[l] = Matrix(dims_[l + 1], dims_[l]);
+    // He initialisation for ReLU layers.
+    const double scale = std::sqrt(2.0 / static_cast<double>(dims_[l]));
+    for (double& w : weights_[l].data()) w = rng.Gaussian(0.0, scale);
+    biases_[l].assign(dims_[l + 1], 0.0);
+  }
+
+  std::vector<AdamState> w_state(num_layers);
+  std::vector<AdamState> b_state(num_layers);
+
+  const size_t n = xs.rows();
+  const size_t batch = std::min(params_.batch_size, n);
+  int adam_t = 0;
+
+  // Per-layer activations and deltas, reused across samples.
+  std::vector<Vector> acts(num_layers + 1);
+  std::vector<Vector> deltas(num_layers);
+
+  for (int epoch = 0; epoch < params_.epochs; ++epoch) {
+    const std::vector<size_t> order = rng.Permutation(n);
+    for (size_t start = 0; start < n; start += batch) {
+      const size_t end = std::min(start + batch, n);
+      const double inv_b = 1.0 / static_cast<double>(end - start);
+
+      std::vector<std::vector<double>> grad_w(num_layers);
+      std::vector<std::vector<double>> grad_b(num_layers);
+      for (size_t l = 0; l < num_layers; ++l) {
+        grad_w[l].assign(weights_[l].size(), 0.0);
+        grad_b[l].assign(biases_[l].size(), 0.0);
+      }
+
+      for (size_t k = start; k < end; ++k) {
+        const size_t i = order[k];
+        // Forward pass with stored activations.
+        acts[0] = xs.Row(i);
+        for (size_t l = 0; l < num_layers; ++l) {
+          acts[l + 1].assign(dims_[l + 1], 0.0);
+          for (size_t o = 0; o < dims_[l + 1]; ++o) {
+            double z = biases_[l][o];
+            for (size_t in = 0; in < dims_[l]; ++in) {
+              z += weights_[l](o, in) * acts[l][in];
+            }
+            // ReLU on hidden layers, identity on the output.
+            acts[l + 1][o] = (l + 1 < num_layers) ? std::max(0.0, z) : z;
+          }
+        }
+        // Backward pass (squared error).
+        deltas[num_layers - 1] = {acts[num_layers][0] - ys[i]};
+        for (size_t l = num_layers - 1; l-- > 0;) {
+          deltas[l].assign(dims_[l + 1], 0.0);
+          for (size_t o = 0; o < dims_[l + 1]; ++o) {
+            if (acts[l + 1][o] <= 0.0) continue;  // ReLU gate
+            double acc = 0.0;
+            for (size_t next = 0; next < dims_[l + 2]; ++next) {
+              acc += weights_[l + 1](next, o) * deltas[l + 1][next];
+            }
+            deltas[l][o] = acc;
+          }
+        }
+        for (size_t l = 0; l < num_layers; ++l) {
+          for (size_t o = 0; o < dims_[l + 1]; ++o) {
+            const double d = deltas[l][o];
+            if (d == 0.0) continue;
+            grad_b[l][o] += d;
+            for (size_t in = 0; in < dims_[l]; ++in) {
+              grad_w[l][o * dims_[l] + in] += d * acts[l][in];
+            }
+          }
+        }
+      }
+
+      ++adam_t;
+      for (size_t l = 0; l < num_layers; ++l) {
+        for (size_t j = 0; j < grad_w[l].size(); ++j) {
+          grad_w[l][j] =
+              grad_w[l][j] * inv_b + params_.l2 * weights_[l].data()[j];
+        }
+        for (double& g : grad_b[l]) g *= inv_b;
+        AdamStep(weights_[l].data(), grad_w[l], w_state[l],
+                 params_.learning_rate, adam_t);
+        AdamStep(biases_[l], grad_b[l], b_state[l], params_.learning_rate,
+                 adam_t);
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Vector MlpRegressor::Forward(const Vector& input) const {
+  Vector act = input;
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    Vector next(dims_[l + 1], 0.0);
+    for (size_t o = 0; o < dims_[l + 1]; ++o) {
+      double z = biases_[l][o];
+      for (size_t in = 0; in < dims_[l]; ++in) {
+        z += weights_[l](o, in) * act[in];
+      }
+      next[o] = (l + 2 < dims_.size()) ? std::max(0.0, z) : z;
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+Result<double> MlpRegressor::Predict(const Vector& row) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  if (row.size() != dims_.front()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  if (!params_.standardize) return Forward(row)[0];
+  const Vector out = Forward(x_scaler_.TransformRow(row));
+  return y_scaler_.InverseTransform(out[0]);
+}
+
+}  // namespace wpred

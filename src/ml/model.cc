@@ -1,0 +1,21 @@
+#include "ml/model.h"
+
+namespace wpred {
+
+Result<Vector> Regressor::PredictBatch(const Matrix& x) const {
+  Vector out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    WPRED_ASSIGN_OR_RETURN(out[r], Predict(x.Row(r)));
+  }
+  return out;
+}
+
+Result<std::vector<int>> Classifier::PredictBatch(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    WPRED_ASSIGN_OR_RETURN(out[r], Predict(x.Row(r)));
+  }
+  return out;
+}
+
+}  // namespace wpred

@@ -1,0 +1,55 @@
+#ifndef WPRED_ML_MODEL_H_
+#define WPRED_ML_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Single-output regression model interface. Implementations must be
+/// re-fittable: Fit() discards any previous state.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on rows of `x` against targets `y` (equal row counts).
+  virtual Status Fit(const Matrix& x, const Vector& y) = 0;
+
+  /// Predicts one observation (arity must match training data).
+  virtual Result<double> Predict(const Vector& row) const = 0;
+
+  /// Predicts every row of `x`.
+  Result<Vector> PredictBatch(const Matrix& x) const;
+
+  /// True once Fit() succeeded.
+  virtual bool fitted() const = 0;
+
+  /// Per-feature importance scores (non-negative), if the model exposes
+  /// them. Default: Unimplemented.
+  virtual Result<Vector> FeatureImportances() const {
+    return Status::Unimplemented("model exposes no feature importances");
+  }
+};
+
+/// Multi-class classification model interface (labels are 0-based ints).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual Status Fit(const Matrix& x, const std::vector<int>& y) = 0;
+  virtual Result<int> Predict(const Vector& row) const = 0;
+
+  Result<std::vector<int>> PredictBatch(const Matrix& x) const;
+
+  virtual bool fitted() const = 0;
+
+  virtual Result<Vector> FeatureImportances() const {
+    return Status::Unimplemented("model exposes no feature importances");
+  }
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_MODEL_H_

@@ -1,0 +1,59 @@
+#include "ml/pca.h"
+
+#include "linalg/eigen.h"
+
+namespace wpred {
+
+Status Pca::Fit(const Matrix& x, size_t num_components) {
+  if (x.rows() < 2 || x.cols() == 0) {
+    return Status::InvalidArgument("need >= 2 observations");
+  }
+  if (num_components < 1 || num_components > x.cols()) {
+    return Status::InvalidArgument("num_components out of range");
+  }
+  fitted_ = false;
+
+  const Matrix z = scaler_.FitTransform(x);
+  // Correlation matrix of the standardised data.
+  Matrix cov = z.Transposed() * z;
+  const double inv_n = 1.0 / static_cast<double>(x.rows());
+  for (double& v : cov.data()) v *= inv_n;
+
+  WPRED_ASSIGN_OR_RETURN(EigenDecomposition eig, JacobiEigen(cov));
+
+  double total_variance = 0.0;
+  for (double lambda : eig.values) total_variance += std::max(0.0, lambda);
+  if (total_variance <= 0.0) {
+    return Status::NumericalError("data has no variance");
+  }
+
+  components_ = Matrix(x.cols(), num_components);
+  explained_variance_ratio_.assign(num_components, 0.0);
+  for (size_t j = 0; j < num_components; ++j) {
+    for (size_t i = 0; i < x.cols(); ++i) {
+      components_(i, j) = eig.vectors(i, j);
+    }
+    explained_variance_ratio_[j] =
+        std::max(0.0, eig.values[j]) / total_variance;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<Matrix> Pca::Transform(const Matrix& x) const {
+  if (!fitted_) return Status::FailedPrecondition("PCA not fitted");
+  if (x.cols() != components_.rows()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  return scaler_.Transform(x) * components_;
+}
+
+Result<Matrix> Pca::InverseTransform(const Matrix& z) const {
+  if (!fitted_) return Status::FailedPrecondition("PCA not fitted");
+  if (z.cols() != components_.cols()) {
+    return Status::InvalidArgument("component arity mismatch");
+  }
+  return z * components_.Transposed();
+}
+
+}  // namespace wpred

@@ -1,0 +1,49 @@
+#ifndef WPRED_ML_PCA_H_
+#define WPRED_ML_PCA_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/stats.h"
+
+namespace wpred {
+
+/// Principal component analysis (paper Appendix C): an *alternative* to
+/// feature selection that projects the standardised feature space onto the
+/// directions of maximal variance. The paper discusses its drawbacks in this
+/// pipeline — components mix original features (no interpretability), the
+/// projection ignores the modelling objective, and sparse feature spaces
+/// degrade it — which the ablation bench `bench_ablation_pca_vs_selection`
+/// quantifies.
+class Pca {
+ public:
+  /// Fits on rows of `x` (observations × features): standardises columns,
+  /// eigendecomposes the correlation matrix. `num_components` in
+  /// [1, features].
+  Status Fit(const Matrix& x, size_t num_components);
+
+  /// Projects observations into component space (rows × num_components).
+  Result<Matrix> Transform(const Matrix& x) const;
+
+  /// Maps component-space points back to (standardised) feature space.
+  Result<Matrix> InverseTransform(const Matrix& z) const;
+
+  bool fitted() const { return fitted_; }
+  size_t num_components() const { return components_.cols(); }
+
+  /// Fraction of total variance captured by each retained component.
+  const Vector& explained_variance_ratio() const {
+    return explained_variance_ratio_;
+  }
+  /// Columns are unit-norm principal directions in feature space.
+  const Matrix& components() const { return components_; }
+
+ private:
+  StandardScaler scaler_;
+  Matrix components_;  // features × num_components
+  Vector explained_variance_ratio_;
+  bool fitted_ = false;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_ML_PCA_H_

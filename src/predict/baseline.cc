@@ -1,0 +1,14 @@
+#include "predict/baseline.h"
+
+#include "common/check.h"
+
+namespace wpred {
+
+double InverseLinearScalingBaseline(double from_cpus, double to_cpus,
+                                    double perf_from) {
+  WPRED_CHECK_GT(from_cpus, 0.0);
+  WPRED_CHECK_GT(to_cpus, 0.0);
+  return perf_from * to_cpus / from_cpus;
+}
+
+}  // namespace wpred

@@ -1,0 +1,15 @@
+#ifndef WPRED_PREDICT_BASELINE_H_
+#define WPRED_PREDICT_BASELINE_H_
+
+namespace wpred {
+
+/// The paper's Table 6 baseline: assume latency scales inverse-linearly
+/// with CPU count (doubling CPUs halves latency), which for a closed-loop
+/// workload means throughput scales linearly with CPUs. Predicted
+/// performance at `to_cpus` from an observation at `from_cpus`.
+double InverseLinearScalingBaseline(double from_cpus, double to_cpus,
+                                    double perf_from);
+
+}  // namespace wpred
+
+#endif  // WPRED_PREDICT_BASELINE_H_

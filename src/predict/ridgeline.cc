@@ -1,0 +1,69 @@
+#include "predict/ridgeline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ml/linear_regression.h"
+
+namespace wpred {
+
+Result<RidgelineModel> RidgelineModel::Fit(const Vector& cpus,
+                                           const Vector& throughput,
+                                           std::vector<CeilingPoint> ridge) {
+  if (cpus.size() != throughput.size()) {
+    return Status::InvalidArgument("size mismatch");
+  }
+  if (cpus.size() < 2) return Status::InvalidArgument("need >= 2 CPU points");
+  if (ridge.empty()) return Status::InvalidArgument("ridge must be non-empty");
+  for (const CeilingPoint& p : ridge) {
+    if (p.memory_gb <= 0.0 || p.ceiling_tput <= 0.0) {
+      return Status::InvalidArgument("ridge points must be positive");
+    }
+  }
+  std::sort(ridge.begin(), ridge.end(),
+            [](const CeilingPoint& a, const CeilingPoint& b) {
+              return a.memory_gb < b.memory_gb;
+            });
+  for (size_t i = 1; i < ridge.size(); ++i) {
+    if (ridge[i].memory_gb == ridge[i - 1].memory_gb) {
+      return Status::InvalidArgument("duplicate ridge memory size");
+    }
+  }
+
+  Matrix x(cpus.size(), 1);
+  for (size_t i = 0; i < cpus.size(); ++i) x(i, 0) = cpus[i];
+  LinearRegression linear;
+  WPRED_RETURN_IF_ERROR(linear.Fit(x, throughput));
+  return RidgelineModel(linear.coefficients()[0], linear.intercept(),
+                        std::move(ridge));
+}
+
+double RidgelineModel::CeilingAt(double memory_gb) const {
+  if (memory_gb <= ridge_.front().memory_gb) {
+    return ridge_.front().ceiling_tput;
+  }
+  if (memory_gb >= ridge_.back().memory_gb) {
+    return ridge_.back().ceiling_tput;
+  }
+  for (size_t i = 1; i < ridge_.size(); ++i) {
+    if (memory_gb <= ridge_[i].memory_gb) {
+      const CeilingPoint& lo = ridge_[i - 1];
+      const CeilingPoint& hi = ridge_[i];
+      const double t = (memory_gb - lo.memory_gb) /
+                       (hi.memory_gb - lo.memory_gb);
+      return lo.ceiling_tput + t * (hi.ceiling_tput - lo.ceiling_tput);
+    }
+  }
+  return ridge_.back().ceiling_tput;  // unreachable
+}
+
+double RidgelineModel::Predict(double cpus, double memory_gb) const {
+  return std::min(intercept_ + slope_ * cpus, CeilingAt(memory_gb));
+}
+
+double RidgelineModel::CrossoverCpus(double memory_gb) const {
+  if (slope_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return (CeilingAt(memory_gb) - intercept_) / slope_;
+}
+
+}  // namespace wpred

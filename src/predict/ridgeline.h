@@ -1,0 +1,60 @@
+#ifndef WPRED_PREDICT_RIDGELINE_H_
+#define WPRED_PREDICT_RIDGELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Ridgeline model (paper Section 7 future work, after Checconi et al.): a
+/// two-dimensional extension of the Roofline idea for multi-dimensional
+/// SKUs. Throughput grows linearly with CPUs (the compute-bound regime) but
+/// is clipped by a memory-dependent ceiling; the ceiling itself is learned
+/// from per-memory plateau observations and interpolated piecewise-linearly
+/// between (and clamped beyond) the observed memory sizes.
+///
+/// This upgrades the Appendix B roofline from "one ceiling" to "a ridge of
+/// ceilings over the memory axis", enabling predictions for SKUs that scale
+/// CPU and memory together (Section 6.2.3's S1/S2 shape).
+class RidgelineModel {
+ public:
+  struct CeilingPoint {
+    double memory_gb;
+    double ceiling_tput;
+  };
+
+  /// Fits the linear CPU law on compute-bound observations and installs the
+  /// memory->ceiling ridge. Requires >= 2 CPU points and >= 1 ceiling point
+  /// with positive memory and ceiling values.
+  static Result<RidgelineModel> Fit(const Vector& cpus,
+                                    const Vector& throughput,
+                                    std::vector<CeilingPoint> ridge);
+
+  /// min(linear(cpus), ceiling(memory_gb)).
+  double Predict(double cpus, double memory_gb) const;
+
+  /// Interpolated ceiling at a memory size.
+  double CeilingAt(double memory_gb) const;
+
+  /// CPU count where the linear law meets the ceiling for this memory size
+  /// (infinity for non-positive slope).
+  double CrossoverCpus(double memory_gb) const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  RidgelineModel(double slope, double intercept,
+                 std::vector<CeilingPoint> ridge)
+      : slope_(slope), intercept_(intercept), ridge_(std::move(ridge)) {}
+
+  double slope_;
+  double intercept_;
+  std::vector<CeilingPoint> ridge_;  // sorted by memory_gb
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_PREDICT_RIDGELINE_H_

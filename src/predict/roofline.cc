@@ -1,0 +1,47 @@
+#include "predict/roofline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ml/linear_regression.h"
+
+namespace wpred {
+
+Result<RooflineModel> RooflineModel::Fit(const Vector& cpus,
+                                         const Vector& throughput,
+                                         double ceiling) {
+  if (cpus.size() != throughput.size()) {
+    return Status::InvalidArgument("size mismatch");
+  }
+  if (cpus.size() < 2) return Status::InvalidArgument("need >= 2 points");
+  if (ceiling <= 0.0) return Status::InvalidArgument("ceiling must be > 0");
+
+  Matrix x(cpus.size(), 1);
+  for (size_t i = 0; i < cpus.size(); ++i) x(i, 0) = cpus[i];
+  LinearRegression linear;
+  WPRED_RETURN_IF_ERROR(linear.Fit(x, throughput));
+  return RooflineModel(linear.coefficients()[0], linear.intercept(), ceiling);
+}
+
+double RooflineModel::Predict(double cpus) const {
+  return std::min(PredictLinearOnly(cpus), ceiling_);
+}
+
+double RooflineModel::PredictLinearOnly(double cpus) const {
+  return intercept_ + slope_ * cpus;
+}
+
+double RooflineModel::CrossoverCpus() const {
+  if (slope_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return (ceiling_ - intercept_) / slope_;
+}
+
+Result<double> MemoryBoundCeiling(double memory_bandwidth_mbps,
+                                  double bytes_per_txn) {
+  if (memory_bandwidth_mbps <= 0.0 || bytes_per_txn <= 0.0) {
+    return Status::InvalidArgument("bandwidth and bytes must be positive");
+  }
+  return memory_bandwidth_mbps * 1024.0 * 1024.0 / bytes_per_txn;
+}
+
+}  // namespace wpred

@@ -1,0 +1,51 @@
+#ifndef WPRED_PREDICT_ROOFLINE_H_
+#define WPRED_PREDICT_ROOFLINE_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Roofline-augmented linear scaling model (paper Appendix B, Figure 12):
+/// a linear regression of throughput over #CPUs clipped at a hardware
+/// performance ceiling. Below the crossover the workload is compute-bound;
+/// beyond it adding CPUs does not help (memory-bound regime).
+class RooflineModel {
+ public:
+  /// Fits the linear part on (cpus, throughput) points and installs the
+  /// ceiling. Requires >= 2 points and ceiling > 0.
+  static Result<RooflineModel> Fit(const Vector& cpus, const Vector& throughput,
+                                   double ceiling);
+
+  /// Piecewise-linear prediction min(intercept + slope·cpus, ceiling).
+  double Predict(double cpus) const;
+
+  /// Unclipped linear prediction (the model that over-predicts in Fig. 12).
+  double PredictLinearOnly(double cpus) const;
+
+  /// CPU count at which the linear model meets the ceiling (infinity when
+  /// the slope is non-positive).
+  double CrossoverCpus() const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+  double ceiling() const { return ceiling_; }
+
+ private:
+  RooflineModel(double slope, double intercept, double ceiling)
+      : slope_(slope), intercept_(intercept), ceiling_(ceiling) {}
+
+  double slope_;
+  double intercept_;
+  double ceiling_;
+};
+
+/// Memory-bandwidth-style throughput ceiling for a workload: the maximum
+/// request rate the memory subsystem sustains, used when no measured
+/// ceiling is available. `bytes_per_txn` > 0, `memory_bandwidth_mbps` > 0.
+Result<double> MemoryBoundCeiling(double memory_bandwidth_mbps,
+                                  double bytes_per_txn);
+
+}  // namespace wpred
+
+#endif  // WPRED_PREDICT_ROOFLINE_H_

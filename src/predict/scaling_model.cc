@@ -1,0 +1,176 @@
+#include "predict/scaling_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "predict/strategies.h"
+
+namespace wpred {
+namespace {
+
+// Design matrix for a 1-feature problem, with the group id appended when
+// the strategy consumes it (LMM random intercepts).
+Matrix BuildDesign(const std::vector<double>& x, const std::vector<int>& groups,
+                   bool uses_group) {
+  Matrix design(x.size(), uses_group ? 2 : 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    design(i, 0) = x[i];
+    if (uses_group) design(i, 1) = groups[i];
+  }
+  return design;
+}
+
+Vector BuildRow(double x, int group, bool uses_group) {
+  return uses_group ? Vector{x, static_cast<double>(group)} : Vector{x};
+}
+
+}  // namespace
+
+std::string_view ModelContextName(ModelContext context) {
+  return context == ModelContext::kSingle ? "Single" : "Pairwise";
+}
+
+Status SingleScalingModel::Fit(const std::string& strategy,
+                               const std::vector<SkuPerfPoint>& points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("need at least two observations");
+  }
+  strategy_ = strategy;
+  uses_group_ = StrategyUsesGroups(strategy);
+  // LMM's group column is column 1 of the design below.
+  WPRED_ASSIGN_OR_RETURN(model_, CreateScalingRegressor(strategy, 1));
+
+  std::vector<double> x(points.size());
+  std::vector<int> groups(points.size());
+  Vector y(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    x[i] = points[i].sku_value;
+    groups[i] = points[i].group;
+    y[i] = points[i].perf;
+  }
+  return model_->Fit(BuildDesign(x, groups, uses_group_), y);
+}
+
+Result<double> SingleScalingModel::Predict(double sku_value, int group) const {
+  if (!fitted()) return Status::FailedPrecondition("model not fitted");
+  return model_->Predict(BuildRow(sku_value, group, uses_group_));
+}
+
+Result<double> SingleScalingModel::PredictTransition(double from_sku,
+                                                     double to_sku,
+                                                     double perf_from,
+                                                     int group) const {
+  WPRED_ASSIGN_OR_RETURN(const double at_from, Predict(from_sku, group));
+  WPRED_ASSIGN_OR_RETURN(const double at_to, Predict(to_sku, group));
+  if (at_from <= 0.0) {
+    return Status::NumericalError("non-positive curve value at source SKU");
+  }
+  return perf_from * at_to / at_from;
+}
+
+std::vector<MatchedPair> MatchAcrossSkus(const std::vector<SkuPerfPoint>& points,
+                                         double from_sku, double to_sku) {
+  std::vector<MatchedPair> matched;
+  for (const SkuPerfPoint& a : points) {
+    if (a.sku_value != from_sku) continue;
+    for (const SkuPerfPoint& b : points) {
+      if (b.sku_value != to_sku) continue;
+      if (a.group == b.group && a.run_id == b.run_id &&
+          a.sample_id == b.sample_id) {
+        matched.push_back({a.perf, b.perf, a.group, a.run_id, a.sample_id});
+      }
+    }
+  }
+  return matched;
+}
+
+std::vector<double> DistinctSkuValues(const std::vector<SkuPerfPoint>& points) {
+  std::vector<double> values;
+  for (const SkuPerfPoint& p : points) values.push_back(p.sku_value);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+Status PairwiseScalingModel::Fit(const std::string& strategy,
+                                 const std::vector<SkuPerfPoint>& points) {
+  strategy_ = strategy;
+  uses_group_ = StrategyUsesGroups(strategy);
+  pair_models_.clear();
+
+  const std::vector<double> skus = DistinctSkuValues(points);
+  if (skus.size() < 2) {
+    return Status::InvalidArgument("need observations at >= 2 SKU values");
+  }
+  for (double from : skus) {
+    for (double to : skus) {
+      if (from == to) continue;
+      const std::vector<MatchedPair> matched =
+          MatchAcrossSkus(points, from, to);
+      if (matched.size() < 2) continue;
+      std::vector<double> x(matched.size());
+      std::vector<int> groups(matched.size());
+      Vector y(matched.size());
+      for (size_t i = 0; i < matched.size(); ++i) {
+        x[i] = matched[i].perf_from;
+        groups[i] = matched[i].group;
+        y[i] = matched[i].perf_to;
+      }
+      WPRED_ASSIGN_OR_RETURN(std::unique_ptr<Regressor> model,
+                             CreateScalingRegressor(strategy, 1));
+      WPRED_RETURN_IF_ERROR(
+          model->Fit(BuildDesign(x, groups, uses_group_), y));
+      pair_models_[{from, to}] = std::move(model);
+      const auto [lo, hi] = std::minmax_element(x.begin(), x.end());
+      pair_range_[{from, to}] = {*lo, *hi};
+      pair_median_[{from, to}] = Median(Vector(x.begin(), x.end()));
+    }
+  }
+  if (pair_models_.empty()) {
+    return Status::InvalidArgument(
+        "no SKU pair had >= 2 matched observations");
+  }
+  return Status::OK();
+}
+
+Result<double> PairwiseScalingModel::PredictTransition(double from_sku,
+                                                       double to_sku,
+                                                       double perf_from,
+                                                       int group) const {
+  const auto it = pair_models_.find({from_sku, to_sku});
+  if (it == pair_models_.end()) {
+    return Status::NotFound("no model for the requested SKU pair");
+  }
+  return it->second->Predict(BuildRow(perf_from, group, uses_group_));
+}
+
+Result<double> PairwiseScalingModel::PredictTransitionScaled(
+    double from_sku, double to_sku, double perf_from, int group) const {
+  const auto range = pair_range_.find({from_sku, to_sku});
+  if (range == pair_range_.end()) {
+    return Status::NotFound("no model for the requested SKU pair");
+  }
+  if (perf_from <= 0.0) {
+    return Status::InvalidArgument("observed performance must be positive");
+  }
+  const bool in_range = perf_from >= range->second.first &&
+                        perf_from <= range->second.second;
+  const double anchor =
+      in_range ? perf_from : pair_median_.at({from_sku, to_sku});
+  WPRED_ASSIGN_OR_RETURN(const double at_anchor,
+                         PredictTransition(from_sku, to_sku, anchor, group));
+  if (anchor <= 0.0) {
+    return Status::NumericalError("non-positive anchor");
+  }
+  return perf_from * at_anchor / anchor;
+}
+
+std::vector<std::pair<double, double>> PairwiseScalingModel::Pairs() const {
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(pair_models_.size());
+  for (const auto& [key, model] : pair_models_) pairs.push_back(key);
+  return pairs;
+}
+
+}  // namespace wpred

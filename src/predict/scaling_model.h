@@ -1,0 +1,113 @@
+#ifndef WPRED_PREDICT_SCALING_MODEL_H_
+#define WPRED_PREDICT_SCALING_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace wpred {
+
+/// One performance measurement of a workload at a SKU, tagged with the
+/// provenance needed to match observations across SKUs: the time-of-day
+/// data group, the repetition, and the down-sample index (paper Section 6.2
+/// derives 30 points per workload/SKU from 3 runs × 10 sub-series).
+struct SkuPerfPoint {
+  double sku_value = 0.0;  // e.g. number of CPUs
+  double perf = 0.0;       // e.g. throughput in tps
+  int group = 0;
+  int run_id = 0;
+  int sample_id = 0;
+};
+
+/// Paper Section 6.1.1 modelling contexts.
+enum class ModelContext { kSingle, kPairwise };
+
+std::string_view ModelContextName(ModelContext context);
+
+/// Single scaling model: one regressor over (sku_value [, group]) → perf,
+/// the "comprehensive progression over hardware settings".
+class SingleScalingModel {
+ public:
+  /// Fits the named strategy on all points.
+  Status Fit(const std::string& strategy,
+             const std::vector<SkuPerfPoint>& points);
+
+  /// Predicted performance at a SKU value (group feeds LMM only).
+  Result<double> Predict(double sku_value, int group = 0) const;
+
+  /// Transition form shared with the pairwise model: predicted performance
+  /// at `to_sku` given an observed performance at `from_sku`, computed by
+  /// rescaling the curve: perf_from · f(to)/f(from).
+  Result<double> PredictTransition(double from_sku, double to_sku,
+                                   double perf_from, int group = 0) const;
+
+  bool fitted() const { return model_ != nullptr; }
+
+ private:
+  std::string strategy_;
+  bool uses_group_ = false;
+  std::unique_ptr<Regressor> model_;
+};
+
+/// Pairwise scaling model: an independent regressor per ordered SKU pair
+/// (from → to), fit on matched observations perf@from → perf@to.
+class PairwiseScalingModel {
+ public:
+  /// Matches points across every ordered pair of distinct SKU values by
+  /// (group, run_id, sample_id) and fits one regressor per pair. Pairs with
+  /// fewer than 2 matched observations are skipped; failing to match any
+  /// pair is an error.
+  Status Fit(const std::string& strategy,
+             const std::vector<SkuPerfPoint>& points);
+
+  /// Predicted performance at `to_sku` given observed perf at `from_sku`.
+  /// Unknown pairs return NotFound.
+  Result<double> PredictTransition(double from_sku, double to_sku,
+                                   double perf_from, int group = 0) const;
+
+  /// Transfer variant for observations outside the pair's training range
+  /// (e.g. a *different* workload's performance level, Section 6.2.3): the
+  /// model is evaluated at the training median — the best-supported point
+  /// of the reference data — and applied as a scaling FACTOR to the raw
+  /// observation. Inside the range this coincides with PredictTransition.
+  Result<double> PredictTransitionScaled(double from_sku, double to_sku,
+                                         double perf_from, int group = 0) const;
+
+  /// All fitted (from, to) pairs.
+  std::vector<std::pair<double, double>> Pairs() const;
+
+  bool fitted() const { return !pair_models_.empty(); }
+
+ private:
+  std::string strategy_;
+  bool uses_group_ = false;
+  std::map<std::pair<double, double>, std::unique_ptr<Regressor>> pair_models_;
+  /// Training-input range per pair (min, max of perf@from).
+  std::map<std::pair<double, double>, std::pair<double, double>> pair_range_;
+  /// Training-input median per pair (transfer anchor).
+  std::map<std::pair<double, double>, double> pair_median_;
+};
+
+/// Matched (perf_from, perf_to, group) tuples between two SKU values,
+/// joined on (group, run_id, sample_id).
+struct MatchedPair {
+  double perf_from;
+  double perf_to;
+  int group;
+  int run_id;
+  int sample_id;
+};
+std::vector<MatchedPair> MatchAcrossSkus(const std::vector<SkuPerfPoint>& points,
+                                         double from_sku, double to_sku);
+
+/// Distinct SKU values present in `points`, ascending.
+std::vector<double> DistinctSkuValues(const std::vector<SkuPerfPoint>& points);
+
+}  // namespace wpred
+
+#endif  // WPRED_PREDICT_SCALING_MODEL_H_

@@ -1,0 +1,52 @@
+#include "predict/strategies.h"
+
+#include "ml/gradient_boosting.h"
+#include "ml/linear_regression.h"
+#include "ml/lmm.h"
+#include "ml/mars.h"
+#include "ml/mlp.h"
+#include "ml/svr.h"
+
+namespace wpred {
+
+Result<std::unique_ptr<Regressor>> CreateScalingRegressor(
+    const std::string& strategy, size_t group_column) {
+  if (strategy == "Regression") {
+    return std::unique_ptr<Regressor>(new LinearRegression());
+  }
+  if (strategy == "SVM") {
+    return std::unique_ptr<Regressor>(new SvmRegressor());
+  }
+  if (strategy == "LMM") {
+    return std::unique_ptr<Regressor>(new LmmRegressor(group_column));
+  }
+  if (strategy == "GB") {
+    GbParams params;
+    params.num_stages = 100;
+    params.max_depth = 2;  // tiny scaling datasets: shallow stages
+    return std::unique_ptr<Regressor>(new GradientBoostingRegressor(params));
+  }
+  if (strategy == "MARS") {
+    return std::unique_ptr<Regressor>(new MarsRegressor());
+  }
+  if (strategy == "NNet") {
+    // Mirror the paper's scikit-learn MLPRegressor configuration: six
+    // hidden layers, 200 iterations, and NO input/target scaling — the
+    // combination responsible for Table 6's blown-up NNet errors.
+    MlpParams params;
+    params.epochs = 200;
+    params.standardize = false;
+    return std::unique_ptr<Regressor>(new MlpRegressor(params));
+  }
+  return Status::NotFound("unknown scaling strategy: " + strategy);
+}
+
+std::vector<std::string> AllScalingStrategyNames() {
+  return {"Regression", "SVM", "LMM", "GB", "MARS", "NNet"};
+}
+
+bool StrategyUsesGroups(const std::string& strategy) {
+  return strategy == "LMM";
+}
+
+}  // namespace wpred

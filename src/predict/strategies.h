@@ -1,0 +1,30 @@
+#ifndef WPRED_PREDICT_STRATEGIES_H_
+#define WPRED_PREDICT_STRATEGIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace wpred {
+
+/// Creates one of the paper's Section 6.1.2 modelling strategies by name:
+/// "Regression" (linear), "SVM" (ε-SVR, RBF), "LMM" (linear mixed model;
+/// requires `group_column` pointing at the design-matrix column holding the
+/// data-group id), "GB" (gradient boosting), "MARS", "NNet" (6-hidden-layer
+/// MLP mirroring the paper's scikit-learn configuration).
+Result<std::unique_ptr<Regressor>> CreateScalingRegressor(
+    const std::string& strategy, size_t group_column);
+
+/// All strategy names, Table 6 row order.
+std::vector<std::string> AllScalingStrategyNames();
+
+/// True if the strategy consumes the data-group column (only LMM does; the
+/// other strategies receive a design matrix without it).
+bool StrategyUsesGroups(const std::string& strategy);
+
+}  // namespace wpred
+
+#endif  // WPRED_PREDICT_STRATEGIES_H_

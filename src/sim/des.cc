@@ -1,0 +1,76 @@
+#include "sim/des.h"
+
+#include <utility>
+
+namespace wpred {
+
+void Simulator::Schedule(double delay, Callback fn) {
+  WPRED_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(double time, Callback fn) {
+  WPRED_CHECK_GE(time, now_);
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void Simulator::RunUntil(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // priority_queue::top() is const; move the callback out via const_cast
+    // before pop (safe: the element is removed immediately after).
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+FcfsStation::FcfsStation(Simulator* sim, int servers)
+    : sim_(sim), servers_(servers) {
+  WPRED_CHECK(sim != nullptr);
+  WPRED_CHECK_GE(servers, 1);
+}
+
+void FcfsStation::Submit(double service_time, Simulator::Callback on_done) {
+  WPRED_CHECK_GE(service_time, 0.0);
+  Job job{service_time, sim_->now(), std::move(on_done)};
+  if (busy_ < servers_) {
+    StartService(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void FcfsStation::StartService(Job job) {
+  Accumulate();
+  ++busy_;
+  total_wait_time_ += sim_->now() - job.enqueue_time;
+  const double service = job.service_time;
+  // Move the callback into the completion event.
+  auto on_done = std::move(job.on_done);
+  sim_->Schedule(service, [this, service, on_done = std::move(on_done)]() {
+    Accumulate();
+    --busy_;
+    ++completed_;
+    total_service_time_ += service;
+    if (!waiting_.empty()) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      StartService(std::move(next));
+    }
+    on_done();
+  });
+}
+
+void FcfsStation::Accumulate() {
+  busy_integral_ += busy_ * (sim_->now() - last_change_);
+  last_change_ = sim_->now();
+}
+
+double FcfsStation::BusyIntegral() const {
+  return busy_integral_ + busy_ * (sim_->now() - last_change_);
+}
+
+}  // namespace wpred

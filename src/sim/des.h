@@ -1,0 +1,104 @@
+#ifndef WPRED_SIM_DES_H_
+#define WPRED_SIM_DES_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace wpred {
+
+/// Minimal discrete-event simulation kernel: a clock plus an ordered event
+/// queue. Ties break by insertion order so runs are deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  void Schedule(double delay, Callback fn);
+
+  /// Schedules `fn` at absolute time `time` (>= now).
+  void ScheduleAt(double time, Callback fn);
+
+  double now() const { return now_; }
+  uint64_t processed_events() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+  /// Processes events in time order until the queue drains or the next
+  /// event's time exceeds `until`; the clock ends at min(until, last event).
+  void RunUntil(double until);
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Multi-server FCFS queueing station (c servers, one shared queue). Jobs
+/// occupy exactly one server for their service time; excess jobs wait in
+/// arrival order. Tracks the busy-server time integral so callers can read
+/// utilisation over sampling windows, total queueing (wait) time, and
+/// completed-job counts.
+class FcfsStation {
+ public:
+  FcfsStation(Simulator* sim, int servers);
+
+  /// Submits a job; `on_done` fires when its service completes.
+  void Submit(double service_time, Simulator::Callback on_done);
+
+  int servers() const { return servers_; }
+  int busy() const { return busy_; }
+  size_t queue_length() const { return waiting_.size(); }
+  uint64_t completed() const { return completed_; }
+
+  /// ∫ busy(t) dt since construction, updated through `now`.
+  double BusyIntegral() const;
+  /// Total time jobs spent waiting in queue (not in service).
+  double total_wait_time() const { return total_wait_time_; }
+  /// Total service time of completed jobs.
+  double total_service_time() const { return total_service_time_; }
+
+ private:
+  struct Job {
+    double service_time;
+    double enqueue_time;
+    Simulator::Callback on_done;
+  };
+
+  void StartService(Job job);
+  void Accumulate();
+
+  Simulator* sim_;
+  int servers_;
+  int busy_ = 0;
+  uint64_t completed_ = 0;
+  double busy_integral_ = 0.0;
+  double last_change_ = 0.0;
+  double total_wait_time_ = 0.0;
+  double total_service_time_ = 0.0;
+  std::deque<Job> waiting_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_SIM_DES_H_

@@ -1,0 +1,61 @@
+#ifndef WPRED_SIM_ENGINE_H_
+#define WPRED_SIM_ENGINE_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/hardware.h"
+#include "sim/workload_spec.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+/// Knobs of one simulated experiment run. Defaults compress the paper's
+/// 1-hour runs to 3 simulated minutes while keeping the paper's 360 resource
+/// samples per run (Section 2.1), so observation-count-driven effects carry
+/// over while each run stays fast.
+struct SimConfig {
+  double duration_s = 180.0;
+  double sample_period_s = 0.5;
+  uint64_t seed = 42;
+  /// Time-of-day group (paper Section 6.2): shifts VM speed/IO multipliers.
+  int data_group = 0;
+  /// Plan observations synthesized per query type (paper: 3).
+  int plan_observations = 3;
+  /// Checkpoint cadence in simulated seconds: dirty pages accumulated by
+  /// write transactions are flushed in a burst, producing the periodic IO
+  /// spikes real engines show (0 disables checkpointing).
+  double checkpoint_interval_s = 30.0;
+};
+
+/// One experiment request: workload × SKU × concurrency × repetition.
+struct RunRequest {
+  WorkloadSpec workload;
+  Sku sku;
+  int terminals = 4;
+  int run_id = 0;
+  SimConfig config;
+};
+
+/// Executes one experiment on the discrete-event database-engine simulator
+/// and returns the collected telemetry. This is the stand-in for the paper's
+/// SQL Server + BenchBase + perf apparatus (see DESIGN.md §1): closed-loop
+/// terminals drive the transaction mix through a lock manager, a multi-core
+/// FCFS CPU station (with fork-join intra-query parallelism), a buffer pool
+/// with cold-start warm-up, memory grants with spill-to-disk, and an IO
+/// station. Resource features are sampled on the configured cadence; plan
+/// statistics come from the plan synthesizer; run-to-run and time-of-day
+/// variability enter through seeded noise and data-group multipliers.
+Result<Experiment> RunExperiment(const RunRequest& request);
+
+/// Buffer-pool hit probability at simulation time `t` for a workload on a
+/// SKU (exponential warm-up towards the coverage-determined plateau).
+/// Exposed for tests and the capacity-planner example.
+double BufferHitRate(const WorkloadSpec& workload, const Sku& sku, double t);
+
+/// Per-query memory grant cap in MB for a SKU under `terminals` concurrent
+/// clients. Queries demanding more than this spill to disk.
+double MemoryGrantCapMb(const Sku& sku, int terminals);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIM_ENGINE_H_

@@ -1,0 +1,44 @@
+#include "sim/hardware.h"
+
+#include "common/string_util.h"
+
+namespace wpred {
+
+Sku MakeCpuSku(int cpus) {
+  Sku sku;
+  sku.name = StrFormat("cpu%d", cpus);
+  sku.cpus = cpus;
+  sku.memory_gb = 8.0 * cpus;
+  sku.io_mbps = 400.0;
+  sku.core_speed = 1.0;
+  return sku;
+}
+
+std::vector<Sku> DefaultSkuLadder() {
+  return {MakeCpuSku(2), MakeCpuSku(4), MakeCpuSku(8), MakeCpuSku(16)};
+}
+
+Sku MakeLargeSku() {
+  Sku sku = MakeCpuSku(80);
+  sku.name = "vcore80";
+  sku.io_mbps = 1600.0;
+  return sku;
+}
+
+Sku MakeS1() {
+  Sku sku;
+  sku.name = "S1";
+  sku.cpus = 4;
+  sku.memory_gb = 32.0;
+  return sku;
+}
+
+Sku MakeS2() {
+  Sku sku;
+  sku.name = "S2";
+  sku.cpus = 8;
+  sku.memory_gb = 64.0;
+  return sku;
+}
+
+}  // namespace wpred

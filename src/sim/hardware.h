@@ -1,0 +1,44 @@
+#ifndef WPRED_SIM_HARDWARE_H_
+#define WPRED_SIM_HARDWARE_H_
+
+#include <string>
+#include <vector>
+
+namespace wpred {
+
+/// A hardware configuration ("stock keeping unit", Section 6.1). The paper
+/// varies the CPU count of a local SQL Server instance (2/4/8/16) plus an
+/// 80-vcore setup for the production workload and two memory-variant SKUs
+/// (S1/S2) for the multi-dimensional experiment.
+struct Sku {
+  std::string name;
+  int cpus = 2;
+  double memory_gb = 16.0;
+  /// Aggregate IO bandwidth in MB/s of the storage subsystem.
+  double io_mbps = 400.0;
+  /// Relative single-core speed (1.0 = reference core).
+  double core_speed = 1.0;
+
+  bool operator==(const Sku& other) const = default;
+};
+
+/// The paper's default CPU-scaling ladder: 2, 4, 8, 16 CPUs with memory
+/// scaled proportionally (8 GB per CPU).
+std::vector<Sku> DefaultSkuLadder();
+
+/// Builds a SKU with proportional memory (8 GB / CPU) and default storage.
+Sku MakeCpuSku(int cpus);
+
+/// The 80-virtual-core setup used for the production-workload experiment
+/// (Section 5.2.3).
+Sku MakeLargeSku();
+
+/// S1 of Section 6.2.3: 4 CPUs, 32 GB.
+Sku MakeS1();
+
+/// S2 of Section 6.2.3: 8 CPUs, 64 GB.
+Sku MakeS2();
+
+}  // namespace wpred
+
+#endif  // WPRED_SIM_HARDWARE_H_

@@ -1,0 +1,60 @@
+#include "sim/mva.h"
+
+#include <cmath>
+
+namespace wpred {
+
+Result<MvaResult> SolveClosedNetwork(const std::vector<MvaStation>& stations,
+                                     int customers, double think_time_s) {
+  if (customers < 1) return Status::InvalidArgument("customers must be >= 1");
+  if (think_time_s < 0.0) {
+    return Status::InvalidArgument("think time must be non-negative");
+  }
+  for (const MvaStation& s : stations) {
+    if (s.demand_s < 0.0) {
+      return Status::InvalidArgument("negative demand at station " + s.name);
+    }
+    if (s.servers < 1) {
+      return Status::InvalidArgument("servers must be >= 1 at station " + s.name);
+    }
+  }
+
+  // Seidmann's transformation: a c-server station becomes a single-server
+  // queueing stage with demand D/c plus a pure delay of D·(c-1)/c.
+  const size_t n_stations = stations.size();
+  std::vector<double> queue_demand(n_stations);
+  double extra_delay = 0.0;
+  for (size_t i = 0; i < n_stations; ++i) {
+    queue_demand[i] = stations[i].demand_s / stations[i].servers;
+    extra_delay += stations[i].demand_s * (stations[i].servers - 1) /
+                   static_cast<double>(stations[i].servers);
+  }
+
+  // Exact MVA recursion over population.
+  std::vector<double> q(n_stations, 0.0);
+  double throughput = 0.0;
+  double response = 0.0;
+  for (int n = 1; n <= customers; ++n) {
+    response = extra_delay;
+    std::vector<double> r(n_stations);
+    for (size_t i = 0; i < n_stations; ++i) {
+      r[i] = queue_demand[i] * (1.0 + q[i]);
+      response += r[i];
+    }
+    throughput = n / (think_time_s + response);
+    for (size_t i = 0; i < n_stations; ++i) q[i] = throughput * r[i];
+  }
+
+  MvaResult result;
+  result.throughput = throughput;
+  result.response_time_s = response;
+  result.utilization.resize(n_stations);
+  result.queue_length = q;
+  for (size_t i = 0; i < n_stations; ++i) {
+    result.utilization[i] =
+        throughput * stations[i].demand_s / stations[i].servers;
+  }
+  return result;
+}
+
+}  // namespace wpred

@@ -1,0 +1,38 @@
+#ifndef WPRED_SIM_MVA_H_
+#define WPRED_SIM_MVA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wpred {
+
+/// One service station of a closed queueing network.
+struct MvaStation {
+  std::string name;
+  /// Total service demand per customer visit cycle, in seconds.
+  double demand_s = 0.0;
+  /// Number of identical servers (>= 1). Multi-server stations are handled
+  /// with Seidmann's approximation (D/c queueing + (c-1)/c·D delay).
+  int servers = 1;
+};
+
+/// Solution of the closed network at the requested population.
+struct MvaResult {
+  double throughput = 0.0;       // customers per second
+  double response_time_s = 0.0;  // mean residence time excluding think time
+  std::vector<double> utilization;   // per station, per server, in [0, 1]
+  std::vector<double> queue_length;  // mean customers at each station
+};
+
+/// Exact Mean Value Analysis of a closed product-form queueing network with
+/// `customers` clients and a think-time delay of `think_time_s` seconds.
+/// Provides the analytic cross-check for the discrete-event engine
+/// (tests/sim_test.cc) and powers the capacity-planner example.
+Result<MvaResult> SolveClosedNetwork(const std::vector<MvaStation>& stations,
+                                     int customers, double think_time_s);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIM_MVA_H_

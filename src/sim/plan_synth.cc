@@ -1,0 +1,129 @@
+#include "sim/plan_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/feature_catalog.h"
+
+namespace wpred {
+namespace {
+
+// Mean sort/hash memory demand of the workload mix, in MB. Feeds the
+// available-grant estimate: memory-hungry mixes see smaller per-query grants.
+double MeanQueryMemoryMb(const WorkloadSpec& workload) {
+  double total_weight = 0.0;
+  double acc = 0.0;
+  for (const TxnTypeSpec& t : workload.transactions) {
+    acc += t.weight * t.query_memory_mb;
+    total_weight += t.weight;
+  }
+  return total_weight > 0.0 ? acc / total_weight : 0.0;
+}
+
+}  // namespace
+
+Vector PlanFeatureBase(const WorkloadSpec& workload, const TxnTypeSpec& txn,
+                       const Sku& sku) {
+  Vector f(kNumPlanFeatures, 0.0);
+  auto set = [&f](FeatureId id, double value) {
+    f[IndexOf(id) - kNumResourceFeatures] = value;
+  };
+
+  const double mem_mb = sku.memory_gb * 1024.0;
+  const double mean_demand_mb = MeanQueryMemoryMb(workload);
+  // Optimizer's estimate of the memory available to one query: a slice of
+  // the buffer-adjacent workspace, shrunk when the mix is memory hungry.
+  const double available_grant_kb =
+      0.10 * mem_mb * 1024.0 / (1.0 + 0.01 * mean_demand_mb);
+
+  const double desired_kb = txn.query_memory_mb * 1024.0;
+  const double granted_kb = std::min(desired_kb, available_grant_kb);
+
+  // SQL Server-style cost units: ~0.003125 per sequential page, CPU scaled
+  // so a millisecond of reference-core work costs ~0.04 units.
+  const double estimate_io = txn.logical_ios * 0.003125;
+  const double estimate_cpu = txn.cpu_ms * 0.04;
+
+  const double compile_cpu_ms =
+      0.5 + 1.6 * txn.join_count + 0.004 * workload.columns;
+
+  set(FeatureId::kStatementEstRows, txn.rows_returned);
+  set(FeatureId::kStatementSubTreeCost, estimate_io + estimate_cpu);
+  set(FeatureId::kCompileCpu, compile_cpu_ms);
+  set(FeatureId::kTableCardinality, txn.table_cardinality);
+  set(FeatureId::kSerialDesiredMemory, desired_kb);
+  set(FeatureId::kSerialRequiredMemory, 0.25 * desired_kb);
+  set(FeatureId::kMaxCompileMemory, 512.0 + 256.0 * txn.join_count);
+  set(FeatureId::kEstimateRebinds, std::max(0, txn.join_count - 2) * 0.1);
+  set(FeatureId::kEstimateRewinds, std::max(0, txn.join_count - 2) * 0.05);
+  set(FeatureId::kEstimatedPagesCached, txn.logical_ios * 0.8);
+  set(FeatureId::kEstimatedAvailableDegreeOfParallelism,
+      std::min(sku.cpus, std::max(1, txn.max_dop)));
+  set(FeatureId::kEstimatedAvailableMemoryGrant, available_grant_kb);
+  set(FeatureId::kCachedPlanSize,
+      16.0 + 24.0 * txn.join_count + 0.05 * workload.columns);
+  set(FeatureId::kAvgRowSize, txn.avg_row_bytes);
+  set(FeatureId::kCompileMemory, 0.6 * (512.0 + 256.0 * txn.join_count));
+  set(FeatureId::kEstimateRows, txn.rows_returned * (1.0 + 0.5 * txn.join_count));
+  set(FeatureId::kEstimateIo, estimate_io);
+  set(FeatureId::kCompileTime, compile_cpu_ms * 1.2);
+  set(FeatureId::kGrantedMemory, granted_kb);
+  set(FeatureId::kEstimateCpu, estimate_cpu);
+  set(FeatureId::kMaxUsedMemory, 0.8 * granted_kb);
+  set(FeatureId::kEstimatedRowsRead, txn.rows_read);
+  return f;
+}
+
+Result<PlanStats> SynthesizePlanStats(const WorkloadSpec& workload,
+                                      const Sku& sku, int observations_per_type,
+                                      Rng& rng) {
+  if (observations_per_type < 1) {
+    return Status::InvalidArgument("observations_per_type must be >= 1");
+  }
+  if (workload.transactions.empty()) {
+    return Status::InvalidArgument("workload has no transaction types");
+  }
+
+  // One multiplicative run-level drift per feature (cloud variability is
+  // correlated within a run), plus per-observation jitter. Cardinalities and
+  // row widths are catalog facts, so they drift less than estimates.
+  Vector run_drift(kNumPlanFeatures);
+  for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+    run_drift[c] = rng.LogNormalMedian(1.0, 0.07);
+  }
+
+  PlanStats stats;
+  stats.values = Matrix(workload.transactions.size() *
+                            static_cast<size_t>(observations_per_type),
+                        kNumPlanFeatures);
+  size_t row = 0;
+  for (const TxnTypeSpec& txn : workload.transactions) {
+    const Vector base = PlanFeatureBase(workload, txn, sku);
+    for (int obs = 0; obs < observations_per_type; ++obs) {
+      for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+        const FeatureId id = FeatureFromIndex(kNumResourceFeatures + c);
+        double value = base[c] * run_drift[c];
+        const bool is_estimate =
+            id == FeatureId::kStatementEstRows ||
+            id == FeatureId::kEstimateRows || id == FeatureId::kEstimateIo ||
+            id == FeatureId::kEstimateCpu ||
+            id == FeatureId::kEstimatedRowsRead ||
+            id == FeatureId::kEstimatedPagesCached;
+        const double sigma = is_estimate ? 0.10 : 0.04;
+        if (value > 0.0) {
+          value *= rng.LogNormalMedian(1.0, sigma);
+        } else {
+          // Near-zero features (rebinds/rewinds for simple plans) get tiny
+          // additive noise so they are present but uninformative.
+          value += std::fabs(rng.Gaussian(0.0, 0.01));
+        }
+        stats.values(row, c) = value;
+      }
+      stats.query_names.push_back(txn.name);
+      ++row;
+    }
+  }
+  return stats;
+}
+
+}  // namespace wpred

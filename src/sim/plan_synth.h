@@ -1,0 +1,30 @@
+#ifndef WPRED_SIM_PLAN_SYNTH_H_
+#define WPRED_SIM_PLAN_SYNTH_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sim/hardware.h"
+#include "sim/workload_spec.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+/// Synthesizes the 22 query-plan statistics of paper Table 2 for every
+/// transaction type of a workload on a given SKU, producing
+/// `observations_per_type` noisy observations per type (the paper collects
+/// three per query). Stands in for SQL Server's `SET STATISTICS XML` output:
+/// values come from an optimizer-style cost model over the transaction spec
+/// (rows, IO, joins, memory demand) plus hardware-dependent terms (available
+/// DOP, memory grants), perturbed by per-run and per-observation noise.
+Result<PlanStats> SynthesizePlanStats(const WorkloadSpec& workload,
+                                      const Sku& sku, int observations_per_type,
+                                      Rng& rng);
+
+/// Deterministic (noise-free) plan feature vector for one transaction type;
+/// exposed for tests and the cost-model documentation.
+Vector PlanFeatureBase(const WorkloadSpec& workload, const TxnTypeSpec& txn,
+                       const Sku& sku);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIM_PLAN_SYNTH_H_

@@ -1,0 +1,129 @@
+#include "similarity/bcpd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wpred {
+namespace {
+
+// log pdf of the Student-t predictive with 2·alpha degrees of freedom,
+// location mu, scale² = beta·(kappa+1)/(alpha·kappa).
+double LogStudentT(double x, double mu, double kappa, double alpha,
+                   double beta) {
+  const double nu = 2.0 * alpha;
+  const double scale2 = beta * (kappa + 1.0) / (alpha * kappa);
+  const double z = (x - mu) * (x - mu) / scale2;
+  return std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0) -
+         0.5 * std::log(nu * M_PI * scale2) -
+         (nu + 1.0) / 2.0 * std::log1p(z / nu);
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> DetectChangePoints(const Vector& series,
+                                               const BcpdParams& params) {
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  if (params.hazard_lambda <= 1.0) {
+    return Status::InvalidArgument("hazard_lambda must exceed 1");
+  }
+  const double hazard = 1.0 / params.hazard_lambda;
+  const size_t n = series.size();
+
+  // Run-length state: probability plus Normal-Gamma posterior per run.
+  std::vector<double> run_p = {1.0};
+  std::vector<double> mu = {params.mu0};
+  std::vector<double> kappa = {params.kappa0};
+  std::vector<double> alpha = {params.alpha0};
+  std::vector<double> beta = {params.beta0};
+
+  std::vector<size_t> change_points;
+  size_t prev_map_run = 0;
+
+  for (size_t t = 0; t < n; ++t) {
+    const double x = series[t];
+    const size_t runs = run_p.size();
+
+    // Predictive probability of x under each run length.
+    std::vector<double> pred(runs);
+    for (size_t r = 0; r < runs; ++r) {
+      pred[r] = std::exp(LogStudentT(x, mu[r], kappa[r], alpha[r], beta[r]));
+    }
+
+    // Growth and change-point probabilities.
+    std::vector<double> next_p(runs + 1, 0.0);
+    double cp_mass = 0.0;
+    for (size_t r = 0; r < runs; ++r) {
+      const double joint = run_p[r] * pred[r];
+      next_p[r + 1] = joint * (1.0 - hazard);
+      cp_mass += joint * hazard;
+    }
+    next_p[0] = cp_mass;
+
+    double total = 0.0;
+    for (double p : next_p) total += p;
+    if (total <= 0.0) total = 1.0;
+    for (double& p : next_p) p /= total;
+
+    // Posterior updates (run r at t+1 observed x with run-r params).
+    std::vector<double> next_mu(runs + 1), next_kappa(runs + 1),
+        next_alpha(runs + 1), next_beta(runs + 1);
+    next_mu[0] = params.mu0;
+    next_kappa[0] = params.kappa0;
+    next_alpha[0] = params.alpha0;
+    next_beta[0] = params.beta0;
+    for (size_t r = 0; r < runs; ++r) {
+      next_mu[r + 1] = (kappa[r] * mu[r] + x) / (kappa[r] + 1.0);
+      next_kappa[r + 1] = kappa[r] + 1.0;
+      next_alpha[r + 1] = alpha[r] + 0.5;
+      next_beta[r + 1] =
+          beta[r] + kappa[r] * (x - mu[r]) * (x - mu[r]) / (2.0 * (kappa[r] + 1.0));
+    }
+
+    // Prune negligible run lengths (keep index 0 always).
+    size_t keep = next_p.size();
+    while (keep > 1 && next_p[keep - 1] < params.prune_threshold) --keep;
+    next_p.resize(keep);
+    next_mu.resize(keep);
+    next_kappa.resize(keep);
+    next_alpha.resize(keep);
+    next_beta.resize(keep);
+
+    run_p = std::move(next_p);
+    mu = std::move(next_mu);
+    kappa = std::move(next_kappa);
+    alpha = std::move(next_alpha);
+    beta = std::move(next_beta);
+
+    // MAP run length; a collapse marks a change point.
+    const size_t map_run = static_cast<size_t>(
+        std::max_element(run_p.begin(), run_p.end()) - run_p.begin());
+    if (t > 0 && map_run + 2 < prev_map_run) {
+      const size_t cp = t + 1 - map_run;
+      if (cp > 0 && cp < n &&
+          (change_points.empty() || change_points.back() != cp)) {
+        change_points.push_back(cp);
+      }
+    }
+    prev_map_run = map_run;
+  }
+  std::sort(change_points.begin(), change_points.end());
+  change_points.erase(
+      std::unique(change_points.begin(), change_points.end()),
+      change_points.end());
+  return change_points;
+}
+
+std::vector<Segment> SegmentsFromChangePoints(
+    size_t n, const std::vector<size_t>& change_points) {
+  std::vector<Segment> segments;
+  size_t begin = 0;
+  for (size_t cp : change_points) {
+    if (cp <= begin || cp >= n) continue;
+    segments.push_back({begin, cp});
+    begin = cp;
+  }
+  if (begin < n) segments.push_back({begin, n});
+  return segments;
+}
+
+}  // namespace wpred

@@ -1,0 +1,44 @@
+#ifndef WPRED_SIMILARITY_BCPD_H_
+#define WPRED_SIMILARITY_BCPD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Bayesian online change-point detection parameters (Adams & MacKay 2007)
+/// with a Normal-Gamma conjugate prior, i.e. a Student-t posterior
+/// predictive.
+struct BcpdParams {
+  /// Expected run length between change points (hazard = 1/lambda).
+  double hazard_lambda = 100.0;
+  /// Normal-Gamma prior hyper-parameters.
+  double mu0 = 0.0;
+  double kappa0 = 1.0;
+  double alpha0 = 1.0;
+  double beta0 = 0.05;
+  /// Run-length probabilities below this are pruned (speed).
+  double prune_threshold = 1e-6;
+};
+
+/// Detects change points in a univariate series. Returns the sorted indices
+/// where new segments begin (excluding index 0). Detection follows the MAP
+/// run length: when it collapses, a change point is recorded at the
+/// collapse target.
+Result<std::vector<size_t>> DetectChangePoints(const Vector& series,
+                                               const BcpdParams& params = {});
+
+/// Splits [0, n) into segments delimited by change points.
+struct Segment {
+  size_t begin;  // inclusive
+  size_t end;    // exclusive
+};
+std::vector<Segment> SegmentsFromChangePoints(
+    size_t n, const std::vector<size_t>& change_points);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_BCPD_H_

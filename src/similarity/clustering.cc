@@ -1,0 +1,132 @@
+#include "similarity/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+namespace wpred {
+namespace {
+
+Status ValidateDistances(const Matrix& distances) {
+  if (distances.rows() != distances.cols() || distances.rows() == 0) {
+    return Status::InvalidArgument("distance matrix must be square");
+  }
+  return Status::OK();
+}
+
+double LinkageDistance(const Matrix& distances, const std::vector<size_t>& a,
+                       const std::vector<size_t>& b, Linkage linkage) {
+  double best = linkage == Linkage::kSingle
+                    ? std::numeric_limits<double>::infinity()
+                    : 0.0;
+  double total = 0.0;
+  for (size_t i : a) {
+    for (size_t j : b) {
+      const double d = distances(i, j);
+      switch (linkage) {
+        case Linkage::kSingle:
+          best = std::min(best, d);
+          break;
+        case Linkage::kComplete:
+          best = std::max(best, d);
+          break;
+        case Linkage::kAverage:
+          total += d;
+          break;
+      }
+    }
+  }
+  if (linkage == Linkage::kAverage) {
+    return total / static_cast<double>(a.size() * b.size());
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<Clustering> AgglomerativeCluster(const Matrix& distances,
+                                        int num_clusters, Linkage linkage) {
+  WPRED_RETURN_IF_ERROR(ValidateDistances(distances));
+  const size_t n = distances.rows();
+  if (num_clusters < 1 || static_cast<size_t>(num_clusters) > n) {
+    return Status::InvalidArgument("num_clusters out of range");
+  }
+
+  std::vector<std::vector<size_t>> clusters(n);
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  while (clusters.size() > static_cast<size_t>(num_clusters)) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t merge_a = 0, merge_b = 1;
+    for (size_t a = 0; a < clusters.size(); ++a) {
+      for (size_t b = a + 1; b < clusters.size(); ++b) {
+        const double d =
+            LinkageDistance(distances, clusters[a], clusters[b], linkage);
+        if (d < best) {
+          best = d;
+          merge_a = a;
+          merge_b = b;
+        }
+      }
+    }
+    clusters[merge_a].insert(clusters[merge_a].end(),
+                             clusters[merge_b].begin(),
+                             clusters[merge_b].end());
+    clusters.erase(clusters.begin() + static_cast<long>(merge_b));
+  }
+
+  Clustering out;
+  out.assignments.assign(n, -1);
+  out.num_clusters = static_cast<int>(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t i : clusters[c]) out.assignments[i] = static_cast<int>(c);
+  }
+  return out;
+}
+
+Result<double> ClusterPurity(const Clustering& clustering,
+                             const std::vector<int>& labels) {
+  if (clustering.assignments.size() != labels.size() || labels.empty()) {
+    return Status::InvalidArgument("label count mismatch");
+  }
+  std::map<int, std::map<int, size_t>> counts;  // cluster -> label -> n
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++counts[clustering.assignments[i]][labels[i]];
+  }
+  size_t correct = 0;
+  for (const auto& [cluster, by_label] : counts) {
+    size_t majority = 0;
+    for (const auto& [label, n] : by_label) majority = std::max(majority, n);
+    correct += majority;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+Result<double> AdjustedRandIndex(const Clustering& clustering,
+                                 const std::vector<int>& labels) {
+  if (clustering.assignments.size() != labels.size() || labels.size() < 2) {
+    return Status::InvalidArgument("need >= 2 labelled items");
+  }
+  auto choose2 = [](double n) { return n * (n - 1.0) / 2.0; };
+
+  std::map<std::pair<int, int>, size_t> contingency;
+  std::map<int, size_t> row_sums, col_sums;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++contingency[{clustering.assignments[i], labels[i]}];
+    ++row_sums[clustering.assignments[i]];
+    ++col_sums[labels[i]];
+  }
+  double index = 0.0;
+  for (const auto& [key, n] : contingency) index += choose2(n);
+  double rows = 0.0, cols = 0.0;
+  for (const auto& [cluster, n] : row_sums) rows += choose2(n);
+  for (const auto& [label, n] : col_sums) cols += choose2(n);
+  const double total = choose2(static_cast<double>(labels.size()));
+  const double expected = rows * cols / total;
+  const double max_index = 0.5 * (rows + cols);
+  if (max_index == expected) return 1.0;  // degenerate: single cluster+label
+  return (index - expected) / (max_index - expected);
+}
+
+}  // namespace wpred

@@ -1,0 +1,43 @@
+#ifndef WPRED_SIMILARITY_CLUSTERING_H_
+#define WPRED_SIMILARITY_CLUSTERING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+// Workload clustering over a precomputed distance matrix — the grouping the
+// paper's pipeline uses to pool training data across similar workloads
+// (Sections 1–2: "group similar workloads and use clusters of workloads for
+// downstream prediction tasks").
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// Result of a clustering run: a cluster id per item, ids in [0, k).
+struct Clustering {
+  std::vector<int> assignments;
+  int num_clusters = 0;
+};
+
+/// Agglomerative hierarchical clustering on a symmetric distance matrix,
+/// cut at `num_clusters` clusters. O(n³) merge loop — fine for corpus sizes
+/// here (hundreds of sub-experiments).
+Result<Clustering> AgglomerativeCluster(const Matrix& distances,
+                                        int num_clusters,
+                                        Linkage linkage = Linkage::kAverage);
+
+/// Cluster purity against ground-truth labels: each cluster votes for its
+/// majority label; purity = correctly-voted fraction. In [0, 1].
+Result<double> ClusterPurity(const Clustering& clustering,
+                             const std::vector<int>& labels);
+
+/// Adjusted Rand index between the clustering and ground-truth labels:
+/// 1 = identical partitions, ~0 = random agreement (can be negative).
+Result<double> AdjustedRandIndex(const Clustering& clustering,
+                                 const std::vector<int>& labels);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_CLUSTERING_H_

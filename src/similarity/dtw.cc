@@ -1,0 +1,77 @@
+#include "similarity/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wpred {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Generic DTW over a cell-cost callback; O(m·n) time, O(n) space.
+template <typename CostFn>
+Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
+  if (m == 0 || n == 0) return Status::InvalidArgument("empty series");
+  const size_t band =
+      window > 0 ? static_cast<size_t>(window)
+                 : std::max(m, n);  // unbounded
+  std::vector<double> prev(n + 1, kInf);
+  std::vector<double> curr(n + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const size_t j_lo = i > band ? i - band : 1;
+    const size_t j_hi = std::min(n, i + band);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i - 1, j - 1);
+      curr[j] = c + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  if (!std::isfinite(prev[n])) {
+    return Status::InvalidArgument("window too narrow for series lengths");
+  }
+  return std::sqrt(prev[n]);
+}
+
+}  // namespace
+
+Result<double> DtwDistance(const Vector& a, const Vector& b, int window) {
+  return DtwCore(a.size(), b.size(), window, [&](size_t i, size_t j) {
+    const double d = a[i] - b[j];
+    return d * d;
+  });
+}
+
+Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
+                                    int window) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const size_t k = a.cols();
+  return DtwCore(a.rows(), b.rows(), window, [&](size_t i, size_t j) {
+    double acc = 0.0;
+    for (size_t f = 0; f < k; ++f) {
+      const double d = a(i, f) - b(j, f);
+      acc += d * d;
+    }
+    return acc;
+  });
+}
+
+Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
+                                      int window) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  double total = 0.0;
+  for (size_t f = 0; f < a.cols(); ++f) {
+    WPRED_ASSIGN_OR_RETURN(const double d,
+                           DtwDistance(a.Col(f), b.Col(f), window));
+    total += d;
+  }
+  return total;
+}
+
+}  // namespace wpred

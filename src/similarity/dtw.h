@@ -1,0 +1,28 @@
+#ifndef WPRED_SIMILARITY_DTW_H_
+#define WPRED_SIMILARITY_DTW_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Univariate Dynamic Time Warping (Sakoe-Chiba): returns the square root
+/// of the minimal accumulated squared difference along a monotone alignment
+/// path. `window` bounds |i − j| (Sakoe-Chiba band); <= 0 means unbounded.
+Result<double> DtwDistance(const Vector& a, const Vector& b, int window = 0);
+
+/// Dependent multivariate DTW (Shokoohi-Yekta et al.): one alignment over
+/// all dimensions, cell cost = squared Euclidean distance between the
+/// multivariate samples. Rows are time steps, columns features; the two
+/// series may have different lengths but must share the feature count.
+Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
+                                    int window = 0);
+
+/// Independent multivariate DTW: sum of univariate DTW distances per
+/// dimension (each dimension aligns on its own).
+Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
+                                      int window = 0);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_DTW_H_

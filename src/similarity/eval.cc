@@ -1,0 +1,140 @@
+#include "similarity/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace wpred {
+namespace {
+
+Status ValidateInput(const Matrix& distances, size_t labels_size) {
+  if (distances.rows() != distances.cols()) {
+    return Status::InvalidArgument("distance matrix must be square");
+  }
+  if (distances.rows() != labels_size) {
+    return Status::InvalidArgument("label count mismatch");
+  }
+  if (distances.rows() < 2) {
+    return Status::InvalidArgument("need at least two experiments");
+  }
+  return Status::OK();
+}
+
+// Indices != query sorted by ascending distance from the query (stable on
+// index for deterministic ties).
+std::vector<size_t> RankedNeighbors(const Matrix& distances, size_t query) {
+  std::vector<size_t> order;
+  order.reserve(distances.rows() - 1);
+  for (size_t j = 0; j < distances.rows(); ++j) {
+    if (j != query) order.push_back(j);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return distances(query, a) < distances(query, b);
+  });
+  return order;
+}
+
+}  // namespace
+
+Result<double> OneNnAccuracy(const Matrix& distances,
+                             const std::vector<int>& labels) {
+  WPRED_RETURN_IF_ERROR(ValidateInput(distances, labels.size()));
+  size_t hits = 0;
+  for (size_t i = 0; i < distances.rows(); ++i) {
+    const std::vector<size_t> order = RankedNeighbors(distances, i);
+    if (labels[order.front()] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(distances.rows());
+}
+
+Result<double> OneNnAccuracy(const Matrix& distances,
+                             const std::vector<int>& labels,
+                             const std::vector<int>& blocks) {
+  WPRED_RETURN_IF_ERROR(ValidateInput(distances, labels.size()));
+  if (blocks.size() != labels.size()) {
+    return Status::InvalidArgument("block count mismatch");
+  }
+  size_t hits = 0;
+  size_t queries = 0;
+  for (size_t i = 0; i < distances.rows(); ++i) {
+    const std::vector<size_t> order = RankedNeighbors(distances, i);
+    for (size_t candidate : order) {
+      if (blocks[candidate] == blocks[i]) continue;
+      ++queries;
+      if (labels[candidate] == labels[i]) ++hits;
+      break;
+    }
+  }
+  if (queries == 0) {
+    return Status::InvalidArgument("every candidate blocked for every query");
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries);
+}
+
+Result<double> MeanAveragePrecision(const Matrix& distances,
+                                    const std::vector<int>& labels) {
+  WPRED_RETURN_IF_ERROR(ValidateInput(distances, labels.size()));
+  double total_ap = 0.0;
+  size_t queries = 0;
+  for (size_t i = 0; i < distances.rows(); ++i) {
+    const std::vector<size_t> order = RankedNeighbors(distances, i);
+    size_t relevant_seen = 0;
+    double ap = 0.0;
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      if (labels[order[pos]] == labels[i]) {
+        ++relevant_seen;
+        ap += static_cast<double>(relevant_seen) /
+              static_cast<double>(pos + 1);
+      }
+    }
+    if (relevant_seen == 0) continue;  // no same-label peers to retrieve
+    total_ap += ap / static_cast<double>(relevant_seen);
+    ++queries;
+  }
+  if (queries == 0) {
+    return Status::InvalidArgument("no query has a same-label peer");
+  }
+  return total_ap / static_cast<double>(queries);
+}
+
+Result<double> Ndcg(const Matrix& distances, const std::vector<int>& labels,
+                    const std::vector<int>& type_labels) {
+  WPRED_RETURN_IF_ERROR(ValidateInput(distances, labels.size()));
+  if (type_labels.size() != labels.size()) {
+    return Status::InvalidArgument("type label count mismatch");
+  }
+  auto relevance = [&](size_t query, size_t candidate) {
+    if (labels[candidate] == labels[query]) return 2.0;
+    if (type_labels[candidate] == type_labels[query]) return 1.0;
+    return 0.0;
+  };
+
+  double total = 0.0;
+  size_t queries = 0;
+  for (size_t i = 0; i < distances.rows(); ++i) {
+    const std::vector<size_t> order = RankedNeighbors(distances, i);
+    double dcg = 0.0;
+    Vector rels;
+    rels.reserve(order.size());
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const double rel = relevance(i, order[pos]);
+      rels.push_back(rel);
+      dcg += (std::pow(2.0, rel) - 1.0) / std::log2(static_cast<double>(pos) + 2.0);
+    }
+    std::sort(rels.rbegin(), rels.rend());
+    double idcg = 0.0;
+    for (size_t pos = 0; pos < rels.size(); ++pos) {
+      idcg += (std::pow(2.0, rels[pos]) - 1.0) /
+              std::log2(static_cast<double>(pos) + 2.0);
+    }
+    if (idcg == 0.0) continue;  // nothing relevant anywhere
+    total += dcg / idcg;
+    ++queries;
+  }
+  if (queries == 0) {
+    return Status::InvalidArgument("no query has any relevant peer");
+  }
+  return total / static_cast<double>(queries);
+}
+
+}  // namespace wpred

@@ -1,0 +1,43 @@
+#ifndef WPRED_SIMILARITY_EVAL_H_
+#define WPRED_SIMILARITY_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+// Evaluation of similarity-computation quality (paper Section 5.2):
+// reliability via 1-NN accuracy and mean average precision, discrimination
+// power via NDCG with tiered relevance.
+
+/// Fraction of experiments whose nearest neighbour (excluding self) shares
+/// their label. `distances` is a symmetric n×n matrix.
+Result<double> OneNnAccuracy(const Matrix& distances,
+                             const std::vector<int>& labels);
+
+/// 1-NN accuracy where candidates sharing the query's `block` id are
+/// excluded (e.g. sub-experiments of the same run, which are near-duplicates
+/// and would make retrieval trivial): the nearest *different-run* neighbour
+/// must share the workload label. Queries whose every candidate is blocked
+/// are skipped.
+Result<double> OneNnAccuracy(const Matrix& distances,
+                             const std::vector<int>& labels,
+                             const std::vector<int>& blocks);
+
+/// Mean average precision: per query, rank all other experiments by
+/// ascending distance; relevant = same label; AP averages precision at each
+/// relevant position; mAP averages over queries with >= 1 relevant item.
+Result<double> MeanAveragePrecision(const Matrix& distances,
+                                    const std::vector<int>& labels);
+
+/// Normalised discounted cumulative gain with tiered relevance: 2 for the
+/// same workload, 1 for the same workload type, 0 otherwise (the paper's
+/// identical / similar / different expert tiers). Averaged over queries.
+Result<double> Ndcg(const Matrix& distances, const std::vector<int>& labels,
+                    const std::vector<int>& type_labels);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_EVAL_H_

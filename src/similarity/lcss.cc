@@ -1,0 +1,66 @@
+#include "similarity/lcss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wpred {
+namespace {
+
+template <typename MatchFn>
+Result<double> LcssCore(size_t m, size_t n, MatchFn match) {
+  if (m == 0 || n == 0) return Status::InvalidArgument("empty series");
+  std::vector<size_t> prev(n + 1, 0);
+  std::vector<size_t> curr(n + 1, 0);
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= n; ++j) {
+      if (match(i - 1, j - 1)) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  const double lcss = static_cast<double>(prev[n]);
+  return 1.0 - lcss / static_cast<double>(std::min(m, n));
+}
+
+}  // namespace
+
+Result<double> LcssDistance(const Vector& a, const Vector& b, double epsilon) {
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  return LcssCore(a.size(), b.size(), [&](size_t i, size_t j) {
+    return std::fabs(a[i] - b[j]) <= epsilon;
+  });
+}
+
+Result<double> DependentLcssDistance(const Matrix& a, const Matrix& b,
+                                     double epsilon) {
+  if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  const size_t k = a.cols();
+  return LcssCore(a.rows(), b.rows(), [&](size_t i, size_t j) {
+    for (size_t f = 0; f < k; ++f) {
+      if (std::fabs(a(i, f) - b(j, f)) > epsilon) return false;
+    }
+    return true;
+  });
+}
+
+Result<double> IndependentLcssDistance(const Matrix& a, const Matrix& b,
+                                       double epsilon) {
+  if (a.cols() != b.cols()) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  double total = 0.0;
+  for (size_t f = 0; f < a.cols(); ++f) {
+    WPRED_ASSIGN_OR_RETURN(const double d,
+                           LcssDistance(a.Col(f), b.Col(f), epsilon));
+    total += d;
+  }
+  return total / static_cast<double>(a.cols());
+}
+
+}  // namespace wpred

@@ -1,0 +1,27 @@
+#ifndef WPRED_SIMILARITY_LCSS_H_
+#define WPRED_SIMILARITY_LCSS_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+/// Longest Common Sub-Sequence similarity for time-series (Hirschberg /
+/// Vlachos): two samples "match" when they are within `epsilon`. Returns a
+/// dissimilarity in [0, 1]: 1 − LCSS/min(m, n).
+
+/// Univariate LCSS distance.
+Result<double> LcssDistance(const Vector& a, const Vector& b, double epsilon);
+
+/// Dependent multivariate LCSS: samples match only if EVERY dimension is
+/// within epsilon (one shared alignment).
+Result<double> DependentLcssDistance(const Matrix& a, const Matrix& b,
+                                     double epsilon);
+
+/// Independent multivariate LCSS: mean of per-dimension LCSS distances.
+Result<double> IndependentLcssDistance(const Matrix& a, const Matrix& b,
+                                       double epsilon);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_LCSS_H_

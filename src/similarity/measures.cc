@@ -1,0 +1,79 @@
+#include "similarity/measures.h"
+
+#include "similarity/dtw.h"
+#include "similarity/lcss.h"
+#include "similarity/norms.h"
+
+namespace wpred {
+namespace {
+
+// Match threshold for LCSS on [0,1]-normalised series.
+constexpr double kLcssEpsilon = 0.15;
+
+}  // namespace
+
+Result<double> MeasureDistance(const std::string& measure, const Matrix& a,
+                               const Matrix& b) {
+  if (measure == "L1,1-Norm") return L11Distance(a, b);
+  if (measure == "L2,1-Norm") return L21Distance(a, b);
+  if (measure == "Fro-Norm") return FrobeniusDistance(a, b);
+  if (measure == "Canb-Norm") return CanberraDistance(a, b);
+  if (measure == "Chi2-Norm") return Chi2Distance(a, b);
+  if (measure == "Corr-Norm") return CorrelationDistance(a, b);
+  if (measure == "Dependent-DTW") return DependentDtwDistance(a, b);
+  if (measure == "Independent-DTW") return IndependentDtwDistance(a, b);
+  if (measure == "Dependent-LCSS") {
+    return DependentLcssDistance(a, b, kLcssEpsilon);
+  }
+  if (measure == "Independent-LCSS") {
+    return IndependentLcssDistance(a, b, kLcssEpsilon);
+  }
+  return Status::NotFound("unknown similarity measure: " + measure);
+}
+
+std::vector<std::string> NormMeasureNames() {
+  return {"L2,1-Norm", "L1,1-Norm", "Fro-Norm",
+          "Canb-Norm", "Chi2-Norm", "Corr-Norm"};
+}
+
+std::vector<std::string> MtsOnlyMeasureNames() {
+  return {"Dependent-DTW", "Independent-DTW", "Dependent-LCSS",
+          "Independent-LCSS"};
+}
+
+Result<Matrix> PairwiseDistances(const ExperimentCorpus& corpus,
+                                 Representation representation,
+                                 const std::string& measure,
+                                 const std::vector<size_t>& features) {
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  return PairwiseDistancesWithContext(corpus, representation, measure,
+                                      features, ctx);
+}
+
+Result<Matrix> PairwiseDistancesWithContext(
+    const ExperimentCorpus& corpus, Representation representation,
+    const std::string& measure, const std::vector<size_t>& features,
+    const NormalizationContext& ctx) {
+  if (corpus.size() < 2) {
+    return Status::InvalidArgument("need at least two experiments");
+  }
+  std::vector<Matrix> reps;
+  reps.reserve(corpus.size());
+  for (const Experiment& e : corpus.experiments()) {
+    WPRED_ASSIGN_OR_RETURN(Matrix rep,
+                           BuildRepresentation(representation, e, features, ctx));
+    reps.push_back(std::move(rep));
+  }
+  Matrix distances(corpus.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    for (size_t j = i + 1; j < corpus.size(); ++j) {
+      WPRED_ASSIGN_OR_RETURN(const double d,
+                             MeasureDistance(measure, reps[i], reps[j]));
+      distances(i, j) = d;
+      distances(j, i) = d;
+    }
+  }
+  return distances;
+}
+
+}  // namespace wpred

@@ -1,0 +1,46 @@
+#ifndef WPRED_SIMILARITY_MEASURES_H_
+#define WPRED_SIMILARITY_MEASURES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "similarity/representation.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+/// Computes the named distance between two representation matrices.
+/// Norm measures ("L1,1-Norm", "L2,1-Norm", "Fro-Norm", "Canb-Norm",
+/// "Chi2-Norm", "Corr-Norm") apply to any representation with equal shapes;
+/// time-series measures ("Dependent-DTW", "Independent-DTW",
+/// "Dependent-LCSS", "Independent-LCSS") require MTS matrices (rows = time).
+Result<double> MeasureDistance(const std::string& measure, const Matrix& a,
+                               const Matrix& b);
+
+/// Measures valid for any representation.
+std::vector<std::string> NormMeasureNames();
+
+/// Additional measures valid only for the MTS representation.
+std::vector<std::string> MtsOnlyMeasureNames();
+
+/// Pairwise distance matrix over a corpus under one representation +
+/// measure + feature subset (shared normalisation computed from the corpus
+/// itself). Entry (i, j) is the distance between experiments i and j.
+Result<Matrix> PairwiseDistances(const ExperimentCorpus& corpus,
+                                 Representation representation,
+                                 const std::string& measure,
+                                 const std::vector<size_t>& features);
+
+/// Same, but with an explicit normalisation context (e.g. shared with
+/// experiments outside this corpus).
+Result<Matrix> PairwiseDistancesWithContext(const ExperimentCorpus& corpus,
+                                            Representation representation,
+                                            const std::string& measure,
+                                            const std::vector<size_t>& features,
+                                            const NormalizationContext& ctx);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_MEASURES_H_

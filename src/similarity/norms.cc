@@ -1,0 +1,81 @@
+#include "similarity/norms.h"
+
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace wpred {
+namespace {
+
+Status CheckSameShape(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return Status::InvalidArgument("matrix shape mismatch");
+  }
+  if (a.empty()) return Status::InvalidArgument("empty matrices");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> L11Distance(const Matrix& a, const Matrix& b) {
+  WPRED_RETURN_IF_ERROR(CheckSameShape(a, b));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += std::fabs(a.data()[i] - b.data()[i]);
+  }
+  return acc;
+}
+
+Result<double> L21Distance(const Matrix& a, const Matrix& b) {
+  WPRED_RETURN_IF_ERROR(CheckSameShape(a, b));
+  double acc = 0.0;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    double col = 0.0;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double d = a(r, c) - b(r, c);
+      col += d * d;
+    }
+    acc += std::sqrt(col);
+  }
+  return acc;
+}
+
+Result<double> FrobeniusDistance(const Matrix& a, const Matrix& b) {
+  WPRED_RETURN_IF_ERROR(CheckSameShape(a, b));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+Result<double> CanberraDistance(const Matrix& a, const Matrix& b) {
+  WPRED_RETURN_IF_ERROR(CheckSameShape(a, b));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::fabs(a.data()[i]) + std::fabs(b.data()[i]);
+    if (denom == 0.0) continue;
+    acc += std::fabs(a.data()[i] - b.data()[i]) / denom;
+  }
+  return acc;
+}
+
+Result<double> Chi2Distance(const Matrix& a, const Matrix& b) {
+  WPRED_RETURN_IF_ERROR(CheckSameShape(a, b));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double sum = a.data()[i] + b.data()[i];
+    if (sum == 0.0) continue;
+    const double d = a.data()[i] - b.data()[i];
+    acc += d * d / sum;
+  }
+  return 0.5 * acc;
+}
+
+Result<double> CorrelationDistance(const Matrix& a, const Matrix& b) {
+  WPRED_RETURN_IF_ERROR(CheckSameShape(a, b));
+  return 1.0 - PearsonCorrelation(a.data(), b.data());
+}
+
+}  // namespace wpred

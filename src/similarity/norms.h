@@ -1,0 +1,34 @@
+#ifndef WPRED_SIMILARITY_NORMS_H_
+#define WPRED_SIMILARITY_NORMS_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace wpred {
+
+// Norm-based matrix distances (paper Section 5.1.2). All operate on two
+// equally shaped matrices and return a non-negative dissimilarity.
+
+/// L1,1: Σ_ij |a_ij − b_ij| (entry-wise L1).
+Result<double> L11Distance(const Matrix& a, const Matrix& b);
+
+/// L2,1: Σ_j sqrt(Σ_i (a_ij − b_ij)²) — column-wise Euclidean norms summed.
+Result<double> L21Distance(const Matrix& a, const Matrix& b);
+
+/// Frobenius: sqrt(Σ_ij (a_ij − b_ij)²).
+Result<double> FrobeniusDistance(const Matrix& a, const Matrix& b);
+
+/// Canberra: Σ_ij |a_ij − b_ij| / (|a_ij| + |b_ij|), 0/0 terms skipped.
+Result<double> CanberraDistance(const Matrix& a, const Matrix& b);
+
+/// Chi-square: Σ_ij (a_ij − b_ij)² / (a_ij + b_ij), zero-sum terms skipped.
+/// Intended for non-negative (histogram) matrices.
+Result<double> Chi2Distance(const Matrix& a, const Matrix& b);
+
+/// Correlation distance: 1 − Pearson correlation of the flattened entries
+/// (2 when perfectly anti-correlated, 1 when either side is constant).
+Result<double> CorrelationDistance(const Matrix& a, const Matrix& b);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_NORMS_H_

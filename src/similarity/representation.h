@@ -1,0 +1,71 @@
+#ifndef WPRED_SIMILARITY_REPRESENTATION_H_
+#define WPRED_SIMILARITY_REPRESENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "similarity/bcpd.h"
+#include "telemetry/experiment.h"
+#include "telemetry/feature_catalog.h"
+
+namespace wpred {
+
+/// Per-feature min/max over a corpus; all representations normalise feature
+/// values into [0, 1] with a SHARED context so workloads are comparable
+/// (paper Section 4.3 / 5.2).
+struct NormalizationContext {
+  Vector min;  // size kNumFeatures
+  Vector max;
+};
+
+/// Computes the shared normalisation over every experiment in the corpus
+/// (resource features over all samples, plan features over all plan
+/// observations).
+NormalizationContext ComputeNormalization(const ExperimentCorpus& corpus);
+
+/// Clamped min-max normalisation of one value of catalog feature `feature`.
+double NormalizeValue(const NormalizationContext& ctx, size_t feature,
+                      double value);
+
+/// The three data representations of paper Section 5.1.1.
+enum class Representation { kMts, kHistFp, kPhaseFp };
+
+Result<Representation> RepresentationByName(const std::string& name);
+std::string_view RepresentationName(Representation representation);
+
+/// Raw multivariate time-series representation: rows = time samples,
+/// columns = the selected features (resource features only — plan
+/// statistics are not a time-series; passing one is an error).
+Result<Matrix> BuildMts(const Experiment& experiment,
+                        const std::vector<size_t>& features,
+                        const NormalizationContext& ctx);
+
+/// Histogram-based fingerprint (Hist-FP, paper Appendix A): per feature, an
+/// equi-width cumulative relative-frequency histogram of its normalised
+/// values (resource features over time samples, plan features over plan
+/// observations). rows = bins, columns = features. The last bin is always 1.
+Result<Matrix> BuildHistFp(const Experiment& experiment,
+                           const std::vector<size_t>& features,
+                           const NormalizationContext& ctx, int bins = 10);
+
+/// Phase-level statistical fingerprint (Phase-FP): BCPD segments each
+/// resource feature's normalised series into phases; each phase contributes
+/// mean/median/variance. Plan features have a single phase. Phases beyond
+/// `max_phases` merge into the last phase; missing phases zero-pad. The 3-D
+/// fingerprint (features × phases × 3 stats) is flattened to
+/// rows = features, columns = max_phases·3.
+Result<Matrix> BuildPhaseFp(const Experiment& experiment,
+                            const std::vector<size_t>& features,
+                            const NormalizationContext& ctx,
+                            int max_phases = 4, const BcpdParams& bcpd = {});
+
+/// Builds the chosen representation with its default knobs.
+Result<Matrix> BuildRepresentation(Representation representation,
+                                   const Experiment& experiment,
+                                   const std::vector<size_t>& features,
+                                   const NormalizationContext& ctx);
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_REPRESENTATION_H_

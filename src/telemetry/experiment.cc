@@ -1,0 +1,78 @@
+#include "telemetry/experiment.h"
+
+#include "common/string_util.h"
+
+namespace wpred {
+
+std::string_view WorkloadTypeName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kTransactional:
+      return "Transactional";
+    case WorkloadType::kAnalytical:
+      return "Analytical";
+    case WorkloadType::kMixed:
+      return "Mixed";
+  }
+  return "Unknown";
+}
+
+std::string Experiment::Label() const {
+  std::string label =
+      StrFormat("%s/cpu%d/t%d/r%d", workload.c_str(), cpus, terminals, run_id);
+  if (subsample_id >= 0) label += StrFormat("/s%d", subsample_id);
+  return label;
+}
+
+std::vector<std::string> ExperimentCorpus::WorkloadNames() const {
+  std::vector<std::string> names;
+  for (const Experiment& e : experiments_) {
+    bool seen = false;
+    for (const std::string& n : names) {
+      if (n == e.workload) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) names.push_back(e.workload);
+  }
+  return names;
+}
+
+std::vector<int> ExperimentCorpus::WorkloadLabels() const {
+  const std::vector<std::string> names = WorkloadNames();
+  std::vector<int> labels;
+  labels.reserve(experiments_.size());
+  for (const Experiment& e : experiments_) {
+    int label = -1;
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == e.workload) {
+        label = static_cast<int>(i);
+        break;
+      }
+    }
+    labels.push_back(label);
+  }
+  return labels;
+}
+
+std::vector<size_t> ExperimentCorpus::IndicesOf(
+    const std::string& workload) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < experiments_.size(); ++i) {
+    if (experiments_[i].workload == workload) indices.push_back(i);
+  }
+  return indices;
+}
+
+ExperimentCorpus ExperimentCorpus::Subset(
+    const std::vector<size_t>& indices) const {
+  std::vector<Experiment> subset;
+  subset.reserve(indices.size());
+  for (size_t i : indices) {
+    WPRED_CHECK_LT(i, experiments_.size());
+    subset.push_back(experiments_[i]);
+  }
+  return ExperimentCorpus(std::move(subset));
+}
+
+}  // namespace wpred

@@ -1,0 +1,104 @@
+#ifndef WPRED_TELEMETRY_EXPERIMENT_H_
+#define WPRED_TELEMETRY_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "telemetry/feature_catalog.h"
+
+namespace wpred {
+
+/// Workload class per paper Section 2 (Table 1's "Workload Type" column).
+enum class WorkloadType { kTransactional, kAnalytical, kMixed };
+
+std::string_view WorkloadTypeName(WorkloadType type);
+
+/// Time-series of the 7 resource-utilisation features, sampled at a fixed
+/// cadence (the paper samples every 10 s for 1 h → 360 rows).
+struct ResourceSeries {
+  /// rows = samples in time order, cols = kNumResourceFeatures.
+  Matrix values;
+  double sample_period_s = 10.0;
+
+  size_t num_samples() const { return values.rows(); }
+};
+
+/// Per-query-type plan statistics (22 features per query type observation).
+struct PlanStats {
+  /// rows = query/transaction type observations, cols = kNumPlanFeatures.
+  Matrix values;
+  /// Name of the query type behind each row (repeats across observations).
+  std::vector<std::string> query_names;
+
+  size_t num_observations() const { return values.rows(); }
+};
+
+/// Measured performance of one experiment run — the prediction targets.
+struct PerfSummary {
+  double throughput_tps = 0.0;
+  double mean_latency_ms = 0.0;
+  /// Mean latency / completed count per transaction type.
+  std::map<std::string, double> latency_ms_by_type;
+  std::map<std::string, double> throughput_tps_by_type;
+};
+
+/// One monitored workload execution: a workload on a hardware configuration
+/// with a terminal count, observed once. The unit of everything downstream.
+struct Experiment {
+  std::string workload;      // e.g. "TPC-C"
+  WorkloadType type = WorkloadType::kMixed;
+  std::string sku;           // hardware configuration name, e.g. "S4"
+  int cpus = 0;
+  double memory_gb = 0.0;
+  int terminals = 1;
+  int run_id = 0;            // repetition index (paper: 3 repetitions)
+  int data_group = 0;        // time-of-day group (paper Section 6.2)
+  int subsample_id = -1;     // -1 for a full experiment, >= 0 for sub-experiments
+
+  ResourceSeries resource;
+  PlanStats plans;
+  PerfSummary perf;
+
+  /// "TPC-C/cpu16/t8/r0" — stable identifier used in bench output.
+  std::string Label() const;
+};
+
+/// A collection of experiments plus label bookkeeping.
+class ExperimentCorpus {
+ public:
+  ExperimentCorpus() = default;
+  explicit ExperimentCorpus(std::vector<Experiment> experiments)
+      : experiments_(std::move(experiments)) {}
+
+  void Add(Experiment experiment) {
+    experiments_.push_back(std::move(experiment));
+  }
+
+  size_t size() const { return experiments_.size(); }
+  bool empty() const { return experiments_.empty(); }
+  const Experiment& operator[](size_t i) const { return experiments_[i]; }
+  Experiment& operator[](size_t i) { return experiments_[i]; }
+  const std::vector<Experiment>& experiments() const { return experiments_; }
+
+  /// Distinct workload names in first-appearance order.
+  std::vector<std::string> WorkloadNames() const;
+
+  /// Class label (index into WorkloadNames()) for each experiment.
+  std::vector<int> WorkloadLabels() const;
+
+  /// Indices of experiments for a given workload name.
+  std::vector<size_t> IndicesOf(const std::string& workload) const;
+
+  /// Corpus restricted to a predicate-selected subset (indices preserved
+  /// order).
+  ExperimentCorpus Subset(const std::vector<size_t>& indices) const;
+
+ private:
+  std::vector<Experiment> experiments_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_TELEMETRY_EXPERIMENT_H_

@@ -1,0 +1,99 @@
+#include "telemetry/feature_catalog.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace wpred {
+namespace {
+
+constexpr std::array<std::string_view, kNumFeatures> kFeatureNames = {
+    // Resource utilisation.
+    "CPU_UTILIZATION",
+    "CPU_EFFECTIVE",
+    "MEM_UTILIZATION",
+    "IOPS_TOTAL",
+    "READ_WRITE_RATIO",
+    "LOCK_REQ_ABS",
+    "LOCK_WAIT_ABS",
+    // Query-plan statistics.
+    "StatementEstRows",
+    "StatementSubTreeCost",
+    "CompileCPU",
+    "TableCardinality",
+    "SerialDesiredMemory",
+    "SerialRequiredMemory",
+    "MaxCompileMemory",
+    "EstimateRebinds",
+    "EstimateRewinds",
+    "EstimatedPagesCached",
+    "EstimatedAvailableDegreeOfParallelism",
+    "EstimatedAvailableMemoryGrant",
+    "CachedPlanSize",
+    "AvgRowSize",
+    "CompileMemory",
+    "EstimateRows",
+    "EstimateIO",
+    "CompileTime",
+    "GrantedMemory",
+    "EstimateCPU",
+    "MaxUsedMemory",
+    "EstimatedRowsRead",
+};
+
+}  // namespace
+
+std::string_view FeatureName(FeatureId id) {
+  const size_t index = IndexOf(id);
+  return kFeatureNames[index];
+}
+
+FeatureKind KindOf(FeatureId id) {
+  return IndexOf(id) < kNumResourceFeatures ? FeatureKind::kResource
+                                            : FeatureKind::kPlan;
+}
+
+FeatureId FeatureFromIndex(size_t index) {
+  WPRED_CHECK_LT(index, kNumFeatures);
+  return static_cast<FeatureId>(index);
+}
+
+size_t IndexOf(FeatureId id) {
+  const size_t index = static_cast<size_t>(id);
+  WPRED_CHECK_LT(index, kNumFeatures);
+  return index;
+}
+
+Result<FeatureId> FeatureByName(std::string_view name) {
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    if (kFeatureNames[i] == name) return FeatureFromIndex(i);
+  }
+  return Status::NotFound("unknown feature: " + std::string(name));
+}
+
+std::vector<std::string> AllFeatureNames() {
+  std::vector<std::string> names;
+  names.reserve(kNumFeatures);
+  for (const auto& name : kFeatureNames) names.emplace_back(name);
+  return names;
+}
+
+std::vector<size_t> ResourceFeatureIndices() {
+  std::vector<size_t> idx(kNumResourceFeatures);
+  for (size_t i = 0; i < kNumResourceFeatures; ++i) idx[i] = i;
+  return idx;
+}
+
+std::vector<size_t> PlanFeatureIndices() {
+  std::vector<size_t> idx(kNumPlanFeatures);
+  for (size_t i = 0; i < kNumPlanFeatures; ++i) idx[i] = kNumResourceFeatures + i;
+  return idx;
+}
+
+std::vector<size_t> AllFeatureIndices() {
+  std::vector<size_t> idx(kNumFeatures);
+  for (size_t i = 0; i < kNumFeatures; ++i) idx[i] = i;
+  return idx;
+}
+
+}  // namespace wpred

@@ -1,0 +1,88 @@
+#ifndef WPRED_TELEMETRY_FEATURE_CATALOG_H_
+#define WPRED_TELEMETRY_FEATURE_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wpred {
+
+// The 29 telemetry features of the paper's Table 2: 7 runtime resource
+// utilisation metrics (sampled as a time-series) and 22 query-plan
+// statistics (one vector per query/transaction type).
+
+/// Whether a feature is a resource-utilisation metric or a plan statistic.
+enum class FeatureKind { kResource, kPlan };
+
+enum class FeatureId : int {
+  // Resource utilisation (time-series), indices [0, 7).
+  kCpuUtilization = 0,
+  kCpuEffective,
+  kMemUtilization,
+  kIopsTotal,
+  kReadWriteRatio,
+  kLockReqAbs,
+  kLockWaitAbs,
+  // Query-plan statistics, indices [7, 29).
+  kStatementEstRows,
+  kStatementSubTreeCost,
+  kCompileCpu,
+  kTableCardinality,
+  kSerialDesiredMemory,
+  kSerialRequiredMemory,
+  kMaxCompileMemory,
+  kEstimateRebinds,
+  kEstimateRewinds,
+  kEstimatedPagesCached,
+  kEstimatedAvailableDegreeOfParallelism,
+  kEstimatedAvailableMemoryGrant,
+  kCachedPlanSize,
+  kAvgRowSize,
+  kCompileMemory,
+  kEstimateRows,
+  kEstimateIo,
+  kCompileTime,
+  kGrantedMemory,
+  kEstimateCpu,
+  kMaxUsedMemory,
+  kEstimatedRowsRead,
+};
+
+inline constexpr size_t kNumResourceFeatures = 7;
+inline constexpr size_t kNumPlanFeatures = 22;
+inline constexpr size_t kNumFeatures = kNumResourceFeatures + kNumPlanFeatures;
+
+/// Paper-spelled name of a feature (e.g. "CPU_UTILIZATION", "AvgRowSize").
+std::string_view FeatureName(FeatureId id);
+
+/// Kind of the feature: resource metrics occupy indices [0, 7), plan
+/// statistics [7, 29).
+FeatureKind KindOf(FeatureId id);
+
+/// FeatureId for a catalog index in [0, kNumFeatures).
+FeatureId FeatureFromIndex(size_t index);
+
+/// Catalog index of a feature.
+size_t IndexOf(FeatureId id);
+
+/// Looks a feature up by its paper-spelled name.
+Result<FeatureId> FeatureByName(std::string_view name);
+
+/// All feature names in catalog order.
+std::vector<std::string> AllFeatureNames();
+
+/// Catalog indices of all resource features (0..6).
+std::vector<size_t> ResourceFeatureIndices();
+
+/// Catalog indices of all plan features (7..28).
+std::vector<size_t> PlanFeatureIndices();
+
+/// Catalog indices of all features (0..28).
+std::vector<size_t> AllFeatureIndices();
+
+}  // namespace wpred
+
+#endif  // WPRED_TELEMETRY_FEATURE_CATALOG_H_

@@ -1,0 +1,233 @@
+#include "telemetry/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace wpred {
+namespace {
+
+constexpr char kFormatVersion[] = "wpred-experiment-v1";
+
+std::string DoubleRepr(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Result<double> ParseDouble(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad numeric field: " + text);
+  }
+  return value;
+}
+
+Result<int> ParseInt(const std::string& text) {
+  WPRED_ASSIGN_OR_RETURN(const double value, ParseDouble(text));
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string ExperimentToCsv(const Experiment& e) {
+  CsvWriter csv({"section", "key", "values"});
+  auto meta = [&csv](const std::string& key, const std::string& value) {
+    csv.AddRow({"meta", key, value});
+  };
+  meta("format", kFormatVersion);
+  meta("workload", e.workload);
+  meta("type", std::string(WorkloadTypeName(e.type)));
+  meta("sku", e.sku);
+  meta("cpus", StrFormat("%d", e.cpus));
+  meta("memory_gb", DoubleRepr(e.memory_gb));
+  meta("terminals", StrFormat("%d", e.terminals));
+  meta("run_id", StrFormat("%d", e.run_id));
+  meta("data_group", StrFormat("%d", e.data_group));
+  meta("subsample_id", StrFormat("%d", e.subsample_id));
+  meta("sample_period_s", DoubleRepr(e.resource.sample_period_s));
+
+  for (size_t r = 0; r < e.resource.num_samples(); ++r) {
+    std::vector<std::string> fields;
+    for (size_t c = 0; c < kNumResourceFeatures; ++c) {
+      fields.push_back(DoubleRepr(e.resource.values(r, c)));
+    }
+    csv.AddRow({"resource", StrFormat("%zu", r), Join(fields, ";")});
+  }
+  for (size_t r = 0; r < e.plans.num_observations(); ++r) {
+    std::vector<std::string> fields;
+    for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+      fields.push_back(DoubleRepr(e.plans.values(r, c)));
+    }
+    const std::string name =
+        r < e.plans.query_names.size() ? e.plans.query_names[r] : "";
+    csv.AddRow({"plan", name, Join(fields, ";")});
+  }
+  csv.AddRow({"perf", "throughput_tps", DoubleRepr(e.perf.throughput_tps)});
+  csv.AddRow({"perf", "mean_latency_ms", DoubleRepr(e.perf.mean_latency_ms)});
+  for (const auto& [name, value] : e.perf.latency_ms_by_type) {
+    csv.AddRow({"perf_latency", name, DoubleRepr(value)});
+  }
+  for (const auto& [name, value] : e.perf.throughput_tps_by_type) {
+    csv.AddRow({"perf_throughput", name, DoubleRepr(value)});
+  }
+  return csv.ToString();
+}
+
+Result<Experiment> ExperimentFromCsv(const std::string& text) {
+  WPRED_ASSIGN_OR_RETURN(const auto rows, ParseCsv(text));
+  if (rows.empty()) return Status::InvalidArgument("empty experiment file");
+
+  Experiment e;
+  std::vector<Vector> resource_rows;
+  std::vector<Vector> plan_rows;
+  bool saw_format = false;
+
+  auto parse_fields = [](const std::string& joined, size_t expected)
+      -> Result<Vector> {
+    const std::vector<std::string> parts = Split(joined, ';');
+    if (parts.size() != expected) {
+      return Status::InvalidArgument("unexpected feature arity");
+    }
+    Vector values(parts.size());
+    for (size_t i = 0; i < parts.size(); ++i) {
+      WPRED_ASSIGN_OR_RETURN(values[i], ParseDouble(parts[i]));
+    }
+    return values;
+  };
+
+  for (size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& row = rows[i];
+    if (row.size() != 3) return Status::InvalidArgument("malformed row");
+    const std::string& section = row[0];
+    const std::string& key = row[1];
+    const std::string& value = row[2];
+    if (section == "meta") {
+      if (key == "format") {
+        if (value != kFormatVersion) {
+          return Status::InvalidArgument("unsupported format: " + value);
+        }
+        saw_format = true;
+      } else if (key == "workload") {
+        e.workload = value;
+      } else if (key == "type") {
+        if (value == "Transactional") {
+          e.type = WorkloadType::kTransactional;
+        } else if (value == "Analytical") {
+          e.type = WorkloadType::kAnalytical;
+        } else {
+          e.type = WorkloadType::kMixed;
+        }
+      } else if (key == "sku") {
+        e.sku = value;
+      } else if (key == "cpus") {
+        WPRED_ASSIGN_OR_RETURN(e.cpus, ParseInt(value));
+      } else if (key == "memory_gb") {
+        WPRED_ASSIGN_OR_RETURN(e.memory_gb, ParseDouble(value));
+      } else if (key == "terminals") {
+        WPRED_ASSIGN_OR_RETURN(e.terminals, ParseInt(value));
+      } else if (key == "run_id") {
+        WPRED_ASSIGN_OR_RETURN(e.run_id, ParseInt(value));
+      } else if (key == "data_group") {
+        WPRED_ASSIGN_OR_RETURN(e.data_group, ParseInt(value));
+      } else if (key == "subsample_id") {
+        WPRED_ASSIGN_OR_RETURN(e.subsample_id, ParseInt(value));
+      } else if (key == "sample_period_s") {
+        WPRED_ASSIGN_OR_RETURN(e.resource.sample_period_s, ParseDouble(value));
+      }
+    } else if (section == "resource") {
+      WPRED_ASSIGN_OR_RETURN(Vector values,
+                             parse_fields(value, kNumResourceFeatures));
+      resource_rows.push_back(std::move(values));
+    } else if (section == "plan") {
+      WPRED_ASSIGN_OR_RETURN(Vector values,
+                             parse_fields(value, kNumPlanFeatures));
+      plan_rows.push_back(std::move(values));
+      e.plans.query_names.push_back(key);
+    } else if (section == "perf") {
+      if (key == "throughput_tps") {
+        WPRED_ASSIGN_OR_RETURN(e.perf.throughput_tps, ParseDouble(value));
+      } else if (key == "mean_latency_ms") {
+        WPRED_ASSIGN_OR_RETURN(e.perf.mean_latency_ms, ParseDouble(value));
+      }
+    } else if (section == "perf_latency") {
+      WPRED_ASSIGN_OR_RETURN(e.perf.latency_ms_by_type[key],
+                             ParseDouble(value));
+    } else if (section == "perf_throughput") {
+      WPRED_ASSIGN_OR_RETURN(e.perf.throughput_tps_by_type[key],
+                             ParseDouble(value));
+    } else {
+      return Status::InvalidArgument("unknown section: " + section);
+    }
+  }
+  if (!saw_format) return Status::InvalidArgument("missing format marker");
+  e.resource.values = Matrix::FromRows(resource_rows);
+  e.plans.values = Matrix::FromRows(plan_rows);
+  return e;
+}
+
+Status WriteExperimentFile(const Experiment& experiment,
+                           const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << ExperimentToCsv(experiment);
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Experiment> ReadExperimentFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ExperimentFromCsv(buffer.str());
+}
+
+Status WriteCorpus(const ExperimentCorpus& corpus,
+                   const std::string& directory) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    return Status::InvalidArgument("not a directory: " + directory);
+  }
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    std::string label = corpus[i].Label();
+    std::replace(label.begin(), label.end(), '/', '_');
+    const std::string path = directory + "/" +
+                             StrFormat("%04zu_", i) + label + ".wpred.csv";
+    WPRED_RETURN_IF_ERROR(WriteExperimentFile(corpus[i], path));
+  }
+  return Status::OK();
+}
+
+Result<ExperimentCorpus> ReadCorpus(const std::string& directory) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    return Status::InvalidArgument("not a directory: " + directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 10 &&
+        name.substr(name.size() - 10) == ".wpred.csv") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    return Status::NotFound("no .wpred.csv files in " + directory);
+  }
+  ExperimentCorpus corpus;
+  for (const std::string& path : paths) {
+    WPRED_ASSIGN_OR_RETURN(Experiment e, ReadExperimentFile(path));
+    corpus.Add(std::move(e));
+  }
+  return corpus;
+}
+
+}  // namespace wpred

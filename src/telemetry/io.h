@@ -1,0 +1,40 @@
+#ifndef WPRED_TELEMETRY_IO_H_
+#define WPRED_TELEMETRY_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+// CSV persistence for experiments, so telemetry collected elsewhere (or
+// simulated once) can be stored, shipped, and re-loaded. One experiment
+// serialises to a single self-describing CSV: a metadata section, the
+// resource time-series, the plan observations, and the performance summary.
+
+/// Serialises one experiment.
+std::string ExperimentToCsv(const Experiment& experiment);
+
+/// Parses an experiment previously produced by ExperimentToCsv. Validates
+/// feature arity against the current catalog.
+Result<Experiment> ExperimentFromCsv(const std::string& text);
+
+/// Writes one experiment to `path`.
+Status WriteExperimentFile(const Experiment& experiment,
+                           const std::string& path);
+
+/// Reads one experiment from `path`.
+Result<Experiment> ReadExperimentFile(const std::string& path);
+
+/// Writes every experiment of a corpus into `directory` as
+/// `<label-with-slashes-replaced>.wpred.csv`. The directory must exist.
+Status WriteCorpus(const ExperimentCorpus& corpus,
+                   const std::string& directory);
+
+/// Reads every `*.wpred.csv` file in `directory` (sorted by filename).
+Result<ExperimentCorpus> ReadCorpus(const std::string& directory);
+
+}  // namespace wpred
+
+#endif  // WPRED_TELEMETRY_IO_H_

@@ -1,0 +1,77 @@
+#include "telemetry/observation.h"
+
+#include "linalg/stats.h"
+
+namespace wpred {
+namespace {
+
+Vector PlanFeatureMeans(const Experiment& experiment) {
+  Vector means(kNumPlanFeatures, 0.0);
+  const Matrix& plans = experiment.plans.values;
+  if (plans.rows() == 0) return means;
+  WPRED_CHECK_EQ(plans.cols(), kNumPlanFeatures);
+  for (size_t c = 0; c < kNumPlanFeatures; ++c) means[c] = Mean(plans.Col(c));
+  return means;
+}
+
+}  // namespace
+
+Matrix BuildObservationMatrix(const Experiment& experiment) {
+  const Matrix& resource = experiment.resource.values;
+  WPRED_CHECK_EQ(resource.cols(), kNumResourceFeatures);
+  const Vector plan_means = PlanFeatureMeans(experiment);
+
+  Matrix out(resource.rows(), kNumFeatures);
+  for (size_t r = 0; r < resource.rows(); ++r) {
+    for (size_t c = 0; c < kNumResourceFeatures; ++c) {
+      out(r, c) = resource(r, c);
+    }
+    for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+      out(r, kNumResourceFeatures + c) = plan_means[c];
+    }
+  }
+  return out;
+}
+
+CorpusObservations BuildCorpusObservations(const ExperimentCorpus& corpus) {
+  CorpusObservations obs;
+  obs.workload_names = corpus.WorkloadNames();
+  const std::vector<int> labels = corpus.WorkloadLabels();
+
+  size_t total_rows = 0;
+  for (const Experiment& e : corpus.experiments()) {
+    total_rows += e.resource.num_samples();
+  }
+  obs.x = Matrix(total_rows, kNumFeatures);
+  obs.workload_label.reserve(total_rows);
+  obs.experiment_idx.reserve(total_rows);
+
+  size_t row = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const Matrix block = BuildObservationMatrix(corpus[i]);
+    for (size_t r = 0; r < block.rows(); ++r, ++row) {
+      obs.x.SetRow(row, block.Row(r));
+      obs.workload_label.push_back(labels[i]);
+      obs.experiment_idx.push_back(i);
+    }
+  }
+  return obs;
+}
+
+Vector AggregateFeatureVector(const Experiment& experiment) {
+  Vector out(kNumFeatures, 0.0);
+  const Matrix& resource = experiment.resource.values;
+  if (resource.rows() > 0) {
+    WPRED_CHECK_EQ(resource.cols(), kNumResourceFeatures);
+    for (size_t c = 0; c < kNumResourceFeatures; ++c) {
+      out[c] = Mean(resource.Col(c));
+    }
+  }
+  const Vector plan_means = PlanFeatureMeans(experiment);
+  for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+    out[kNumResourceFeatures + c] = plan_means[c];
+  }
+  return out;
+}
+
+}  // namespace wpred

@@ -1,0 +1,37 @@
+#ifndef WPRED_TELEMETRY_OBSERVATION_H_
+#define WPRED_TELEMETRY_OBSERVATION_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+/// Flattens one experiment into an observation matrix over the 29-feature
+/// catalog: one row per resource sample, where the 7 resource columns carry
+/// the sample values and the 22 plan columns carry the experiment's
+/// per-feature mean over its plan observations (plan statistics are
+/// per-query constants within a run, so the aggregate is the natural
+/// row-level embedding). Column order follows the feature catalog.
+Matrix BuildObservationMatrix(const Experiment& experiment);
+
+/// Observations for a whole corpus, stacked, with per-row bookkeeping.
+struct CorpusObservations {
+  Matrix x;                            // rows = observations, cols = 29
+  std::vector<int> workload_label;     // per row, index into workload_names
+  std::vector<size_t> experiment_idx;  // per row, which corpus experiment
+  std::vector<std::string> workload_names;
+};
+
+/// Builds the stacked observation matrix for a corpus.
+CorpusObservations BuildCorpusObservations(const ExperimentCorpus& corpus);
+
+/// Per-experiment aggregate feature vector (29 entries): resource features
+/// summarised by their time-series mean, plan features by their mean over
+/// plan observations. Used for scaling-model inputs and quick summaries.
+Vector AggregateFeatureVector(const Experiment& experiment);
+
+}  // namespace wpred
+
+#endif  // WPRED_TELEMETRY_OBSERVATION_H_

@@ -1,0 +1,136 @@
+// Paper Appendix A worked examples as exactness tests: the raw matrices of
+// Table 7 must fingerprint to the cumulative histograms of Table 8, and the
+// phase-FP machinery must reproduce the structure of Table 9 (plan features
+// single-phase, resource features segmented by change-point detection).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "similarity/representation.h"
+#include "telemetry/feature_catalog.h"
+
+namespace wpred {
+namespace {
+
+// Builds an experiment holding the paper's Table 7 example data. The
+// appendix uses 4 plan features over 3 queries and 3 resource features over
+// 4 timestamps; we place them in the first catalog slots and a
+// normalisation context restricted to this experiment (per-feature min/max,
+// exactly the appendix's equi-width bucketing).
+Experiment AppendixExperiment() {
+  Experiment e;
+  e.workload = "appendix";
+  // Resource matrix (Table 7b): 4 timestamps x 3 features in columns 0..2.
+  e.resource.values = Matrix(4, kNumResourceFeatures);
+  const double resource[4][3] = {{32.02, 175, 0.07},
+                                 {25.23, 66, 0.069},
+                                 {20.65, 35, 0.07},
+                                 {25.47, 27, 0.07}};
+  for (size_t t = 0; t < 4; ++t) {
+    for (size_t f = 0; f < 3; ++f) e.resource.values(t, f) = resource[t][f];
+  }
+  // Plan matrix (Table 7a): 3 queries x 4 features in columns 0..3.
+  e.plans.values = Matrix(3, kNumPlanFeatures);
+  const double plan[3][4] = {{63, 1, 0, 1}, {9, 1, 1, 0}, {134, 23.4, 4, 0}};
+  for (size_t q = 0; q < 3; ++q) {
+    for (size_t f = 0; f < 4; ++f) e.plans.values(q, f) = plan[q][f];
+  }
+  e.plans.query_names = {"q0", "q1", "q2"};
+  return e;
+}
+
+TEST(AppendixAExamplesTest, Table8CumulativeHistograms) {
+  const Experiment e = AppendixExperiment();
+  ExperimentCorpus corpus;
+  corpus.Add(e);
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+
+  // Plan features f0..f3 (catalog indices 7..10), 3 equi-width bins.
+  const std::vector<size_t> plan_features = {
+      kNumResourceFeatures + 0, kNumResourceFeatures + 1,
+      kNumResourceFeatures + 2, kNumResourceFeatures + 3};
+  const Matrix plan_hist = BuildHistFp(e, plan_features, ctx, 3).value();
+  // Paper Table 8, columns f0..f3: rows are bins 1..3.
+  const double expected_plan[3][4] = {{0.333, 0.667, 0.667, 0.667},
+                                      {0.667, 0.667, 0.667, 0.667},
+                                      {1.0, 1.0, 1.0, 1.0}};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t f = 0; f < 4; ++f) {
+      EXPECT_NEAR(plan_hist(b, f), expected_plan[b][f], 0.001)
+          << "bin " << b << " feature " << f;
+    }
+  }
+
+  // Resource features f0..f2 (catalog indices 0..2).
+  const Matrix res_hist = BuildHistFp(e, {0, 1, 2}, ctx, 3).value();
+  const double expected_res[3][3] = {
+      {0.25, 0.75, 0.25}, {0.75, 0.75, 0.25}, {1.0, 1.0, 1.0}};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t f = 0; f < 3; ++f) {
+      EXPECT_NEAR(res_hist(b, f), expected_res[b][f], 0.001)
+          << "bin " << b << " feature " << f;
+    }
+  }
+}
+
+TEST(AppendixAExamplesTest, CumulativeBeatsEntryWiseOnShiftedHistograms) {
+  // The appendix's motivating example: H1=(1,0,0,0,0), H2=(0,1,0,0,0),
+  // H3=(0,0,0,0,1). Entry-wise L1 distance is blind to shape (all pairs
+  // equal); on cumulative histograms H1 is closer to H2 than to H3.
+  auto cumulative = [](const Vector& h) {
+    Matrix m(h.size(), 1);
+    double acc = 0.0;
+    for (size_t i = 0; i < h.size(); ++i) {
+      acc += h[i];
+      m(i, 0) = acc;
+    }
+    return m;
+  };
+  const Matrix c1 = cumulative({1, 0, 0, 0, 0});
+  const Matrix c2 = cumulative({0, 1, 0, 0, 0});
+  const Matrix c3 = cumulative({0, 0, 0, 0, 1});
+  auto l1 = [](const Matrix& a, const Matrix& b) {
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      acc += std::fabs(a.data()[i] - b.data()[i]);
+    }
+    return acc;
+  };
+  EXPECT_LT(l1(c1, c2), l1(c1, c3));
+  EXPECT_LT(l1(c2, c3), l1(c1, c3));
+}
+
+TEST(AppendixAExamplesTest, Table9PhaseStructure) {
+  // A resource series with two clear phases (like Table 9's f_{j,1}) and a
+  // plan feature: the phase fingerprint must give the resource feature two
+  // populated phases and the plan feature exactly one.
+  Experiment e;
+  e.workload = "phases";
+  e.resource.values = Matrix(160, kNumResourceFeatures);
+  for (size_t t = 0; t < 160; ++t) {
+    // Feature 0: level 100 then level 10 (plus small deterministic wiggle).
+    e.resource.values(t, 0) =
+        (t < 80 ? 100.0 : 10.0) + 2.0 * ((t % 5) - 2.0);
+  }
+  e.plans.values = Matrix(4, kNumPlanFeatures, 50.0);
+  e.plans.query_names.assign(4, "q");
+  ExperimentCorpus corpus;
+  corpus.Add(e);
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+
+  const Matrix fp =
+      BuildPhaseFp(e, {0, kNumResourceFeatures}, ctx, /*max_phases=*/3)
+          .value();
+  ASSERT_EQ(fp.rows(), 2u);
+  ASSERT_EQ(fp.cols(), 9u);  // 3 phases x (mean, median, variance)
+
+  // Resource feature: phase 1 mean high, phase 2 mean low, both populated.
+  EXPECT_GT(fp(0, 0), 0.5);  // first-phase mean (normalised) near 1
+  EXPECT_GT(fp(0, 0), fp(0, 3) + 0.3);  // second phase clearly lower
+  // Plan feature: single phase, rest zero-padded (Table 9's structure).
+  for (size_t c = 3; c < 9; ++c) EXPECT_DOUBLE_EQ(fp(1, c), 0.0);
+}
+
+}  // namespace
+}  // namespace wpred

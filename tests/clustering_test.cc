@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/clustering.h"
+
+namespace wpred {
+namespace {
+
+// Distance matrix with two tight groups {0,1,2} and {3,4} far apart.
+Matrix TwoBlobDistances() {
+  Matrix d(5, 5);
+  auto set = [&d](size_t i, size_t j, double v) {
+    d(i, j) = v;
+    d(j, i) = v;
+  };
+  set(0, 1, 1.0);
+  set(0, 2, 1.2);
+  set(1, 2, 0.9);
+  set(3, 4, 1.1);
+  for (size_t i : {0, 1, 2}) {
+    for (size_t j : {3, 4}) set(i, j, 10.0 + i + j);
+  }
+  return d;
+}
+
+TEST(AgglomerativeTest, RecoversTwoBlobs) {
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    const auto result = AgglomerativeCluster(TwoBlobDistances(), 2, linkage);
+    ASSERT_TRUE(result.ok());
+    const auto& a = result->assignments;
+    EXPECT_EQ(a[0], a[1]);
+    EXPECT_EQ(a[1], a[2]);
+    EXPECT_EQ(a[3], a[4]);
+    EXPECT_NE(a[0], a[3]);
+    EXPECT_EQ(result->num_clusters, 2);
+  }
+}
+
+TEST(AgglomerativeTest, KEqualsNMakesSingletons) {
+  const auto result = AgglomerativeCluster(TwoBlobDistances(), 5);
+  ASSERT_TRUE(result.ok());
+  std::vector<bool> seen(5, false);
+  for (int c : result->assignments) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 5);
+    EXPECT_FALSE(seen[static_cast<size_t>(c)]);
+    seen[static_cast<size_t>(c)] = true;
+  }
+}
+
+TEST(AgglomerativeTest, KOneIsOneCluster) {
+  const auto result = AgglomerativeCluster(TwoBlobDistances(), 1);
+  ASSERT_TRUE(result.ok());
+  for (int c : result->assignments) EXPECT_EQ(c, 0);
+}
+
+TEST(AgglomerativeTest, SingleVsCompleteLinkageOnChain) {
+  // A chain 0-1-2-3 with unit gaps plus a far point: single linkage chains
+  // the whole path together; complete linkage splits the chain.
+  Matrix d(5, 5);
+  auto set = [&d](size_t i, size_t j, double v) {
+    d(i, j) = v;
+    d(j, i) = v;
+  };
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      set(i, j, static_cast<double>(j - i));  // chain distances
+    }
+  }
+  for (size_t i = 0; i < 4; ++i) set(i, 4, 50.0);
+
+  const auto single = AgglomerativeCluster(d, 2, Linkage::kSingle).value();
+  EXPECT_EQ(single.assignments[0], single.assignments[3]);  // chained
+  EXPECT_NE(single.assignments[0], single.assignments[4]);
+}
+
+TEST(AgglomerativeTest, RejectsBadInput) {
+  EXPECT_FALSE(AgglomerativeCluster(Matrix(2, 3), 1).ok());
+  EXPECT_FALSE(AgglomerativeCluster(TwoBlobDistances(), 0).ok());
+  EXPECT_FALSE(AgglomerativeCluster(TwoBlobDistances(), 6).ok());
+}
+
+TEST(ClusterPurityTest, PerfectAndMixed) {
+  Clustering perfect{{0, 0, 0, 1, 1}, 2};
+  EXPECT_DOUBLE_EQ(ClusterPurity(perfect, {7, 7, 7, 9, 9}).value(), 1.0);
+  Clustering mixed{{0, 0, 0, 0, 0}, 1};
+  EXPECT_DOUBLE_EQ(ClusterPurity(mixed, {7, 7, 7, 9, 9}).value(), 0.6);
+  EXPECT_FALSE(ClusterPurity(perfect, {1, 2}).ok());
+}
+
+TEST(AdjustedRandIndexTest, KnownValues) {
+  Clustering perfect{{0, 0, 1, 1}, 2};
+  EXPECT_NEAR(AdjustedRandIndex(perfect, {5, 5, 6, 6}).value(), 1.0, 1e-12);
+  // Label-permutation invariant.
+  EXPECT_NEAR(AdjustedRandIndex(perfect, {6, 6, 5, 5}).value(), 1.0, 1e-12);
+  // A partition orthogonal to the labels scores <= 0.
+  Clustering orthogonal{{0, 1, 0, 1}, 2};
+  EXPECT_LE(AdjustedRandIndex(orthogonal, {5, 5, 6, 6}).value(), 0.0 + 1e-12);
+}
+
+TEST(AdjustedRandIndexTest, RandomAssignmentNearZero) {
+  Rng rng(4);
+  const size_t n = 400;
+  Clustering random;
+  random.num_clusters = 4;
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    random.assignments.push_back(static_cast<int>(rng.UniformInt(0, 3)));
+    labels[i] = static_cast<int>(i % 4);
+  }
+  EXPECT_NEAR(AdjustedRandIndex(random, labels).value(), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace wpred

@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "featsel/embedded.h"
+#include "featsel/filter.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "featsel/wrapper.h"
+
+namespace wpred {
+namespace {
+
+// Synthetic selection problem: feature 0 separates the two classes cleanly,
+// feature 1 separates them weakly, features 2..4 are pure noise, feature 5
+// is a high-variance feature with NO class signal (the LOCK_WAIT_ABS
+// archetype from the paper), feature 6 duplicates feature 0.
+struct Problem {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Problem MakeProblem(size_t per_class = 60, uint64_t seed = 5) {
+  Rng rng(seed);
+  const size_t n = 2 * per_class;
+  Problem p;
+  p.x = Matrix(n, 7);
+  p.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = i < per_class ? 0 : 1;
+    p.y[i] = cls;
+    p.x(i, 0) = (cls == 0 ? -3.0 : 3.0) + rng.Gaussian(0, 0.5);
+    p.x(i, 1) = (cls == 0 ? -0.5 : 0.5) + rng.Gaussian(0, 1.0);
+    p.x(i, 2) = rng.Gaussian(0, 1.0);
+    p.x(i, 3) = rng.Gaussian(0, 1.0);
+    p.x(i, 4) = rng.Gaussian(0, 1.0);
+    p.x(i, 5) = rng.Uniform(0, 100.0);  // huge variance, no signal
+    p.x(i, 6) = p.x(i, 0) + rng.Gaussian(0, 0.05);
+  }
+  return p;
+}
+
+size_t ArgMax(const Vector& v) {
+  return static_cast<size_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+TEST(RankingTest, ScoresToRanksWithDeterministicTies) {
+  const FeatureRanking r = ScoresToRanking({0.5, 0.9, 0.5, 0.1});
+  EXPECT_EQ(r.ranks, (std::vector<int>{2, 1, 3, 4}));
+  EXPECT_EQ(r.TopK(2), (std::vector<size_t>{1, 0}));
+}
+
+TEST(RankingTest, AggregateRankAcrossExperiments) {
+  const FeatureRanking a = ScoresToRanking({3, 2, 1});  // ranks 1,2,3
+  const FeatureRanking b = ScoresToRanking({1, 3, 2});  // ranks 3,1,2
+  // Totals: f0=4, f1=3, f2=5.
+  EXPECT_EQ(TopKByAggregateRank({a, b}, 2), (std::vector<size_t>{1, 0}));
+}
+
+TEST(VarianceSelectorTest, PicksHighVarianceRegardlessOfSignal) {
+  // After min-max normalisation the uniform feature has the largest
+  // variance (uniform on [0,1] has variance 1/12 ≈ 0.083; the clustered
+  // two-blob feature 0 actually has high normalised variance too).
+  const Problem p = MakeProblem();
+  VarianceThresholdSelector sel;
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  // The no-signal high-variance feature must outrank the pure-noise
+  // Gaussians (which concentrate in the middle of their range).
+  EXPECT_GT(scores.value()[5], scores.value()[2]);
+  EXPECT_GT(scores.value()[5], scores.value()[3]);
+}
+
+TEST(PearsonSelectorTest, SignalBeatsNoise) {
+  const Problem p = MakeProblem();
+  PearsonSelector sel;
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  const size_t best = ArgMax(scores.value());
+  EXPECT_TRUE(best == 0 || best == 6);
+  EXPECT_GT(scores.value()[0], scores.value()[5]);
+  EXPECT_GT(scores.value()[1], scores.value()[2]);
+}
+
+TEST(FAnovaSelectorTest, FStatisticOrdersFeatures) {
+  const Problem p = MakeProblem();
+  FAnovaSelector sel;
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores.value()[0], scores.value()[1]);
+  EXPECT_GT(scores.value()[1], scores.value()[5]);
+}
+
+TEST(FAnovaSelectorTest, RejectsSingleClass) {
+  FAnovaSelector sel;
+  EXPECT_FALSE(sel.ScoreFeatures(Matrix{{1.0}, {2.0}}, {0, 0}).ok());
+}
+
+TEST(MutualInfoSelectorTest, InformativeFeatureWins) {
+  const Problem p = MakeProblem();
+  MutualInfoSelector sel;
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  const size_t best = ArgMax(scores.value());
+  EXPECT_TRUE(best == 0 || best == 6);
+  EXPECT_LT(scores.value()[5], 0.1);  // near-independent
+}
+
+TEST(MutualInfoSelectorTest, ConstantFeatureScoresZero) {
+  Matrix x{{1.0, 5.0}, {1.0, 7.0}, {1.0, 5.5}, {1.0, 7.5}};
+  MutualInfoSelector sel;
+  const auto scores = sel.ScoreFeatures(x, {0, 1, 0, 1});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores.value()[0], 0.0);
+}
+
+TEST(LassoSelectorTest, SparseSignalRecovery) {
+  const Problem p = MakeProblem();
+  LassoSelector sel;
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores.value()[0] + scores.value()[6], scores.value()[2] * 5);
+  EXPECT_LT(scores.value()[5], 0.05);
+}
+
+TEST(ElasticNetSelectorTest, SpreadsWeightOverDuplicates) {
+  const Problem p = MakeProblem();
+  ElasticNetSelector enet(0.01, 0.3);
+  const auto scores = enet.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  // Both copies of the informative feature get non-trivial weight.
+  EXPECT_GT(scores.value()[0], 0.02);
+  EXPECT_GT(scores.value()[6], 0.02);
+}
+
+TEST(RandomForestSelectorTest, ImportanceConcentratesOnSignal) {
+  const Problem p = MakeProblem();
+  RandomForestSelector sel(80);
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores.value()[0] + scores.value()[6], 0.7);
+  EXPECT_LT(scores.value()[5], 0.1);
+}
+
+TEST(RfeSelectorTest, RanksAreAPermutation) {
+  const Problem p = MakeProblem();
+  for (WrapperEstimator est :
+       {WrapperEstimator::kLinear, WrapperEstimator::kDecisionTree,
+        WrapperEstimator::kLogReg}) {
+    RfeSelector sel(est);
+    const auto scores = sel.ScoreFeatures(p.x, p.y);
+    ASSERT_TRUE(scores.ok()) << WrapperEstimatorName(est);
+    const FeatureRanking ranking = ScoresToRanking(scores.value());
+    std::set<int> seen(ranking.ranks.begin(), ranking.ranks.end());
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.begin(), 1);
+    EXPECT_EQ(*seen.rbegin(), 7);
+    // The strongly informative pair must land in the top half.
+    const auto top = ranking.TopK(3);
+    EXPECT_TRUE(std::find(top.begin(), top.end(), 0u) != top.end() ||
+                std::find(top.begin(), top.end(), 6u) != top.end())
+        << WrapperEstimatorName(est);
+  }
+}
+
+TEST(SfsSelectorTest, ForwardPicksSignalFirst) {
+  const Problem p = MakeProblem();
+  SfsSelector sel(WrapperEstimator::kDecisionTree, /*forward=*/true);
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  const FeatureRanking ranking = ScoresToRanking(scores.value());
+  const size_t first = ranking.TopK(1)[0];
+  EXPECT_TRUE(first == 0 || first == 6);
+}
+
+TEST(SfsSelectorTest, BackwardKeepsSignalLongest) {
+  const Problem p = MakeProblem(40);
+  SfsSelector sel(WrapperEstimator::kLogReg, /*forward=*/false);
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  const FeatureRanking ranking = ScoresToRanking(scores.value());
+  const auto top3 = ranking.TopK(3);
+  EXPECT_TRUE(std::find(top3.begin(), top3.end(), 0u) != top3.end() ||
+              std::find(top3.begin(), top3.end(), 6u) != top3.end());
+}
+
+TEST(SfsSelectorTest, RejectsBadFolds) {
+  const Problem p = MakeProblem(10);
+  SfsSelector sel(WrapperEstimator::kLinear, true, 1);
+  EXPECT_FALSE(sel.ScoreFeatures(p.x, p.y).ok());
+}
+
+TEST(BaselineSelectorTest, PreservesCatalogOrder) {
+  const Problem p = MakeProblem(10);
+  BaselineSelector sel;
+  const auto scores = sel.ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores.ok());
+  const FeatureRanking ranking = ScoresToRanking(scores.value());
+  EXPECT_EQ(ranking.TopK(3), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(RegistryTest, CreatesEveryStrategy) {
+  for (const std::string& name : AllSelectorNames()) {
+    const auto sel = CreateSelector(name);
+    ASSERT_TRUE(sel.ok()) << name;
+    EXPECT_EQ(sel.value()->name(), name);
+  }
+  EXPECT_EQ(AllSelectorNames().size(), 17u);  // 16 strategies + baseline
+  EXPECT_FALSE(CreateSelector("nope").ok());
+}
+
+TEST(RegistryTest, OutputKindsMatchPaperTaxonomy) {
+  // Filters + embedded are score-based; wrappers and the baseline rank-based.
+  for (const char* name :
+       {"Variance", "fANOVA", "MIGain", "Pearson", "Lasso", "ElasticNet",
+        "RandomForest"}) {
+    EXPECT_EQ(CreateSelector(name).value()->output_kind(),
+              SelectorOutput::kScore)
+        << name;
+  }
+  for (const char* name :
+       {"RFE Linear", "Fw SFS Linear", "Bw SFS LogReg", "Baseline"}) {
+    EXPECT_EQ(CreateSelector(name).value()->output_kind(),
+              SelectorOutput::kRank)
+        << name;
+  }
+}
+
+TEST(SelectorValidationTest, CommonErrorsSurfaceAsStatus) {
+  PearsonSelector sel;
+  EXPECT_FALSE(sel.ScoreFeatures(Matrix(), {}).ok());
+  EXPECT_FALSE(sel.ScoreFeatures(Matrix{{1.0}}, {0, 1}).ok());
+  EXPECT_FALSE(sel.ScoreFeatures(Matrix{{1.0}, {2.0}}, {0, -2}).ok());
+}
+
+}  // namespace
+}  // namespace wpred

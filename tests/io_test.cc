@@ -1,0 +1,115 @@
+#include <cstdlib>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/hardware.h"
+#include "sim/workload_spec.h"
+#include "telemetry/io.h"
+
+namespace wpred {
+namespace {
+
+Experiment SampleExperiment() {
+  RunRequest request;
+  request.workload = MakeTwitter();
+  request.sku = MakeCpuSku(4);
+  request.terminals = 8;
+  request.run_id = 2;
+  request.config.duration_s = 20.0;
+  request.config.sample_period_s = 0.5;
+  request.config.seed = 99;
+  request.config.data_group = 2;
+  return RunExperiment(request).value();
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wpred_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, RoundTripPreservesEverything) {
+  const Experiment original = SampleExperiment();
+  const auto parsed = ExperimentFromCsv(ExperimentToCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Experiment& e = parsed.value();
+  EXPECT_EQ(e.workload, original.workload);
+  EXPECT_EQ(e.type, original.type);
+  EXPECT_EQ(e.sku, original.sku);
+  EXPECT_EQ(e.cpus, original.cpus);
+  EXPECT_DOUBLE_EQ(e.memory_gb, original.memory_gb);
+  EXPECT_EQ(e.terminals, original.terminals);
+  EXPECT_EQ(e.run_id, original.run_id);
+  EXPECT_EQ(e.data_group, original.data_group);
+  EXPECT_EQ(e.subsample_id, original.subsample_id);
+  EXPECT_DOUBLE_EQ(e.resource.sample_period_s,
+                   original.resource.sample_period_s);
+  EXPECT_EQ(e.resource.values, original.resource.values);  // bit exact
+  EXPECT_EQ(e.plans.values, original.plans.values);
+  EXPECT_EQ(e.plans.query_names, original.plans.query_names);
+  EXPECT_DOUBLE_EQ(e.perf.throughput_tps, original.perf.throughput_tps);
+  EXPECT_DOUBLE_EQ(e.perf.mean_latency_ms, original.perf.mean_latency_ms);
+  EXPECT_EQ(e.perf.latency_ms_by_type, original.perf.latency_ms_by_type);
+  EXPECT_EQ(e.perf.throughput_tps_by_type,
+            original.perf.throughput_tps_by_type);
+}
+
+TEST_F(IoTest, FileRoundTrip) {
+  const Experiment original = SampleExperiment();
+  const std::string path = (dir_ / "one.wpred.csv").string();
+  ASSERT_TRUE(WriteExperimentFile(original, path).ok());
+  const auto loaded = ReadExperimentFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->resource.values, original.resource.values);
+}
+
+TEST_F(IoTest, CorpusRoundTripPreservesOrderAndContent) {
+  ExperimentCorpus corpus;
+  Experiment a = SampleExperiment();
+  Experiment b = a;
+  b.workload = "OTHER";
+  b.run_id = 7;
+  corpus.Add(a);
+  corpus.Add(b);
+  ASSERT_TRUE(WriteCorpus(corpus, dir_.string()).ok());
+  const auto loaded = ReadCorpus(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].workload, a.workload);
+  EXPECT_EQ((*loaded)[1].workload, "OTHER");
+  EXPECT_EQ((*loaded)[1].run_id, 7);
+}
+
+TEST_F(IoTest, RejectsGarbageAndWrongVersions) {
+  EXPECT_FALSE(ExperimentFromCsv("").ok());
+  EXPECT_FALSE(ExperimentFromCsv("section,key,values\nmeta,format,nope\n").ok());
+  // Resource row with the wrong arity.
+  EXPECT_FALSE(ExperimentFromCsv("section,key,values\n"
+                                 "meta,format,wpred-experiment-v1\n"
+                                 "resource,0,1;2;3\n")
+                   .ok());
+  // Unknown section.
+  EXPECT_FALSE(ExperimentFromCsv("section,key,values\n"
+                                 "meta,format,wpred-experiment-v1\n"
+                                 "bogus,a,b\n")
+                   .ok());
+}
+
+TEST_F(IoTest, MissingFilesSurfaceAsStatus) {
+  EXPECT_EQ(ReadExperimentFile((dir_ / "nope.csv").string()).status().code(),
+            StatusCode::kIoError);
+  EXPECT_FALSE(ReadCorpus((dir_ / "not_there").string()).ok());
+  EXPECT_EQ(ReadCorpus(dir_.string()).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(WriteCorpus(ExperimentCorpus(), "/no/such/dir").ok());
+}
+
+}  // namespace
+}  // namespace wpred

@@ -1,0 +1,248 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "linalg/stats.h"
+
+namespace wpred {
+namespace {
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, RowColRoundTrip) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.Row(1), (Vector{3, 4}));
+  EXPECT_EQ(m.Col(0), (Vector{1, 3, 5}));
+  m.SetRow(0, {9, 8});
+  m.SetCol(1, {7, 6, 5});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 5.0);
+}
+
+TEST(MatrixTest, SelectColsAndRows) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix cols = m.SelectCols({2, 0});
+  EXPECT_EQ(cols, (Matrix{{3, 1}, {6, 4}}));
+  Matrix rows = m.SelectRows({1});
+  EXPECT_EQ(rows, (Matrix{{4, 5, 6}}));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Transposed().Transposed(), m);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  EXPECT_EQ(a + b, (Matrix{{6, 8}, {10, 12}}));
+  EXPECT_EQ(b - a, (Matrix{{4, 4}, {4, 4}}));
+  EXPECT_EQ(a * b, (Matrix{{19, 22}, {43, 50}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+}
+
+TEST(MatrixTest, IdentityIsMultiplicativeNeutral) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a * Matrix::Identity(2), a);
+  EXPECT_EQ(Matrix::Identity(2) * a, a);
+}
+
+TEST(MatrixTest, ApplyMatchesMatmul) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Vector x{1, 0, -1};
+  EXPECT_EQ(a.Apply(x), (Vector{-2, -2}));
+}
+
+TEST(VectorOpsTest, DotNormAxpy) {
+  Vector a{3, 4};
+  Vector b{1, 2};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_EQ(Axpy(a, 2.0, b), (Vector{5, 8}));
+}
+
+TEST(SolveTest, CholeskyReconstructs) {
+  Matrix a{{4, 2}, {2, 3}};
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  const Matrix rec = l.value() * l.value().Transposed();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 2; ++c) EXPECT_NEAR(rec(r, c), a(r, c), 1e-12);
+  }
+}
+
+TEST(SolveTest, CholeskyRejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(SolveTest, CholeskySolveKnownSystem) {
+  Matrix a{{4, 2}, {2, 3}};
+  const auto x = CholeskySolve(a, {10, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.75, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.5, 1e-12);
+}
+
+TEST(SolveTest, LuSolveWithPivoting) {
+  // Leading zero forces a pivot.
+  Matrix a{{0, 2, 1}, {1, 1, 1}, {2, 0, 3}};
+  const Vector truth{1, -2, 3};
+  const Vector b = a.Apply(truth);
+  const auto x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x.value()[i], truth[i], 1e-10);
+}
+
+TEST(SolveTest, LuSolveRejectsSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(LuSolve(a, {1, 2}).ok());
+}
+
+TEST(SolveTest, InverseTimesSelfIsIdentity) {
+  Matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 4}};
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  const Matrix prod = a * inv.value();
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(SolveTest, DeterminantKnownValues) {
+  EXPECT_NEAR(Determinant(Matrix{{3, 0}, {0, 2}}), 6.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix{{1, 2}, {2, 4}}), 0.0, 1e-12);
+  EXPECT_NEAR(Determinant(Matrix{{0, 1}, {1, 0}}), -1.0, 1e-12);
+}
+
+TEST(SolveTest, LeastSquaresRecoversExactLinearModel) {
+  // y = 2 + 3x over a few points, with intercept column.
+  Matrix x{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  Vector y{2, 5, 8, 11};
+  const auto w = SolveLeastSquares(x, y);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w.value()[0], 2.0, 1e-9);
+  EXPECT_NEAR(w.value()[1], 3.0, 1e-9);
+}
+
+TEST(SolveTest, LeastSquaresHandlesCollinearColumns) {
+  // Duplicated predictor: normal equations are singular; the jitter fallback
+  // must still return a finite solution with the right fitted values.
+  Matrix x{{1, 1, 1}, {1, 2, 2}, {1, 3, 3}, {1, 4, 4}};
+  Vector y{3, 5, 7, 9};  // y = 1 + 2 * x
+  const auto w = SolveLeastSquares(x, y);
+  ASSERT_TRUE(w.ok());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_NEAR(Dot(x.Row(r), w.value()), y[r], 1e-4);
+  }
+}
+
+TEST(SolveTest, RidgeShrinksCoefficients) {
+  Rng rng(101);
+  Matrix x(50, 3);
+  Vector y(50);
+  for (size_t r = 0; r < 50; ++r) {
+    x(r, 0) = 1.0;
+    x(r, 1) = rng.Gaussian();
+    x(r, 2) = rng.Gaussian();
+    y[r] = 1.0 + 4.0 * x(r, 1) - 2.0 * x(r, 2) + rng.Gaussian(0, 0.01);
+  }
+  const auto w0 = SolveLeastSquares(x, y, 0.0);
+  const auto w1 = SolveLeastSquares(x, y, 100.0);
+  ASSERT_TRUE(w0.ok());
+  ASSERT_TRUE(w1.ok());
+  EXPECT_LT(std::fabs(w1.value()[1]), std::fabs(w0.value()[1]));
+  EXPECT_LT(std::fabs(w1.value()[2]), std::fabs(w0.value()[2]));
+}
+
+TEST(StatsTest, BasicMoments) {
+  Vector v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(SampleVariance(v), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  Vector v;
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(Median(v), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  Vector v{0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndConstant) {
+  Vector a{1, 2, 3, 4};
+  Vector b{2, 4, 6, 8};
+  Vector c{4, 3, 2, 1};
+  Vector flat{5, 5, 5, 5};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, flat), 0.0);
+}
+
+TEST(StatsTest, StandardScalerZeroMeanUnitVar) {
+  Matrix x{{1, 100}, {2, 200}, {3, 300}, {4, 400}};
+  StandardScaler scaler;
+  const Matrix z = scaler.FitTransform(x);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(Mean(z.Col(c)), 0.0, 1e-12);
+    EXPECT_NEAR(Variance(z.Col(c)), 1.0, 1e-12);
+  }
+}
+
+TEST(StatsTest, StandardScalerConstantColumnMapsToZero) {
+  Matrix x{{7, 1}, {7, 2}};
+  StandardScaler scaler;
+  const Matrix z = scaler.FitTransform(x);
+  EXPECT_DOUBLE_EQ(z(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z(1, 0), 0.0);
+}
+
+TEST(StatsTest, MinMaxScalerUnitRangeAndClamping) {
+  Matrix x{{0, 10}, {5, 20}, {10, 30}};
+  MinMaxScaler scaler;
+  const Matrix z = scaler.FitTransform(x);
+  EXPECT_DOUBLE_EQ(z(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(z(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(z(2, 0), 1.0);
+  // Out-of-range data clamps.
+  Matrix fresh{{-5, 40}};
+  const Matrix zz = scaler.Transform(fresh);
+  EXPECT_DOUBLE_EQ(zz(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(zz(0, 1), 1.0);
+}
+
+TEST(StatsTest, TargetScalerRoundTrip) {
+  Vector y{10, 20, 30};
+  TargetScaler scaler;
+  scaler.Fit(y);
+  const Vector z = scaler.Transform(y);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(scaler.InverseTransform(z[i]), y[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace wpred

@@ -1,0 +1,155 @@
+// Coverage for smaller API surfaces not exercised elsewhere: CSV file IO,
+// compact formatting branches, shared-context pairwise distances, blocked
+// 1-NN semantics, LMM predictions through the scaling-model wrapper, and
+// workbench spec lookups.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "predict/scaling_model.h"
+#include "similarity/eval.h"
+#include "similarity/measures.h"
+#include "telemetry/feature_catalog.h"
+
+namespace wpred {
+namespace {
+
+TEST(CsvFileTest, WriteFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("wpred_csv_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  CsvWriter writer({"a", "b"});
+  writer.AddRow({"1", "two,with,commas"});
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  std::ifstream file(path);
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  const auto rows = ParseCsv(text);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[1][1], "two,with,commas");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFileTest, UnwritablePathIsIoError) {
+  CsvWriter writer({"a"});
+  EXPECT_EQ(writer.WriteFile("/no/such/dir/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(FormatCompactTest, MagnitudeBranches) {
+  EXPECT_EQ(FormatCompact(0.0), "0.0");
+  EXPECT_EQ(FormatCompact(3.14159), "3.1416");
+  EXPECT_EQ(FormatCompact(123.456), "123.5");
+  EXPECT_EQ(FormatCompact(12345678.0), "1.235e+07");
+  EXPECT_EQ(FormatCompact(0.00001), "1.000e-05");
+}
+
+TEST(MeasureNamesTest, RegistriesAreDisjointAndComplete) {
+  const auto norms = NormMeasureNames();
+  const auto mts = MtsOnlyMeasureNames();
+  EXPECT_EQ(norms.size(), 6u);
+  EXPECT_EQ(mts.size(), 4u);
+  for (const std::string& n : norms) {
+    for (const std::string& m : mts) EXPECT_NE(n, m);
+  }
+}
+
+TEST(PairwiseDistancesTest, SharedContextChangesNormalization) {
+  // Two corpora; computing distances within corpus A using corpus B's
+  // (wider) context must shrink normalised distances.
+  auto make_experiment = [](double level, uint64_t seed) {
+    Rng rng(seed);
+    Experiment e;
+    e.workload = level < 2.0 ? "low" : "high";
+    e.resource.values = Matrix(30, kNumResourceFeatures);
+    for (double& v : e.resource.values.data()) {
+      v = level + rng.Gaussian(0, 0.05);
+    }
+    e.plans.values = Matrix(3, kNumPlanFeatures, level);
+    e.plans.query_names.assign(3, "q");
+    return e;
+  };
+  ExperimentCorpus narrow;
+  narrow.Add(make_experiment(1.0, 1));
+  narrow.Add(make_experiment(1.5, 2));
+  ExperimentCorpus wide = narrow;
+  wide.Add(make_experiment(100.0, 3));
+
+  const NormalizationContext wide_ctx = ComputeNormalization(wide);
+  const Matrix with_own =
+      PairwiseDistances(narrow, Representation::kHistFp, "L2,1-Norm", {0, 1})
+          .value();
+  const Matrix with_wide = PairwiseDistancesWithContext(
+                               narrow, Representation::kHistFp, "L2,1-Norm",
+                               {0, 1}, wide_ctx)
+                               .value();
+  // Under the wide context both experiments collapse into the lowest bins:
+  // their distance shrinks.
+  EXPECT_LT(with_wide(0, 1), with_own(0, 1));
+}
+
+TEST(BlockedOneNnTest, ExcludesSameBlockNeighbours) {
+  // Items 0,1 are near-duplicates in one block; the nearest OTHER-block
+  // neighbour has a different label, so blocked accuracy is low while
+  // unblocked accuracy is perfect.
+  Matrix dist{{0.0, 0.1, 5.0, 9.0},
+              {0.1, 0.0, 5.1, 9.1},
+              {5.0, 5.1, 0.0, 1.0},
+              {9.0, 9.1, 1.0, 0.0}};
+  const std::vector<int> labels{0, 0, 1, 1};
+  const std::vector<int> blocks{0, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(dist, labels).value(), 1.0);
+  // Blocked: items 0 and 1 must reach across to label-1 items -> wrong.
+  // Items 2 and 3 pick each other (different blocks, same label) -> right.
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(dist, labels, blocks).value(), 0.5);
+}
+
+TEST(BlockedOneNnTest, AllBlockedIsAnError) {
+  Matrix dist{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_FALSE(OneNnAccuracy(dist, {0, 0}, {7, 7}).ok());
+}
+
+TEST(ScalingModelTest, LmmGroupsFlowThroughSingleContext) {
+  // Group offsets of +-20 around a flat curve: LMM-based predictions must
+  // differ by group while a group-blind strategy cannot.
+  std::vector<SkuPerfPoint> points;
+  Rng rng(9);
+  for (double cpus : {2.0, 4.0, 8.0}) {
+    for (int g = 0; g < 2; ++g) {
+      for (int s = 0; s < 8; ++s) {
+        points.push_back({cpus, 100.0 + 10.0 * cpus + (g == 0 ? 20.0 : -20.0) +
+                                    rng.Gaussian(0, 1.0),
+                          g, g, s});
+      }
+    }
+  }
+  SingleScalingModel lmm;
+  ASSERT_TRUE(lmm.Fit("LMM", points).ok());
+  const double g0 = lmm.Predict(4.0, 0).value();
+  const double g1 = lmm.Predict(4.0, 1).value();
+  EXPECT_NEAR(g0 - g1, 40.0, 6.0);
+
+  SingleScalingModel blind;
+  ASSERT_TRUE(blind.Fit("Regression", points).ok());
+  EXPECT_DOUBLE_EQ(blind.Predict(4.0, 0).value(), blind.Predict(4.0, 1).value());
+}
+
+TEST(FeatureCatalogTest, PaperSpelledNamesPresent) {
+  // Spot-check the exact Table 2 spellings the benches print.
+  for (const char* name :
+       {"CPU_UTILIZATION", "READ_WRITE_RATIO", "LOCK_WAIT_ABS",
+        "StatementSubTreeCost", "EstimatedAvailableDegreeOfParallelism",
+        "AvgRowSize", "EstimateIO", "MaxUsedMemory"}) {
+    EXPECT_TRUE(FeatureByName(name).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wpred

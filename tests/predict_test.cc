@@ -1,0 +1,170 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "predict/baseline.h"
+#include "predict/roofline.h"
+#include "predict/scaling_model.h"
+#include "predict/strategies.h"
+
+namespace wpred {
+namespace {
+
+// Synthetic scaling data: perf = 100·sqrt(cpus) + group offset + noise,
+// 3 groups x 10 samples per SKU over SKUs {2,4,8,16}.
+std::vector<SkuPerfPoint> MakeScalingPoints(uint64_t seed = 7,
+                                            double noise = 5.0) {
+  Rng rng(seed);
+  std::vector<SkuPerfPoint> points;
+  for (double cpus : {2.0, 4.0, 8.0, 16.0}) {
+    for (int group = 0; group < 3; ++group) {
+      for (int sample = 0; sample < 10; ++sample) {
+        SkuPerfPoint p;
+        p.sku_value = cpus;
+        p.group = group;
+        p.run_id = group;  // one run per group, like the paper
+        p.sample_id = sample;
+        p.perf = 100.0 * std::sqrt(cpus) + 10.0 * group +
+                 rng.Gaussian(0, noise);
+        points.push_back(p);
+      }
+    }
+  }
+  return points;
+}
+
+TEST(StrategiesTest, RegistryCreatesAllSixStrategies) {
+  EXPECT_EQ(AllScalingStrategyNames().size(), 6u);
+  for (const std::string& name : AllScalingStrategyNames()) {
+    EXPECT_TRUE(CreateScalingRegressor(name, 1).ok()) << name;
+  }
+  EXPECT_FALSE(CreateScalingRegressor("nope", 1).ok());
+  EXPECT_TRUE(StrategyUsesGroups("LMM"));
+  EXPECT_FALSE(StrategyUsesGroups("SVM"));
+}
+
+TEST(SingleScalingModelTest, CapturesTrend) {
+  SingleScalingModel model;
+  ASSERT_TRUE(model.Fit("Regression", MakeScalingPoints()).ok());
+  const double at4 = model.Predict(4.0).value();
+  const double at16 = model.Predict(16.0).value();
+  EXPECT_GT(at16, at4);
+  EXPECT_NEAR(at16, 100.0 * 4.0 + 10.0, 60.0);
+}
+
+TEST(SingleScalingModelTest, TransitionRescalesObservation) {
+  SingleScalingModel model;
+  ASSERT_TRUE(model.Fit("MARS", MakeScalingPoints()).ok());
+  // A workload observed 20% above the curve keeps its offset ratio.
+  const double curve2 = model.Predict(2.0).value();
+  const double predicted =
+      model.PredictTransition(2.0, 8.0, 1.2 * curve2).value();
+  EXPECT_NEAR(predicted / model.Predict(8.0).value(), 1.2, 0.01);
+}
+
+TEST(SingleScalingModelTest, EveryStrategyFits) {
+  const auto points = MakeScalingPoints();
+  for (const std::string& strategy : AllScalingStrategyNames()) {
+    SingleScalingModel model;
+    ASSERT_TRUE(model.Fit(strategy, points).ok()) << strategy;
+    const auto pred = model.Predict(8.0, 0);
+    ASSERT_TRUE(pred.ok()) << strategy;
+    EXPECT_TRUE(std::isfinite(pred.value())) << strategy;
+  }
+}
+
+TEST(SingleScalingModelTest, RejectsTinyDataset) {
+  SingleScalingModel model;
+  EXPECT_FALSE(model.Fit("Regression", {SkuPerfPoint{}}).ok());
+  EXPECT_FALSE(model.Predict(2.0).ok());
+}
+
+TEST(MatchAcrossSkusTest, JoinsOnProvenance) {
+  const auto points = MakeScalingPoints();
+  const auto matched = MatchAcrossSkus(points, 2.0, 8.0);
+  EXPECT_EQ(matched.size(), 30u);  // 3 groups x 10 samples
+  for (const MatchedPair& m : matched) {
+    EXPECT_GT(m.perf_to, m.perf_from);  // sqrt growth
+  }
+}
+
+TEST(DistinctSkuValuesTest, SortedUnique) {
+  const auto skus = DistinctSkuValues(MakeScalingPoints());
+  EXPECT_EQ(skus, (std::vector<double>{2, 4, 8, 16}));
+}
+
+TEST(PairwiseScalingModelTest, FitsAllOrderedPairs) {
+  PairwiseScalingModel model;
+  ASSERT_TRUE(model.Fit("Regression", MakeScalingPoints()).ok());
+  EXPECT_EQ(model.Pairs().size(), 12u);  // 4·3 ordered pairs
+}
+
+TEST(PairwiseScalingModelTest, TransitionTracksTruth) {
+  PairwiseScalingModel model;
+  ASSERT_TRUE(model.Fit("SVM", MakeScalingPoints(7, 2.0)).ok());
+  // True scaling 2 -> 8 CPUs: x2 (sqrt). Observed value near the curve.
+  const double perf_at_2 = 100.0 * std::sqrt(2.0) + 10.0;
+  const auto pred = model.PredictTransition(2.0, 8.0, perf_at_2, 1);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred.value(), 100.0 * std::sqrt(8.0) + 10.0, 30.0);
+}
+
+TEST(PairwiseScalingModelTest, UnknownPairIsNotFound) {
+  PairwiseScalingModel model;
+  ASSERT_TRUE(model.Fit("Regression", MakeScalingPoints()).ok());
+  EXPECT_EQ(model.PredictTransition(2.0, 3.0, 100.0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PairwiseScalingModelTest, RejectsSingleSku) {
+  std::vector<SkuPerfPoint> points;
+  for (int s = 0; s < 5; ++s) {
+    points.push_back({4.0, 100.0 + s, 0, 0, s});
+  }
+  PairwiseScalingModel model;
+  EXPECT_FALSE(model.Fit("Regression", points).ok());
+}
+
+TEST(BaselineTest, LinearInCpuRatio) {
+  EXPECT_DOUBLE_EQ(InverseLinearScalingBaseline(2, 8, 100.0), 400.0);
+  EXPECT_DOUBLE_EQ(InverseLinearScalingBaseline(8, 2, 100.0), 25.0);
+}
+
+TEST(RooflineTest, ClipsAtCeiling) {
+  // Linear growth 100/cpu, ceiling at 300: crossover at 3 CPUs (Fig. 12).
+  const auto model = RooflineModel::Fit({1, 2, 3}, {100, 200, 300}, 300.0);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict(2.0), 200.0, 1e-6);
+  EXPECT_NEAR(model->Predict(4.0), 300.0, 1e-6);  // clipped
+  EXPECT_GT(model->PredictLinearOnly(4.0), 399.0);  // unclipped over-predicts
+  EXPECT_NEAR(model->CrossoverCpus(), 3.0, 1e-6);
+}
+
+TEST(RooflineTest, NonPositiveSlopeNeverCrosses) {
+  const auto model = RooflineModel::Fit({1, 2, 3}, {300, 200, 100}, 500.0);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(std::isinf(model->CrossoverCpus()));
+}
+
+TEST(RooflineTest, RejectsBadInput) {
+  EXPECT_FALSE(RooflineModel::Fit({1}, {100}, 300.0).ok());
+  EXPECT_FALSE(RooflineModel::Fit({1, 2}, {100, 200}, -1.0).ok());
+  EXPECT_FALSE(RooflineModel::Fit({1, 2}, {100}, 300.0).ok());
+}
+
+TEST(RooflineTest, MemoryCeilingFormula) {
+  const auto ceiling = MemoryBoundCeiling(400.0, 1024.0 * 1024.0);
+  ASSERT_TRUE(ceiling.ok());
+  EXPECT_DOUBLE_EQ(ceiling.value(), 400.0);
+  EXPECT_FALSE(MemoryBoundCeiling(0.0, 1.0).ok());
+  EXPECT_FALSE(MemoryBoundCeiling(1.0, 0.0).ok());
+}
+
+TEST(ContextNamesTest, Names) {
+  EXPECT_EQ(ModelContextName(ModelContext::kSingle), "Single");
+  EXPECT_EQ(ModelContextName(ModelContext::kPairwise), "Pairwise");
+}
+
+}  // namespace
+}  // namespace wpred

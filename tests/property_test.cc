@@ -1,0 +1,333 @@
+// Parameterized property suites: invariants that must hold for EVERY
+// similarity measure, representation, feature-selection strategy, and
+// scaling strategy in the registries — the sweeps the paper performs, as
+// properties instead of point checks.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "featsel/registry.h"
+#include "predict/scaling_model.h"
+#include "predict/strategies.h"
+#include "similarity/measures.h"
+#include "similarity/representation.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+namespace {
+
+Matrix RandomPositiveMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.Uniform(0.01, 1.0);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Every similarity measure is a dissimilarity: identity, symmetry,
+// non-negativity, and shape checking.
+// ---------------------------------------------------------------------------
+
+class MeasureProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MeasureProperty, IdentityGivesZero) {
+  const Matrix a = RandomPositiveMatrix(24, 5, 1);
+  const auto d = MeasureDistance(GetParam(), a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value(), 0.0, 1e-9);
+}
+
+TEST_P(MeasureProperty, Symmetry) {
+  const Matrix a = RandomPositiveMatrix(24, 5, 2);
+  const Matrix b = RandomPositiveMatrix(24, 5, 3);
+  const auto ab = MeasureDistance(GetParam(), a, b);
+  const auto ba = MeasureDistance(GetParam(), b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_DOUBLE_EQ(ab.value(), ba.value());
+}
+
+TEST_P(MeasureProperty, NonNegativeAndFinite) {
+  for (uint64_t seed = 10; seed < 15; ++seed) {
+    const Matrix a = RandomPositiveMatrix(12, 4, seed);
+    const Matrix b = RandomPositiveMatrix(12, 4, seed + 100);
+    const auto d = MeasureDistance(GetParam(), a, b);
+    ASSERT_TRUE(d.ok());
+    EXPECT_GE(d.value(), 0.0);
+    EXPECT_TRUE(std::isfinite(d.value()));
+  }
+}
+
+TEST_P(MeasureProperty, MismatchedColumnsRejected) {
+  const Matrix a = RandomPositiveMatrix(10, 4, 4);
+  const Matrix b = RandomPositiveMatrix(10, 5, 5);
+  EXPECT_FALSE(MeasureDistance(GetParam(), a, b).ok());
+}
+
+std::vector<std::string> AllMeasures() {
+  std::vector<std::string> names = NormMeasureNames();
+  for (const std::string& m : MtsOnlyMeasureNames()) names.push_back(m);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSimilarityMeasures, MeasureProperty,
+                         ::testing::ValuesIn(AllMeasures()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Every representation builds finite matrices of stable shape, and closer
+// telemetry yields smaller distances.
+// ---------------------------------------------------------------------------
+
+class RepresentationProperty
+    : public ::testing::TestWithParam<Representation> {};
+
+Experiment LevelExperiment(double level, uint64_t seed) {
+  Rng rng(seed);
+  Experiment e;
+  e.workload = "synthetic";
+  e.resource.values = Matrix(48, kNumResourceFeatures);
+  for (size_t r = 0; r < 48; ++r) {
+    for (size_t c = 0; c < kNumResourceFeatures; ++c) {
+      e.resource.values(r, c) = level + 0.1 * c + rng.Gaussian(0, 0.01);
+    }
+  }
+  e.plans.values = Matrix(9, kNumPlanFeatures);
+  for (size_t r = 0; r < 9; ++r) {
+    for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+      e.plans.values(r, c) = 2.0 * level + 0.05 * c + rng.Gaussian(0, 0.01);
+    }
+  }
+  e.plans.query_names.assign(9, "q");
+  return e;
+}
+
+TEST_P(RepresentationProperty, FiniteValuesAndDeterministicShape) {
+  ExperimentCorpus corpus;
+  corpus.Add(LevelExperiment(1.0, 1));
+  corpus.Add(LevelExperiment(4.0, 2));
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  const std::vector<size_t> features =
+      GetParam() == Representation::kMts
+          ? ResourceFeatureIndices()
+          : std::vector<size_t>{0, 3, kNumResourceFeatures + 2};
+  const auto rep_a = BuildRepresentation(GetParam(), corpus[0], features, ctx);
+  const auto rep_b = BuildRepresentation(GetParam(), corpus[1], features, ctx);
+  ASSERT_TRUE(rep_a.ok());
+  ASSERT_TRUE(rep_b.ok());
+  EXPECT_EQ(rep_a->rows(), rep_b->rows());
+  EXPECT_EQ(rep_a->cols(), rep_b->cols());
+  for (double v : rep_a->data()) EXPECT_TRUE(std::isfinite(v));
+  // Rebuild is bit-identical (no hidden state).
+  const auto again = BuildRepresentation(GetParam(), corpus[0], features, ctx);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), rep_a.value());
+}
+
+TEST_P(RepresentationProperty, CloserTelemetryIsCloser) {
+  ExperimentCorpus corpus;
+  corpus.Add(LevelExperiment(1.0, 3));
+  corpus.Add(LevelExperiment(1.05, 4));  // near-twin
+  corpus.Add(LevelExperiment(5.0, 5));   // far
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  const std::vector<size_t> features =
+      GetParam() == Representation::kMts
+          ? ResourceFeatureIndices()
+          : std::vector<size_t>{0, 1, kNumResourceFeatures + 1};
+  const Matrix a = BuildRepresentation(GetParam(), corpus[0], features, ctx).value();
+  const Matrix near = BuildRepresentation(GetParam(), corpus[1], features, ctx).value();
+  const Matrix far = BuildRepresentation(GetParam(), corpus[2], features, ctx).value();
+  const double d_near = MeasureDistance("Fro-Norm", a, near).value();
+  const double d_far = MeasureDistance("Fro-Norm", a, far).value();
+  EXPECT_LT(d_near, d_far);
+}
+
+TEST_P(RepresentationProperty, EmptyFeatureListRejected) {
+  ExperimentCorpus corpus;
+  corpus.Add(LevelExperiment(1.0, 6));
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  EXPECT_FALSE(BuildRepresentation(GetParam(), corpus[0], {}, ctx).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRepresentations, RepresentationProperty,
+                         ::testing::Values(Representation::kMts,
+                                           Representation::kHistFp,
+                                           Representation::kPhaseFp),
+                         [](const auto& info) {
+                           std::string name(RepresentationName(info.param));
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Every feature-selection strategy: finite non-negative scores with the
+// input arity, deterministic across calls, and ahead of noise on a planted
+// problem.
+// ---------------------------------------------------------------------------
+
+class SelectorProperty : public ::testing::TestWithParam<std::string> {};
+
+struct PlantedProblem {
+  Matrix x;
+  std::vector<int> y;
+};
+
+PlantedProblem Planted(uint64_t seed) {
+  Rng rng(seed);
+  PlantedProblem p;
+  const size_t n = 60;
+  p.x = Matrix(n, 5);
+  p.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    p.y[i] = cls;
+    p.x(i, 0) = (cls ? 4.0 : -4.0) + rng.Gaussian(0, 0.3);
+    for (size_t j = 1; j < 5; ++j) p.x(i, j) = rng.Gaussian(0, 1.0);
+  }
+  return p;
+}
+
+TEST_P(SelectorProperty, ScoresWellFormedAndDeterministic) {
+  const PlantedProblem p = Planted(11);
+  auto selector_a = CreateSelector(GetParam()).value();
+  auto selector_b = CreateSelector(GetParam()).value();
+  const auto scores_a = selector_a->ScoreFeatures(p.x, p.y);
+  const auto scores_b = selector_b->ScoreFeatures(p.x, p.y);
+  ASSERT_TRUE(scores_a.ok()) << GetParam();
+  ASSERT_TRUE(scores_b.ok());
+  ASSERT_EQ(scores_a->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(std::isfinite(scores_a.value()[i]));
+    EXPECT_DOUBLE_EQ(scores_a.value()[i], scores_b.value()[i]) << GetParam();
+  }
+}
+
+TEST_P(SelectorProperty, RejectsDegenerateInput) {
+  auto selector = CreateSelector(GetParam()).value();
+  EXPECT_FALSE(selector->ScoreFeatures(Matrix(), {}).ok());
+  EXPECT_FALSE(selector->ScoreFeatures(Matrix{{1.0}}, {0, 1}).ok());
+}
+
+// All strategies except the intentionally-uninformed baseline and
+// variance filter must rank the planted feature above pure noise.
+TEST_P(SelectorProperty, PlantedSignalOutranksNoise) {
+  if (GetParam() == "Baseline" || GetParam() == "Variance") {
+    GTEST_SKIP() << "strategy is target-agnostic by design";
+  }
+  const PlantedProblem p = Planted(12);
+  auto selector = CreateSelector(GetParam()).value();
+  const Vector scores = selector->ScoreFeatures(p.x, p.y).value();
+  for (size_t j = 1; j < 5; ++j) {
+    EXPECT_GE(scores[0], scores[j]) << GetParam() << " noise col " << j;
+  }
+}
+
+std::vector<std::string> FastSelectorNames() {
+  // Exclude the SFS wrappers from the per-property sweep: they run the
+  // whole subset search and are covered separately in featsel_test.cc.
+  std::vector<std::string> names;
+  for (const std::string& name : AllSelectorNames()) {
+    if (name.find("SFS") == std::string::npos) names.push_back(name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(FastSelectors, SelectorProperty,
+                         ::testing::ValuesIn(FastSelectorNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Every scaling strategy under both contexts: positive finite predictions on
+// a monotone scaling dataset, and the pairwise transfer variant agrees with
+// the plain transition inside the training range.
+// ---------------------------------------------------------------------------
+
+class StrategyProperty : public ::testing::TestWithParam<std::string> {};
+
+std::vector<SkuPerfPoint> MonotonePoints(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SkuPerfPoint> points;
+  for (double cpus : {2.0, 4.0, 8.0}) {
+    for (int g = 0; g < 3; ++g) {
+      for (int s = 0; s < 6; ++s) {
+        points.push_back({cpus, 50.0 * cpus + 10.0 * g + rng.Gaussian(0, 2.0),
+                          g, g, s});
+      }
+    }
+  }
+  return points;
+}
+
+TEST_P(StrategyProperty, SingleModelPredictsFinitePositive) {
+  SingleScalingModel model;
+  ASSERT_TRUE(model.Fit(GetParam(), MonotonePoints(21)).ok()) << GetParam();
+  for (double cpus : {2.0, 4.0, 8.0}) {
+    const auto pred = model.Predict(cpus, 1);
+    ASSERT_TRUE(pred.ok());
+    EXPECT_TRUE(std::isfinite(pred.value()));
+  }
+}
+
+TEST_P(StrategyProperty, PairwiseCapturesUpwardScaling) {
+  if (GetParam() == "NNet") {
+    GTEST_SKIP() << "raw-scale NNet intentionally mirrors the paper's "
+                    "non-converging configuration";
+  }
+  PairwiseScalingModel model;
+  ASSERT_TRUE(model.Fit(GetParam(), MonotonePoints(22)).ok()) << GetParam();
+  const auto pred = model.PredictTransition(2.0, 8.0, 110.0, 1);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GT(pred.value(), 110.0);  // scaling up must predict higher perf
+}
+
+TEST_P(StrategyProperty, ScaledTransferMatchesPlainInsideRange) {
+  PairwiseScalingModel model;
+  ASSERT_TRUE(model.Fit(GetParam(), MonotonePoints(23)).ok());
+  const double inside = 100.0;  // within the 2-CPU training spread
+  const auto plain = model.PredictTransition(2.0, 4.0, inside, 0);
+  const auto scaled = model.PredictTransitionScaled(2.0, 4.0, inside, 0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_NEAR(plain.value(), scaled.value(), 1e-9);
+}
+
+TEST_P(StrategyProperty, ScaledTransferIsProportionalOutOfRange) {
+  PairwiseScalingModel model;
+  ASSERT_TRUE(model.Fit(GetParam(), MonotonePoints(24)).ok());
+  // Far outside the training range: factor transfer is linear in the
+  // observation.
+  const auto at_1000 = model.PredictTransitionScaled(2.0, 8.0, 1000.0, 0);
+  const auto at_2000 = model.PredictTransitionScaled(2.0, 8.0, 2000.0, 0);
+  ASSERT_TRUE(at_1000.ok());
+  ASSERT_TRUE(at_2000.ok());
+  EXPECT_NEAR(at_2000.value(), 2.0 * at_1000.value(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScalingStrategies, StrategyProperty,
+                         ::testing::ValuesIn(AllScalingStrategyNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace wpred

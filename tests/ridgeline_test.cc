@@ -1,0 +1,79 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "predict/ridgeline.h"
+
+namespace wpred {
+namespace {
+
+RidgelineModel MakeModel() {
+  // Linear law 100 tput per CPU; ceilings grow with memory: 16 GB -> 300,
+  // 64 GB -> 600.
+  return RidgelineModel::Fit({1, 2, 3}, {100, 200, 300},
+                             {{64.0, 600.0}, {16.0, 300.0}})
+      .value();
+}
+
+TEST(RidgelineTest, ClipsPerMemorySize) {
+  const RidgelineModel m = MakeModel();
+  // Small memory: crossover at 3 CPUs; large: at 6.
+  EXPECT_NEAR(m.Predict(2.0, 16.0), 200.0, 1e-6);
+  EXPECT_NEAR(m.Predict(8.0, 16.0), 300.0, 1e-6);
+  EXPECT_NEAR(m.Predict(8.0, 64.0), 600.0, 1e-6);
+  EXPECT_NEAR(m.Predict(4.0, 64.0), 400.0, 1e-6);
+  EXPECT_NEAR(m.CrossoverCpus(16.0), 3.0, 1e-6);
+  EXPECT_NEAR(m.CrossoverCpus(64.0), 6.0, 1e-6);
+}
+
+TEST(RidgelineTest, CeilingInterpolatesAndClamps) {
+  const RidgelineModel m = MakeModel();
+  EXPECT_NEAR(m.CeilingAt(16.0), 300.0, 1e-9);
+  EXPECT_NEAR(m.CeilingAt(40.0), 450.0, 1e-9);  // midpoint
+  EXPECT_NEAR(m.CeilingAt(64.0), 600.0, 1e-9);
+  EXPECT_NEAR(m.CeilingAt(8.0), 300.0, 1e-9);    // clamp below
+  EXPECT_NEAR(m.CeilingAt(256.0), 600.0, 1e-9);  // clamp above
+}
+
+TEST(RidgelineTest, MoreMemoryNeverLowersPredictionHere) {
+  const RidgelineModel m = MakeModel();
+  for (double cpus : {1.0, 4.0, 8.0, 16.0}) {
+    double prev = 0.0;
+    for (double mem : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+      const double p = m.Predict(cpus, mem);
+      EXPECT_GE(p, prev - 1e-9);
+      prev = p;
+    }
+  }
+}
+
+TEST(RidgelineTest, ReducesToRooflineWithOneRidgePoint) {
+  const auto m =
+      RidgelineModel::Fit({1, 2, 3}, {100, 200, 300}, {{32.0, 300.0}});
+  ASSERT_TRUE(m.ok());
+  // One ceiling: memory axis is inert.
+  EXPECT_DOUBLE_EQ(m->Predict(8.0, 1.0), m->Predict(8.0, 1000.0));
+  EXPECT_NEAR(m->Predict(8.0, 32.0), 300.0, 1e-6);
+}
+
+TEST(RidgelineTest, NonPositiveSlopeNeverCrosses) {
+  const auto m =
+      RidgelineModel::Fit({1, 2, 3}, {300, 200, 100}, {{32.0, 500.0}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(std::isinf(m->CrossoverCpus(32.0)));
+}
+
+TEST(RidgelineTest, RejectsBadInput) {
+  EXPECT_FALSE(RidgelineModel::Fit({1}, {100}, {{32.0, 300.0}}).ok());
+  EXPECT_FALSE(RidgelineModel::Fit({1, 2}, {100, 200}, {}).ok());
+  EXPECT_FALSE(
+      RidgelineModel::Fit({1, 2}, {100, 200}, {{-1.0, 300.0}}).ok());
+  EXPECT_FALSE(RidgelineModel::Fit({1, 2}, {100, 200}, {{32.0, 0.0}}).ok());
+  EXPECT_FALSE(RidgelineModel::Fit({1, 2}, {100, 200},
+                                   {{32.0, 300.0}, {32.0, 400.0}})
+                   .ok());
+  EXPECT_FALSE(RidgelineModel::Fit({1, 2}, {100}, {{32.0, 300.0}}).ok());
+}
+
+}  // namespace
+}  // namespace wpred

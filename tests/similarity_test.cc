@@ -1,0 +1,350 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/bcpd.h"
+#include "similarity/dtw.h"
+#include "similarity/eval.h"
+#include "similarity/lcss.h"
+#include "similarity/measures.h"
+#include "similarity/norms.h"
+#include "similarity/representation.h"
+
+namespace wpred {
+namespace {
+
+TEST(NormsTest, KnownValues) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(L11Distance(a, b).value(), 5.0);
+  EXPECT_DOUBLE_EQ(L21Distance(a, b).value(), 3.0 + 2.0);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, b).value(), std::sqrt(13.0));
+  EXPECT_DOUBLE_EQ(CanberraDistance(a, b).value(), 1.0 + 1.0);
+  EXPECT_DOUBLE_EQ(Chi2Distance(a, b).value(), 0.5 * (4.0 / 2.0 + 9.0 / 3.0));
+}
+
+TEST(NormsTest, IdentityOfIndiscernibles) {
+  Matrix a{{0.3, 0.7}, {0.1, 0.9}};
+  for (const std::string& name : NormMeasureNames()) {
+    const auto d = MeasureDistance(name, a, a);
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_NEAR(d.value(), 0.0, 1e-12) << name;
+  }
+}
+
+TEST(NormsTest, SymmetryProperty) {
+  Rng rng(1);
+  Matrix a(4, 3), b(4, 3);
+  for (double& v : a.data()) v = rng.Uniform(0.01, 1.0);
+  for (double& v : b.data()) v = rng.Uniform(0.01, 1.0);
+  for (const std::string& name : NormMeasureNames()) {
+    EXPECT_DOUBLE_EQ(MeasureDistance(name, a, b).value(),
+                     MeasureDistance(name, b, a).value())
+        << name;
+  }
+}
+
+TEST(NormsTest, ShapeMismatchRejected) {
+  Matrix a(2, 2), b(3, 2);
+  for (const std::string& name : NormMeasureNames()) {
+    EXPECT_FALSE(MeasureDistance(name, a, b).ok()) << name;
+  }
+}
+
+TEST(NormsTest, CorrelationDistanceRange) {
+  Matrix a{{1, 2, 3, 4}};
+  Matrix b{{2, 4, 6, 8}};
+  Matrix c{{4, 3, 2, 1}};
+  EXPECT_NEAR(CorrelationDistance(a, b).value(), 0.0, 1e-12);
+  EXPECT_NEAR(CorrelationDistance(a, c).value(), 2.0, 1e-12);
+}
+
+TEST(DtwTest, EqualSeriesIsZero) {
+  const Vector a{1, 2, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a).value(), 0.0);
+}
+
+TEST(DtwTest, HandlesTimeShiftBetterThanEuclidean) {
+  // A bump shifted by 2 samples: DTW aligns it, Euclidean can't.
+  Vector a(20, 0.0), b(20, 0.0);
+  for (int i = 5; i < 10; ++i) a[i] = 1.0;
+  for (int i = 7; i < 12; ++i) b[i] = 1.0;
+  const double dtw = DtwDistance(a, b).value();
+  double euclid = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) euclid += (a[i] - b[i]) * (a[i] - b[i]);
+  euclid = std::sqrt(euclid);
+  EXPECT_LT(dtw, 0.25 * euclid);
+}
+
+TEST(DtwTest, DifferentLengthsSupported) {
+  const Vector a{0, 1, 2, 3, 4};
+  const Vector b{0, 0, 1, 1, 2, 2, 3, 3, 4, 4};  // stretched version
+  const auto d = DtwDistance(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value(), 0.0, 1e-12);  // perfect warping alignment
+}
+
+TEST(DtwTest, WindowConstraint) {
+  const Vector a{0, 1, 2, 3, 4, 5, 6, 7};
+  // Band of 1 still admits the diagonal.
+  EXPECT_TRUE(DtwDistance(a, a, 1).ok());
+  // Too-narrow band for very different lengths errors out.
+  const Vector shorty{1.0};
+  EXPECT_FALSE(DtwDistance(a, shorty, 1).ok());
+}
+
+TEST(DtwTest, DependentVsIndependentMultivariate) {
+  Rng rng(2);
+  Matrix a(12, 3), b(12, 3);
+  for (double& v : a.data()) v = rng.Uniform(0, 1);
+  for (double& v : b.data()) v = rng.Uniform(0, 1);
+  const double dep = DependentDtwDistance(a, b).value();
+  const double ind = IndependentDtwDistance(a, b).value();
+  EXPECT_GT(dep, 0.0);
+  EXPECT_GT(ind, 0.0);
+  // Independent alignment is at least as flexible per dimension, so the sum
+  // of optimal per-dimension costs cannot exceed the joint-alignment cost
+  // evaluated per dimension... they differ; just check both are finite and
+  // symmetric.
+  EXPECT_DOUBLE_EQ(DependentDtwDistance(b, a).value(), dep);
+  EXPECT_DOUBLE_EQ(IndependentDtwDistance(b, a).value(), ind);
+}
+
+TEST(LcssTest, IdenticalSeriesDistanceZero) {
+  const Vector a{0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 0.01).value(), 0.0);
+}
+
+TEST(LcssTest, DisjointSeriesDistanceOne) {
+  const Vector a{0.0, 0.0, 0.0};
+  const Vector b{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 0.1).value(), 1.0);
+}
+
+TEST(LcssTest, ToleratesDifferentLengths) {
+  const Vector a{0.1, 0.5, 0.9};
+  const Vector b{0.1, 0.3, 0.5, 0.7, 0.9};
+  const auto d = LcssDistance(a, b, 0.05);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 0.0);  // a is a subsequence of b
+}
+
+TEST(LcssTest, DependentStricterThanIndependent) {
+  // Dim 0 matches everywhere, dim 1 never: dependent finds no matches,
+  // independent averages 0 and 1.
+  Matrix a{{0.5, 0.0}, {0.5, 0.0}, {0.5, 0.0}};
+  Matrix b{{0.5, 1.0}, {0.5, 1.0}, {0.5, 1.0}};
+  EXPECT_DOUBLE_EQ(DependentLcssDistance(a, b, 0.1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(IndependentLcssDistance(a, b, 0.1).value(), 0.5);
+}
+
+TEST(LcssTest, RejectsNegativeEpsilon) {
+  EXPECT_FALSE(LcssDistance({1.0}, {1.0}, -0.1).ok());
+}
+
+TEST(BcpdTest, DetectsSingleMeanShift) {
+  Rng rng(3);
+  Vector series;
+  for (int i = 0; i < 80; ++i) series.push_back(rng.Gaussian(0.0, 0.05));
+  for (int i = 0; i < 80; ++i) series.push_back(rng.Gaussian(1.0, 0.05));
+  const auto cps = DetectChangePoints(series);
+  ASSERT_TRUE(cps.ok());
+  ASSERT_GE(cps->size(), 1u);
+  bool found = false;
+  for (size_t cp : cps.value()) {
+    if (cp >= 75 && cp <= 85) found = true;
+  }
+  EXPECT_TRUE(found) << "no change point near 80";
+}
+
+TEST(BcpdTest, QuietSeriesHasFewChangePoints) {
+  Rng rng(4);
+  Vector series;
+  for (int i = 0; i < 200; ++i) series.push_back(rng.Gaussian(0.5, 0.05));
+  const auto cps = DetectChangePoints(series);
+  ASSERT_TRUE(cps.ok());
+  EXPECT_LE(cps->size(), 2u);
+}
+
+TEST(BcpdTest, SegmentsPartitionSeries) {
+  const auto segments = SegmentsFromChangePoints(10, {3, 7});
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].begin, 0u);
+  EXPECT_EQ(segments[0].end, 3u);
+  EXPECT_EQ(segments[2].end, 10u);
+}
+
+TEST(BcpdTest, RejectsBadInputs) {
+  EXPECT_FALSE(DetectChangePoints({}).ok());
+  BcpdParams params;
+  params.hazard_lambda = 0.5;
+  EXPECT_FALSE(DetectChangePoints({1.0, 2.0}, params).ok());
+}
+
+// --- Representation tests on a tiny synthetic corpus. ---
+
+Experiment SyntheticExperiment(const std::string& workload, double level,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Experiment e;
+  e.workload = workload;
+  e.type = WorkloadType::kMixed;
+  e.resource.values = Matrix(60, kNumResourceFeatures);
+  for (size_t r = 0; r < 60; ++r) {
+    for (size_t c = 0; c < kNumResourceFeatures; ++c) {
+      e.resource.values(r, c) = level * (1.0 + 0.1 * c) + rng.Gaussian(0, 0.02);
+    }
+  }
+  e.plans.values = Matrix(6, kNumPlanFeatures);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < kNumPlanFeatures; ++c) {
+      e.plans.values(r, c) = level * (2.0 + 0.05 * c) + rng.Gaussian(0, 0.02);
+    }
+  }
+  e.plans.query_names.assign(6, "q");
+  return e;
+}
+
+ExperimentCorpus SyntheticCorpus() {
+  ExperimentCorpus corpus;
+  corpus.Add(SyntheticExperiment("A", 1.0, 1));
+  corpus.Add(SyntheticExperiment("A", 1.0, 2));
+  corpus.Add(SyntheticExperiment("B", 5.0, 3));
+  corpus.Add(SyntheticExperiment("B", 5.0, 4));
+  return corpus;
+}
+
+TEST(RepresentationTest, NormalizationContextCoversCorpus) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    EXPECT_LE(ctx.min[f], ctx.max[f]);
+  }
+  EXPECT_DOUBLE_EQ(NormalizeValue(ctx, 0, ctx.min[0]), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeValue(ctx, 0, ctx.max[0]), 1.0);
+  // Out of range clamps.
+  EXPECT_DOUBLE_EQ(NormalizeValue(ctx, 0, ctx.max[0] + 100), 1.0);
+}
+
+TEST(RepresentationTest, MtsShapeAndResourceOnlyRule) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  const auto mts = BuildMts(corpus[0], {0, 1, 2}, ctx);
+  ASSERT_TRUE(mts.ok());
+  EXPECT_EQ(mts->rows(), 60u);
+  EXPECT_EQ(mts->cols(), 3u);
+  // Plan features are rejected for MTS.
+  EXPECT_FALSE(BuildMts(corpus[0], {kNumResourceFeatures}, ctx).ok());
+}
+
+TEST(RepresentationTest, HistFpIsCumulativeEndingAtOne) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  const auto hist = BuildHistFp(corpus[0], {0, kNumResourceFeatures + 3}, ctx);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->rows(), 10u);
+  EXPECT_EQ(hist->cols(), 2u);
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t b = 1; b < 10; ++b) {
+      EXPECT_GE(hist.value()(b, c), hist.value()(b - 1, c) - 1e-12);
+    }
+    EXPECT_NEAR(hist.value()(9, c), 1.0, 1e-9);
+  }
+}
+
+TEST(RepresentationTest, HistFpSeparatesDifferentWorkloads) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  std::vector<size_t> features = {0, 1, kNumResourceFeatures};
+  const Matrix a0 = BuildHistFp(corpus[0], features, ctx).value();
+  const Matrix a1 = BuildHistFp(corpus[1], features, ctx).value();
+  const Matrix b0 = BuildHistFp(corpus[2], features, ctx).value();
+  const double d_same = L21Distance(a0, a1).value();
+  const double d_diff = L21Distance(a0, b0).value();
+  EXPECT_LT(d_same, 0.2 * d_diff);
+}
+
+TEST(RepresentationTest, PhaseFpShapeAndPlanSinglePhase) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  const auto fp = BuildPhaseFp(corpus[0], {0, kNumResourceFeatures}, ctx, 4);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp->rows(), 2u);
+  EXPECT_EQ(fp->cols(), 12u);  // 4 phases x 3 stats
+  // Plan feature (row 1): only the first phase populated; padding zero.
+  for (size_t c = 3; c < 12; ++c) {
+    EXPECT_DOUBLE_EQ(fp.value()(1, c), 0.0);
+  }
+}
+
+TEST(RepresentationTest, NameRoundTrip) {
+  for (Representation rep :
+       {Representation::kMts, Representation::kHistFp,
+        Representation::kPhaseFp}) {
+    const auto back =
+        RepresentationByName(std::string(RepresentationName(rep)));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), rep);
+  }
+  EXPECT_FALSE(RepresentationByName("nope").ok());
+}
+
+TEST(MeasuresTest, PairwiseDistanceMatrixProperties) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const auto dist = PairwiseDistances(corpus, Representation::kHistFp,
+                                      "L2,1-Norm", {0, 1, 2});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->rows(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(dist.value()(i, i), 0.0);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(dist.value()(i, j), dist.value()(j, i));
+      EXPECT_GE(dist.value()(i, j), 0.0);
+    }
+  }
+}
+
+TEST(MeasuresTest, UnknownMeasureRejected) {
+  Matrix a(2, 2), b(2, 2);
+  EXPECT_FALSE(MeasureDistance("nope", a, b).ok());
+}
+
+TEST(EvalTest, PerfectSeparationScoresOne) {
+  const ExperimentCorpus corpus = SyntheticCorpus();
+  const Matrix dist = PairwiseDistances(corpus, Representation::kHistFp,
+                                        "L2,1-Norm", {0, 1, 2})
+                          .value();
+  const std::vector<int> labels = corpus.WorkloadLabels();
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(dist, labels).value(), 1.0);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(dist, labels).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Ndcg(dist, labels, {0, 0, 0, 0}).value(), 1.0);
+}
+
+TEST(EvalTest, AdversarialDistanceScoresLow) {
+  // Distances that pair A with B: 1-NN should be 0.
+  Matrix dist{{0, 9, 1, 9}, {9, 0, 9, 1}, {1, 9, 0, 9}, {9, 1, 9, 0}};
+  const std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(OneNnAccuracy(dist, labels).value(), 0.0);
+  EXPECT_LT(MeanAveragePrecision(dist, labels).value(), 0.8);
+}
+
+TEST(EvalTest, NdcgRewardsTypeTierOrdering) {
+  // Query 0: same-type neighbour ranked before different-type one.
+  Matrix good{{0, 1, 2}, {1, 0, 2}, {2, 2, 0}};
+  Matrix bad{{0, 2, 1}, {2, 0, 1}, {1, 1, 0}};
+  const std::vector<int> labels{0, 1, 2};       // all different workloads
+  const std::vector<int> types{0, 0, 1};        // 0 and 1 share a type
+  EXPECT_GT(Ndcg(good, labels, types).value(), Ndcg(bad, labels, types).value());
+}
+
+TEST(EvalTest, RejectsMalformedInput) {
+  Matrix rect(2, 3);
+  EXPECT_FALSE(OneNnAccuracy(rect, {0, 1}).ok());
+  Matrix square(2, 2);
+  EXPECT_FALSE(OneNnAccuracy(square, {0}).ok());
+  EXPECT_FALSE(Ndcg(square, {0, 1}, {0}).ok());
+}
+
+}  // namespace
+}  // namespace wpred

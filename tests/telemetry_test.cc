@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "telemetry/experiment.h"
+#include "telemetry/feature_catalog.h"
+#include "telemetry/observation.h"
+#include "telemetry/subsample.h"
+
+namespace wpred {
+namespace {
+
+TEST(FeatureCatalogTest, CountsMatchPaperTable2) {
+  EXPECT_EQ(kNumResourceFeatures, 7u);
+  EXPECT_EQ(kNumPlanFeatures, 22u);
+  EXPECT_EQ(kNumFeatures, 29u);
+  EXPECT_EQ(AllFeatureNames().size(), kNumFeatures);
+}
+
+TEST(FeatureCatalogTest, NamesRoundTrip) {
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    const FeatureId id = FeatureFromIndex(i);
+    const auto found = FeatureByName(FeatureName(id));
+    ASSERT_TRUE(found.ok()) << FeatureName(id);
+    EXPECT_EQ(found.value(), id);
+    EXPECT_EQ(IndexOf(id), i);
+  }
+}
+
+TEST(FeatureCatalogTest, KindsSplitAtBoundary) {
+  EXPECT_EQ(KindOf(FeatureId::kCpuUtilization), FeatureKind::kResource);
+  EXPECT_EQ(KindOf(FeatureId::kLockWaitAbs), FeatureKind::kResource);
+  EXPECT_EQ(KindOf(FeatureId::kStatementEstRows), FeatureKind::kPlan);
+  EXPECT_EQ(KindOf(FeatureId::kEstimatedRowsRead), FeatureKind::kPlan);
+}
+
+TEST(FeatureCatalogTest, UnknownNameIsNotFound) {
+  EXPECT_FALSE(FeatureByName("NOPE").ok());
+}
+
+TEST(FeatureCatalogTest, IndexSetsArePartition) {
+  const auto resource = ResourceFeatureIndices();
+  const auto plan = PlanFeatureIndices();
+  const auto all = AllFeatureIndices();
+  EXPECT_EQ(resource.size() + plan.size(), all.size());
+  EXPECT_EQ(resource.back() + 1, plan.front());
+}
+
+Experiment MakeToyExperiment(const std::string& workload, int samples,
+                             double resource_fill, double plan_fill) {
+  Experiment e;
+  e.workload = workload;
+  e.cpus = 4;
+  e.resource.values = Matrix(samples, kNumResourceFeatures, resource_fill);
+  e.plans.values = Matrix(3, kNumPlanFeatures, plan_fill);
+  e.plans.query_names = {"q0", "q1", "q2"};
+  return e;
+}
+
+TEST(ExperimentTest, LabelEncodesIdentity) {
+  Experiment e = MakeToyExperiment("TPC-C", 10, 1.0, 2.0);
+  e.terminals = 8;
+  e.run_id = 2;
+  EXPECT_EQ(e.Label(), "TPC-C/cpu4/t8/r2");
+  e.subsample_id = 3;
+  EXPECT_EQ(e.Label(), "TPC-C/cpu4/t8/r2/s3");
+}
+
+TEST(ExperimentCorpusTest, WorkloadNamesAndLabels) {
+  ExperimentCorpus corpus;
+  corpus.Add(MakeToyExperiment("A", 4, 0, 0));
+  corpus.Add(MakeToyExperiment("B", 4, 0, 0));
+  corpus.Add(MakeToyExperiment("A", 4, 0, 0));
+  EXPECT_EQ(corpus.WorkloadNames(), (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(corpus.WorkloadLabels(), (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(corpus.IndicesOf("A"), (std::vector<size_t>{0, 2}));
+  const ExperimentCorpus subset = corpus.Subset({1});
+  ASSERT_EQ(subset.size(), 1u);
+  EXPECT_EQ(subset[0].workload, "B");
+}
+
+TEST(ObservationTest, MatrixShapeAndContent) {
+  Experiment e = MakeToyExperiment("A", 5, 2.5, 7.0);
+  const Matrix obs = BuildObservationMatrix(e);
+  EXPECT_EQ(obs.rows(), 5u);
+  EXPECT_EQ(obs.cols(), kNumFeatures);
+  EXPECT_DOUBLE_EQ(obs(0, 0), 2.5);                      // resource passthrough
+  EXPECT_DOUBLE_EQ(obs(0, kNumResourceFeatures), 7.0);   // plan mean
+  EXPECT_DOUBLE_EQ(obs(4, kNumFeatures - 1), 7.0);
+}
+
+TEST(ObservationTest, CorpusStacksRowsWithBookkeeping) {
+  ExperimentCorpus corpus;
+  corpus.Add(MakeToyExperiment("A", 3, 1, 1));
+  corpus.Add(MakeToyExperiment("B", 2, 2, 2));
+  const CorpusObservations obs = BuildCorpusObservations(corpus);
+  EXPECT_EQ(obs.x.rows(), 5u);
+  EXPECT_EQ(obs.workload_label,
+            (std::vector<int>{0, 0, 0, 1, 1}));
+  EXPECT_EQ(obs.experiment_idx, (std::vector<size_t>{0, 0, 0, 1, 1}));
+  EXPECT_EQ(obs.workload_names, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(ObservationTest, AggregateFeatureVector) {
+  Experiment e = MakeToyExperiment("A", 4, 3.0, 9.0);
+  const Vector agg = AggregateFeatureVector(e);
+  ASSERT_EQ(agg.size(), kNumFeatures);
+  EXPECT_DOUBLE_EQ(agg[0], 3.0);
+  EXPECT_DOUBLE_EQ(agg[kNumResourceFeatures], 9.0);
+}
+
+TEST(SubsampleTest, SystematicPartitionsAllSamples) {
+  Experiment e = MakeToyExperiment("A", 20, 0, 0);
+  for (size_t r = 0; r < 20; ++r) e.resource.values(r, 0) = r;
+  const auto subs = SystematicSubsample(e, 4);
+  ASSERT_TRUE(subs.ok());
+  ASSERT_EQ(subs.value().size(), 4u);
+  size_t total = 0;
+  for (const Experiment& sub : subs.value()) {
+    EXPECT_EQ(sub.resource.num_samples(), 5u);
+    total += sub.resource.num_samples();
+  }
+  EXPECT_EQ(total, 20u);
+  // Sub-experiment 1 takes rows 1, 5, 9, ...
+  EXPECT_DOUBLE_EQ(subs.value()[1].resource.values(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(subs.value()[1].resource.values(1, 0), 5.0);
+  EXPECT_EQ(subs.value()[1].subsample_id, 1);
+}
+
+TEST(SubsampleTest, SystematicRejectsBadArguments) {
+  Experiment e = MakeToyExperiment("A", 5, 0, 0);
+  EXPECT_FALSE(SystematicSubsample(e, 0).ok());
+  EXPECT_FALSE(SystematicSubsample(e, 6).ok());
+}
+
+TEST(SubsampleTest, RandomPreservesTimeOrderAndSize) {
+  Experiment e = MakeToyExperiment("A", 30, 0, 0);
+  for (size_t r = 0; r < 30; ++r) e.resource.values(r, 0) = r;
+  Rng rng(5);
+  const auto subs = RandomSubsample(e, 10, 0.5, rng);
+  ASSERT_TRUE(subs.ok());
+  ASSERT_EQ(subs.value().size(), 10u);
+  for (const Experiment& sub : subs.value()) {
+    EXPECT_EQ(sub.resource.num_samples(), 15u);
+    for (size_t r = 1; r < sub.resource.num_samples(); ++r) {
+      EXPECT_LT(sub.resource.values(r - 1, 0), sub.resource.values(r, 0));
+    }
+  }
+}
+
+TEST(SubsampleTest, RandomRejectsBadFraction) {
+  Experiment e = MakeToyExperiment("A", 10, 0, 0);
+  Rng rng(5);
+  EXPECT_FALSE(RandomSubsample(e, 2, 0.0, rng).ok());
+  EXPECT_FALSE(RandomSubsample(e, 2, 1.5, rng).ok());
+}
+
+TEST(SubsampleTest, CorpusSubsampleFlattens) {
+  ExperimentCorpus corpus;
+  corpus.Add(MakeToyExperiment("A", 10, 0, 0));
+  corpus.Add(MakeToyExperiment("B", 10, 0, 0));
+  const auto subs = SubsampleCorpus(corpus, 5);
+  ASSERT_TRUE(subs.ok());
+  EXPECT_EQ(subs.value().size(), 10u);
+}
+
+}  // namespace
+}  // namespace wpred

@@ -1,0 +1,248 @@
+// wpred command-line tool: drive the collect -> analyse -> predict workflow
+// from the shell, with corpora persisted as .wpred.csv directories.
+//
+//   wpred_cli simulate --workloads TPC-C,Twitter,TPC-H --cpus 2,8
+//             --terminals 8 --runs 3 --out /tmp/corpus
+//   wpred_cli features --corpus /tmp/corpus --selector fANOVA --top 7
+//   wpred_cli rank     --corpus /tmp/corpus --observed obs.wpred.csv
+//   wpred_cli predict  --corpus /tmp/corpus --observed obs.wpred.csv
+//             --target-cpus 8
+//   wpred_cli observe  --workload YCSB --cpus 2 --terminals 8
+//             --out obs.wpred.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/pipeline.h"
+#include "core/workbench.h"
+#include "featsel/ranking.h"
+#include "featsel/registry.h"
+#include "telemetry/io.h"
+
+namespace wpred::cli {
+namespace {
+
+// Minimal --flag value parser: every flag takes exactly one value.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --flag, got: " + arg);
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      flags.values_[arg.substr(2)] = argv[++i];
+    }
+    return flags;
+  }
+
+  Result<std::string> Get(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --" + name);
+    }
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& name, std::string fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? std::move(fallback) : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Result<std::vector<int>> ParseIntList(const std::string& text) {
+  std::vector<int> out;
+  for (const std::string& part : Split(text, ',')) {
+    char* end = nullptr;
+    const long v = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad integer: " + part);
+    }
+    out.push_back(static_cast<int>(v));
+  }
+  if (out.empty()) return Status::InvalidArgument("empty list");
+  return out;
+}
+
+SimConfig CliSimConfig() {
+  SimConfig config;
+  config.duration_s = 120.0;
+  config.sample_period_s = 0.5;
+  return config;
+}
+
+Status RunSimulate(const Flags& flags) {
+  WPRED_ASSIGN_OR_RETURN(const std::string workloads, flags.Get("workloads"));
+  WPRED_ASSIGN_OR_RETURN(const std::string out, flags.Get("out"));
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> cpus,
+                         ParseIntList(flags.GetOr("cpus", "2,8")));
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> terminals,
+                         ParseIntList(flags.GetOr("terminals", "8")));
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> runs,
+                         ParseIntList(flags.GetOr("runs", "3")));
+
+  WorkbenchConfig config;
+  config.workloads = Split(workloads, ',');
+  for (int c : cpus) config.skus.push_back(MakeCpuSku(c));
+  config.terminals = terminals;
+  config.runs = runs.front();
+  config.sim = CliSimConfig();
+  std::printf("simulating %zu workloads x %zu SKUs x %zu terminal counts x "
+              "%d runs...\n",
+              config.workloads.size(), config.skus.size(),
+              config.terminals.size(), config.runs);
+  WPRED_ASSIGN_OR_RETURN(const ExperimentCorpus corpus,
+                         GenerateCorpus(config));
+  WPRED_RETURN_IF_ERROR(WriteCorpus(corpus, out));
+  std::printf("wrote %zu experiments to %s\n", corpus.size(), out.c_str());
+  return Status::OK();
+}
+
+Status RunObserve(const Flags& flags) {
+  WPRED_ASSIGN_OR_RETURN(const std::string workload, flags.Get("workload"));
+  WPRED_ASSIGN_OR_RETURN(const std::string out, flags.Get("out"));
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> cpus,
+                         ParseIntList(flags.GetOr("cpus", "2")));
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> terminals,
+                         ParseIntList(flags.GetOr("terminals", "8")));
+  WPRED_ASSIGN_OR_RETURN(
+      const Experiment experiment,
+      RunOne(workload, MakeCpuSku(cpus.front()), terminals.front(), /*run=*/0,
+             CliSimConfig(), /*base_seed=*/0xc11));
+  WPRED_RETURN_IF_ERROR(WriteExperimentFile(experiment, out));
+  std::printf("observed %s on %d CPUs: %.1f tps, %.2f ms -> %s\n",
+              workload.c_str(), cpus.front(), experiment.perf.throughput_tps,
+              experiment.perf.mean_latency_ms, out.c_str());
+  return Status::OK();
+}
+
+Status RunFeatures(const Flags& flags) {
+  WPRED_ASSIGN_OR_RETURN(const std::string dir, flags.Get("corpus"));
+  const std::string selector_name = flags.GetOr("selector", "fANOVA");
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> top,
+                         ParseIntList(flags.GetOr("top", "7")));
+  WPRED_ASSIGN_OR_RETURN(const ExperimentCorpus corpus, ReadCorpus(dir));
+  WPRED_ASSIGN_OR_RETURN(const AggregateObservations agg,
+                         BuildAggregateObservations(corpus, 10));
+  WPRED_ASSIGN_OR_RETURN(auto selector, CreateSelector(selector_name));
+  WPRED_ASSIGN_OR_RETURN(const Vector scores,
+                         selector->ScoreFeatures(agg.x, agg.labels));
+  const FeatureRanking ranking = ScoresToRanking(scores);
+  TablePrinter table({"rank", "feature", "score"});
+  int rank = 1;
+  for (size_t f : ranking.TopK(static_cast<size_t>(top.front()))) {
+    table.AddRow({StrFormat("%d", rank++),
+                  std::string(FeatureName(FeatureFromIndex(f))),
+                  FormatCompact(scores[f])});
+  }
+  table.Print(std::cout);
+  return Status::OK();
+}
+
+Result<Pipeline> FitPipeline(const std::string& corpus_dir) {
+  WPRED_ASSIGN_OR_RETURN(const ExperimentCorpus corpus,
+                         ReadCorpus(corpus_dir));
+  Pipeline pipeline{PipelineConfig{}};
+  WPRED_RETURN_IF_ERROR(pipeline.Fit(corpus));
+  return pipeline;
+}
+
+Status RunRank(const Flags& flags) {
+  WPRED_ASSIGN_OR_RETURN(const std::string dir, flags.Get("corpus"));
+  WPRED_ASSIGN_OR_RETURN(const std::string observed_path,
+                         flags.Get("observed"));
+  WPRED_ASSIGN_OR_RETURN(Pipeline pipeline, FitPipeline(dir));
+  WPRED_ASSIGN_OR_RETURN(const Experiment observed,
+                         ReadExperimentFile(observed_path));
+  WPRED_ASSIGN_OR_RETURN(const auto ranked, pipeline.RankWorkloads(observed));
+  TablePrinter table({"reference workload", "mean distance"});
+  for (const auto& r : ranked) {
+    table.AddRow({r.workload, FormatCompact(r.mean_distance)});
+  }
+  table.Print(std::cout);
+  return Status::OK();
+}
+
+Status RunPredict(const Flags& flags) {
+  WPRED_ASSIGN_OR_RETURN(const std::string dir, flags.Get("corpus"));
+  WPRED_ASSIGN_OR_RETURN(const std::string observed_path,
+                         flags.Get("observed"));
+  WPRED_ASSIGN_OR_RETURN(const std::string target, flags.Get("target-cpus"));
+  WPRED_ASSIGN_OR_RETURN(const std::vector<int> target_cpus,
+                         ParseIntList(target));
+  WPRED_ASSIGN_OR_RETURN(Pipeline pipeline, FitPipeline(dir));
+  WPRED_ASSIGN_OR_RETURN(const Experiment observed,
+                         ReadExperimentFile(observed_path));
+  for (int cpus : target_cpus) {
+    WPRED_ASSIGN_OR_RETURN(const auto prediction,
+                           pipeline.PredictThroughput(observed, cpus));
+    std::printf("%d CPUs: %.1f tps (via %s, distance %.3f)\n", cpus,
+                prediction.throughput_tps,
+                prediction.reference_workload.c_str(),
+                prediction.similarity_distance);
+  }
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: wpred_cli <command> [--flag value ...]\n"
+      "  simulate --workloads A,B --out DIR [--cpus 2,8] [--terminals 8] "
+      "[--runs 3]\n"
+      "  observe  --workload W --out FILE [--cpus 2] [--terminals 8]\n"
+      "  features --corpus DIR [--selector fANOVA] [--top 7]\n"
+      "  rank     --corpus DIR --observed FILE\n"
+      "  predict  --corpus DIR --observed FILE --target-cpus 4,8\n");
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  Status status;
+  if (command == "simulate") {
+    status = RunSimulate(flags.value());
+  } else if (command == "observe") {
+    status = RunObserve(flags.value());
+  } else if (command == "features") {
+    status = RunFeatures(flags.value());
+  } else if (command == "rank") {
+    status = RunRank(flags.value());
+  } else if (command == "predict") {
+    status = RunPredict(flags.value());
+  } else {
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wpred::cli
+
+int main(int argc, char** argv) { return wpred::cli::Main(argc, argv); }
