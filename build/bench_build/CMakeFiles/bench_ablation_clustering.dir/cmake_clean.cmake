@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_clustering"
+  "../bench/bench_ablation_clustering.pdb"
+  "CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o"
+  "CMakeFiles/bench_ablation_clustering.dir/bench_ablation_clustering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_des_vs_mva"
+  "../bench/bench_ablation_des_vs_mva.pdb"
+  "CMakeFiles/bench_ablation_des_vs_mva.dir/bench_ablation_des_vs_mva.cc.o"
+  "CMakeFiles/bench_ablation_des_vs_mva.dir/bench_ablation_des_vs_mva.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_des_vs_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_histfp_bins"
+  "../bench/bench_ablation_histfp_bins.pdb"
+  "CMakeFiles/bench_ablation_histfp_bins.dir/bench_ablation_histfp_bins.cc.o"
+  "CMakeFiles/bench_ablation_histfp_bins.dir/bench_ablation_histfp_bins.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_histfp_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pca_vs_selection"
+  "../bench/bench_ablation_pca_vs_selection.pdb"
+  "CMakeFiles/bench_ablation_pca_vs_selection.dir/bench_ablation_pca_vs_selection.cc.o"
+  "CMakeFiles/bench_ablation_pca_vs_selection.dir/bench_ablation_pca_vs_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pca_vs_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_robustness"
+  "../bench/bench_ablation_robustness.pdb"
+  "CMakeFiles/bench_ablation_robustness.dir/bench_ablation_robustness.cc.o"
+  "CMakeFiles/bench_ablation_robustness.dir/bench_ablation_robustness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_workload_vs_query"
+  "../bench/bench_fig01_workload_vs_query.pdb"
+  "CMakeFiles/bench_fig01_workload_vs_query.dir/bench_fig01_workload_vs_query.cc.o"
+  "CMakeFiles/bench_fig01_workload_vs_query.dir/bench_fig01_workload_vs_query.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_workload_vs_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_lasso_paths"
+  "../bench/bench_fig03_lasso_paths.pdb"
+  "CMakeFiles/bench_fig03_lasso_paths.dir/bench_fig03_lasso_paths.cc.o"
+  "CMakeFiles/bench_fig03_lasso_paths.dir/bench_fig03_lasso_paths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_lasso_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

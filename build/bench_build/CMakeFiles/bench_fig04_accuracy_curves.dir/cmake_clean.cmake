@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_accuracy_curves"
+  "../bench/bench_fig04_accuracy_curves.pdb"
+  "CMakeFiles/bench_fig04_accuracy_curves.dir/bench_fig04_accuracy_curves.cc.o"
+  "CMakeFiles/bench_fig04_accuracy_curves.dir/bench_fig04_accuracy_curves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_accuracy_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_production_similarity"
+  "../bench/bench_fig07_production_similarity.pdb"
+  "CMakeFiles/bench_fig07_production_similarity.dir/bench_fig07_production_similarity.cc.o"
+  "CMakeFiles/bench_fig07_production_similarity.dir/bench_fig07_production_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_production_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_lmm_single_vs_pairwise.
+# This may be replaced when dependencies are built.

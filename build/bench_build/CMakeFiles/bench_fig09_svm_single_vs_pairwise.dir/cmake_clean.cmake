@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_svm_single_vs_pairwise"
+  "../bench/bench_fig09_svm_single_vs_pairwise.pdb"
+  "CMakeFiles/bench_fig09_svm_single_vs_pairwise.dir/bench_fig09_svm_single_vs_pairwise.cc.o"
+  "CMakeFiles/bench_fig09_svm_single_vs_pairwise.dir/bench_fig09_svm_single_vs_pairwise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_svm_single_vs_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig09_svm_single_vs_pairwise.
+# This may be replaced when dependencies are built.

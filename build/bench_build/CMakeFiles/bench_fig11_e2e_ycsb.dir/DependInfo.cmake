@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_e2e_ycsb.cc" "bench_build/CMakeFiles/bench_fig11_e2e_ycsb.dir/bench_fig11_e2e_ycsb.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig11_e2e_ycsb.dir/bench_fig11_e2e_ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_featsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_roofline"
+  "../bench/bench_fig12_roofline.pdb"
+  "CMakeFiles/bench_fig12_roofline.dir/bench_fig12_roofline.cc.o"
+  "CMakeFiles/bench_fig12_roofline.dir/bench_fig12_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_feature_selection"
+  "../bench/bench_table3_feature_selection.pdb"
+  "CMakeFiles/bench_table3_feature_selection.dir/bench_table3_feature_selection.cc.o"
+  "CMakeFiles/bench_table3_feature_selection.dir/bench_table3_feature_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

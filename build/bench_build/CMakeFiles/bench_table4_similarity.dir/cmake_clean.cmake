@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_similarity"
+  "../bench/bench_table4_similarity.pdb"
+  "CMakeFiles/bench_table4_similarity.dir/bench_table4_similarity.cc.o"
+  "CMakeFiles/bench_table4_similarity.dir/bench_table4_similarity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_rfe_features"
+  "../bench/bench_table5_rfe_features.pdb"
+  "CMakeFiles/bench_table5_rfe_features.dir/bench_table5_rfe_features.cc.o"
+  "CMakeFiles/bench_table5_rfe_features.dir/bench_table5_rfe_features.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rfe_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_prediction_nrmse"
+  "../bench/bench_table6_prediction_nrmse.pdb"
+  "CMakeFiles/bench_table6_prediction_nrmse.dir/bench_table6_prediction_nrmse.cc.o"
+  "CMakeFiles/bench_table6_prediction_nrmse.dir/bench_table6_prediction_nrmse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_prediction_nrmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_offline_corpus.dir/offline_corpus.cpp.o"
+  "CMakeFiles/example_offline_corpus.dir/offline_corpus.cpp.o.d"
+  "example_offline_corpus"
+  "example_offline_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_offline_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

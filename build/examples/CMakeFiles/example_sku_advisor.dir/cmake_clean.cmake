@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sku_advisor.dir/sku_advisor.cpp.o"
+  "CMakeFiles/example_sku_advisor.dir/sku_advisor.cpp.o.d"
+  "example_sku_advisor"
+  "example_sku_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sku_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sku_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workload_explorer.dir/workload_explorer.cpp.o"
+  "CMakeFiles/example_workload_explorer.dir/workload_explorer.cpp.o.d"
+  "example_workload_explorer"
+  "example_workload_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workload_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_common.dir/common/csv.cc.o"
+  "CMakeFiles/wpred_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/wpred_common.dir/common/rng.cc.o"
+  "CMakeFiles/wpred_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/wpred_common.dir/common/status.cc.o"
+  "CMakeFiles/wpred_common.dir/common/status.cc.o.d"
+  "CMakeFiles/wpred_common.dir/common/string_util.cc.o"
+  "CMakeFiles/wpred_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/wpred_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/wpred_common.dir/common/table_printer.cc.o.d"
+  "libwpred_common.a"
+  "libwpred_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

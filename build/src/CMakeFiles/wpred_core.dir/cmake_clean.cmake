@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/wpred_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/wpred_core.dir/core/workbench.cc.o"
+  "CMakeFiles/wpred_core.dir/core/workbench.cc.o.d"
+  "libwpred_core.a"
+  "libwpred_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

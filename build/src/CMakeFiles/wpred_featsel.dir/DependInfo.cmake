@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/featsel/embedded.cc" "src/CMakeFiles/wpred_featsel.dir/featsel/embedded.cc.o" "gcc" "src/CMakeFiles/wpred_featsel.dir/featsel/embedded.cc.o.d"
+  "/root/repo/src/featsel/filter.cc" "src/CMakeFiles/wpred_featsel.dir/featsel/filter.cc.o" "gcc" "src/CMakeFiles/wpred_featsel.dir/featsel/filter.cc.o.d"
+  "/root/repo/src/featsel/ranking.cc" "src/CMakeFiles/wpred_featsel.dir/featsel/ranking.cc.o" "gcc" "src/CMakeFiles/wpred_featsel.dir/featsel/ranking.cc.o.d"
+  "/root/repo/src/featsel/registry.cc" "src/CMakeFiles/wpred_featsel.dir/featsel/registry.cc.o" "gcc" "src/CMakeFiles/wpred_featsel.dir/featsel/registry.cc.o.d"
+  "/root/repo/src/featsel/wrapper.cc" "src/CMakeFiles/wpred_featsel.dir/featsel/wrapper.cc.o" "gcc" "src/CMakeFiles/wpred_featsel.dir/featsel/wrapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

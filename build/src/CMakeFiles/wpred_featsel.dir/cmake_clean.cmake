@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_featsel.dir/featsel/embedded.cc.o"
+  "CMakeFiles/wpred_featsel.dir/featsel/embedded.cc.o.d"
+  "CMakeFiles/wpred_featsel.dir/featsel/filter.cc.o"
+  "CMakeFiles/wpred_featsel.dir/featsel/filter.cc.o.d"
+  "CMakeFiles/wpred_featsel.dir/featsel/ranking.cc.o"
+  "CMakeFiles/wpred_featsel.dir/featsel/ranking.cc.o.d"
+  "CMakeFiles/wpred_featsel.dir/featsel/registry.cc.o"
+  "CMakeFiles/wpred_featsel.dir/featsel/registry.cc.o.d"
+  "CMakeFiles/wpred_featsel.dir/featsel/wrapper.cc.o"
+  "CMakeFiles/wpred_featsel.dir/featsel/wrapper.cc.o.d"
+  "libwpred_featsel.a"
+  "libwpred_featsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_featsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwpred_featsel.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/wpred_linalg.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/wpred_linalg.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/wpred_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/wpred_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/solve.cc" "src/CMakeFiles/wpred_linalg.dir/linalg/solve.cc.o" "gcc" "src/CMakeFiles/wpred_linalg.dir/linalg/solve.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "src/CMakeFiles/wpred_linalg.dir/linalg/stats.cc.o" "gcc" "src/CMakeFiles/wpred_linalg.dir/linalg/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_linalg.dir/linalg/eigen.cc.o"
+  "CMakeFiles/wpred_linalg.dir/linalg/eigen.cc.o.d"
+  "CMakeFiles/wpred_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/wpred_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/wpred_linalg.dir/linalg/solve.cc.o"
+  "CMakeFiles/wpred_linalg.dir/linalg/solve.cc.o.d"
+  "CMakeFiles/wpred_linalg.dir/linalg/stats.cc.o"
+  "CMakeFiles/wpred_linalg.dir/linalg/stats.cc.o.d"
+  "libwpred_linalg.a"
+  "libwpred_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/CMakeFiles/wpred_ml.dir/ml/cross_validation.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/cross_validation.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/wpred_ml.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/CMakeFiles/wpred_ml.dir/ml/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/lasso.cc" "src/CMakeFiles/wpred_ml.dir/ml/lasso.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/lasso.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/CMakeFiles/wpred_ml.dir/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/linear_regression.cc.o.d"
+  "/root/repo/src/ml/lmm.cc" "src/CMakeFiles/wpred_ml.dir/ml/lmm.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/lmm.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/CMakeFiles/wpred_ml.dir/ml/logistic_regression.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/mars.cc" "src/CMakeFiles/wpred_ml.dir/ml/mars.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/mars.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/wpred_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/CMakeFiles/wpred_ml.dir/ml/mlp.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/mlp.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/CMakeFiles/wpred_ml.dir/ml/model.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/model.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/CMakeFiles/wpred_ml.dir/ml/pca.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/pca.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/wpred_ml.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/CMakeFiles/wpred_ml.dir/ml/svr.cc.o" "gcc" "src/CMakeFiles/wpred_ml.dir/ml/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_ml.dir/ml/cross_validation.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/cross_validation.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/decision_tree.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/decision_tree.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/gradient_boosting.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/gradient_boosting.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/lasso.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/lasso.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/linear_regression.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/linear_regression.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/lmm.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/lmm.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/logistic_regression.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/logistic_regression.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/mars.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/mars.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/mlp.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/mlp.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/model.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/model.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/pca.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/pca.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/random_forest.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/random_forest.cc.o.d"
+  "CMakeFiles/wpred_ml.dir/ml/svr.cc.o"
+  "CMakeFiles/wpred_ml.dir/ml/svr.cc.o.d"
+  "libwpred_ml.a"
+  "libwpred_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

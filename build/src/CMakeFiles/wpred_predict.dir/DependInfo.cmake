@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/baseline.cc" "src/CMakeFiles/wpred_predict.dir/predict/baseline.cc.o" "gcc" "src/CMakeFiles/wpred_predict.dir/predict/baseline.cc.o.d"
+  "/root/repo/src/predict/ridgeline.cc" "src/CMakeFiles/wpred_predict.dir/predict/ridgeline.cc.o" "gcc" "src/CMakeFiles/wpred_predict.dir/predict/ridgeline.cc.o.d"
+  "/root/repo/src/predict/roofline.cc" "src/CMakeFiles/wpred_predict.dir/predict/roofline.cc.o" "gcc" "src/CMakeFiles/wpred_predict.dir/predict/roofline.cc.o.d"
+  "/root/repo/src/predict/scaling_model.cc" "src/CMakeFiles/wpred_predict.dir/predict/scaling_model.cc.o" "gcc" "src/CMakeFiles/wpred_predict.dir/predict/scaling_model.cc.o.d"
+  "/root/repo/src/predict/strategies.cc" "src/CMakeFiles/wpred_predict.dir/predict/strategies.cc.o" "gcc" "src/CMakeFiles/wpred_predict.dir/predict/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

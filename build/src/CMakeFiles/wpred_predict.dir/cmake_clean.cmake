@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_predict.dir/predict/baseline.cc.o"
+  "CMakeFiles/wpred_predict.dir/predict/baseline.cc.o.d"
+  "CMakeFiles/wpred_predict.dir/predict/ridgeline.cc.o"
+  "CMakeFiles/wpred_predict.dir/predict/ridgeline.cc.o.d"
+  "CMakeFiles/wpred_predict.dir/predict/roofline.cc.o"
+  "CMakeFiles/wpred_predict.dir/predict/roofline.cc.o.d"
+  "CMakeFiles/wpred_predict.dir/predict/scaling_model.cc.o"
+  "CMakeFiles/wpred_predict.dir/predict/scaling_model.cc.o.d"
+  "CMakeFiles/wpred_predict.dir/predict/strategies.cc.o"
+  "CMakeFiles/wpred_predict.dir/predict/strategies.cc.o.d"
+  "libwpred_predict.a"
+  "libwpred_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

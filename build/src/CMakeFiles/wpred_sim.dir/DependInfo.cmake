@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/des.cc" "src/CMakeFiles/wpred_sim.dir/sim/des.cc.o" "gcc" "src/CMakeFiles/wpred_sim.dir/sim/des.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/wpred_sim.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/wpred_sim.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/hardware.cc" "src/CMakeFiles/wpred_sim.dir/sim/hardware.cc.o" "gcc" "src/CMakeFiles/wpred_sim.dir/sim/hardware.cc.o.d"
+  "/root/repo/src/sim/mva.cc" "src/CMakeFiles/wpred_sim.dir/sim/mva.cc.o" "gcc" "src/CMakeFiles/wpred_sim.dir/sim/mva.cc.o.d"
+  "/root/repo/src/sim/plan_synth.cc" "src/CMakeFiles/wpred_sim.dir/sim/plan_synth.cc.o" "gcc" "src/CMakeFiles/wpred_sim.dir/sim/plan_synth.cc.o.d"
+  "/root/repo/src/sim/workload_spec.cc" "src/CMakeFiles/wpred_sim.dir/sim/workload_spec.cc.o" "gcc" "src/CMakeFiles/wpred_sim.dir/sim/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_sim.dir/sim/des.cc.o"
+  "CMakeFiles/wpred_sim.dir/sim/des.cc.o.d"
+  "CMakeFiles/wpred_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/wpred_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/wpred_sim.dir/sim/hardware.cc.o"
+  "CMakeFiles/wpred_sim.dir/sim/hardware.cc.o.d"
+  "CMakeFiles/wpred_sim.dir/sim/mva.cc.o"
+  "CMakeFiles/wpred_sim.dir/sim/mva.cc.o.d"
+  "CMakeFiles/wpred_sim.dir/sim/plan_synth.cc.o"
+  "CMakeFiles/wpred_sim.dir/sim/plan_synth.cc.o.d"
+  "CMakeFiles/wpred_sim.dir/sim/workload_spec.cc.o"
+  "CMakeFiles/wpred_sim.dir/sim/workload_spec.cc.o.d"
+  "libwpred_sim.a"
+  "libwpred_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/bcpd.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/bcpd.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/bcpd.cc.o.d"
+  "/root/repo/src/similarity/clustering.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/clustering.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/clustering.cc.o.d"
+  "/root/repo/src/similarity/dtw.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/dtw.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/dtw.cc.o.d"
+  "/root/repo/src/similarity/eval.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/eval.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/eval.cc.o.d"
+  "/root/repo/src/similarity/lcss.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/lcss.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/lcss.cc.o.d"
+  "/root/repo/src/similarity/measures.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/measures.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/measures.cc.o.d"
+  "/root/repo/src/similarity/norms.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/norms.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/norms.cc.o.d"
+  "/root/repo/src/similarity/representation.cc" "src/CMakeFiles/wpred_similarity.dir/similarity/representation.cc.o" "gcc" "src/CMakeFiles/wpred_similarity.dir/similarity/representation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

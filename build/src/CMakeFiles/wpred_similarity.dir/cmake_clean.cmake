@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_similarity.dir/similarity/bcpd.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/bcpd.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/clustering.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/clustering.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/dtw.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/dtw.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/eval.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/eval.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/lcss.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/lcss.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/measures.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/measures.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/norms.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/norms.cc.o.d"
+  "CMakeFiles/wpred_similarity.dir/similarity/representation.cc.o"
+  "CMakeFiles/wpred_similarity.dir/similarity/representation.cc.o.d"
+  "libwpred_similarity.a"
+  "libwpred_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/experiment.cc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/experiment.cc.o" "gcc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/experiment.cc.o.d"
+  "/root/repo/src/telemetry/feature_catalog.cc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/feature_catalog.cc.o" "gcc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/feature_catalog.cc.o.d"
+  "/root/repo/src/telemetry/io.cc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/io.cc.o" "gcc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/io.cc.o.d"
+  "/root/repo/src/telemetry/observation.cc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/observation.cc.o" "gcc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/observation.cc.o.d"
+  "/root/repo/src/telemetry/subsample.cc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/subsample.cc.o" "gcc" "src/CMakeFiles/wpred_telemetry.dir/telemetry/subsample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_telemetry.dir/telemetry/experiment.cc.o"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/experiment.cc.o.d"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/feature_catalog.cc.o"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/feature_catalog.cc.o.d"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/io.cc.o"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/io.cc.o.d"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/observation.cc.o"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/observation.cc.o.d"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/subsample.cc.o"
+  "CMakeFiles/wpred_telemetry.dir/telemetry/subsample.cc.o.d"
+  "libwpred_telemetry.a"
+  "libwpred_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

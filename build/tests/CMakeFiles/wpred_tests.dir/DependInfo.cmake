@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/appendix_examples_test.cc" "tests/CMakeFiles/wpred_tests.dir/appendix_examples_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/appendix_examples_test.cc.o.d"
+  "/root/repo/tests/clustering_test.cc" "tests/CMakeFiles/wpred_tests.dir/clustering_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/clustering_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/wpred_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/wpred_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/eigen_pca_test.cc" "tests/CMakeFiles/wpred_tests.dir/eigen_pca_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/eigen_pca_test.cc.o.d"
+  "/root/repo/tests/featsel_test.cc" "tests/CMakeFiles/wpred_tests.dir/featsel_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/featsel_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/wpred_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/linalg_test.cc" "tests/CMakeFiles/wpred_tests.dir/linalg_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/linalg_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/wpred_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/ml_property_test.cc" "tests/CMakeFiles/wpred_tests.dir/ml_property_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/ml_property_test.cc.o.d"
+  "/root/repo/tests/ml_test.cc" "tests/CMakeFiles/wpred_tests.dir/ml_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/ml_test.cc.o.d"
+  "/root/repo/tests/pipeline_config_test.cc" "tests/CMakeFiles/wpred_tests.dir/pipeline_config_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/pipeline_config_test.cc.o.d"
+  "/root/repo/tests/predict_test.cc" "tests/CMakeFiles/wpred_tests.dir/predict_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/predict_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/wpred_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/ridgeline_test.cc" "tests/CMakeFiles/wpred_tests.dir/ridgeline_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/ridgeline_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/wpred_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/similarity_test.cc" "tests/CMakeFiles/wpred_tests.dir/similarity_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/similarity_test.cc.o.d"
+  "/root/repo/tests/telemetry_test.cc" "tests/CMakeFiles/wpred_tests.dir/telemetry_test.cc.o" "gcc" "tests/CMakeFiles/wpred_tests.dir/telemetry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wpred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_featsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wpred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wpred_cli.dir/wpred_cli.cc.o"
+  "CMakeFiles/wpred_cli.dir/wpred_cli.cc.o.d"
+  "wpred_cli"
+  "wpred_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wpred_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
