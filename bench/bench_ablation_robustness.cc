@@ -1,51 +1,21 @@
 // Ablation: the paper's third similarity-evaluation dimension (Section 5.2,
 // "Robustness: resilience to noise, outliers, and missing data") made
-// quantitative. Sub-experiments are corrupted with (a) multiplicative
-// Gaussian noise, (b) injected outlier samples, and (c) randomly dropped
-// samples; blocked 1-NN workload identification is re-measured per
-// representation. Hist-FP should degrade most gracefully (Insight 3); raw
-// MTS under norm distances cannot even represent missing samples (unequal
-// lengths), which the table reports as '-'.
-
-#include <functional>
+// quantitative. Sub-experiments are corrupted with the shared fault library
+// (telemetry/faults.h): multiplicative Gaussian noise, injected outlier
+// samples, and randomly dropped samples; blocked 1-NN workload
+// identification is re-measured per representation. Hist-FP should degrade
+// most gracefully (Insight 3); raw MTS under norm distances cannot even
+// represent missing samples (unequal lengths), which the table reports as
+// '-'.
 
 #include "bench_util.h"
-#include "common/rng.h"
 #include "similarity/eval.h"
 #include "similarity/measures.h"
+#include "telemetry/faults.h"
 #include "telemetry/subsample.h"
 
 namespace wpred::bench {
 namespace {
-
-using Corruption = std::function<void(Experiment&, Rng&)>;
-
-void AddNoise(Experiment& e, Rng& rng, double sigma) {
-  for (double& v : e.resource.values.data()) {
-    v = std::max(0.0, v * (1.0 + rng.Gaussian(0.0, sigma)));
-  }
-}
-
-void InjectOutliers(Experiment& e, Rng& rng, double fraction, double scale) {
-  const size_t n = e.resource.num_samples();
-  const size_t count = std::max<size_t>(1, static_cast<size_t>(fraction * n));
-  for (size_t k = 0; k < count; ++k) {
-    const size_t row = static_cast<size_t>(
-        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
-    for (size_t c = 0; c < e.resource.values.cols(); ++c) {
-      e.resource.values(row, c) *= scale;
-    }
-  }
-}
-
-void DropSamples(Experiment& e, Rng& rng, double fraction) {
-  const size_t n = e.resource.num_samples();
-  const size_t keep = std::max<size_t>(2, static_cast<size_t>((1.0 - fraction) * n));
-  std::vector<size_t> rows = rng.Permutation(n);
-  rows.resize(keep);
-  std::sort(rows.begin(), rows.end());
-  e.resource.values = e.resource.values.SelectRows(rows);
-}
 
 void Run() {
   Banner("Ablation - similarity robustness to noise / outliers / missing data",
@@ -69,20 +39,16 @@ void Run() {
 
   struct Scenario {
     std::string name;
-    Corruption corrupt;
+    std::vector<FaultSpec> faults;
   };
   const std::vector<Scenario> scenarios = {
-      {"clean", [](Experiment&, Rng&) {}},
-      {"noise 10%", [](Experiment& e, Rng& rng) { AddNoise(e, rng, 0.10); }},
-      {"noise 30%", [](Experiment& e, Rng& rng) { AddNoise(e, rng, 0.30); }},
-      {"outliers 5% x10",
-       [](Experiment& e, Rng& rng) { InjectOutliers(e, rng, 0.05, 10.0); }},
-      {"missing 20-50%",
-       // Per-experiment drop rates differ, as real telemetry gaps do — so
-       // the surviving series have UNEQUAL lengths.
-       [](Experiment& e, Rng& rng) {
-         DropSamples(e, rng, rng.Uniform(0.2, 0.5));
-       }}};
+      {"clean", {}},
+      {"noise 10%", {FaultSpec::Noise(0.10)}},
+      {"noise 30%", {FaultSpec::Noise(0.30)}},
+      {"outliers 5% x10", {FaultSpec::Outliers(0.05, 10.0)}},
+      // Per-experiment drop rates differ, as real telemetry gaps do — so
+      // the surviving series have UNEQUAL lengths.
+      {"missing 20-50%", {FaultSpec::DropSamples(0.2, 0.5)}}};
 
   struct RepSetup {
     std::string name;
@@ -102,12 +68,11 @@ void Run() {
   for (const RepSetup& rep : reps) {
     std::vector<std::string> row = {rep.name};
     for (const Scenario& scenario : scenarios) {
-      // Corrupt a copy of the corpus deterministically.
-      ExperimentCorpus corrupted = clean;
-      Rng rng(0xc0bb + std::hash<std::string>{}(scenario.name));
-      for (size_t i = 0; i < corrupted.size(); ++i) {
-        scenario.corrupt(corrupted[i], rng);
-      }
+      // Corrupt a copy of the corpus deterministically (seed depends on the
+      // scenario so every representation sees identical corruption).
+      const uint64_t seed = 0xc0bb + std::hash<std::string>{}(scenario.name);
+      const ExperimentCorpus corrupted =
+          RequireOk(CorruptCorpus(clean, scenario.faults, seed), "corrupt");
       const auto distances = PairwiseDistances(corrupted, rep.representation,
                                                rep.measure, features);
       if (!distances.ok()) {

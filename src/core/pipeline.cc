@@ -5,7 +5,7 @@
 #include <limits>
 #include <set>
 
-#include "featsel/ranking.h"
+#include "common/string_util.h"
 #include "featsel/registry.h"
 #include "similarity/measures.h"
 
@@ -16,11 +16,31 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
     return Status::InvalidArgument("reference corpus too small");
   }
   fitted_ = false;
+  fit_report_ = CorpusQualityReport{};
+
+  // Stage 0: data-quality gate. Repairable experiments are repaired;
+  // unrepairable ones are quarantined into fit_report_ so one corrupt run
+  // cannot abort the whole fit.
+  ExperimentCorpus gated;
+  if (config_.quality_gate) {
+    WPRED_ASSIGN_OR_RETURN(gated,
+                           GateCorpus(reference, config_.quality,
+                                      &fit_report_));
+    if (gated.size() < 2) {
+      return Status::FailedPrecondition(
+          StrFormat("only %zu of %zu reference experiments survived the "
+                    "quality gate: ",
+                    gated.size(), reference.size()) +
+          fit_report_.Summary());
+    }
+  } else {
+    gated = reference;
+  }
 
   // Stage 1: feature selection on aggregate observations.
   WPRED_ASSIGN_OR_RETURN(
       AggregateObservations aggregates,
-      BuildAggregateObservations(reference, config_.subsamples));
+      BuildAggregateObservations(gated, config_.subsamples));
   WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
                          CreateSelector(config_.selector));
   WPRED_ASSIGN_OR_RETURN(Vector scores,
@@ -33,7 +53,8 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
       scores[f] = -std::numeric_limits<double>::infinity();
     }
   }
-  selected_features_ = ScoresToRanking(scores).TopK(config_.top_k);
+  ranking_ = ScoresToRanking(scores);
+  selected_features_ = ranking_.TopK(config_.top_k);
   if (config_.representation == Representation::kMts) {
     // Defensive: drop any plan feature that slipped in via k > 7.
     std::vector<size_t> resource_only;
@@ -49,10 +70,10 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
 
   // Stage 2: similarity machinery — shared normalisation + reference
   // representations.
-  ctx_ = ComputeNormalization(reference);
+  ctx_ = ComputeNormalization(gated);
   reference_reps_.clear();
   reference_workloads_.clear();
-  for (const Experiment& e : reference.experiments()) {
+  for (const Experiment& e : gated.experiments()) {
     WPRED_ASSIGN_OR_RETURN(
         Matrix rep, BuildRepresentation(config_.representation, e,
                                         selected_features_, ctx_));
@@ -64,13 +85,13 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
   pairwise_.clear();
   single_.clear();
   std::set<std::pair<std::string, int>> keys;
-  for (const Experiment& e : reference.experiments()) {
+  for (const Experiment& e : gated.experiments()) {
     keys.insert({e.workload, e.terminals});
   }
   for (const auto& [workload, terminals] : keys) {
     WPRED_ASSIGN_OR_RETURN(
         std::vector<SkuPerfPoint> points,
-        CollectScalingPoints(reference, workload, terminals,
+        CollectScalingPoints(gated, workload, terminals,
                              config_.subsamples));
     if (DistinctSkuValues(points).size() < 2) continue;  // single-SKU corpus
     PairwiseScalingModel pairwise;
@@ -80,21 +101,95 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
     WPRED_RETURN_IF_ERROR(single.Fit(config_.strategy, points));
     single_[{workload, terminals}] = std::move(single);
   }
+  reference_corpus_ = std::move(gated);
   fitted_ = true;
   return Status::OK();
 }
 
-Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankWorkloads(
+Result<Pipeline::PreparedObservation> Pipeline::PrepareObserved(
     const Experiment& observed) const {
-  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  PreparedObservation prepared;
+  prepared.repaired = observed;
+  prepared.features = selected_features_;
+  if (!config_.quality_gate) return prepared;
+
+  WPRED_ASSIGN_OR_RETURN(const DataQualityReport report,
+                         RepairExperiment(prepared.repaired, config_.quality));
+  const std::vector<size_t> unusable = report.UnusableFeatures();
+  if (unusable.empty()) return prepared;
+
+  auto is_unusable = [&unusable](size_t f) {
+    return std::find(unusable.begin(), unusable.end(), f) != unusable.end();
+  };
+  std::vector<size_t> healthy;
+  size_t lost = 0;
+  for (size_t f : selected_features_) {
+    if (is_unusable(f)) {
+      ++lost;
+    } else {
+      healthy.push_back(f);
+    }
+  }
+  if (lost == 0) return prepared;  // faults hit only unselected features
+
+  // Refill from the fitted importance ranking: next-best features that are
+  // healthy in this observation and expressible by the representation.
+  std::vector<size_t> substitutes;
+  for (size_t f : ranking_.TopK(ranking_.ranks.size())) {
+    if (substitutes.size() == lost) break;
+    if (is_unusable(f)) continue;
+    if (std::find(selected_features_.begin(), selected_features_.end(), f) !=
+        selected_features_.end()) {
+      continue;
+    }
+    if (config_.representation == Representation::kMts &&
+        f >= kNumResourceFeatures) {
+      continue;  // MTS cannot represent plan features
+    }
+    substitutes.push_back(f);
+  }
+  prepared.features = std::move(healthy);
+  prepared.features.insert(prepared.features.end(), substitutes.begin(),
+                           substitutes.end());
+  if (prepared.features.empty()) {
+    std::vector<std::string> ids;
+    for (size_t f : unusable) ids.push_back(StrFormat("%zu", f));
+    return Status::FailedPrecondition(
+        "no healthy features left for similarity: selected features are all "
+        "dead or stuck [" +
+        Join(ids, ",") + "]; telemetry: " + report.Summary());
+  }
+  prepared.degraded = true;
+  return prepared;
+}
+
+Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
+    const PreparedObservation& observation) const {
   WPRED_ASSIGN_OR_RETURN(
-      Matrix rep, BuildRepresentation(config_.representation, observed,
-                                      selected_features_, ctx_));
+      Matrix rep,
+      BuildRepresentation(config_.representation, observation.repaired,
+                          observation.features, ctx_));
+  // Degraded feature sets don't match the cached reference representations;
+  // rebuild them over the same effective features from the gated corpus.
+  std::vector<Matrix> rebuilt;
+  const std::vector<Matrix>* references = &reference_reps_;
+  if (observation.degraded) {
+    rebuilt.reserve(reference_corpus_.size());
+    for (const Experiment& e : reference_corpus_.experiments()) {
+      WPRED_ASSIGN_OR_RETURN(
+          Matrix reference_rep,
+          BuildRepresentation(config_.representation, e, observation.features,
+                              ctx_));
+      rebuilt.push_back(std::move(reference_rep));
+    }
+    references = &rebuilt;
+  }
+
   std::map<std::string, std::pair<double, size_t>> totals;  // sum, count
-  for (size_t i = 0; i < reference_reps_.size(); ++i) {
+  for (size_t i = 0; i < references->size(); ++i) {
     WPRED_ASSIGN_OR_RETURN(
         const double d,
-        MeasureDistance(config_.measure, rep, reference_reps_[i]));
+        MeasureDistance(config_.measure, rep, (*references)[i]));
     auto& [sum, count] = totals[reference_workloads_[i]];
     sum += d;
     count += 1;
@@ -109,6 +204,14 @@ Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankWorkloads(
               return a.mean_distance < b.mean_distance;
             });
   return ranked;
+}
+
+Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankWorkloads(
+    const Experiment& observed) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  WPRED_ASSIGN_OR_RETURN(const PreparedObservation prepared,
+                         PrepareObserved(observed));
+  return RankPrepared(prepared);
 }
 
 Result<const PairwiseScalingModel*> Pipeline::PairwiseModelFor(
@@ -155,13 +258,21 @@ Result<const SingleScalingModel*> Pipeline::SingleModelFor(
 Result<Pipeline::Prediction> Pipeline::PredictThroughput(
     const Experiment& observed, int target_cpus) const {
   if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  if (!std::isfinite(observed.perf.throughput_tps)) {
+    return Status::NumericalError(
+        "observed throughput is not finite; cannot scale a corrupt target");
+  }
+  WPRED_ASSIGN_OR_RETURN(const PreparedObservation prepared,
+                         PrepareObserved(observed));
   WPRED_ASSIGN_OR_RETURN(std::vector<WorkloadDistance> ranked,
-                         RankWorkloads(observed));
+                         RankPrepared(prepared));
   if (ranked.empty()) return Status::FailedPrecondition("no reference workloads");
 
   Prediction prediction;
   prediction.reference_workload = ranked.front().workload;
   prediction.similarity_distance = ranked.front().mean_distance;
+  prediction.degraded = prepared.degraded;
+  prediction.effective_features = prepared.features;
 
   const double from = observed.cpus;
   const double to = target_cpus;
@@ -188,6 +299,11 @@ Result<Pipeline::Prediction> Pipeline::PredictThroughput(
     WPRED_ASSIGN_OR_RETURN(
         prediction.throughput_tps,
         single->PredictTransition(from, to, perf, observed.data_group));
+  }
+  if (!std::isfinite(prediction.throughput_tps)) {
+    return Status::NumericalError(
+        "scaling model produced a non-finite throughput for reference " +
+        prediction.reference_workload);
   }
   return prediction;
 }

@@ -8,9 +8,11 @@
 
 #include "common/status.h"
 #include "core/workbench.h"
+#include "featsel/ranking.h"
 #include "predict/scaling_model.h"
 #include "similarity/representation.h"
 #include "telemetry/experiment.h"
+#include "telemetry/quality.h"
 
 namespace wpred {
 
@@ -28,21 +30,34 @@ struct PipelineConfig {
   ModelContext context = ModelContext::kPairwise;
   /// Sub-experiments per experiment for feature selection / augmentation.
   size_t subsamples = 10;
+  /// Run the data-quality gate: Fit() repairs or quarantines dirty
+  /// reference experiments; prediction repairs observed telemetry and falls
+  /// back to the next-ranked healthy features when a selected feature's
+  /// sensor is dead or stuck. Disabled, dirty telemetry flows through
+  /// unchecked (the pre-gate behaviour).
+  bool quality_gate = true;
+  QualityPolicy quality;
 };
 
 /// The paper's primary artifact: feature selection → workload similarity →
 /// resource scaling prediction, wired end to end.
 ///
 /// Fit() consumes a reference corpus of monitored workloads across SKUs; it
-/// (1) runs the configured feature-selection strategy on aggregate
-/// observations to pick the top-k features, (2) freezes a shared
+/// (0) gates the corpus for data quality — repairing what it can and
+/// quarantining unrepairable experiments into fit_report() instead of
+/// aborting, (1) runs the configured feature-selection strategy on
+/// aggregate observations to pick the top-k features, (2) freezes a shared
 /// normalisation context and the reference representations, and (3) fits a
 /// scaling model per reference workload × terminal count.
 ///
 /// PredictThroughput() takes telemetry of a (new) workload observed on one
 /// SKU, finds the most similar reference workload in representation space,
 /// and transfers that workload's scaling model to predict throughput on the
-/// target SKU.
+/// target SKU. Observed telemetry passes through the same quality gate:
+/// repairable damage is repaired, dead/stuck selected features are replaced
+/// by the next-ranked healthy features (rebuilding reference
+/// representations to match), and telemetry beyond repair yields a precise
+/// non-OK Status — never a silently garbage prediction.
 class Pipeline {
  public:
   explicit Pipeline(PipelineConfig config) : config_(std::move(config)) {}
@@ -53,7 +68,13 @@ class Pipeline {
   const std::vector<size_t>& selected_features() const {
     return selected_features_;
   }
+  /// Full importance ranking behind selected_features() — the fallback
+  /// order for predict-time feature substitution.
+  const FeatureRanking& feature_ranking() const { return ranking_; }
   const NormalizationContext& normalization() const { return ctx_; }
+  /// Per-experiment quality outcome of the last Fit() (empty when the
+  /// quality gate is disabled).
+  const CorpusQualityReport& fit_report() const { return fit_report_; }
 
   /// Mean representation distance from `observed` to each reference
   /// workload, ascending (most similar first).
@@ -69,11 +90,28 @@ class Pipeline {
     double throughput_tps = 0.0;
     std::string reference_workload;
     double similarity_distance = 0.0;
+    /// True when dead/stuck selected features were replaced by fallback
+    /// features before ranking (quality gate only).
+    bool degraded = false;
+    /// The features the similarity stage actually used (equals the fitted
+    /// selection unless degraded).
+    std::vector<size_t> effective_features;
   };
   Result<Prediction> PredictThroughput(const Experiment& observed,
                                        int target_cpus) const;
 
  private:
+  /// Observed telemetry after the quality gate: repaired copy plus the
+  /// effective (possibly substituted) feature set.
+  struct PreparedObservation {
+    Experiment repaired;
+    std::vector<size_t> features;
+    bool degraded = false;
+  };
+  Result<PreparedObservation> PrepareObserved(const Experiment& observed) const;
+  Result<std::vector<WorkloadDistance>> RankPrepared(
+      const PreparedObservation& observation) const;
+
   Result<const PairwiseScalingModel*> PairwiseModelFor(
       const std::string& workload, int terminals) const;
   Result<const SingleScalingModel*> SingleModelFor(const std::string& workload,
@@ -83,7 +121,12 @@ class Pipeline {
   bool fitted_ = false;
 
   std::vector<size_t> selected_features_;
+  FeatureRanking ranking_;
   NormalizationContext ctx_;
+  CorpusQualityReport fit_report_;
+  // Gated reference corpus, kept to rebuild representations when predict-time
+  // degradation changes the feature set.
+  ExperimentCorpus reference_corpus_;
   // Reference representations (one per reference experiment).
   std::vector<Matrix> reference_reps_;
   std::vector<std::string> reference_workloads_;

@@ -1,0 +1,274 @@
+#include "telemetry/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace wpred {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Status ValidateFraction(double value, const char* knob) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument(StrFormat("%s out of [0,1]: %g", knob,
+                                             value));
+  }
+  return Status::OK();
+}
+
+/// Effective intensity: fixed, or drawn from [intensity, intensity_max].
+double DrawIntensity(const FaultSpec& spec, Rng& rng) {
+  if (spec.intensity_max > spec.intensity) {
+    return rng.Uniform(spec.intensity, spec.intensity_max);
+  }
+  return spec.intensity;
+}
+
+/// Target feature column: the configured one, or a random resource feature.
+Result<size_t> PickFeature(const FaultSpec& spec, Rng& rng) {
+  if (spec.feature >= 0) {
+    if (static_cast<size_t>(spec.feature) >= kNumResourceFeatures) {
+      return Status::InvalidArgument(
+          StrFormat("fault feature %d out of range [0,%zu)", spec.feature,
+                    kNumResourceFeatures));
+    }
+    return static_cast<size_t>(spec.feature);
+  }
+  return static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kNumResourceFeatures) - 1));
+}
+
+void ApplyNoise(Matrix& values, double sigma, Rng& rng) {
+  for (double& v : values.data()) {
+    v = std::max(0.0, v * (1.0 + rng.Gaussian(0.0, sigma)));
+  }
+}
+
+void ApplyOutliers(Matrix& values, double fraction, double magnitude,
+                   Rng& rng) {
+  const size_t n = values.rows();
+  const size_t count =
+      std::max<size_t>(1, static_cast<size_t>(fraction * static_cast<double>(n)));
+  for (size_t k = 0; k < count; ++k) {
+    const size_t row = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    for (size_t c = 0; c < values.cols(); ++c) values(row, c) *= magnitude;
+  }
+}
+
+void ApplyDropSamples(Matrix& values, double fraction, Rng& rng) {
+  const size_t n = values.rows();
+  const size_t keep = std::max<size_t>(
+      2, static_cast<size_t>((1.0 - fraction) * static_cast<double>(n)));
+  std::vector<size_t> rows = rng.Permutation(n);
+  rows.resize(keep);
+  std::sort(rows.begin(), rows.end());
+  values = values.SelectRows(rows);
+}
+
+void ApplyStuck(Matrix& values, double stuck_fraction, size_t feature) {
+  const size_t n = values.rows();
+  const size_t onset = static_cast<size_t>(
+      (1.0 - stuck_fraction) * static_cast<double>(n));
+  const size_t start = std::min(onset, n - 1);
+  const double frozen = values(start, feature);
+  for (size_t r = start; r < n; ++r) values(r, feature) = frozen;
+}
+
+void ApplyDuplicates(Matrix& values, double fraction, Rng& rng) {
+  const size_t n = values.rows();
+  const size_t count =
+      std::max<size_t>(1, static_cast<size_t>(fraction * static_cast<double>(n)));
+  // Duplicate `count` random rows in place (each appears twice, adjacent —
+  // the signature of a collector flushing the same sample twice).
+  std::vector<size_t> dup = rng.Permutation(n);
+  dup.resize(std::min(count, n));
+  std::sort(dup.begin(), dup.end());
+  std::vector<size_t> rows;
+  rows.reserve(n + dup.size());
+  size_t next = 0;
+  for (size_t r = 0; r < n; ++r) {
+    rows.push_back(r);
+    if (next < dup.size() && dup[next] == r) {
+      rows.push_back(r);
+      ++next;
+    }
+  }
+  values = values.SelectRows(rows);
+}
+
+void ApplyOutOfOrder(Matrix& values, double fraction, Rng& rng) {
+  const size_t n = values.rows();
+  const size_t swaps =
+      std::max<size_t>(1, static_cast<size_t>(fraction * static_cast<double>(n)));
+  for (size_t k = 0; k < swaps; ++k) {
+    const size_t r = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 2));
+    for (size_t c = 0; c < values.cols(); ++c) {
+      std::swap(values(r, c), values(r + 1, c));
+    }
+  }
+}
+
+void ApplyTruncate(Matrix& values, double keep_fraction) {
+  const size_t n = values.rows();
+  const size_t keep = std::max<size_t>(
+      2, static_cast<size_t>(keep_fraction * static_cast<double>(n)));
+  std::vector<size_t> rows(std::min(keep, n));
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  values = values.SelectRows(rows);
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMultiplicativeNoise: return "noise";
+    case FaultKind::kOutliers: return "outliers";
+    case FaultKind::kDropSamples: return "drop-samples";
+    case FaultKind::kSensorDropout: return "sensor-dropout";
+    case FaultKind::kStuckSensor: return "stuck-sensor";
+    case FaultKind::kDuplicateSamples: return "duplicate-samples";
+    case FaultKind::kOutOfOrderSamples: return "out-of-order";
+    case FaultKind::kTruncateRun: return "truncate-run";
+  }
+  return "unknown";
+}
+
+FaultSpec FaultSpec::Noise(double sigma) {
+  return {FaultKind::kMultiplicativeNoise, sigma};
+}
+FaultSpec FaultSpec::Outliers(double fraction, double magnitude) {
+  FaultSpec spec{FaultKind::kOutliers, fraction};
+  spec.magnitude = magnitude;
+  return spec;
+}
+FaultSpec FaultSpec::DropSamples(double fraction, double fraction_max) {
+  FaultSpec spec{FaultKind::kDropSamples, fraction};
+  spec.intensity_max = fraction_max;
+  return spec;
+}
+FaultSpec FaultSpec::SensorDropout(int feature) {
+  FaultSpec spec{FaultKind::kSensorDropout, 1.0};
+  spec.feature = feature;
+  return spec;
+}
+FaultSpec FaultSpec::StuckSensor(double stuck_fraction, int feature) {
+  FaultSpec spec{FaultKind::kStuckSensor, stuck_fraction};
+  spec.feature = feature;
+  return spec;
+}
+FaultSpec FaultSpec::DuplicateSamples(double fraction) {
+  return {FaultKind::kDuplicateSamples, fraction};
+}
+FaultSpec FaultSpec::OutOfOrderSamples(double fraction) {
+  return {FaultKind::kOutOfOrderSamples, fraction};
+}
+FaultSpec FaultSpec::TruncateRun(double keep_fraction) {
+  return {FaultKind::kTruncateRun, keep_fraction};
+}
+
+std::string FaultSpec::ToString() const {
+  const std::string name(FaultKindName(kind));
+  switch (kind) {
+    case FaultKind::kMultiplicativeNoise:
+      return name + StrFormat("(sigma=%.2f)", intensity);
+    case FaultKind::kOutliers:
+      return name + StrFormat("(frac=%.2f,x%.0f)", intensity, magnitude);
+    case FaultKind::kDropSamples:
+      if (intensity_max > intensity) {
+        return name + StrFormat("(frac=%.2f-%.2f)", intensity, intensity_max);
+      }
+      return name + StrFormat("(frac=%.2f)", intensity);
+    case FaultKind::kSensorDropout:
+      return name + StrFormat("(feature=%d)", feature);
+    case FaultKind::kStuckSensor:
+      return name + StrFormat("(frac=%.2f,feature=%d)", intensity, feature);
+    case FaultKind::kDuplicateSamples:
+    case FaultKind::kOutOfOrderSamples:
+      return name + StrFormat("(frac=%.2f)", intensity);
+    case FaultKind::kTruncateRun:
+      return name + StrFormat("(keep=%.2f)", intensity);
+  }
+  return name;
+}
+
+Status ApplyFault(const FaultSpec& spec, Experiment& experiment, Rng& rng) {
+  Matrix& values = experiment.resource.values;
+  if (values.rows() < 2) {
+    return Status::FailedPrecondition(
+        "resource series too short to corrupt: " +
+        StrFormat("%zu samples", values.rows()));
+  }
+  switch (spec.kind) {
+    case FaultKind::kMultiplicativeNoise: {
+      if (!(spec.intensity >= 0.0)) {
+        return Status::InvalidArgument("negative noise sigma");
+      }
+      ApplyNoise(values, DrawIntensity(spec, rng), rng);
+      return Status::OK();
+    }
+    case FaultKind::kOutliers: {
+      WPRED_RETURN_IF_ERROR(ValidateFraction(spec.intensity, "outlier frac"));
+      ApplyOutliers(values, DrawIntensity(spec, rng), spec.magnitude, rng);
+      return Status::OK();
+    }
+    case FaultKind::kDropSamples: {
+      WPRED_RETURN_IF_ERROR(ValidateFraction(spec.intensity, "drop frac"));
+      ApplyDropSamples(values, DrawIntensity(spec, rng), rng);
+      return Status::OK();
+    }
+    case FaultKind::kSensorDropout: {
+      WPRED_ASSIGN_OR_RETURN(const size_t feature, PickFeature(spec, rng));
+      for (size_t r = 0; r < values.rows(); ++r) values(r, feature) = kNaN;
+      return Status::OK();
+    }
+    case FaultKind::kStuckSensor: {
+      WPRED_RETURN_IF_ERROR(ValidateFraction(spec.intensity, "stuck frac"));
+      WPRED_ASSIGN_OR_RETURN(const size_t feature, PickFeature(spec, rng));
+      ApplyStuck(values, DrawIntensity(spec, rng), feature);
+      return Status::OK();
+    }
+    case FaultKind::kDuplicateSamples: {
+      WPRED_RETURN_IF_ERROR(ValidateFraction(spec.intensity, "dup frac"));
+      ApplyDuplicates(values, DrawIntensity(spec, rng), rng);
+      return Status::OK();
+    }
+    case FaultKind::kOutOfOrderSamples: {
+      WPRED_RETURN_IF_ERROR(ValidateFraction(spec.intensity, "swap frac"));
+      ApplyOutOfOrder(values, DrawIntensity(spec, rng), rng);
+      return Status::OK();
+    }
+    case FaultKind::kTruncateRun: {
+      WPRED_RETURN_IF_ERROR(ValidateFraction(spec.intensity, "keep frac"));
+      ApplyTruncate(values, DrawIntensity(spec, rng));
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown fault kind");
+}
+
+Status ApplyFaults(const std::vector<FaultSpec>& specs, Experiment& experiment,
+                   Rng& rng) {
+  for (const FaultSpec& spec : specs) {
+    WPRED_RETURN_IF_ERROR(ApplyFault(spec, experiment, rng));
+  }
+  return Status::OK();
+}
+
+Result<ExperimentCorpus> CorruptCorpus(const ExperimentCorpus& corpus,
+                                       const std::vector<FaultSpec>& specs,
+                                       uint64_t seed) {
+  ExperimentCorpus corrupted = corpus;
+  const Rng base(seed);
+  for (size_t i = 0; i < corrupted.size(); ++i) {
+    Rng rng = base.Fork(i);
+    WPRED_RETURN_IF_ERROR(ApplyFaults(specs, corrupted[i], rng));
+  }
+  return corrupted;
+}
+
+}  // namespace wpred

@@ -1,0 +1,94 @@
+#ifndef WPRED_TELEMETRY_FAULTS_H_
+#define WPRED_TELEMETRY_FAULTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "telemetry/experiment.h"
+
+namespace wpred {
+
+// Deterministic, seedable fault injection for telemetry — the corruption
+// models behind the paper's Section 5.2 robustness dimension ("resilience to
+// noise, outliers, and missing data") plus the sensor pathologies real
+// collectors exhibit (dropout, stuck-at, duplicated and reordered samples,
+// truncated runs). Benches, ablations, and tests share this one vocabulary
+// instead of re-implementing corruption lambdas.
+
+/// The corruption models. All operate on the resource time-series; the
+/// feature-targeted kinds (dropout, stuck-at) hit one resource feature.
+enum class FaultKind {
+  /// v -> max(0, v * (1 + N(0, intensity))) for every sample.
+  kMultiplicativeNoise,
+  /// `intensity` fraction of sample rows scaled by `magnitude`.
+  kOutliers,
+  /// `intensity` fraction of sample rows removed at random (unequal-length
+  /// survivors, as real telemetry gaps produce).
+  kDropSamples,
+  /// One whole feature column becomes NaN (a sensor that stopped reporting).
+  kSensorDropout,
+  /// From a random onset covering the trailing `intensity` fraction of the
+  /// run, one feature column freezes at its onset value.
+  kStuckSensor,
+  /// `intensity` fraction of sample rows duplicated in place (a collector
+  /// that double-flushes).
+  kDuplicateSamples,
+  /// `intensity` fraction of adjacent sample pairs swapped (clock skew /
+  /// out-of-order delivery).
+  kOutOfOrderSamples,
+  /// Run truncated to its leading `intensity` fraction (collector died).
+  kTruncateRun,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One named corruption model with its knobs. Construct via the factory
+/// functions below so intensities land on the right knob.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kMultiplicativeNoise;
+  /// Main knob; meaning is kind-specific (sigma, fraction, ...).
+  double intensity = 0.0;
+  /// If > intensity, the effective intensity is drawn uniformly from
+  /// [intensity, intensity_max] per experiment (real corpora are not
+  /// uniformly corrupted).
+  double intensity_max = 0.0;
+  /// Outlier scale factor (kOutliers only).
+  double magnitude = 10.0;
+  /// Target resource feature for kSensorDropout / kStuckSensor;
+  /// -1 = pick one at random per experiment.
+  int feature = -1;
+
+  static FaultSpec Noise(double sigma);
+  static FaultSpec Outliers(double fraction, double magnitude = 10.0);
+  static FaultSpec DropSamples(double fraction, double fraction_max = 0.0);
+  static FaultSpec SensorDropout(int feature = -1);
+  static FaultSpec StuckSensor(double stuck_fraction, int feature = -1);
+  static FaultSpec DuplicateSamples(double fraction);
+  static FaultSpec OutOfOrderSamples(double fraction);
+  static FaultSpec TruncateRun(double keep_fraction);
+
+  /// "noise(sigma=0.10)" — stable label for bench tables and reports.
+  std::string ToString() const;
+};
+
+/// Applies one corruption model in place. Deterministic given the Rng state.
+/// Fails with kInvalidArgument on out-of-range knobs and with
+/// kFailedPrecondition when the series is too short to corrupt (< 2 samples).
+Status ApplyFault(const FaultSpec& spec, Experiment& experiment, Rng& rng);
+
+/// Applies a sequence of corruption models in order.
+Status ApplyFaults(const std::vector<FaultSpec>& specs, Experiment& experiment,
+                   Rng& rng);
+
+/// Returns a corrupted copy of the corpus: experiment i is corrupted with an
+/// independent stream forked from `seed` and its index, so corruption is
+/// reproducible and insensitive to corpus order changes elsewhere.
+Result<ExperimentCorpus> CorruptCorpus(const ExperimentCorpus& corpus,
+                                       const std::vector<FaultSpec>& specs,
+                                       uint64_t seed);
+
+}  // namespace wpred
+
+#endif  // WPRED_TELEMETRY_FAULTS_H_

@@ -205,7 +205,31 @@ Status WriteCorpus(const ExperimentCorpus& corpus,
   return Status::OK();
 }
 
-Result<ExperimentCorpus> ReadCorpus(const std::string& directory) {
+size_t CorpusReadReport::num_ok() const {
+  size_t ok = 0;
+  for (const Item& item : items) ok += item.status.ok() ? 1 : 0;
+  return ok;
+}
+
+size_t CorpusReadReport::num_skipped() const {
+  return items.size() - num_ok();
+}
+
+std::string CorpusReadReport::Summary() const {
+  std::vector<std::string> parts;
+  parts.push_back(StrFormat("loaded %zu/%zu", num_ok(), items.size()));
+  for (const Item& item : items) {
+    if (item.status.ok()) continue;
+    parts.push_back("skipped " +
+                    std::filesystem::path(item.path).filename().string() +
+                    ": " + item.status.ToString());
+  }
+  return Join(parts, "; ");
+}
+
+Result<ExperimentCorpus> ReadCorpus(const std::string& directory,
+                                    const CorpusReadOptions& options,
+                                    CorpusReadReport* report) {
   std::error_code ec;
   if (!std::filesystem::is_directory(directory, ec)) {
     return Status::InvalidArgument("not a directory: " + directory);
@@ -223,11 +247,26 @@ Result<ExperimentCorpus> ReadCorpus(const std::string& directory) {
     return Status::NotFound("no .wpred.csv files in " + directory);
   }
   ExperimentCorpus corpus;
+  CorpusReadReport local;
   for (const std::string& path : paths) {
-    WPRED_ASSIGN_OR_RETURN(Experiment e, ReadExperimentFile(path));
-    corpus.Add(std::move(e));
+    Result<Experiment> loaded = ReadExperimentFile(path);
+    if (!loaded.ok() && !options.skip_bad_files) {
+      return Status(loaded.status().code(),
+                    path + ": " + loaded.status().message());
+    }
+    local.items.push_back({path, loaded.status()});
+    if (loaded.ok()) corpus.Add(std::move(loaded).value());
   }
+  if (corpus.empty()) {
+    return Status::FailedPrecondition("every experiment file is bad: " +
+                                      local.Summary());
+  }
+  if (report != nullptr) *report = std::move(local);
   return corpus;
+}
+
+Result<ExperimentCorpus> ReadCorpus(const std::string& directory) {
+  return ReadCorpus(directory, CorpusReadOptions{}, nullptr);
 }
 
 }  // namespace wpred

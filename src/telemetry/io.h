@@ -32,7 +32,38 @@ Result<Experiment> ReadExperimentFile(const std::string& path);
 Status WriteCorpus(const ExperimentCorpus& corpus,
                    const std::string& directory);
 
+/// How ReadCorpus treats unreadable or malformed experiment files.
+struct CorpusReadOptions {
+  /// false (default): abort on the first bad file with its Status.
+  /// true: skip bad files, recording each one's Status in the report, and
+  /// return the experiments that did load.
+  bool skip_bad_files = false;
+};
+
+/// Per-file outcome of a lenient corpus read.
+struct CorpusReadReport {
+  struct Item {
+    std::string path;
+    Status status;  // OK = loaded; otherwise why the file was skipped
+  };
+  std::vector<Item> items;  // one per *.wpred.csv file, in filename order
+
+  size_t num_ok() const;
+  size_t num_skipped() const;
+  /// "loaded 4/5; skipped bad.wpred.csv: InvalidArgument: ..."
+  std::string Summary() const;
+};
+
 /// Reads every `*.wpred.csv` file in `directory` (sorted by filename).
+/// With options.skip_bad_files, corrupt files are skipped and recorded in
+/// `report` (if non-null) instead of failing the read; the call only errors
+/// when the directory is missing, holds no experiment files, or every file
+/// is bad.
+Result<ExperimentCorpus> ReadCorpus(const std::string& directory,
+                                    const CorpusReadOptions& options,
+                                    CorpusReadReport* report = nullptr);
+
+/// Strict read: aborts on the first unreadable or malformed file.
 Result<ExperimentCorpus> ReadCorpus(const std::string& directory);
 
 }  // namespace wpred

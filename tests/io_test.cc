@@ -1,5 +1,8 @@
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -107,8 +110,102 @@ TEST_F(IoTest, MissingFilesSurfaceAsStatus) {
   EXPECT_EQ(ReadExperimentFile((dir_ / "nope.csv").string()).status().code(),
             StatusCode::kIoError);
   EXPECT_FALSE(ReadCorpus((dir_ / "not_there").string()).ok());
+  // Empty directory: no experiment files at all.
   EXPECT_EQ(ReadCorpus(dir_.string()).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ReadCorpus(dir_.string(), {.skip_bad_files = true})
+                .status()
+                .code(),
+            StatusCode::kNotFound);  // lenient mode can't invent files either
   EXPECT_FALSE(WriteCorpus(ExperimentCorpus(), "/no/such/dir").ok());
+}
+
+TEST_F(IoTest, TruncatedFileIsInvalidArgument) {
+  const std::string full = ExperimentToCsv(SampleExperiment());
+  // Cut mid-way through the first resource row: the row loses fields.
+  const std::string truncated = full.substr(0, full.find("resource") + 20);
+  const auto parsed = ExperimentFromCsv(truncated);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, WrongFeatureArityIsInvalidArgument) {
+  const auto parsed = ExperimentFromCsv(
+      "section,key,values\n"
+      "meta,format,wpred-experiment-v1\n"
+      "resource,0,1;2;3\n");  // 3 fields instead of kNumResourceFeatures
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, NonNumericFieldIsInvalidArgument) {
+  const auto parsed = ExperimentFromCsv(
+      "section,key,values\n"
+      "meta,format,wpred-experiment-v1\n"
+      "meta,cpus,four\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, NanAndInfFieldsParseAsData) {
+  // Non-finite values are a data-quality concern for telemetry/quality.h,
+  // not a parse error: a NaN-riddled file must round-trip so the pipeline's
+  // gate can see (and repair or quarantine) it.
+  Experiment original = SampleExperiment();
+  original.resource.values(0, 0) = std::nan("");
+  original.resource.values(1, 1) = std::numeric_limits<double>::infinity();
+  const auto parsed = ExperimentFromCsv(ExperimentToCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.status().code(), StatusCode::kOk);
+  EXPECT_TRUE(std::isnan(parsed->resource.values(0, 0)));
+  EXPECT_TRUE(std::isinf(parsed->resource.values(1, 1)));
+}
+
+TEST_F(IoTest, LenientReadSkipsBadFilesWithPerFileReport) {
+  ExperimentCorpus corpus;
+  corpus.Add(SampleExperiment());
+  Experiment other = SampleExperiment();
+  other.run_id = 9;
+  corpus.Add(other);
+  ASSERT_TRUE(WriteCorpus(corpus, dir_.string()).ok());
+  {
+    std::ofstream bad(dir_ / "yyyy_garbage.wpred.csv");
+    bad << "this is not an experiment\n";
+  }
+  {
+    std::ofstream bad(dir_ / "zzzz_arity.wpred.csv");
+    bad << "section,key,values\n"
+        << "meta,format,wpred-experiment-v1\n"
+        << "resource,0,1;2\n";
+  }
+
+  // Strict mode aborts on the first bad file.
+  EXPECT_FALSE(ReadCorpus(dir_.string()).ok());
+
+  CorpusReadReport report;
+  const auto loaded =
+      ReadCorpus(dir_.string(), {.skip_bad_files = true}, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].run_id, 9);
+  ASSERT_EQ(report.items.size(), 4u);
+  EXPECT_EQ(report.num_ok(), 2u);
+  EXPECT_EQ(report.num_skipped(), 2u);
+  for (const auto& item : report.items) {
+    if (!item.status.ok()) {
+      EXPECT_EQ(item.status.code(), StatusCode::kInvalidArgument) << item.path;
+    }
+  }
+  EXPECT_NE(report.Summary().find("loaded 2/4"), std::string::npos);
+}
+
+TEST_F(IoTest, LenientReadFailsWhenEveryFileIsBad) {
+  {
+    std::ofstream bad(dir_ / "only_garbage.wpred.csv");
+    bad << "nope\n";
+  }
+  const auto loaded = ReadCorpus(dir_.string(), {.skip_bad_files = true});
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

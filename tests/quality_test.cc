@@ -1,0 +1,433 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/workbench.h"
+#include "linalg/stats.h"
+#include "sim/hardware.h"
+#include "telemetry/faults.h"
+#include "telemetry/io.h"
+#include "telemetry/quality.h"
+
+namespace wpred {
+namespace {
+
+// Shared small corpus so the fault/quality integration tests pay simulation
+// cost once: TPC-C / Twitter / TPC-H on 2 and 8 CPUs, 2 runs, 40 s.
+class QualityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.workloads = {"TPC-C", "Twitter", "TPC-H"};
+    config.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+    config.terminals = {8};
+    config.runs = 2;
+    config.sim.duration_s = 40.0;
+    config.sim.sample_period_s = 0.5;
+    auto corpus = GenerateCorpus(config);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    corpus_ = new ExperimentCorpus(std::move(corpus).value());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  static Experiment Sample() { return (*corpus_)[0]; }
+
+  static ExperimentCorpus* corpus_;
+};
+
+ExperimentCorpus* QualityTest::corpus_ = nullptr;
+
+// --- fault library ----------------------------------------------------------
+
+TEST_F(QualityTest, FaultInjectionIsDeterministic) {
+  const std::vector<FaultSpec> faults = {FaultSpec::Noise(0.2),
+                                         FaultSpec::DropSamples(0.1, 0.3)};
+  const auto a = CorruptCorpus(*corpus_, faults, 42);
+  const auto b = CorruptCorpus(*corpus_, faults, 42);
+  const auto c = CorruptCorpus(*corpus_, faults, 43);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    EXPECT_EQ((*a)[i].resource.values, (*b)[i].resource.values);
+  }
+  EXPECT_NE((*a)[0].resource.values, (*c)[0].resource.values);
+  // The clean corpus is untouched (corruption copies).
+  EXPECT_NE((*a)[0].resource.values, (*corpus_)[0].resource.values);
+}
+
+TEST_F(QualityTest, SensorDropoutKillsExactlyOneColumn) {
+  Experiment e = Sample();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::SensorDropout(3), e, rng).ok());
+  for (size_t r = 0; r < e.resource.num_samples(); ++r) {
+    EXPECT_TRUE(std::isnan(e.resource.values(r, 3)));
+    EXPECT_EQ(e.resource.values(r, 0), Sample().resource.values(r, 0));
+  }
+}
+
+TEST_F(QualityTest, StuckSensorFreezesTrailingFraction) {
+  Experiment e = Sample();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::StuckSensor(0.5, 2), e, rng).ok());
+  const size_t n = e.resource.num_samples();
+  const double frozen = e.resource.values(n - 1, 2);
+  for (size_t r = n / 2; r < n; ++r) {
+    EXPECT_EQ(e.resource.values(r, 2), frozen);
+  }
+}
+
+TEST_F(QualityTest, SampleCountFaultsChangeLength) {
+  Rng rng(7);
+  Experiment dropped = Sample();
+  ASSERT_TRUE(ApplyFault(FaultSpec::DropSamples(0.25), dropped, rng).ok());
+  EXPECT_LT(dropped.resource.num_samples(), Sample().resource.num_samples());
+
+  Experiment duplicated = Sample();
+  ASSERT_TRUE(
+      ApplyFault(FaultSpec::DuplicateSamples(0.25), duplicated, rng).ok());
+  EXPECT_GT(duplicated.resource.num_samples(), Sample().resource.num_samples());
+
+  Experiment truncated = Sample();
+  ASSERT_TRUE(ApplyFault(FaultSpec::TruncateRun(0.3), truncated, rng).ok());
+  EXPECT_EQ(truncated.resource.num_samples(),
+            static_cast<size_t>(0.3 * Sample().resource.num_samples()));
+}
+
+TEST_F(QualityTest, OutOfOrderPreservesValueMultiset) {
+  Experiment e = Sample();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::OutOfOrderSamples(0.2), e, rng).ok());
+  Vector before = Sample().resource.values.data();
+  Vector after = e.resource.values.data();
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+  EXPECT_NE(e.resource.values, Sample().resource.values);
+}
+
+TEST_F(QualityTest, FaultValidationRejectsBadKnobs) {
+  Experiment e = Sample();
+  Rng rng(7);
+  EXPECT_EQ(ApplyFault(FaultSpec::DropSamples(1.5), e, rng).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ApplyFault(FaultSpec::SensorDropout(99), e, rng).code(),
+            StatusCode::kInvalidArgument);
+  Experiment tiny = Sample();
+  tiny.resource.values = Matrix(1, kNumResourceFeatures);
+  EXPECT_EQ(ApplyFault(FaultSpec::Noise(0.1), tiny, rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QualityTest, FaultSpecNamesAreStable) {
+  EXPECT_EQ(FaultSpec::Noise(0.1).ToString(), "noise(sigma=0.10)");
+  EXPECT_EQ(FaultSpec::SensorDropout(3).ToString(),
+            "sensor-dropout(feature=3)");
+  EXPECT_EQ(FaultSpec::DropSamples(0.2, 0.5).ToString(),
+            "drop-samples(frac=0.20-0.50)");
+}
+
+// --- data-quality gate ------------------------------------------------------
+
+TEST_F(QualityTest, CleanTelemetryPassesUntouched) {
+  Experiment e = Sample();
+  const DataQualityReport analyzed = AnalyzeExperiment(e);
+  EXPECT_TRUE(analyzed.clean()) << analyzed.Summary();
+  EXPECT_EQ(analyzed.Summary(), "clean");
+
+  const auto repaired = RepairExperiment(e);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired->clean());
+  EXPECT_EQ(e.resource.values, Sample().resource.values);  // bit identical
+}
+
+TEST_F(QualityTest, RepairInterpolatesNaNGaps) {
+  Experiment e = Sample();
+  const size_t n = e.resource.num_samples();
+  // Interior gap + leading and trailing holes in feature 1.
+  e.resource.values(0, 1) = std::nan("");
+  e.resource.values(n / 2, 1) = std::nan("");
+  e.resource.values(n / 2 + 1, 1) = std::nan("");
+  e.resource.values(n - 1, 1) = std::numeric_limits<double>::infinity();
+
+  const auto report = RepairExperiment(e);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->features[1].nan_count, 3u);
+  EXPECT_EQ(report->features[1].inf_count, 1u);
+  EXPECT_TRUE(report->features[1].repaired);
+  EXPECT_FALSE(report->features[1].dead);
+  for (size_t r = 0; r < n; ++r) {
+    EXPECT_TRUE(std::isfinite(e.resource.values(r, 1))) << r;
+  }
+  // Interior gap is the linear blend of its finite neighbours.
+  const double lo = e.resource.values(n / 2 - 1, 1);
+  const double hi = e.resource.values(n / 2 + 2, 1);
+  EXPECT_NEAR(e.resource.values(n / 2, 1), lo + (hi - lo) / 3.0, 1e-12);
+}
+
+TEST_F(QualityTest, DeadFeatureIsDroppedNotFabricated) {
+  Experiment e = Sample();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::SensorDropout(4), e, rng).ok());
+  const auto report = RepairExperiment(e);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->features[4].dead);
+  EXPECT_TRUE(report->features[4].dropped);
+  EXPECT_FALSE(report->features[4].usable());
+  EXPECT_EQ(report->UnusableFeatures(), std::vector<size_t>{4});
+  for (size_t r = 0; r < e.resource.num_samples(); ++r) {
+    EXPECT_EQ(e.resource.values(r, 4), 0.0);
+  }
+  // With dropping disabled, the same telemetry is beyond repair.
+  Experiment again = Sample();
+  ASSERT_TRUE(ApplyFault(FaultSpec::SensorDropout(4), again, rng).ok());
+  QualityPolicy no_drop;
+  no_drop.drop_dead_features = false;
+  EXPECT_EQ(RepairExperiment(again, no_drop).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QualityTest, StuckSensorIsDetected) {
+  Experiment e = Sample();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::StuckSensor(0.8, 0), e, rng).ok());
+  const DataQualityReport report = AnalyzeExperiment(e);
+  EXPECT_TRUE(report.features[0].stuck);
+  EXPECT_FALSE(report.features[0].usable());
+  // All-zero columns are idle sensors, not stuck ones.
+  Experiment idle = Sample();
+  for (size_t r = 0; r < idle.resource.num_samples(); ++r) {
+    idle.resource.values(r, 6) = 0.0;
+  }
+  EXPECT_FALSE(AnalyzeExperiment(idle).features[6].stuck);
+}
+
+TEST_F(QualityTest, BeyondRepairStatusesArePrecise) {
+  // Too few samples.
+  Experiment tiny = Sample();
+  tiny.resource.values = Matrix(3, kNumResourceFeatures, 1.0);
+  EXPECT_EQ(RepairExperiment(tiny).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Corrupt prediction target.
+  Experiment bad_perf = Sample();
+  bad_perf.perf.throughput_tps = std::nan("");
+  EXPECT_EQ(RepairExperiment(bad_perf).status().code(),
+            StatusCode::kNumericalError);
+
+  // More dead features than the policy tolerates.
+  Experiment many_dead = Sample();
+  Rng rng(7);
+  for (int f = 0; f < 5; ++f) {
+    ASSERT_TRUE(
+        ApplyFault(FaultSpec::SensorDropout(f), many_dead, rng).ok());
+  }
+  EXPECT_EQ(RepairExperiment(many_dead).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Non-finite samples with interpolation disabled.
+  Experiment holes = Sample();
+  holes.resource.values(5, 2) = std::nan("");
+  QualityPolicy no_interp;
+  no_interp.interpolate_gaps = false;
+  EXPECT_EQ(RepairExperiment(holes, no_interp).status().code(),
+            StatusCode::kNumericalError);
+}
+
+TEST_F(QualityTest, WinsorizationIsOptIn) {
+  Experiment e = Sample();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::Outliers(0.05, 1000.0), e, rng).ok());
+  const double spiked_max = Max(e.resource.values.Col(0));
+
+  Experiment untouched = e;
+  ASSERT_TRUE(RepairExperiment(untouched).ok());  // default: no winsorize
+  EXPECT_EQ(Max(untouched.resource.values.Col(0)), spiked_max);
+
+  QualityPolicy clamp;
+  clamp.winsorize_outliers = true;
+  const auto report = RepairExperiment(e, clamp);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->features[0].outlier_count, 0u);
+  EXPECT_LT(Max(e.resource.values.Col(0)), spiked_max);
+}
+
+TEST_F(QualityTest, GateCorpusQuarantinesOnlyTheUnrepairable) {
+  ExperimentCorpus dirty = *corpus_;
+  Rng rng(7);
+  // Experiment 0: repairable (one dead sensor). Experiment 1: hopeless.
+  ASSERT_TRUE(ApplyFault(FaultSpec::SensorDropout(2), dirty[0], rng).ok());
+  dirty[1].perf.throughput_tps = std::nan("");
+
+  CorpusQualityReport report;
+  const auto kept = GateCorpus(dirty, QualityPolicy{}, &report);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->size(), dirty.size() - 1);
+  EXPECT_EQ(report.items.size(), dirty.size());
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], 1u);
+  EXPECT_EQ(report.items[1].status.code(), StatusCode::kNumericalError);
+  EXPECT_TRUE(report.items[0].status.ok());
+  EXPECT_TRUE(report.items[0].report.features[2].dropped);
+  EXPECT_NE(report.Summary().find("kept"), std::string::npos);
+}
+
+// --- pipeline graceful degradation -----------------------------------------
+
+PipelineConfig FastMtsConfig() {
+  PipelineConfig config;
+  config.selector = "fANOVA";
+  config.representation = Representation::kMts;  // resource features only,
+  config.measure = "Canb-Norm";  // so sensor faults always hit the selection
+  config.top_k = 4;  // leave unselected resource features as substitutes
+  return config;
+}
+
+TEST_F(QualityTest, FitSurvivesDirtyCorpusAndReportsQuarantine) {
+  ExperimentCorpus dirty = *corpus_;
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFault(FaultSpec::SensorDropout(1), dirty[0], rng).ok());
+  dirty[2].perf.throughput_tps = std::nan("");
+
+  PipelineConfig config;
+  config.selector = "fANOVA";
+  Pipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(dirty).ok());
+  EXPECT_TRUE(pipeline.fitted());
+  EXPECT_EQ(pipeline.fit_report().items.size(), dirty.size());
+  ASSERT_EQ(pipeline.fit_report().quarantined.size(), 1u);
+  EXPECT_EQ(pipeline.fit_report().quarantined[0], 2u);
+}
+
+TEST_F(QualityTest, PredictFallsBackWhenSelectedFeatureDies) {
+  Pipeline pipeline(FastMtsConfig());
+  ASSERT_TRUE(pipeline.Fit(*corpus_).ok());
+  ASSERT_FALSE(pipeline.selected_features().empty());
+  const size_t top = pipeline.selected_features().front();
+
+  const SimConfig sim{.duration_s = 40.0, .sample_period_s = 0.5};
+  Experiment observed = RunOne("TPC-C", MakeCpuSku(2), 8, 9, sim, 555).value();
+  const auto clean_prediction = pipeline.PredictThroughput(observed, 8);
+  ASSERT_TRUE(clean_prediction.ok());
+  EXPECT_FALSE(clean_prediction->degraded);
+
+  Rng rng(7);
+  ASSERT_TRUE(
+      ApplyFault(FaultSpec::SensorDropout(static_cast<int>(top)), observed,
+                 rng)
+          .ok());
+  const auto prediction = pipeline.PredictThroughput(observed, 8);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  EXPECT_TRUE(prediction->degraded);
+  EXPECT_TRUE(std::isfinite(prediction->throughput_tps));
+  EXPECT_GT(prediction->throughput_tps, 0.0);
+  // The dead feature is not in the effective set; a substitute refilled it.
+  EXPECT_EQ(std::count(prediction->effective_features.begin(),
+                       prediction->effective_features.end(), top),
+            0);
+  EXPECT_EQ(prediction->effective_features.size(),
+            pipeline.selected_features().size());
+}
+
+TEST_F(QualityTest, PredictRefusesWhenTelemetryIsBeyondRepair) {
+  Pipeline pipeline(FastMtsConfig());
+  ASSERT_TRUE(pipeline.Fit(*corpus_).ok());
+
+  const SimConfig sim{.duration_s = 40.0, .sample_period_s = 0.5};
+  Experiment observed = RunOne("TPC-C", MakeCpuSku(2), 8, 9, sim, 555).value();
+  Rng rng(7);
+  for (size_t f = 0; f < kNumResourceFeatures; ++f) {
+    ASSERT_TRUE(ApplyFault(FaultSpec::SensorDropout(static_cast<int>(f)),
+                           observed, rng)
+                    .ok());
+  }
+  const auto prediction = pipeline.PredictThroughput(observed, 8);
+  ASSERT_FALSE(prediction.ok());
+  EXPECT_EQ(prediction.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QualityTest, PredictRejectsCorruptObservedThroughput) {
+  Pipeline pipeline(FastMtsConfig());
+  ASSERT_TRUE(pipeline.Fit(*corpus_).ok());
+  Experiment observed = Sample();
+  observed.perf.throughput_tps = std::nan("");
+  const auto prediction = pipeline.PredictThroughput(observed, 8);
+  ASSERT_FALSE(prediction.ok());
+  EXPECT_EQ(prediction.status().code(), StatusCode::kNumericalError);
+}
+
+TEST_F(QualityTest, RankingSurvivesRepairableNoise) {
+  PipelineConfig config;
+  config.selector = "fANOVA";
+  Pipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(*corpus_).ok());
+
+  const SimConfig sim{.duration_s = 40.0, .sample_period_s = 0.5};
+  Experiment observed = RunOne("TPC-C", MakeCpuSku(2), 8, 7, sim, 999).value();
+  Rng rng(7);
+  ASSERT_TRUE(ApplyFaults({FaultSpec::Noise(0.10)}, observed, rng).ok());
+  // Poke a few NaN holes on top: the gate interpolates them away.
+  observed.resource.values(3, 0) = std::nan("");
+  observed.resource.values(9, 5) = std::nan("");
+  const auto ranked = pipeline.RankWorkloads(observed);
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  EXPECT_EQ(ranked->front().workload, "TPC-C");
+}
+
+// --- acceptance: dirty corpus on disk, end to end ---------------------------
+
+TEST_F(QualityTest, DirtyCorpusOnDiskStillFitsAndPredicts) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("wpred_quality_test_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+
+  // A good corpus on disk + one NaN-riddled experiment + one corrupt file.
+  ExperimentCorpus on_disk = *corpus_;
+  Rng rng(7);
+  ASSERT_TRUE(
+      ApplyFault(FaultSpec::SensorDropout(3), on_disk[0], rng).ok());
+  ASSERT_TRUE(WriteCorpus(on_disk, dir.string()).ok());
+  {
+    std::ofstream bad(dir / "zzzz_corrupt.wpred.csv");
+    bad << "section,key,values\nmeta,format,wpred-experiment-v1\n"
+        << "resource,0,1;2;3\n";  // wrong arity: unreadable
+  }
+
+  // Strict read aborts; lenient read loads everything loadable + a report.
+  EXPECT_FALSE(ReadCorpus(dir.string()).ok());
+  CorpusReadReport read_report;
+  const auto loaded =
+      ReadCorpus(dir.string(), {.skip_bad_files = true}, &read_report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), on_disk.size());  // NaN file parses fine
+  EXPECT_EQ(read_report.items.size(), on_disk.size() + 1);
+  EXPECT_EQ(read_report.num_skipped(), 1u);
+  EXPECT_EQ(read_report.items.back().status.code(),
+            StatusCode::kInvalidArgument);
+
+  // The NaN-riddled experiment round-tripped its NaNs...
+  EXPECT_TRUE(std::isnan((*loaded)[0].resource.values(0, 3)));
+  // ...and the pipeline still fits (gate repairs it) and predicts.
+  PipelineConfig config;
+  config.selector = "fANOVA";
+  Pipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(*loaded).ok());
+  EXPECT_TRUE(pipeline.fit_report().quarantined.empty());
+  const auto prediction = pipeline.PredictThroughput((*loaded)[1], 8);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  EXPECT_TRUE(std::isfinite(prediction->throughput_tps));
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wpred

@@ -1,0 +1,131 @@
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace wpred {
+namespace {
+
+TEST(StatusTest, DefaultAndFactoryCodes) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_EQ(Status().code(), StatusCode::kOk);
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringAndNames) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const Status status = Status::InvalidArgument("bad knob");
+  EXPECT_EQ(status.message(), "bad knob");
+  EXPECT_NE(status.ToString().find("InvalidArgument"), std::string::npos);
+  EXPECT_NE(status.ToString().find("bad knob"), std::string::npos);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError), "NumericalError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  const Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+
+  const Result<int> err(Status::NotFound("gone"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.status().message(), "gone");
+}
+
+TEST(ResultTest, MoveOnlyPayloads) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 7);          // operator-> / operator* on the pointer
+  std::unique_ptr<int> moved = std::move(result).value();
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(*moved, 7);
+}
+
+TEST(ResultDeathTest, ValueOnErrorIsACheckedProgrammerError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Result<int> err(Status::NumericalError("diverged"));
+  EXPECT_DEATH((void)err.value(), "Result::value\\(\\) on error");
+  EXPECT_DEATH((void)*err, "NumericalError");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusIsChecked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Result<int>(Status::OK()),
+               "Result constructed from OK status");
+}
+
+// --- macro propagation ------------------------------------------------------
+
+Status FailsWhen(bool fail) {
+  if (fail) return Status::IoError("disk on fire");
+  return Status::OK();
+}
+
+Status PropagatesVia(bool fail, bool* reached_end) {
+  WPRED_RETURN_IF_ERROR(FailsWhen(fail));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagatesAndFallsThrough) {
+  bool reached = false;
+  const Status failed = PropagatesVia(true, &reached);
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_FALSE(reached);
+
+  const Status passed = PropagatesVia(false, &reached);
+  EXPECT_TRUE(passed.ok());
+  EXPECT_TRUE(reached);
+}
+
+Result<std::unique_ptr<std::string>> MakeGreeting(bool fail) {
+  if (fail) return Status::FailedPrecondition("not ready");
+  return std::make_unique<std::string>("hello");
+}
+
+Result<size_t> GreetingLength(bool fail) {
+  WPRED_ASSIGN_OR_RETURN(const std::unique_ptr<std::string> greeting,
+                         MakeGreeting(fail));
+  return greeting->size();
+}
+
+TEST(StatusMacroTest, AssignOrReturnMovesValueAndPropagatesError) {
+  const Result<size_t> length = GreetingLength(false);
+  ASSERT_TRUE(length.ok());
+  EXPECT_EQ(length.value(), 5u);
+
+  const Result<size_t> failed = GreetingLength(true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(failed.status().message(), "not ready");
+}
+
+Result<int> TwoAssignsInOneFunction() {
+  // The line-based name mangling must allow several uses per function.
+  WPRED_ASSIGN_OR_RETURN(const int a, Result<int>(20));
+  WPRED_ASSIGN_OR_RETURN(const int b, Result<int>(22));
+  return a + b;
+}
+
+TEST(StatusMacroTest, MultipleAssignsPerFunction) {
+  const Result<int> sum = TwoAssignsInOneFunction();
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value(), 42);
+}
+
+}  // namespace
+}  // namespace wpred
