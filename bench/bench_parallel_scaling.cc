@@ -1,0 +1,117 @@
+// Micro-bench for the deterministic parallel substrate: wall-clock speedup
+// of the O(n²) pairwise Independent-DTW distance matrix and of random-forest
+// fitting at threads=1 vs threads=N, with a byte-identity check on every
+// parallel result. The determinism contract (common/parallel.h) says the
+// speedup must come for free: identical bits, fewer seconds.
+//
+// Shape to check: near-linear scaling of pairwise DTW up to the physical
+// core count (the cells are independent and compute-bound); >= 3x at 8
+// threads on an 8-core host. On fewer cores the ratio degrades toward 1x —
+// the "threads" column tells you what the host allowed.
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "ml/random_forest.h"
+#include "similarity/measures.h"
+#include "telemetry/subsample.h"
+
+namespace wpred::bench {
+namespace {
+
+double Seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool BytesEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+void Run() {
+  Banner("parallel scaling - pairwise DTW + random forest",
+         "throughput of the similarity/training stage is a first-class "
+         "concern in production load prediction (Seagull, Sibyl)");
+  std::printf("host hardware threads: %d (WPRED_THREADS overrides)\n\n",
+              DefaultNumThreads());
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "Twitter"};
+  config.skus = {MakeCpuSku(16)};
+  config.terminals = {4, 8, 32};
+  config.runs = 2;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const ExperimentCorpus subs = RequireOk(SubsampleCorpus(corpus, 8), "subs");
+  const std::vector<size_t> features = {0, 1, 2};
+
+  TablePrinter table({"stage", "threads", "seconds", "speedup", "identical"});
+
+  // Pairwise Independent-DTW: n*(n-1)/2 cells, each an O(m²) alignment.
+  Matrix serial_dtw;
+  const double t_serial = Seconds([&] {
+    serial_dtw = RequireOk(
+        PairwiseDistances(subs, Representation::kMts, "Independent-DTW",
+                          features, /*num_threads=*/1),
+        "serial pairwise");
+  });
+  table.AddRow({"pairwise Independent-DTW", "1", F3(t_serial), "1.0", "-"});
+  for (const int threads : {2, 4, 8}) {
+    Matrix parallel_dtw;
+    const double t = Seconds([&] {
+      parallel_dtw = RequireOk(
+          PairwiseDistances(subs, Representation::kMts, "Independent-DTW",
+                            features, threads),
+          "parallel pairwise");
+    });
+    table.AddRow({"", StrFormat("%d", threads), F3(t), F1(t_serial / t),
+                  BytesEqual(serial_dtw, parallel_dtw) ? "yes" : "NO"});
+  }
+  table.AddSeparator();
+
+  // Random-forest fitting: one independent CART build per tree.
+  Matrix x(400, 8);
+  Vector y(400);
+  Rng rng(31);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) x(i, j) = rng.Uniform(-2, 2);
+    y[i] = x(i, 0) * x(i, 1) + std::sin(x(i, 2)) + rng.Gaussian(0, 0.2);
+  }
+  ForestParams fp;
+  fp.num_trees = 160;
+  fp.num_threads = 1;
+  RandomForestRegressor serial_forest(fp);
+  const double f_serial =
+      Seconds([&] { Require(serial_forest.Fit(x, y), "serial forest"); });
+  const Vector serial_imp = serial_forest.FeatureImportances().value();
+  table.AddRow({"random-forest fit (160 trees)", "1", F3(f_serial), "1.0",
+                "-"});
+  for (const int threads : {2, 4, 8}) {
+    fp.num_threads = threads;
+    RandomForestRegressor forest(fp);
+    const double t =
+        Seconds([&] { Require(forest.Fit(x, y), "parallel forest"); });
+    const Vector imp = forest.FeatureImportances().value();
+    const bool identical =
+        std::memcmp(serial_imp.data(), imp.data(),
+                    imp.size() * sizeof(double)) == 0;
+    table.AddRow({"", StrFormat("%d", threads), F3(t), F1(f_serial / t),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nEvery 'identical' cell must read yes: the substrate's\n"
+              "contract is bit-identical output at any thread count.\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main() { wpred::bench::Run(); }

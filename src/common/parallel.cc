@@ -1,0 +1,215 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace wpred {
+namespace {
+
+std::atomic<bool> g_shared_created{false};
+std::atomic<int> g_default_override{0};  // 0 = no override
+
+thread_local int tl_parallel_depth = 0;
+
+int EnvDefaultThreads() {
+  if (const char* env = std::getenv("WPRED_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, ThreadPool::kMaxWorkers));
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(
+                           std::min<unsigned>(hc, ThreadPool::kMaxWorkers));
+}
+
+}  // namespace
+
+int DefaultNumThreads() {
+  const int override = g_default_override.load(std::memory_order_relaxed);
+  if (override >= 1) return override;
+  static const int env_default = EnvDefaultThreads();
+  return env_default;
+}
+
+void SetDefaultNumThreads(int n) {
+  g_default_override.store(
+      n < 1 ? 0 : std::min(n, ThreadPool::kMaxWorkers),
+      std::memory_order_relaxed);
+}
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads < 1) return DefaultNumThreads();
+  return std::min(num_threads, ThreadPool::kMaxWorkers);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    g_shared_created.store(true, std::memory_order_release);
+    // Leaked on purpose: worker threads may still be parked in WorkerLoop at
+    // static-destruction time; joining there can deadlock with atexit order.
+    return new ThreadPool();
+  }();
+  return *pool;
+}
+
+bool ThreadPool::SharedCreated() {
+  return g_shared_created.load(std::memory_order_acquire);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  count = std::min(count, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < count) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_executed_;
+    }
+    task();
+  }
+}
+
+namespace parallel_internal {
+
+bool InParallelRegion() { return tl_parallel_depth > 0; }
+
+}  // namespace parallel_internal
+
+namespace {
+
+struct ChunkOutcome {
+  Status status;
+  size_t error_index = 0;
+  bool failed = false;
+};
+
+// Iterates one contiguous chunk in index order, bailing out (draining) as
+// soon as any chunk has recorded a failure. The first iteration always runs
+// even if a sibling already failed: that pins the reported error for a
+// failure at a chunk boundary (index 0 in particular) regardless of how the
+// chunks were scheduled.
+void RunChunk(size_t lo, size_t hi, const std::function<Status(size_t)>& fn,
+              std::atomic<bool>& abort, ChunkOutcome& outcome) {
+  ++tl_parallel_depth;
+  for (size_t i = lo; i < hi; ++i) {
+    if (i != lo && abort.load(std::memory_order_relaxed)) break;
+    Status st = fn(i);
+    if (!st.ok()) {
+      outcome.status = std::move(st);
+      outcome.error_index = i;
+      outcome.failed = true;
+      abort.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  --tl_parallel_depth;
+}
+
+Status SerialFor(size_t n, const std::function<Status(size_t)>& fn) {
+  ++tl_parallel_depth;
+  Status result = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    result = fn(i);
+    if (!result.ok()) break;
+  }
+  --tl_parallel_depth;
+  return result;
+}
+
+}  // namespace
+
+Status ParallelFor(size_t n, int num_threads,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  const size_t threads = static_cast<size_t>(ResolveNumThreads(num_threads));
+  const size_t chunks = std::min(threads, n);
+  // Serial fallback: one thread, or already inside a parallel region (nested
+  // parallelism would oversubscribe and gains nothing with static chunks).
+  // Touches no thread-pool code whatsoever.
+  if (chunks <= 1 || parallel_internal::InParallelRegion()) {
+    return SerialFor(n, fn);
+  }
+
+  ThreadPool& pool = ThreadPool::Shared();
+  pool.EnsureWorkers(static_cast<int>(chunks) - 1);
+
+  std::vector<ChunkOutcome> outcomes(chunks);
+  std::atomic<bool> abort{false};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = chunks - 1;
+
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t lo = c * n / chunks;
+    const size_t hi = (c + 1) * n / chunks;
+    pool.Submit([&, lo, hi, c] {
+      RunChunk(lo, hi, fn, abort, outcomes[c]);
+      // Notify while holding the lock: done_cv lives on the caller's stack,
+      // and the caller may return (destroying it) the moment it observes
+      // pending == 0 — which it cannot do before this unlock completes.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --pending;
+      done_cv.notify_one();
+    });
+  }
+  // The calling thread owns chunk 0 rather than idling on the join.
+  RunChunk(0, n / chunks, fn, abort, outcomes[0]);
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+  }
+
+  // Lowest-index error wins: scanning chunk outcomes in order yields the
+  // smallest failed index because chunks are contiguous and ascending.
+  for (ChunkOutcome& outcome : outcomes) {
+    if (outcome.failed) return std::move(outcome.status);
+  }
+  return Status::OK();
+}
+
+Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn) {
+  return ParallelFor(n, /*num_threads=*/0, fn);
+}
+
+}  // namespace wpred

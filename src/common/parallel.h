@@ -1,0 +1,124 @@
+#ifndef WPRED_COMMON_PARALLEL_H_
+#define WPRED_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+// Deterministic parallel-for substrate for the similarity and ML hot paths.
+//
+// The contract every caller relies on: outputs are **bit-identical to the
+// serial path at any thread count**. Three rules make that hold:
+//   1. Static chunking — [0, n) is split into at most `num_threads`
+//      contiguous chunks decided purely by (n, num_threads); no work
+//      stealing, no dynamic scheduling.
+//   2. Slot-indexed writes — every iteration writes only state owned by its
+//      index (a preallocated matrix cell, tree slot, fold slot); reductions
+//      happen after the join, in index order.
+//   3. Per-index RNG — stochastic iterations derive their stream with
+//      `Rng::Fork(tag)` from a tag that depends only on the index, never on
+//      the executing thread or on draws made by sibling iterations.
+//
+// `threads <= 1` (and any nested ParallelFor) runs the loop inline on the
+// calling thread and touches zero thread-pool code paths.
+
+namespace wpred {
+
+/// Process-wide default worker count: the WPRED_THREADS environment variable
+/// when set to a positive integer, otherwise std::thread::hardware_concurrency
+/// (minimum 1). Cached on first call.
+int DefaultNumThreads();
+
+/// Overrides DefaultNumThreads() for the rest of the process (tests, CLI
+/// flags). `n < 1` resets to the environment-derived default.
+void SetDefaultNumThreads(int n);
+
+/// Resolves a per-call thread-count knob: values < 1 mean "use the process
+/// default"; the result is always >= 1.
+int ResolveNumThreads(int num_threads);
+
+/// Lazily-created shared worker pool. Callers never use this directly —
+/// ParallelFor/ParallelMap are the API — but tests assert on its counters to
+/// prove the serial fallback stays off the pool entirely.
+class ThreadPool {
+ public:
+  /// The shared pool, created on first use.
+  static ThreadPool& Shared();
+  /// True once Shared() has been called anywhere in the process. The serial
+  /// fallback must never flip this.
+  static bool SharedCreated();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Grows the worker set so at least `count` workers exist (grow-only,
+  /// capped at kMaxWorkers).
+  void EnsureWorkers(int count);
+
+  /// Enqueues a task; never blocks. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  int workers() const;
+  /// Total tasks ever executed by pool workers (test observability).
+  uint64_t tasks_executed() const;
+
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  ThreadPool() = default;
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+  uint64_t tasks_executed_ = 0;
+};
+
+namespace parallel_internal {
+
+/// True while the current thread is executing a ParallelFor chunk (worker or
+/// caller). Nested ParallelFor calls detect this and run inline.
+bool InParallelRegion();
+
+}  // namespace parallel_internal
+
+/// Runs fn(i) for every i in [0, n) across at most `num_threads` statically
+/// chunked workers (chunk 0 runs on the calling thread). Returns OK when all
+/// iterations succeed. On failure, remaining iterations are drained (skipped,
+/// never cancelled mid-call) and the error with the lowest iteration index
+/// among those that ran is returned; with threads <= 1 this is exactly the
+/// first error in iteration order.
+///
+/// `num_threads < 1` means DefaultNumThreads(). fn must confine its writes to
+/// state owned by index i and must not throw.
+Status ParallelFor(size_t n, int num_threads,
+                   const std::function<Status(size_t)>& fn);
+
+/// ParallelFor with the process-default thread count.
+Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+/// Maps fn : index -> Result<T> over [0, n) into a preallocated vector with
+/// slot-indexed writes (ParallelFor's determinism and error semantics).
+template <typename T, typename Fn>
+Result<std::vector<T>> ParallelMap(size_t n, int num_threads, Fn&& fn) {
+  std::vector<T> out(n);
+  Status st = ParallelFor(n, num_threads, [&](size_t i) -> Status {
+    WPRED_ASSIGN_OR_RETURN(out[i], fn(i));
+    return Status::OK();
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_PARALLEL_H_

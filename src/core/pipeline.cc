@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "featsel/registry.h"
 #include "similarity/measures.h"
@@ -43,6 +44,7 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
       BuildAggregateObservations(gated, config_.subsamples));
   WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
                          CreateSelector(config_.selector));
+  selector->set_num_threads(config_.num_threads);
   WPRED_ASSIGN_OR_RETURN(Vector scores,
                          selector->ScoreFeatures(aggregates.x,
                                                  aggregates.labels));
@@ -71,13 +73,17 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
   // Stage 2: similarity machinery — shared normalisation + reference
   // representations.
   ctx_ = ComputeNormalization(gated);
-  reference_reps_.clear();
+  WPRED_ASSIGN_OR_RETURN(
+      reference_reps_,
+      ParallelMap<Matrix>(gated.size(), config_.num_threads,
+                          [&](size_t i) -> Result<Matrix> {
+                            return BuildRepresentation(config_.representation,
+                                                       gated[i],
+                                                       selected_features_,
+                                                       ctx_);
+                          }));
   reference_workloads_.clear();
   for (const Experiment& e : gated.experiments()) {
-    WPRED_ASSIGN_OR_RETURN(
-        Matrix rep, BuildRepresentation(config_.representation, e,
-                                        selected_features_, ctx_));
-    reference_reps_.push_back(std::move(rep));
     reference_workloads_.push_back(e.workload);
   }
 
@@ -174,24 +180,31 @@ Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
   std::vector<Matrix> rebuilt;
   const std::vector<Matrix>* references = &reference_reps_;
   if (observation.degraded) {
-    rebuilt.reserve(reference_corpus_.size());
-    for (const Experiment& e : reference_corpus_.experiments()) {
-      WPRED_ASSIGN_OR_RETURN(
-          Matrix reference_rep,
-          BuildRepresentation(config_.representation, e, observation.features,
-                              ctx_));
-      rebuilt.push_back(std::move(reference_rep));
-    }
+    WPRED_ASSIGN_OR_RETURN(
+        rebuilt,
+        ParallelMap<Matrix>(reference_corpus_.size(), config_.num_threads,
+                            [&](size_t i) -> Result<Matrix> {
+                              return BuildRepresentation(
+                                  config_.representation, reference_corpus_[i],
+                                  observation.features, ctx_);
+                            }));
     references = &rebuilt;
   }
 
+  // Distances compute in parallel into per-reference slots; the per-workload
+  // aggregation below runs after the join in reference order, keeping the
+  // ranking bit-identical at any thread count.
+  WPRED_ASSIGN_OR_RETURN(
+      Vector distances,
+      ParallelMap<double>(references->size(), config_.num_threads,
+                          [&](size_t i) -> Result<double> {
+                            return MeasureDistance(config_.measure, rep,
+                                                   (*references)[i]);
+                          }));
   std::map<std::string, std::pair<double, size_t>> totals;  // sum, count
-  for (size_t i = 0; i < references->size(); ++i) {
-    WPRED_ASSIGN_OR_RETURN(
-        const double d,
-        MeasureDistance(config_.measure, rep, (*references)[i]));
+  for (size_t i = 0; i < distances.size(); ++i) {
     auto& [sum, count] = totals[reference_workloads_[i]];
-    sum += d;
+    sum += distances[i];
     count += 1;
   }
   std::vector<WorkloadDistance> ranked;

@@ -30,6 +30,11 @@ struct PipelineConfig {
   ModelContext context = ModelContext::kPairwise;
   /// Sub-experiments per experiment for feature selection / augmentation.
   size_t subsamples = 10;
+  /// Worker threads for the parallel stages (wrapper feature selection,
+  /// reference-representation building, similarity ranking); < 1 means the
+  /// process default (WPRED_THREADS env var, else hardware concurrency), 1
+  /// forces the serial path. Results are bit-identical at any setting.
+  int num_threads = 0;
   /// Run the data-quality gate: Fit() repairs or quarantines dirty
   /// reference experiments; prediction repairs observed telemetry and falls
   /// back to the next-ranked healthy features when a selected feature's

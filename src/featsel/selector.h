@@ -29,6 +29,17 @@ class FeatureSelector {
 
   virtual Result<Vector> ScoreFeatures(const Matrix& x,
                                        const std::vector<int>& y) = 0;
+
+  /// Worker threads for strategies with parallelizable inner loops (the
+  /// wrapper selectors' per-candidate scoring); < 1 means the process
+  /// default (WPRED_THREADS), 1 forces the serial path. Scores are
+  /// bit-identical at any thread count; strategies without such loops
+  /// ignore the knob.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+  int num_threads() const { return num_threads_; }
+
+ private:
+  int num_threads_ = 0;
 };
 
 namespace featsel_internal {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "linalg/stats.h"
 #include "ml/cross_validation.h"
@@ -42,39 +43,52 @@ Result<Vector> EstimatorImportances(WrapperEstimator estimator, const Matrix& x,
 }
 
 // Cross-validated subset score: accuracy for classifiers, R² for the linear
-// probability model. Higher is better.
+// probability model. Higher is better. Folds score into their own slot and
+// reduce in fold order, so the score is bit-identical at any thread count.
 Result<double> CvSubsetScore(WrapperEstimator estimator, const Matrix& x,
-                             const std::vector<int>& y, int folds) {
+                             const std::vector<int>& y, int folds,
+                             int num_threads) {
   Rng rng(kCvSeed);
   WPRED_ASSIGN_OR_RETURN(std::vector<FoldSplit> splits,
                          KFoldSplits(x.rows(), folds, rng));
-  double total = 0.0;
-  for (const FoldSplit& split : splits) {
-    const Matrix x_train = x.SelectRows(split.train);
-    const Matrix x_test = x.SelectRows(split.test);
-    std::vector<int> y_train(split.train.size());
-    std::vector<int> y_test(split.test.size());
-    for (size_t i = 0; i < split.train.size(); ++i) y_train[i] = y[split.train[i]];
-    for (size_t i = 0; i < split.test.size(); ++i) y_test[i] = y[split.test[i]];
+  WPRED_ASSIGN_OR_RETURN(
+      Vector fold_scores,
+      ParallelMap<double>(
+          splits.size(), num_threads, [&](size_t f) -> Result<double> {
+            const FoldSplit& split = splits[f];
+            const Matrix x_train = x.SelectRows(split.train);
+            const Matrix x_test = x.SelectRows(split.test);
+            std::vector<int> y_train(split.train.size());
+            std::vector<int> y_test(split.test.size());
+            for (size_t i = 0; i < split.train.size(); ++i) {
+              y_train[i] = y[split.train[i]];
+            }
+            for (size_t i = 0; i < split.test.size(); ++i) {
+              y_test[i] = y[split.test[i]];
+            }
 
-    if (estimator == WrapperEstimator::kLinear) {
-      LinearRegression model;
-      WPRED_RETURN_IF_ERROR(model.Fit(x_train, Vector(y_train.begin(),
-                                                      y_train.end())));
-      WPRED_ASSIGN_OR_RETURN(Vector pred, model.PredictBatch(x_test));
-      total += R2(Vector(y_test.begin(), y_test.end()), pred);
-    } else if (estimator == WrapperEstimator::kDecisionTree) {
-      DecisionTreeClassifier model;
-      WPRED_RETURN_IF_ERROR(model.Fit(x_train, y_train));
-      WPRED_ASSIGN_OR_RETURN(std::vector<int> pred, model.PredictBatch(x_test));
-      total += Accuracy(y_test, pred);
-    } else {
-      LogisticRegression model(1e-3, kLogRegIters);
-      WPRED_RETURN_IF_ERROR(model.Fit(x_train, y_train));
-      WPRED_ASSIGN_OR_RETURN(std::vector<int> pred, model.PredictBatch(x_test));
-      total += Accuracy(y_test, pred);
-    }
-  }
+            if (estimator == WrapperEstimator::kLinear) {
+              LinearRegression model;
+              WPRED_RETURN_IF_ERROR(
+                  model.Fit(x_train, Vector(y_train.begin(), y_train.end())));
+              WPRED_ASSIGN_OR_RETURN(Vector pred, model.PredictBatch(x_test));
+              return R2(Vector(y_test.begin(), y_test.end()), pred);
+            }
+            if (estimator == WrapperEstimator::kDecisionTree) {
+              DecisionTreeClassifier model;
+              WPRED_RETURN_IF_ERROR(model.Fit(x_train, y_train));
+              WPRED_ASSIGN_OR_RETURN(std::vector<int> pred,
+                                     model.PredictBatch(x_test));
+              return Accuracy(y_test, pred);
+            }
+            LogisticRegression model(1e-3, kLogRegIters);
+            WPRED_RETURN_IF_ERROR(model.Fit(x_train, y_train));
+            WPRED_ASSIGN_OR_RETURN(std::vector<int> pred,
+                                   model.PredictBatch(x_test));
+            return Accuracy(y_test, pred);
+          }));
+  double total = 0.0;
+  for (const double s : fold_scores) total += s;
   return total / folds;
 }
 
@@ -149,16 +163,25 @@ Result<Vector> SfsSelector::ScoreFeatures(const Matrix& x,
     std::iota(remaining.begin(), remaining.end(), 0);
     int next_rank = 1;
     while (!remaining.empty()) {
+      // Candidates score concurrently into their own slot; the argmax scans
+      // in candidate order with a strict '>', so ties resolve to the lowest
+      // position exactly as the serial loop did.
+      WPRED_ASSIGN_OR_RETURN(
+          Vector scores,
+          ParallelMap<double>(remaining.size(), num_threads(),
+                              [&](size_t pos) -> Result<double> {
+                                std::vector<size_t> candidate = selected;
+                                candidate.push_back(remaining[pos]);
+                                return CvSubsetScore(estimator_,
+                                                     xs.SelectCols(candidate),
+                                                     y, cv_folds_,
+                                                     num_threads());
+                              }));
       double best_score = -1e300;
       size_t best_pos = 0;
-      for (size_t pos = 0; pos < remaining.size(); ++pos) {
-        std::vector<size_t> candidate = selected;
-        candidate.push_back(remaining[pos]);
-        WPRED_ASSIGN_OR_RETURN(
-            const double score,
-            CvSubsetScore(estimator_, xs.SelectCols(candidate), y, cv_folds_));
-        if (score > best_score) {
-          best_score = score;
+      for (size_t pos = 0; pos < scores.size(); ++pos) {
+        if (scores[pos] > best_score) {
+          best_score = scores[pos];
           best_pos = pos;
         }
       }
@@ -171,16 +194,23 @@ Result<Vector> SfsSelector::ScoreFeatures(const Matrix& x,
     std::iota(selected.begin(), selected.end(), 0);
     int worst_rank = static_cast<int>(p);
     while (selected.size() > 1) {
+      WPRED_ASSIGN_OR_RETURN(
+          Vector scores,
+          ParallelMap<double>(selected.size(), num_threads(),
+                              [&](size_t pos) -> Result<double> {
+                                std::vector<size_t> candidate = selected;
+                                candidate.erase(candidate.begin() +
+                                                static_cast<long>(pos));
+                                return CvSubsetScore(estimator_,
+                                                     xs.SelectCols(candidate),
+                                                     y, cv_folds_,
+                                                     num_threads());
+                              }));
       double best_score = -1e300;
       size_t drop_pos = 0;
-      for (size_t pos = 0; pos < selected.size(); ++pos) {
-        std::vector<size_t> candidate = selected;
-        candidate.erase(candidate.begin() + static_cast<long>(pos));
-        WPRED_ASSIGN_OR_RETURN(
-            const double score,
-            CvSubsetScore(estimator_, xs.SelectCols(candidate), y, cv_folds_));
-        if (score > best_score) {
-          best_score = score;
+      for (size_t pos = 0; pos < scores.size(); ++pos) {
+        if (scores[pos] > best_score) {
+          best_score = scores[pos];
           drop_pos = pos;
         }
       }

@@ -34,10 +34,17 @@ struct CrossValResult {
 /// k-fold cross-validation of a regression model built per fold by
 /// `factory`. The paper evaluates every scaling strategy this way (5-fold,
 /// NRMSE; Table 6).
+///
+/// Folds are evaluated on the shared pool (common/parallel.h): the split
+/// consumes `rng` before any parallel work, each fold fits its own model
+/// into its own slot, and scores reduce in fold order, so results are
+/// bit-identical at any thread count. `factory` and `metric` must be safe to
+/// invoke concurrently (stateless lambdas are). `num_threads < 1` means the
+/// process default (WPRED_THREADS); 1 forces the serial path.
 Result<CrossValResult> CrossValidateRegressor(
     const std::function<std::unique_ptr<Regressor>()>& factory,
     const Matrix& x, const Vector& y, int k, const RegressionMetric& metric,
-    Rng& rng);
+    Rng& rng, int num_threads = 0);
 
 }  // namespace wpred
 

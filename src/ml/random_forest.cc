@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace wpred {
@@ -54,15 +55,25 @@ Status RandomForestRegressor::Fit(const Matrix& x, const Vector& y) {
           ? params_.max_features
           : std::max<size_t>(1, x.cols() / 3);
 
-  Rng rng(params_.seed);
-  trees_.reserve(params_.num_trees);
-  for (int t = 0; t < params_.num_trees; ++t) {
-    Rng tree_rng = rng.Fork(static_cast<uint64_t>(t));
-    tree_params.seed = tree_rng.seed();
-    const std::vector<size_t> sample = BootstrapSample(x.rows(), tree_rng);
-    trees_.push_back(internal::BuildTree(x, y, /*classification=*/false, 0,
-                                         tree_params, sample));
-  }
+  // Each tree forks two independent streams off the forest seed: tag 2t for
+  // the bootstrap row draws, tag 2t+1 for the tree's internal feature
+  // subsampling. (Sharing one stream for both replays identical draws and
+  // correlates bagging with split selection.) Tags depend only on t, so
+  // parallel fitting into preallocated slots stays bit-identical to serial.
+  const Rng rng(params_.seed);
+  trees_.resize(static_cast<size_t>(params_.num_trees));
+  WPRED_RETURN_IF_ERROR(ParallelFor(
+      static_cast<size_t>(params_.num_trees), params_.num_threads,
+      [&](size_t t) -> Status {
+        TreeParams tp = tree_params;
+        Rng bootstrap_rng = rng.Fork(2 * t);
+        tp.seed = rng.Fork(2 * t + 1).seed();
+        const std::vector<size_t> sample =
+            BootstrapSample(x.rows(), bootstrap_rng);
+        trees_[t] = internal::BuildTree(x, y, /*classification=*/false, 0, tp,
+                                        sample);
+        return Status::OK();
+      }));
   return Status::OK();
 }
 
@@ -103,15 +114,21 @@ Status RandomForestClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
                                     static_cast<double>(x.cols()))));
 
   const Vector y_double(y.begin(), y.end());
-  Rng rng(params_.seed);
-  trees_.reserve(params_.num_trees);
-  for (int t = 0; t < params_.num_trees; ++t) {
-    Rng tree_rng = rng.Fork(static_cast<uint64_t>(t));
-    tree_params.seed = tree_rng.seed();
-    const std::vector<size_t> sample = BootstrapSample(x.rows(), tree_rng);
-    trees_.push_back(internal::BuildTree(x, y_double, /*classification=*/true,
-                                         num_classes_, tree_params, sample));
-  }
+  // Same two-stream forking discipline as the regressor (see above).
+  const Rng rng(params_.seed);
+  trees_.resize(static_cast<size_t>(params_.num_trees));
+  WPRED_RETURN_IF_ERROR(ParallelFor(
+      static_cast<size_t>(params_.num_trees), params_.num_threads,
+      [&](size_t t) -> Status {
+        TreeParams tp = tree_params;
+        Rng bootstrap_rng = rng.Fork(2 * t);
+        tp.seed = rng.Fork(2 * t + 1).seed();
+        const std::vector<size_t> sample =
+            BootstrapSample(x.rows(), bootstrap_rng);
+        trees_[t] = internal::BuildTree(x, y_double, /*classification=*/true,
+                                        num_classes_, tp, sample);
+        return Status::OK();
+      }));
   return Status::OK();
 }
 

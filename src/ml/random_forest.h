@@ -17,6 +17,11 @@ struct ForestParams {
   /// regression (the usual defaults).
   size_t max_features = 0;
   uint64_t seed = 17;
+  /// Worker threads for per-tree fitting; < 1 means the process default
+  /// (WPRED_THREADS), 1 forces the serial path. Every tree derives its RNG
+  /// streams from `seed` and its own index, so the fitted forest is
+  /// bit-identical at any thread count.
+  int num_threads = 0;
 };
 
 /// Bagged CART regression forest with feature subsampling. Importances are

@@ -13,8 +13,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 template <typename CostFn>
 Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
   if (m == 0 || n == 0) return Status::InvalidArgument("empty series");
+  // Sakoe-Chiba band centered on the diagonal. For unequal lengths the band
+  // must be at least |m - n| wide or the endpoint (m, n) is unreachable —
+  // the standard adjustment, so windowed DTW stays well-defined whenever the
+  // window admits the (stretched) diagonal.
+  const size_t len_diff = m > n ? m - n : n - m;
   const size_t band =
-      window > 0 ? static_cast<size_t>(window)
+      window > 0 ? std::max(static_cast<size_t>(window), len_diff)
                  : std::max(m, n);  // unbounded
   std::vector<double> prev(n + 1, kInf);
   std::vector<double> curr(n + 1, kInf);
@@ -71,7 +76,10 @@ Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
                            DtwDistance(a.Col(f), b.Col(f), window));
     total += d;
   }
-  return total;
+  // Mean over features, matching IndependentLcssDistance, so the two
+  // "Independent" measures scale the same way as the selected-feature count
+  // varies across ablations.
+  return total / static_cast<double>(a.cols());
 }
 
 }  // namespace wpred

@@ -8,7 +8,9 @@ namespace wpred {
 
 /// Univariate Dynamic Time Warping (Sakoe-Chiba): returns the square root
 /// of the minimal accumulated squared difference along a monotone alignment
-/// path. `window` bounds |i − j| (Sakoe-Chiba band); <= 0 means unbounded.
+/// path. `window` bounds |i − j| (Sakoe-Chiba band, widened to at least the
+/// length difference so unequal-length series stay alignable); <= 0 means
+/// unbounded.
 Result<double> DtwDistance(const Vector& a, const Vector& b, int window = 0);
 
 /// Dependent multivariate DTW (Shokoohi-Yekta et al.): one alignment over
@@ -18,8 +20,10 @@ Result<double> DtwDistance(const Vector& a, const Vector& b, int window = 0);
 Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
                                     int window = 0);
 
-/// Independent multivariate DTW: sum of univariate DTW distances per
-/// dimension (each dimension aligns on its own).
+/// Independent multivariate DTW: mean of univariate DTW distances per
+/// dimension (each dimension aligns on its own). Averaging matches
+/// IndependentLcssDistance so both "Independent" measures are invariant to
+/// the size of the selected-feature set.
 Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
                                       int window = 0);
 

@@ -1,5 +1,8 @@
 #include "similarity/measures.h"
 
+#include <utility>
+
+#include "common/parallel.h"
 #include "similarity/dtw.h"
 #include "similarity/lcss.h"
 #include "similarity/norms.h"
@@ -44,35 +47,45 @@ std::vector<std::string> MtsOnlyMeasureNames() {
 Result<Matrix> PairwiseDistances(const ExperimentCorpus& corpus,
                                  Representation representation,
                                  const std::string& measure,
-                                 const std::vector<size_t>& features) {
+                                 const std::vector<size_t>& features,
+                                 int num_threads) {
   const NormalizationContext ctx = ComputeNormalization(corpus);
   return PairwiseDistancesWithContext(corpus, representation, measure,
-                                      features, ctx);
+                                      features, ctx, num_threads);
 }
 
 Result<Matrix> PairwiseDistancesWithContext(
     const ExperimentCorpus& corpus, Representation representation,
     const std::string& measure, const std::vector<size_t>& features,
-    const NormalizationContext& ctx) {
-  if (corpus.size() < 2) {
+    const NormalizationContext& ctx, int num_threads) {
+  const size_t n = corpus.size();
+  if (n < 2) {
     return Status::InvalidArgument("need at least two experiments");
   }
-  std::vector<Matrix> reps;
-  reps.reserve(corpus.size());
-  for (const Experiment& e : corpus.experiments()) {
-    WPRED_ASSIGN_OR_RETURN(Matrix rep,
-                           BuildRepresentation(representation, e, features, ctx));
-    reps.push_back(std::move(rep));
+  WPRED_ASSIGN_OR_RETURN(
+      std::vector<Matrix> reps,
+      ParallelMap<Matrix>(n, num_threads, [&](size_t i) -> Result<Matrix> {
+        return BuildRepresentation(representation, corpus[i], features, ctx);
+      }));
+
+  // Upper-triangle pairs flattened so each task owns exactly one (i, j) cell
+  // pair; both mirror slots are preallocated, making writes race-free and
+  // the result independent of scheduling.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
   }
-  Matrix distances(corpus.size(), corpus.size());
-  for (size_t i = 0; i < corpus.size(); ++i) {
-    for (size_t j = i + 1; j < corpus.size(); ++j) {
-      WPRED_ASSIGN_OR_RETURN(const double d,
-                             MeasureDistance(measure, reps[i], reps[j]));
-      distances(i, j) = d;
-      distances(j, i) = d;
-    }
-  }
+  Matrix distances(n, n);
+  WPRED_RETURN_IF_ERROR(
+      ParallelFor(pairs.size(), num_threads, [&](size_t p) -> Status {
+        const auto [i, j] = pairs[p];
+        WPRED_ASSIGN_OR_RETURN(const double d,
+                               MeasureDistance(measure, reps[i], reps[j]));
+        distances(i, j) = d;
+        distances(j, i) = d;
+        return Status::OK();
+      }));
   return distances;
 }
 

@@ -28,10 +28,16 @@ std::vector<std::string> MtsOnlyMeasureNames();
 /// Pairwise distance matrix over a corpus under one representation +
 /// measure + feature subset (shared normalisation computed from the corpus
 /// itself). Entry (i, j) is the distance between experiments i and j.
+///
+/// The O(n²) cell computation runs on the shared pool (common/parallel.h)
+/// with each (i, j) pair writing its own preallocated slot, so the matrix is
+/// bit-identical at any thread count. `num_threads < 1` means the process
+/// default (WPRED_THREADS); 1 forces the serial path.
 Result<Matrix> PairwiseDistances(const ExperimentCorpus& corpus,
                                  Representation representation,
                                  const std::string& measure,
-                                 const std::vector<size_t>& features);
+                                 const std::vector<size_t>& features,
+                                 int num_threads = 0);
 
 /// Same, but with an explicit normalisation context (e.g. shared with
 /// experiments outside this corpus).
@@ -39,7 +45,8 @@ Result<Matrix> PairwiseDistancesWithContext(const ExperimentCorpus& corpus,
                                             Representation representation,
                                             const std::string& measure,
                                             const std::vector<size_t>& features,
-                                            const NormalizationContext& ctx);
+                                            const NormalizationContext& ctx,
+                                            int num_threads = 0);
 
 }  // namespace wpred
 

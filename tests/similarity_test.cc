@@ -89,9 +89,29 @@ TEST(DtwTest, WindowConstraint) {
   const Vector a{0, 1, 2, 3, 4, 5, 6, 7};
   // Band of 1 still admits the diagonal.
   EXPECT_TRUE(DtwDistance(a, a, 1).ok());
-  // Too-narrow band for very different lengths errors out.
+  // A narrow window on very different lengths widens to the length
+  // difference (the standard Sakoe-Chiba adjustment) instead of erroring.
   const Vector shorty{1.0};
-  EXPECT_FALSE(DtwDistance(a, shorty, 1).ok());
+  const auto d = DtwDistance(a, shorty, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d.value(), 0.0);
+}
+
+TEST(DtwTest, NarrowWindowOnUnequalLengthsMatchesWidenedBand) {
+  // Regression: window < |m - n| used to return "window too narrow" even
+  // though windowed DTW is well-defined for unequal-length series. The band
+  // must behave exactly like max(window, |m - n|).
+  const Vector a{0, 1, 2, 3, 4};
+  const Vector b{0, 0, 1, 1, 2, 2, 3, 3, 4, 4};  // stretched; |m - n| = 5
+  const auto narrow = DtwDistance(a, b, 2);
+  ASSERT_TRUE(narrow.ok());
+  const auto widened = DtwDistance(a, b, 5);
+  ASSERT_TRUE(widened.ok());
+  EXPECT_DOUBLE_EQ(narrow.value(), widened.value());
+  // A window that already admits the stretched diagonal is not shrunk.
+  const auto wide = DtwDistance(a, b, 9);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_LE(wide.value(), narrow.value());
 }
 
 TEST(DtwTest, DependentVsIndependentMultivariate) {
@@ -141,6 +161,35 @@ TEST(LcssTest, DependentStricterThanIndependent) {
 
 TEST(LcssTest, RejectsNegativeEpsilon) {
   EXPECT_FALSE(LcssDistance({1.0}, {1.0}, -0.1).ok());
+}
+
+TEST(IndependentMeasuresTest, BothAverageOverFeatures) {
+  // Both "Independent" measures pin the same convention: the MEAN of the
+  // per-feature distances, so the scale does not drift with the size of the
+  // selected-feature set across feature-selection ablations. Duplicating
+  // every column must leave the distance unchanged and equal to the
+  // univariate distance of one column.
+  Rng rng(7);
+  const size_t steps = 10;
+  Matrix a1(steps, 1), b1(steps, 1);
+  for (double& v : a1.data()) v = rng.Uniform(0, 1);
+  for (double& v : b1.data()) v = rng.Uniform(0, 1);
+  Matrix a3(steps, 3), b3(steps, 3);
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t f = 0; f < 3; ++f) {
+      a3(t, f) = a1(t, 0);
+      b3(t, f) = b1(t, 0);
+    }
+  }
+
+  const double dtw_uni = DtwDistance(a1.Col(0), b1.Col(0)).value();
+  EXPECT_DOUBLE_EQ(IndependentDtwDistance(a1, b1).value(), dtw_uni);
+  EXPECT_DOUBLE_EQ(IndependentDtwDistance(a3, b3).value(), dtw_uni);
+
+  const double eps = 0.15;
+  const double lcss_uni = LcssDistance(a1.Col(0), b1.Col(0), eps).value();
+  EXPECT_DOUBLE_EQ(IndependentLcssDistance(a1, b1, eps).value(), lcss_uni);
+  EXPECT_DOUBLE_EQ(IndependentLcssDistance(a3, b3, eps).value(), lcss_uni);
 }
 
 TEST(BcpdTest, DetectsSingleMeanShift) {
