@@ -114,4 +114,7 @@ void Run() {
 }  // namespace
 }  // namespace wpred::bench
 
-int main() { wpred::bench::Run(); }
+int main(int argc, char** argv) {
+  wpred::bench::BenchMetrics metrics(argc, argv);
+  wpred::bench::Run();
+}

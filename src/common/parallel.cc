@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -73,7 +74,8 @@ void ThreadPool::EnsureWorkers(int count) {
   count = std::min(count, kMaxWorkers);
   std::lock_guard<std::mutex> lock(mu_);
   while (static_cast<int>(threads_.size()) < count) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    const int worker_id = static_cast<int>(threads_.size());
+    threads_.emplace_back([this, worker_id] { WorkerLoop(worker_id); });
   }
 }
 
@@ -81,6 +83,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    ++tasks_submitted_;
   }
   cv_.notify_one();
 }
@@ -95,7 +98,21 @@ uint64_t ThreadPool::tasks_executed() const {
   return tasks_executed_;
 }
 
-void ThreadPool::WorkerLoop() {
+uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_submitted_;
+}
+
+std::vector<double> ThreadPool::WorkerBusySeconds() const {
+  std::vector<double> out(static_cast<size_t>(workers()));
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<double>(busy_ns_[i].load(std::memory_order_relaxed)) *
+             1e-9;
+  }
+  return out;
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
   for (;;) {
     std::function<void()> task;
     {
@@ -106,7 +123,14 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++tasks_executed_;
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();
+    busy_ns_[static_cast<size_t>(worker_id)].fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
   }
 }
 

@@ -1,6 +1,8 @@
 #ifndef WPRED_COMMON_PARALLEL_H_
 #define WPRED_COMMON_PARALLEL_H_
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,12 +70,19 @@ class ThreadPool {
   int workers() const;
   /// Total tasks ever executed by pool workers (test observability).
   uint64_t tasks_executed() const;
+  /// Total tasks ever queued via Submit (== tasks_executed once drained).
+  uint64_t tasks_submitted() const;
+  /// Wall seconds each worker has spent running tasks (index = worker id).
+  /// Always-on: two clock reads per coarse chunk task is noise next to the
+  /// chunk itself, and obs::MetricsToJson pulls these without the pool ever
+  /// depending on the obs layer.
+  std::vector<double> WorkerBusySeconds() const;
 
   static constexpr int kMaxWorkers = 64;
 
  private:
   ThreadPool() = default;
-  void WorkerLoop();
+  void WorkerLoop(int worker_id);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -81,6 +90,9 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   bool stopping_ = false;
   uint64_t tasks_executed_ = 0;
+  uint64_t tasks_submitted_ = 0;
+  // Fixed-capacity so worker threads accumulate without locking mu_.
+  std::array<std::atomic<uint64_t>, kMaxWorkers> busy_ns_ = {};
 };
 
 namespace parallel_internal {

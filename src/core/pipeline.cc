@@ -8,11 +8,16 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "featsel/registry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "similarity/measures.h"
 
 namespace wpred {
 
 Status Pipeline::Fit(const ExperimentCorpus& reference) {
+  if (config_.enable_metrics) obs::SetMetricsEnabled(true);
+  obs::Span fit_span("pipeline.fit");
+  WPRED_COUNT_ADD("pipeline.fit_calls", 1);
   if (reference.size() < 2) {
     return Status::InvalidArgument("reference corpus too small");
   }
@@ -24,9 +29,12 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
   // cannot abort the whole fit.
   ExperimentCorpus gated;
   if (config_.quality_gate) {
+    obs::Span gate_span("quality_gate");
     WPRED_ASSIGN_OR_RETURN(gated,
                            GateCorpus(reference, config_.quality,
                                       &fit_report_));
+    WPRED_COUNT_ADD("pipeline.fit_experiments_quarantined",
+                    reference.size() - gated.size());
     if (gated.size() < 2) {
       return Status::FailedPrecondition(
           StrFormat("only %zu of %zu reference experiments survived the "
@@ -39,55 +47,62 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
   }
 
   // Stage 1: feature selection on aggregate observations.
-  WPRED_ASSIGN_OR_RETURN(
-      AggregateObservations aggregates,
-      BuildAggregateObservations(gated, config_.subsamples));
-  WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
-                         CreateSelector(config_.selector));
-  selector->set_num_threads(config_.num_threads);
-  WPRED_ASSIGN_OR_RETURN(Vector scores,
-                         selector->ScoreFeatures(aggregates.x,
-                                                 aggregates.labels));
-  if (config_.representation == Representation::kMts) {
-    // MTS can only represent resource features; exclude plan features from
-    // the ranking by zeroing them below every resource feature.
-    for (size_t f = kNumResourceFeatures; f < scores.size(); ++f) {
-      scores[f] = -std::numeric_limits<double>::infinity();
+  {
+    obs::Span selection_span("feature_selection");
+    WPRED_ASSIGN_OR_RETURN(
+        AggregateObservations aggregates,
+        BuildAggregateObservations(gated, config_.subsamples));
+    WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
+                           CreateSelector(config_.selector));
+    selector->set_num_threads(config_.num_threads);
+    WPRED_ASSIGN_OR_RETURN(Vector scores,
+                           selector->ScoreFeatures(aggregates.x,
+                                                   aggregates.labels));
+    if (config_.representation == Representation::kMts) {
+      // MTS can only represent resource features; exclude plan features from
+      // the ranking by zeroing them below every resource feature.
+      for (size_t f = kNumResourceFeatures; f < scores.size(); ++f) {
+        scores[f] = -std::numeric_limits<double>::infinity();
+      }
     }
-  }
-  ranking_ = ScoresToRanking(scores);
-  selected_features_ = ranking_.TopK(config_.top_k);
-  if (config_.representation == Representation::kMts) {
-    // Defensive: drop any plan feature that slipped in via k > 7.
-    std::vector<size_t> resource_only;
-    for (size_t f : selected_features_) {
-      if (f < kNumResourceFeatures) resource_only.push_back(f);
-    }
-    selected_features_ = std::move(resource_only);
-    if (selected_features_.empty()) {
-      return Status::FailedPrecondition(
-          "MTS representation selected no resource features");
+    ranking_ = ScoresToRanking(scores);
+    selected_features_ = ranking_.TopK(config_.top_k);
+    if (config_.representation == Representation::kMts) {
+      // Defensive: drop any plan feature that slipped in via k > 7.
+      std::vector<size_t> resource_only;
+      for (size_t f : selected_features_) {
+        if (f < kNumResourceFeatures) resource_only.push_back(f);
+      }
+      selected_features_ = std::move(resource_only);
+      if (selected_features_.empty()) {
+        return Status::FailedPrecondition(
+            "MTS representation selected no resource features");
+      }
     }
   }
 
   // Stage 2: similarity machinery — shared normalisation + reference
   // representations.
-  ctx_ = ComputeNormalization(gated);
-  WPRED_ASSIGN_OR_RETURN(
-      reference_reps_,
-      ParallelMap<Matrix>(gated.size(), config_.num_threads,
-                          [&](size_t i) -> Result<Matrix> {
-                            return BuildRepresentation(config_.representation,
-                                                       gated[i],
-                                                       selected_features_,
-                                                       ctx_);
-                          }));
+  {
+    obs::Span representation_span("representation_build");
+    ctx_ = ComputeNormalization(gated);
+    WPRED_ASSIGN_OR_RETURN(
+        reference_reps_,
+        ParallelMap<Matrix>(gated.size(), config_.num_threads,
+                            [&](size_t i) -> Result<Matrix> {
+                              return BuildRepresentation(
+                                  config_.representation, gated[i],
+                                  selected_features_, ctx_);
+                            }));
+    WPRED_COUNT_ADD("pipeline.representations_built", gated.size());
+  }
   reference_workloads_.clear();
   for (const Experiment& e : gated.experiments()) {
     reference_workloads_.push_back(e.workload);
   }
 
   // Stage 3: scaling models per (workload, terminal count).
+  obs::Span models_span("model_fit");
   pairwise_.clear();
   single_.clear();
   std::set<std::pair<std::string, int>> keys;
@@ -106,6 +121,7 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
     SingleScalingModel single;
     WPRED_RETURN_IF_ERROR(single.Fit(config_.strategy, points));
     single_[{workload, terminals}] = std::move(single);
+    WPRED_COUNT_ADD("pipeline.scaling_models_fit", 2);
   }
   reference_corpus_ = std::move(gated);
   fitted_ = true;
@@ -114,6 +130,7 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
 
 Result<Pipeline::PreparedObservation> Pipeline::PrepareObserved(
     const Experiment& observed) const {
+  obs::Span prepare_span("quality_gate");
   PreparedObservation prepared;
   prepared.repaired = observed;
   prepared.features = selected_features_;
@@ -171,6 +188,7 @@ Result<Pipeline::PreparedObservation> Pipeline::PrepareObserved(
 
 Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
     const PreparedObservation& observation) const {
+  obs::Span rank_span("similarity_ranking");
   WPRED_ASSIGN_OR_RETURN(
       Matrix rep,
       BuildRepresentation(config_.representation, observation.repaired,
@@ -270,6 +288,8 @@ Result<const SingleScalingModel*> Pipeline::SingleModelFor(
 
 Result<Pipeline::Prediction> Pipeline::PredictThroughput(
     const Experiment& observed, int target_cpus) const {
+  obs::Span predict_span("pipeline.predict");
+  WPRED_COUNT_ADD("pipeline.predict_calls", 1);
   if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
   if (!std::isfinite(observed.perf.throughput_tps)) {
     return Status::NumericalError(
@@ -280,6 +300,7 @@ Result<Pipeline::Prediction> Pipeline::PredictThroughput(
   WPRED_ASSIGN_OR_RETURN(std::vector<WorkloadDistance> ranked,
                          RankPrepared(prepared));
   if (ranked.empty()) return Status::FailedPrecondition("no reference workloads");
+  if (prepared.degraded) WPRED_COUNT_ADD("pipeline.predict_degraded", 1);
 
   Prediction prediction;
   prediction.reference_workload = ranked.front().workload;
@@ -287,6 +308,7 @@ Result<Pipeline::Prediction> Pipeline::PredictThroughput(
   prediction.degraded = prepared.degraded;
   prediction.effective_features = prepared.features;
 
+  obs::Span model_span("model_predict");
   const double from = observed.cpus;
   const double to = target_cpus;
   const double perf = observed.perf.throughput_tps;

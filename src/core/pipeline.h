@@ -42,6 +42,12 @@ struct PipelineConfig {
   /// unchecked (the pre-gate behaviour).
   bool quality_gate = true;
   QualityPolicy quality;
+  /// Turns on the process-wide observability layer (obs/) for this and
+  /// every later run: per-stage spans, counters, and histograms, exported
+  /// via obs::DumpMetricsJson. The WPRED_METRICS env var enables the same
+  /// switch without code changes; false here leaves the env setting alone.
+  /// Metrics never change numeric results — only record them.
+  bool enable_metrics = false;
 };
 
 /// The paper's primary artifact: feature selection → workload similarity →

@@ -11,6 +11,7 @@
 #include "ml/linear_regression.h"
 #include "ml/logistic_regression.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 
 namespace wpred {
 namespace {
@@ -138,6 +139,7 @@ Result<Vector> RfeSelector::ScoreFeatures(const Matrix& x,
     }
     ranks[remaining[weakest]] = static_cast<int>(remaining.size());
     remaining.erase(remaining.begin() + static_cast<long>(weakest));
+    WPRED_COUNT_ADD("featsel.rfe.eliminations", 1);
   }
   ranks[remaining[0]] = 1;
   return RanksToScores(ranks);
@@ -177,6 +179,8 @@ Result<Vector> SfsSelector::ScoreFeatures(const Matrix& x,
                                                      y, cv_folds_,
                                                      num_threads());
                               }));
+      WPRED_COUNT_ADD("featsel.sfs.candidates_scored",
+                      static_cast<uint64_t>(scores.size()));
       double best_score = -1e300;
       size_t best_pos = 0;
       for (size_t pos = 0; pos < scores.size(); ++pos) {
@@ -206,6 +210,8 @@ Result<Vector> SfsSelector::ScoreFeatures(const Matrix& x,
                                                      y, cv_folds_,
                                                      num_threads());
                               }));
+      WPRED_COUNT_ADD("featsel.sfs.candidates_scored",
+                      static_cast<uint64_t>(scores.size()));
       double best_score = -1e300;
       size_t drop_pos = 0;
       for (size_t pos = 0; pos < scores.size(); ++pos) {

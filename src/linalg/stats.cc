@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace wpred {
 
@@ -36,13 +37,27 @@ double Quantile(const Vector& v, double q) {
   if (v.empty()) return 0.0;
   WPRED_CHECK_GE(q, 0.0);
   WPRED_CHECK_LE(q, 1.0);
-  Vector sorted = v;
-  std::sort(sorted.begin(), sorted.end());
-  const double pos = q * static_cast<double>(sorted.size() - 1);
+  // NaN policy: propagate. NaN breaks operator< strict weak ordering, so it
+  // must never reach the selection below (that would be UB), and silently
+  // dropping it would misreport the sample.
+  for (const double x : v) {
+    if (std::isnan(x)) return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Median and friends run in hot per-column loops: a single-quantile query
+  // is two O(n) selections, not an O(n log n) full sort.
+  const double pos = q * static_cast<double>(v.size() - 1);
   const size_t lo = static_cast<size_t>(std::floor(pos));
-  const size_t hi = static_cast<size_t>(std::ceil(pos));
   const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  Vector work = v;
+  std::nth_element(work.begin(), work.begin() + static_cast<long>(lo),
+                   work.end());
+  const double v_lo = work[lo];
+  if (frac == 0.0) return v_lo;
+  // The interpolation partner is the smallest element above position lo;
+  // after nth_element it is the minimum of the upper partition.
+  const double v_hi =
+      *std::min_element(work.begin() + static_cast<long>(lo) + 1, work.end());
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 double Covariance(const Vector& a, const Vector& b) {

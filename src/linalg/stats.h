@@ -20,10 +20,13 @@ double SampleVariance(const Vector& v);
 /// Population standard deviation.
 double StdDev(const Vector& v);
 
-/// Median (averages the middle pair for even n); 0 for empty input.
+/// Median (averages the middle pair for even n); 0 for empty input; NaN if
+/// any element is NaN.
 double Median(const Vector& v);
 
-/// Linear-interpolated quantile, q in [0, 1]; 0 for empty input.
+/// Linear-interpolated quantile, q in [0, 1]; 0 for empty input. NaN inputs
+/// propagate: any NaN element yields NaN (they never reach the ordering
+/// comparator). O(n) via selection, not a full sort.
 double Quantile(const Vector& v, double q);
 
 /// Population covariance of two equal-length vectors.

@@ -4,6 +4,7 @@
 
 #include "common/parallel.h"
 #include "linalg/stats.h"
+#include "obs/metrics.h"
 
 namespace wpred {
 
@@ -73,6 +74,10 @@ Result<CrossValResult> CrossValidateRegressor(
                     .count();
             WPRED_ASSIGN_OR_RETURN(Vector y_pred, model->PredictBatch(x_test));
             outcome.score = metric(y_test, y_pred);
+            // Recorded from whichever pool worker ran the fold — the
+            // registry aggregates across threads.
+            WPRED_COUNT_ADD("ml.cv.folds", 1);
+            WPRED_HIST_RECORD("ml.cv.fold_fit_seconds", outcome.fit_seconds);
             return outcome;
           }));
   CrossValResult result;

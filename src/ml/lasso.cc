@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/stats.h"
+#include "obs/metrics.h"
 
 namespace wpred {
 namespace {
@@ -41,10 +42,11 @@ Standardised StandardiseProblem(const Matrix& x, const Vector& y) {
 }
 
 // Cyclic coordinate descent on the standardised problem. `coef` is the
-// warm start and receives the solution.
-void CoordinateDescent(const Matrix& x, const Vector& y, double alpha,
-                       double l1_ratio, int max_iter, double tol,
-                       Vector& coef) {
+// warm start and receives the solution. Returns the number of full sweeps
+// taken (== max_iter when the tolerance was never reached).
+int CoordinateDescent(const Matrix& x, const Vector& y, double alpha,
+                      double l1_ratio, int max_iter, double tol,
+                      Vector& coef) {
   const size_t n = x.rows();
   const size_t p = x.cols();
   const double inv_n = 1.0 / static_cast<double>(n);
@@ -65,7 +67,9 @@ void CoordinateDescent(const Matrix& x, const Vector& y, double alpha,
 
   const double l1 = alpha * l1_ratio;
   const double l2 = alpha * (1.0 - l1_ratio);
+  int iters = 0;
   for (int iter = 0; iter < max_iter; ++iter) {
+    ++iters;
     double max_delta = 0.0;
     for (size_t c = 0; c < p; ++c) {
       if (col_sq[c] == 0.0) continue;
@@ -82,6 +86,9 @@ void CoordinateDescent(const Matrix& x, const Vector& y, double alpha,
     }
     if (max_delta < tol) break;
   }
+  WPRED_COUNT_ADD("ml.lasso.cd_calls", 1);
+  WPRED_COUNT_ADD("ml.lasso.cd_sweeps", static_cast<uint64_t>(iters));
+  return iters;
 }
 
 }  // namespace

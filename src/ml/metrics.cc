@@ -1,6 +1,7 @@
 #include "ml/metrics.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "linalg/stats.h"
@@ -23,19 +24,31 @@ double Nrmse(const Vector& y_true, const Vector& y_pred) {
   const double range = Max(y_true) - Min(y_true);
   if (range > 0.0) return rmse / range;
   const double mean = std::fabs(Mean(y_true));
-  return mean > 0.0 ? rmse / mean : rmse;
+  if (mean > 0.0) return rmse / mean;
+  // All-zero truth: no range, no mean — NaN, never raw-RMSE units.
+  return rmse == 0.0 ? 0.0 : std::numeric_limits<double>::quiet_NaN();
+}
+
+MapeResult MapeDetail(const Vector& y_true, const Vector& y_pred) {
+  WPRED_CHECK_EQ(y_true.size(), y_pred.size());
+  MapeResult result;
+  double acc = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 0.0) {
+      ++result.skipped;
+      continue;
+    }
+    acc += std::fabs((y_true[i] - y_pred[i]) / y_true[i]);
+    ++result.used;
+  }
+  result.mape = result.used > 0
+                    ? acc / static_cast<double>(result.used)
+                    : std::numeric_limits<double>::quiet_NaN();
+  return result;
 }
 
 double Mape(const Vector& y_true, const Vector& y_pred) {
-  WPRED_CHECK_EQ(y_true.size(), y_pred.size());
-  double acc = 0.0;
-  size_t n = 0;
-  for (size_t i = 0; i < y_true.size(); ++i) {
-    if (y_true[i] == 0.0) continue;
-    acc += std::fabs((y_true[i] - y_pred[i]) / y_true[i]);
-    ++n;
-  }
-  return n > 0 ? acc / static_cast<double>(n) : 0.0;
+  return MapeDetail(y_true, y_pred).mape;
 }
 
 double R2(const Vector& y_true, const Vector& y_pred) {

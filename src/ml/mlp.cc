@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace wpred {
 namespace {
@@ -155,6 +156,9 @@ Status MlpRegressor::Fit(const Matrix& x, const Vector& y) {
       }
     }
   }
+  WPRED_COUNT_ADD("ml.mlp.fits", 1);
+  WPRED_COUNT_ADD("ml.mlp.epochs", static_cast<uint64_t>(params_.epochs));
+  WPRED_COUNT_ADD("ml.mlp.adam_steps", static_cast<uint64_t>(adam_t));
   fitted_ = true;
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace wpred {
 namespace {
@@ -72,8 +73,10 @@ Status RandomForestRegressor::Fit(const Matrix& x, const Vector& y) {
             BootstrapSample(x.rows(), bootstrap_rng);
         trees_[t] = internal::BuildTree(x, y, /*classification=*/false, 0, tp,
                                         sample);
+        WPRED_COUNT_ADD("ml.rf.trees_fit", 1);
         return Status::OK();
       }));
+  WPRED_COUNT_ADD("ml.rf.fits", 1);
   return Status::OK();
 }
 
@@ -127,8 +130,10 @@ Status RandomForestClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
             BootstrapSample(x.rows(), bootstrap_rng);
         trees_[t] = internal::BuildTree(x, y_double, /*classification=*/true,
                                         num_classes_, tp, sample);
+        WPRED_COUNT_ADD("ml.rf.trees_fit", 1);
         return Status::OK();
       }));
+  WPRED_COUNT_ADD("ml.rf.fits", 1);
   return Status::OK();
 }
 

@@ -1,0 +1,346 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wpred::obs {
+namespace {
+
+const Json& NullJson() {
+  static const Json* null = new Json();
+  return *null;
+}
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void DumpTo(const Json& j, int indent, int depth, std::string& out) {
+  const std::string pad(indent > 0 ? static_cast<size_t>(indent * (depth + 1))
+                                   : 0,
+                        ' ');
+  const std::string close_pad(
+      indent > 0 ? static_cast<size_t>(indent * depth) : 0, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (j.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      return;
+    case Json::Type::kBool:
+      out += j.AsBool() ? "true" : "false";
+      return;
+    case Json::Type::kNumber:
+      AppendNumber(j.AsNumber(), out);
+      return;
+    case Json::Type::kString:
+      AppendEscaped(j.AsString(), out);
+      return;
+    case Json::Type::kArray: {
+      if (j.items().empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      out += nl;
+      for (size_t i = 0; i < j.items().size(); ++i) {
+        out += pad;
+        DumpTo(j.items()[i], indent, depth + 1, out);
+        if (i + 1 < j.items().size()) out.push_back(',');
+        out += nl;
+      }
+      out += close_pad;
+      out.push_back(']');
+      return;
+    }
+    case Json::Type::kObject: {
+      if (j.fields().empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      out += nl;
+      for (size_t i = 0; i < j.fields().size(); ++i) {
+        out += pad;
+        AppendEscaped(j.fields()[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        DumpTo(j.fields()[i].second, indent, depth + 1, out);
+        if (i + 1 < j.fields().size()) out.push_back(',');
+        out += nl;
+      }
+      out += close_pad;
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    WPRED_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        WPRED_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (Peek() != '"') return Status::InvalidArgument("expected object key");
+      WPRED_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (Peek() != ':') return Status::InvalidArgument("expected ':'");
+      ++pos_;
+      WPRED_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      return Status::InvalidArgument("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      WPRED_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      return Status::InvalidArgument("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::InvalidArgument("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument("bad \\u escape digit");
+            }
+          }
+          // The exporter only writes \u00xx control escapes; reject the rest
+          // instead of mis-encoding.
+          if (code > 0x7f) {
+            return Status::InvalidArgument("non-ASCII \\u escape unsupported");
+          }
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape in string");
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::InvalidArgument("expected JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("malformed number: " + token);
+    }
+    return Json(v);
+  }
+
+  Result<Json> ParseLiteral(std::string_view literal, Json value) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Status::InvalidArgument("bad JSON literal");
+    }
+    pos_ += literal.size();
+    return value;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json& Json::Get(std::string_view key) const {
+  for (const auto& [name, value] : fields_) {
+    if (name == key) return value;
+  }
+  return NullJson();
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, out);
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace wpred::obs

@@ -1,0 +1,81 @@
+#ifndef WPRED_OBS_JSON_H_
+#define WPRED_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+// Minimal zero-dependency JSON value: enough for the metrics exporter, the
+// metrics_summary tool, and round-trip tests. Objects preserve insertion
+// order (exports stay diff-stable); numbers are doubles printed with %.17g
+// so a dump -> parse round trip is bit-exact.
+
+namespace wpred::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT(runtime/explicit)
+  Json(double v) : type_(Type::kNumber), number_(v) {}    // NOLINT(runtime/explicit)
+  Json(uint64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}  // NOLINT
+  Json(int v) : type_(Type::kNumber), number_(v) {}       // NOLINT(runtime/explicit)
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Array elements (valid for kArray).
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json value) { items_.push_back(std::move(value)); }
+
+  /// Object fields in insertion order (valid for kObject).
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+  void Set(std::string key, Json value) {
+    fields_.emplace_back(std::move(key), std::move(value));
+  }
+  /// First field named `key`; null-typed reference if absent.
+  const Json& Get(std::string_view key) const;
+  bool Has(std::string_view key) const { return !Get(key).is_null(); }
+
+  /// Serialises; indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+}  // namespace wpred::obs
+
+#endif  // WPRED_OBS_JSON_H_

@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace wpred::obs {
+namespace {
+
+bool EnvEnabled() {
+  const char* env = std::getenv("WPRED_METRICS");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// Dynamic-initialised from the environment before main(); hooks afterwards
+// are a single relaxed load.
+std::atomic<bool> g_enabled{EnvEnabled()};
+
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
+
+// Lock-free double accumulation / extremum via compare-exchange on the bit
+// pattern. Contention is negligible: these run once per coarse event
+// (a span end, a fold, a sim run), not per inner-loop iteration.
+void AtomicAddDouble(std::atomic<uint64_t>& bits, double delta) {
+  uint64_t observed = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      observed, DoubleBits(BitsDouble(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+template <typename Better>
+void AtomicExtremum(std::atomic<uint64_t>& bits, double v, Better better) {
+  uint64_t observed = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double current = BitsDouble(observed);
+    if (!std::isnan(current) && !better(v, current)) return;
+    if (bits.compare_exchange_weak(observed, DoubleBits(v),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double v) {
+  bits_.store(DoubleBits(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  return BitsDouble(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+double Histogram::BinUpperBound(int bin) {
+  if (bin >= kNumBins - 1) return std::numeric_limits<double>::infinity();
+  return kMinBound * std::pow(2.0, bin);
+}
+
+int Histogram::BinIndex(double v) {
+  if (!(v > kMinBound)) return 0;  // <= kMinBound, zero, negative, NaN
+  const int bin =
+      1 + static_cast<int>(std::ceil(std::log2(v / kMinBound)) - 1.0);
+  // Guard the pow/log2 boundary: BinIndex must agree with BinUpperBound.
+  if (bin >= kNumBins) return kNumBins - 1;
+  if (v <= BinUpperBound(bin - 1)) return bin - 1;
+  return bin;
+}
+
+void Histogram::Record(double v) {
+  if (std::isnan(v)) return;
+  bins_[BinIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_bits_, v);
+  AtomicExtremum(min_bits_, v, [](double a, double b) { return a < b; });
+  AtomicExtremum(max_bits_, v, [](double a, double b) { return a > b; });
+}
+
+double Histogram::sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::min() const {
+  return BitsDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return BitsDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+std::array<uint64_t, Histogram::kNumBins> Histogram::bins() const {
+  std::array<uint64_t, kNumBins> out;
+  for (int i = 0; i < kNumBins; ++i) {
+    out[i] = bins_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+  const uint64_t nan_bits =
+      DoubleBits(std::numeric_limits<double>::quiet_NaN());
+  min_bits_.store(nan_bits, std::memory_order_relaxed);
+  max_bits_.store(nan_bits, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments may be touched by pool workers parked
+  // past static destruction (same rationale as ThreadPool::Shared).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::HistogramSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+}  // namespace wpred::obs

@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace wpred::obs {
+namespace {
+
+// The active span names on this thread, outermost first. Raw pointers to
+// caller-owned literals: pushing is allocation-free until the span closes
+// and the joined path is built once.
+thread_local std::vector<const char*> tl_span_stack;
+
+std::string JoinStack() {
+  std::string path;
+  for (const char* name : tl_span_stack) {
+    if (!path.empty()) path.push_back('/');
+    path += name;
+  }
+  return path;
+}
+
+}  // namespace
+
+SpanRegistry& SpanRegistry::Global() {
+  static SpanRegistry* registry = new SpanRegistry();  // leaked, see metrics.cc
+  return *registry;
+}
+
+void SpanRegistry::Record(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& stats = spans_[path];
+  if (stats.count == 0) {
+    stats.min_seconds = seconds;
+    stats.max_seconds = seconds;
+  } else {
+    stats.min_seconds = std::min(stats.min_seconds, seconds);
+    stats.max_seconds = std::max(stats.max_seconds, seconds);
+  }
+  ++stats.count;
+  stats.total_seconds += seconds;
+}
+
+std::map<std::string, SpanStats> SpanRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void SpanRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+Span::Span(const char* name) {
+  if (!MetricsEnabled()) return;
+  tl_span_stack.push_back(name);
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // Built before the pop so the path includes this span's own name.
+  SpanRegistry::Global().Record(JoinStack(), seconds);
+  tl_span_stack.pop_back();
+}
+
+std::string Span::CurrentPath() { return JoinStack(); }
+
+}  // namespace wpred::obs

@@ -1,0 +1,74 @@
+#ifndef WPRED_OBS_TRACE_H_
+#define WPRED_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// RAII stage tracing. A Span names the stage it covers; spans nest via a
+// thread-local stack, so a span opened while another is active records under
+// the parent's path ("pipeline.fit/feature_selection"). Aggregation is by
+// path: every (path -> count, total/min/max seconds) entry merges records
+// from all threads under one mutex, which makes spans safe to open inside
+// ParallelFor bodies — a span on a pool worker roots a fresh path on that
+// thread and still lands in the same registry.
+//
+// Same overhead contract as metrics.h: a Span constructed while metrics are
+// disabled is inert — one atomic-bool branch in the constructor and one in
+// the destructor, no clock reads, no allocation.
+
+namespace wpred::obs {
+
+struct SpanStats {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Path-keyed aggregation of completed spans.
+class SpanRegistry {
+ public:
+  static SpanRegistry& Global();
+
+  void Record(const std::string& path, double seconds);
+  std::map<std::string, SpanStats> Snapshot() const;
+  void ResetAll();
+
+ private:
+  SpanRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStats> spans_;
+};
+
+/// RAII stage timer. `name` must outlive the span (string literals in
+/// practice); it becomes one path segment, so it must not contain '/'.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// The calling thread's current span path ("a/b/c"), empty outside any
+  /// span. Exposed for tests and for exporters that label worker-side data.
+  static std::string CurrentPath();
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The name most call sites read naturally: time a scope, file under the
+/// enclosing span.
+using ScopedTimer = Span;
+
+}  // namespace wpred::obs
+
+#endif  // WPRED_OBS_TRACE_H_

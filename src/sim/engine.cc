@@ -1,10 +1,12 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "linalg/stats.h"
+#include "obs/metrics.h"
 #include "sim/des.h"
 #include "sim/plan_synth.h"
 #include "telemetry/feature_catalog.h"
@@ -361,7 +363,20 @@ Result<Experiment> EngineSim::Run() {
     }
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   sim_.RunUntil(config.duration_s);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  WPRED_COUNT_ADD("sim.runs", 1);
+  WPRED_COUNT_ADD("sim.events_processed", sim_.processed_events());
+  WPRED_HIST_RECORD("sim.wall_seconds", wall_seconds);
+  // Simulated seconds per wall second; >> 1 means the engine outruns
+  // real time (a gauge, so the dump reports the most recent run).
+  if (wall_seconds > 0.0) {
+    WPRED_GAUGE_SET("sim.time_ratio", config.duration_s / wall_seconds);
+  }
 
   Experiment experiment;
   experiment.workload = workload().name;

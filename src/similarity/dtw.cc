@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace wpred {
 namespace {
 
@@ -24,16 +26,25 @@ Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
   std::vector<double> prev(n + 1, kInf);
   std::vector<double> curr(n + 1, kInf);
   prev[0] = 0.0;
+  size_t cells_in_band = 0;
   for (size_t i = 1; i <= m; ++i) {
     std::fill(curr.begin(), curr.end(), kInf);
     const size_t j_lo = i > band ? i - band : 1;
     const size_t j_hi = std::min(n, i + band);
+    cells_in_band += j_hi - j_lo + 1;
     for (size_t j = j_lo; j <= j_hi; ++j) {
       const double c = cost(i - 1, j - 1);
       curr[j] = c + std::min({prev[j], curr[j - 1], prev[j - 1]});
     }
     std::swap(prev, curr);
   }
+  // Band-hit rate telemetry: cells_in_band / cells_total is the fraction of
+  // the full m x n lattice the Sakoe-Chiba band actually visited.
+  WPRED_COUNT_ADD("similarity.dtw.calls", 1);
+  WPRED_COUNT_ADD("similarity.dtw.cells_in_band",
+                  static_cast<uint64_t>(cells_in_band));
+  WPRED_COUNT_ADD("similarity.dtw.cells_total",
+                  static_cast<uint64_t>(m * n));
   if (!std::isfinite(prev[n])) {
     return Status::InvalidArgument("window too narrow for series lengths");
   }

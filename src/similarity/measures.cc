@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "similarity/dtw.h"
 #include "similarity/lcss.h"
 #include "similarity/norms.h"
@@ -17,6 +18,7 @@ constexpr double kLcssEpsilon = 0.15;
 
 Result<double> MeasureDistance(const std::string& measure, const Matrix& a,
                                const Matrix& b) {
+  WPRED_COUNT_ADD("similarity.distance_calls", 1);
   if (measure == "L1,1-Norm") return L11Distance(a, b);
   if (measure == "L2,1-Norm") return L21Distance(a, b);
   if (measure == "Fro-Norm") return FrobeniusDistance(a, b);
@@ -77,6 +79,8 @@ Result<Matrix> PairwiseDistancesWithContext(
     for (size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
   }
   Matrix distances(n, n);
+  WPRED_COUNT_ADD("similarity.pairwise_cells",
+                  static_cast<uint64_t>(pairs.size()));
   WPRED_RETURN_IF_ERROR(
       ParallelFor(pairs.size(), num_threads, [&](size_t p) -> Status {
         const auto [i, j] = pairs[p];

@@ -237,7 +237,10 @@ Result<ExperimentCorpus> ReadCorpus(const std::string& directory,
   std::vector<std::string> paths;
   for (const auto& entry : std::filesystem::directory_iterator(directory)) {
     const std::string name = entry.path().filename().string();
-    if (name.size() > 10 &&
+    // >= so a file named exactly ".wpred.csv" (empty stem) is read like any
+    // other corpus file — it used to be silently skipped, neither loaded
+    // nor surfaced in the report.
+    if (name.size() >= 10 &&
         name.substr(name.size() - 10) == ".wpred.csv") {
       paths.push_back(entry.path().string());
     }

@@ -40,8 +40,11 @@ Result<std::vector<Experiment>> RandomSubsample(const Experiment& experiment,
     return Status::InvalidArgument("fraction must be in (0, 1]");
   }
   const size_t n = experiment.resource.num_samples();
+  if (n == 0) {
+    return Status::InvalidArgument("experiment has no resource samples");
+  }
+  // fraction <= 1 and n >= 1 give take in [1, n] by construction.
   const size_t take = std::max<size_t>(1, static_cast<size_t>(fraction * n));
-  if (take > n) return Status::InvalidArgument("fraction too large");
 
   std::vector<Experiment> out;
   out.reserve(count);

@@ -91,6 +91,18 @@ TEST_F(IoTest, CorpusRoundTripPreservesOrderAndContent) {
   EXPECT_EQ((*loaded)[1].run_id, 7);
 }
 
+TEST_F(IoTest, CorpusReadsFileNamedExactlyLikeTheSuffix) {
+  // A file named exactly ".wpred.csv" (hidden file, empty stem) is a
+  // legitimate corpus member; the old `size() > 10` suffix check skipped it.
+  const Experiment original = SampleExperiment();
+  ASSERT_TRUE(
+      WriteExperimentFile(original, (dir_ / ".wpred.csv").string()).ok());
+  const auto loaded = ReadCorpus(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].workload, original.workload);
+}
+
 TEST_F(IoTest, RejectsGarbageAndWrongVersions) {
   EXPECT_FALSE(ExperimentFromCsv("").ok());
   EXPECT_FALSE(ExperimentFromCsv("section,key,values\nmeta,format,nope\n").ok());

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -190,6 +192,38 @@ TEST(StatsTest, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
   EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+}
+
+TEST(StatsTest, QuantileAndMedianPropagateNan) {
+  // NaN breaks strict weak ordering, so sorting it is UB; the contract is
+  // NaN in -> NaN out, never a garbage quantile.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(Quantile({1.0, nan, 3.0}, 0.5)));
+  EXPECT_TRUE(std::isnan(Quantile({nan}, 0.0)));
+  // The old sort-based code stranded the NaN mid-array on inputs like these
+  // and reported a real-looking maximum (2.0) for a poisoned sample.
+  EXPECT_TRUE(std::isnan(Quantile({3.0, 1.0, nan, 2.0}, 1.0)));
+  EXPECT_TRUE(std::isnan(Quantile({5.0, 4.0, nan, 1.0, 2.0}, 1.0)));
+  EXPECT_TRUE(std::isnan(Median({2.0, nan})));
+  // NaN-free input is unaffected.
+  EXPECT_DOUBLE_EQ(Quantile({1.0, 2.0, 3.0}, 0.5), 2.0);
+}
+
+TEST(StatsTest, QuantileMatchesSortBasedReference) {
+  // The nth_element implementation must agree with the naive full sort at
+  // every interpolation point, including duplicated values.
+  Vector v{7, 1, 5, 3, 3, 9, 2, 8, 2, 6};
+  Vector sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.33, 0.5, 0.66, 0.9, 0.99, 1.0}) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    const double expected =
+        frac == 0.0 ? sorted[lo]
+                    : sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+    EXPECT_DOUBLE_EQ(Quantile(v, q), expected) << "q=" << q;
+  }
 }
 
 TEST(StatsTest, PearsonPerfectAndConstant) {

@@ -58,6 +58,32 @@ TEST(MetricsTest, MapeSkipsZeros) {
   EXPECT_NEAR(Mape({10, 0, 20}, {11, 5, 18}), (0.1 + 0.1) / 2.0, 1e-12);
 }
 
+TEST(MetricsTest, MapeAllZeroTruthIsNan) {
+  // Every entry skipped leaves no denominator; the old code returned a
+  // misleading 0.0 ("perfect") here.
+  EXPECT_TRUE(std::isnan(Mape({0, 0, 0}, {1, 2, 3})));
+}
+
+TEST(MetricsTest, MapeDetailExposesSkippedCount) {
+  const MapeResult detail = MapeDetail({10, 0, 20}, {11, 5, 18});
+  EXPECT_EQ(detail.used, 2u);
+  EXPECT_EQ(detail.skipped, 1u);
+  EXPECT_NEAR(detail.mape, (0.1 + 0.1) / 2.0, 1e-12);
+
+  const MapeResult empty = MapeDetail({0, 0}, {1, 1});
+  EXPECT_EQ(empty.used, 0u);
+  EXPECT_EQ(empty.skipped, 2u);
+  EXPECT_TRUE(std::isnan(empty.mape));
+}
+
+TEST(MetricsTest, NrmseAllZeroTruthIsNan) {
+  // Constant-zero truth has neither range nor mean to normalise by: any
+  // nonzero error must surface as NaN, not divide-by-zero or a fake 0.
+  EXPECT_TRUE(std::isnan(Nrmse({0, 0}, {1, 1})));
+  // ...but a perfect prediction of all-zero truth is a true zero error.
+  EXPECT_DOUBLE_EQ(Nrmse({0, 0}, {0, 0}), 0.0);
+}
+
 TEST(MetricsTest, R2PerfectAndMean) {
   EXPECT_DOUBLE_EQ(R2({1, 2, 3}, {1, 2, 3}), 1.0);
   EXPECT_DOUBLE_EQ(R2({1, 2, 3}, {2, 2, 2}), 0.0);  // mean predictor

@@ -154,6 +154,55 @@ TEST(SubsampleTest, RandomRejectsBadFraction) {
   EXPECT_FALSE(RandomSubsample(e, 2, 1.5, rng).ok());
 }
 
+TEST(SubsampleTest, RandomRejectsEmptyExperiment) {
+  Experiment e = MakeToyExperiment("A", 0, 0, 0);
+  Rng rng(5);
+  const auto subs = RandomSubsample(e, 2, 0.5, rng);
+  ASSERT_FALSE(subs.ok());
+  EXPECT_EQ(subs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SubsampleTest, RandomHonorsFractionWithMinimumOfOne) {
+  Experiment e = MakeToyExperiment("A", 10, 0, 0);
+  for (size_t r = 0; r < 10; ++r) e.resource.values(r, 0) = r;
+  Rng rng(7);
+  // floor(0.05 * 10) = 0 rows would be an empty sub-experiment; the
+  // contract clamps to at least one sample.
+  const auto tiny = RandomSubsample(e, 3, 0.05, rng);
+  ASSERT_TRUE(tiny.ok());
+  for (const Experiment& sub : tiny.value()) {
+    EXPECT_EQ(sub.resource.num_samples(), 1u);
+  }
+  // fraction == 1 keeps every row of the source.
+  const auto full = RandomSubsample(e, 1, 1.0, rng);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value()[0].resource.num_samples(), 10u);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_DOUBLE_EQ(full.value()[0].resource.values(r, 0), r);
+  }
+}
+
+TEST(SubsampleTest, SystematicSubsamplesAreDisjointAndOrdered) {
+  Experiment e = MakeToyExperiment("A", 21, 0, 0);
+  for (size_t r = 0; r < 21; ++r) e.resource.values(r, 0) = r;
+  const auto subs = SystematicSubsample(e, 4);
+  ASSERT_TRUE(subs.ok());
+  std::vector<int> seen(21, 0);
+  size_t total = 0;
+  for (const Experiment& sub : subs.value()) {
+    total += sub.resource.num_samples();
+    for (size_t r = 0; r < sub.resource.num_samples(); ++r) {
+      ++seen[static_cast<size_t>(sub.resource.values(r, 0))];
+      if (r > 0) {
+        EXPECT_LT(sub.resource.values(r - 1, 0), sub.resource.values(r, 0));
+      }
+    }
+  }
+  // Partition: every source row appears in exactly one sub-experiment.
+  EXPECT_EQ(total, 21u);
+  for (size_t r = 0; r < 21; ++r) EXPECT_EQ(seen[r], 1) << "row " << r;
+}
+
 TEST(SubsampleTest, CorpusSubsampleFlattens) {
   ExperimentCorpus corpus;
   corpus.Add(MakeToyExperiment("A", 10, 0, 0));

@@ -1,0 +1,125 @@
+// Pretty-prints a metrics JSON dump (bench --metrics-json=PATH or
+// obs::WriteMetricsJsonFile output): top counters, gauges, histogram
+// summaries, the span tree, and thread-pool utilisation.
+//
+// Usage: metrics_summary [FILE]   (reads stdin when FILE is omitted or "-")
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace {
+
+using wpred::obs::Json;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "metrics_summary: %s\n", message.c_str());
+  return 1;
+}
+
+double NumberOr(const Json& object, std::string_view key, double fallback) {
+  const Json& value = object.Get(key);
+  return value.type() == Json::Type::kNumber ? value.AsNumber() : fallback;
+}
+
+void PrintCounters(const Json& counters) {
+  if (counters.type() != Json::Type::kObject || counters.fields().empty()) {
+    return;
+  }
+  // Sort by value descending so the hottest counters lead.
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& [name, value] : counters.fields()) {
+    rows.emplace_back(name, value.AsNumber());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("Counters (by value):\n");
+  for (const auto& [name, value] : rows) {
+    std::printf("  %-40s %15.0f\n", name.c_str(), value);
+  }
+  std::printf("\n");
+}
+
+void PrintGauges(const Json& gauges) {
+  if (gauges.type() != Json::Type::kObject || gauges.fields().empty()) return;
+  std::printf("Gauges:\n");
+  for (const auto& [name, value] : gauges.fields()) {
+    std::printf("  %-40s %15.4g\n", name.c_str(), value.AsNumber());
+  }
+  std::printf("\n");
+}
+
+void PrintHistograms(const Json& histograms) {
+  if (histograms.type() != Json::Type::kObject ||
+      histograms.fields().empty()) {
+    return;
+  }
+  std::printf("Histograms:\n");
+  for (const auto& [name, h] : histograms.fields()) {
+    const double count = NumberOr(h, "count", 0.0);
+    const double sum = NumberOr(h, "sum", 0.0);
+    std::printf("  %-40s count=%.0f sum=%.4g mean=%.4g min=%.4g max=%.4g\n",
+                name.c_str(), count, sum, count > 0 ? sum / count : 0.0,
+                NumberOr(h, "min", 0.0), NumberOr(h, "max", 0.0));
+  }
+  std::printf("\n");
+}
+
+void PrintParallel(const Json& parallel) {
+  if (parallel.type() != Json::Type::kObject) return;
+  const double workers = NumberOr(parallel, "workers", 0.0);
+  if (workers <= 0.0) return;
+  std::printf("Thread pool: %.0f workers, %.0f tasks submitted, %.0f run\n",
+              workers, NumberOr(parallel, "tasks_submitted", 0.0),
+              NumberOr(parallel, "tasks_executed", 0.0));
+  const Json& busy = parallel.Get("busy_seconds");
+  if (busy.type() == Json::Type::kArray) {
+    double total = 0.0;
+    for (const Json& v : busy.items()) total += v.AsNumber();
+    std::printf("  busy %.3f s across workers\n", total);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 2) return Fail("usage: metrics_summary [FILE]");
+  if (argc == 2 && std::string(argv[1]) != "-") {
+    std::ifstream in(argv[1]);
+    if (!in) return Fail(std::string("cannot open ") + argv[1]);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  wpred::Result<Json> parsed = Json::Parse(text);
+  if (!parsed.ok()) {
+    return Fail("parse error: " + parsed.status().ToString());
+  }
+  const Json& metrics = parsed.value();
+
+  PrintCounters(metrics.Get("counters"));
+  PrintGauges(metrics.Get("gauges"));
+  PrintHistograms(metrics.Get("histograms"));
+  PrintParallel(metrics.Get("parallel"));
+
+  const std::string tree = wpred::obs::RenderSpanTree(metrics);
+  if (!tree.empty()) {
+    std::printf("Span tree:\n%s", tree.c_str());
+  }
+  return 0;
+}
