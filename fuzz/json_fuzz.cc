@@ -1,0 +1,43 @@
+// Fuzz harness for wpred::obs::Json::Parse. Invariants checked on every
+// accepted document:
+//   1. Dump() output parses back without error (the exporter's own format
+//      is always re-readable), and
+//   2. dump -> parse -> dump is byte-identical (diff-stable exports).
+// Rejection is always fine; crashing or violating 1/2 is a bug. The depth
+// limit and finite-number checks in obs/json.cc exist because this harness
+// found their absence.
+//
+// Built two ways (fuzz/CMakeLists.txt): with clang as a libFuzzer target,
+// elsewhere with the standalone driver that replays corpus files.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto parsed = wpred::obs::Json::Parse(text);
+  if (!parsed.ok()) return 0;
+
+  for (const int indent : {0, 2}) {
+    const std::string dumped = parsed.value().Dump(indent);
+    const auto reparsed = wpred::obs::Json::Parse(dumped);
+    if (!reparsed.ok()) {
+      std::fprintf(stderr, "json_fuzz: Dump(%d) output failed to re-parse: %s\n",
+                   indent, reparsed.status().ToString().c_str());
+      std::abort();
+    }
+    if (reparsed.value().Dump(indent) != dumped) {
+      std::fprintf(stderr,
+                   "json_fuzz: dump -> parse -> dump not byte-identical "
+                   "(indent %d)\n",
+                   indent);
+      std::abort();
+    }
+  }
+  return 0;
+}

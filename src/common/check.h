@@ -12,6 +12,20 @@
 // invariants): they abort the process with a diagnostic. Recoverable errors
 // (bad user input, numerical failures on degenerate data) must instead be
 // reported through Status / Result<T>; see common/status.h.
+//
+// Two tiers:
+//
+//   WPRED_CHECK*  — always on, in every build type. Use at API boundaries
+//                   and for cheap checks whose failure would corrupt state.
+//   WPRED_DCHECK* — debug contracts. On when NDEBUG is not defined (Debug
+//                   builds) or when WPRED_FORCE_DCHECKS is defined (the
+//                   sanitizer CI forces them on in optimised builds); in
+//                   plain Release they compile to nothing — the condition is
+//                   type-checked but never evaluated, so hot numeric loops
+//                   pay zero cost. Use for per-element preconditions (shape
+//                   agreement, index bounds, finiteness) inside kernels.
+//
+// The decision table (DCHECK vs CHECK vs Status) lives in DESIGN.md §9.
 
 namespace wpred::internal {
 
@@ -58,5 +72,32 @@ class CheckMessageBuilder {
 #define WPRED_CHECK_LE(a, b) WPRED_CHECK((a) <= (b))
 #define WPRED_CHECK_GT(a, b) WPRED_CHECK((a) > (b))
 #define WPRED_CHECK_GE(a, b) WPRED_CHECK((a) >= (b))
+
+// Debug-level contracts. WPRED_DCHECK_IS_ON is 1 in Debug builds and in any
+// build compiled with -DWPRED_FORCE_DCHECKS (cmake -DWPRED_FORCE_DCHECKS=ON),
+// 0 otherwise. When off, the condition is parsed but never evaluated
+// (`while (false && (c))` is dead code the optimiser deletes outright), so a
+// DCHECK in an inner loop costs nothing in Release while still catching
+// odr/type errors at compile time in every configuration.
+#if defined(WPRED_FORCE_DCHECKS) || !defined(NDEBUG)
+#define WPRED_DCHECK_IS_ON 1
+#else
+#define WPRED_DCHECK_IS_ON 0
+#endif
+
+#if WPRED_DCHECK_IS_ON
+#define WPRED_DCHECK(condition) WPRED_CHECK(condition)
+#else
+#define WPRED_DCHECK(condition)                                      \
+  while (false && (condition))                                       \
+  ::wpred::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#endif
+
+#define WPRED_DCHECK_EQ(a, b) WPRED_DCHECK((a) == (b))
+#define WPRED_DCHECK_NE(a, b) WPRED_DCHECK((a) != (b))
+#define WPRED_DCHECK_LT(a, b) WPRED_DCHECK((a) < (b))
+#define WPRED_DCHECK_LE(a, b) WPRED_DCHECK((a) <= (b))
+#define WPRED_DCHECK_GT(a, b) WPRED_DCHECK((a) > (b))
+#define WPRED_DCHECK_GE(a, b) WPRED_DCHECK((a) >= (b))
 
 #endif  // WPRED_COMMON_CHECK_H_

@@ -65,7 +65,11 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
   std::string field;
   bool in_quotes = false;
   bool row_has_content = false;
-  for (size_t i = 0; i < text.size(); ++i) {
+  // Skip a UTF-8 byte-order mark so spreadsheet-exported telemetry does not
+  // smuggle \xEF\xBB\xBF into the first header cell.
+  const size_t start =
+      text.size() >= 3 && text.compare(0, 3, "\xEF\xBB\xBF") == 0 ? 3 : 0;
+  for (size_t i = start; i < text.size(); ++i) {
     const char c = text[i];
     if (in_quotes) {
       if (c == '"') {

@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace wpred {
+
+namespace parallel_internal {
+
+EnvThreadsParse ParseThreadsEnv(const char* value) {
+  if (value == nullptr) return {0, false};
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return {0, true};  // garbage / trailing junk
+  if (errno == ERANGE || v > ThreadPool::kMaxWorkers) {
+    // Overflow or absurdly large: clamp rather than reject — the intent
+    // ("many threads") is clear, the magnitude is not actionable.
+    return {ThreadPool::kMaxWorkers, false};
+  }
+  if (v < 1) return {0, true};  // zero / negative
+  return {static_cast<int>(v), false};
+}
+
+}  // namespace parallel_internal
+
 namespace {
 
 std::atomic<bool> g_shared_created{false};
@@ -14,17 +36,23 @@ std::atomic<int> g_default_override{0};  // 0 = no override
 
 thread_local int tl_parallel_depth = 0;
 
-int EnvDefaultThreads() {
-  if (const char* env = std::getenv("WPRED_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<int>(std::min<long>(v, ThreadPool::kMaxWorkers));
-    }
-  }
+int HardwareDefaultThreads() {
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<int>(
                            std::min<unsigned>(hc, ThreadPool::kMaxWorkers));
+}
+
+int EnvDefaultThreads() {
+  const char* env = std::getenv("WPRED_THREADS");
+  const auto parsed = parallel_internal::ParseThreadsEnv(env);
+  if (parsed.rejected) {
+    std::fprintf(stderr,
+                 "wpred: ignoring invalid WPRED_THREADS=\"%s\" (want a "
+                 "positive integer); using %d hardware threads\n",
+                 env, HardwareDefaultThreads());
+  }
+  if (parsed.threads >= 1) return parsed.threads;
+  return HardwareDefaultThreads();
 }
 
 }  // namespace

@@ -101,6 +101,20 @@ namespace parallel_internal {
 /// caller). Nested ParallelFor calls detect this and run inline.
 bool InParallelRegion();
 
+/// Outcome of parsing a WPRED_THREADS-style env value. Split out (and
+/// exposed) so the rejection paths are unit-testable without mutating the
+/// process environment.
+struct EnvThreadsParse {
+  int threads = 0;       // valid parse, clamped to [1, kMaxWorkers]; 0 = none
+  bool rejected = false; // value present but garbage/non-positive/overflow
+};
+
+/// Parses an env value for a thread count. `value == nullptr` (unset) yields
+/// {0, false}; a valid positive integer yields it clamped to kMaxWorkers;
+/// anything else — empty, trailing garbage, zero, negative, overflow —
+/// yields {0, true} so the caller can warn before falling back.
+EnvThreadsParse ParseThreadsEnv(const char* value);
+
 }  // namespace parallel_internal
 
 /// Runs fn(i) for every i in [0, n) across at most `num_threads` statically

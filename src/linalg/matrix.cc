@@ -58,10 +58,11 @@ void Matrix::SetCol(size_t c, const Vector& values) {
 }
 
 Matrix Matrix::SelectCols(const std::vector<size_t>& col_indices) const {
+  // Validate once up front (boundary CHECK) so the copy loop runs unchecked.
+  for (size_t c : col_indices) WPRED_CHECK_LT(c, cols_);
   Matrix out(rows_, col_indices.size());
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t j = 0; j < col_indices.size(); ++j) {
-      WPRED_CHECK_LT(col_indices[j], cols_);
       out(r, j) = data_[r * cols_ + col_indices[j]];
     }
   }
@@ -69,9 +70,9 @@ Matrix Matrix::SelectCols(const std::vector<size_t>& col_indices) const {
 }
 
 Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  for (size_t r : row_indices) WPRED_CHECK_LT(r, rows_);
   Matrix out(row_indices.size(), cols_);
   for (size_t i = 0; i < row_indices.size(); ++i) {
-    WPRED_CHECK_LT(row_indices[i], rows_);
     for (size_t c = 0; c < cols_; ++c) {
       out(i, c) = data_[row_indices[i] * cols_ + c];
     }
@@ -150,7 +151,7 @@ std::string Matrix::ToString() const {
 }
 
 double Dot(const Vector& a, const Vector& b) {
-  WPRED_CHECK_EQ(a.size(), b.size());
+  WPRED_DCHECK_EQ(a.size(), b.size());
   double acc = 0.0;
   for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
@@ -159,10 +160,19 @@ double Dot(const Vector& a, const Vector& b) {
 double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
 
 Vector Axpy(const Vector& a, double s, const Vector& b) {
-  WPRED_CHECK_EQ(a.size(), b.size());
+  WPRED_DCHECK_EQ(a.size(), b.size());
   Vector out(a.size());
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
   return out;
 }
+
+bool AllFinite(const Vector& a) {
+  for (double v : a) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const Matrix& a) { return AllFinite(a.data()); }
 
 }  // namespace wpred

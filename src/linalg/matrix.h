@@ -36,14 +36,17 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Element access is the single hottest call in every kernel (matmul, DTW
+  // lattice, tree splits); bounds checks are debug contracts so Release pays
+  // only the multiply-add. See DESIGN.md §9 for the DCHECK/CHECK split.
   double& operator()(size_t r, size_t c) {
-    WPRED_CHECK_LT(r, rows_);
-    WPRED_CHECK_LT(c, cols_);
+    WPRED_DCHECK_LT(r, rows_);
+    WPRED_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   double operator()(size_t r, size_t c) const {
-    WPRED_CHECK_LT(r, rows_);
-    WPRED_CHECK_LT(c, cols_);
+    WPRED_DCHECK_LT(r, rows_);
+    WPRED_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
 
@@ -93,6 +96,12 @@ double Norm2(const Vector& a);
 
 /// a + s * b, elementwise (equal lengths).
 Vector Axpy(const Vector& a, double s, const Vector& b);
+
+/// True when every entry is finite (no NaN/Inf). O(n); primarily used in
+/// WPRED_DCHECK preconditions at kernel entry, where it costs nothing in
+/// Release builds.
+bool AllFinite(const Vector& a);
+bool AllFinite(const Matrix& a);
 
 }  // namespace wpred
 

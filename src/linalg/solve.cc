@@ -9,6 +9,8 @@ constexpr double kSingularEps = 1e-12;
 
 // Forward substitution: solves L y = b for lower-triangular L.
 Vector ForwardSubst(const Matrix& l, const Vector& b) {
+  WPRED_DCHECK_EQ(l.rows(), l.cols());
+  WPRED_DCHECK_EQ(l.rows(), b.size());
   const size_t n = l.rows();
   Vector y(n);
   for (size_t i = 0; i < n; ++i) {
@@ -21,6 +23,8 @@ Vector ForwardSubst(const Matrix& l, const Vector& b) {
 
 // Back substitution: solves Lᵀ x = y for lower-triangular L.
 Vector BackSubstTransposed(const Matrix& l, const Vector& y) {
+  WPRED_DCHECK_EQ(l.rows(), l.cols());
+  WPRED_DCHECK_EQ(l.rows(), y.size());
   const size_t n = l.rows();
   Vector x(n);
   for (size_t ii = n; ii > 0; --ii) {
@@ -36,6 +40,7 @@ Vector BackSubstTransposed(const Matrix& l, const Vector& y) {
 
 Result<Matrix> CholeskyFactor(const Matrix& a) {
   WPRED_CHECK_EQ(a.rows(), a.cols()) << "Cholesky requires a square matrix";
+  WPRED_DCHECK(AllFinite(a)) << "non-finite input to CholeskyFactor";
   const size_t n = a.rows();
   Matrix l(n, n);
   for (size_t i = 0; i < n; ++i) {
@@ -97,6 +102,8 @@ bool LuDecompose(Matrix& a, std::vector<size_t>& perm, double& sign) {
 
 Vector LuBackSolve(const Matrix& lu, const std::vector<size_t>& perm,
                    const Vector& b) {
+  WPRED_DCHECK_EQ(lu.rows(), perm.size());
+  WPRED_DCHECK_EQ(lu.rows(), b.size());
   const size_t n = lu.rows();
   Vector y(n);
   for (size_t i = 0; i < n; ++i) {
@@ -119,6 +126,8 @@ Vector LuBackSolve(const Matrix& lu, const std::vector<size_t>& perm,
 Result<Vector> LuSolve(const Matrix& a, const Vector& b) {
   WPRED_CHECK_EQ(a.rows(), a.cols());
   WPRED_CHECK_EQ(a.rows(), b.size());
+  WPRED_DCHECK(AllFinite(a)) << "non-finite matrix in LuSolve";
+  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in LuSolve";
   Matrix lu = a;
   std::vector<size_t> perm;
   double sign = 1.0;
@@ -163,6 +172,8 @@ Result<Vector> SolveLeastSquares(const Matrix& x, const Vector& y,
                                  double ridge) {
   WPRED_CHECK_EQ(x.rows(), y.size());
   WPRED_CHECK_GE(ridge, 0.0);
+  WPRED_DCHECK(AllFinite(x)) << "non-finite design matrix in SolveLeastSquares";
+  WPRED_DCHECK(AllFinite(y)) << "non-finite target in SolveLeastSquares";
   const size_t p = x.cols();
   // Gram matrix XᵀX and right-hand side Xᵀy.
   Matrix gram(p, p);

@@ -27,6 +27,7 @@ class TreeBuilder {
         rng_(params.seed) {}
 
   FittedTree Build(const std::vector<size_t>& row_indices) {
+    WPRED_DCHECK_EQ(x_.rows(), y_.size()) << "design/target row mismatch";
     FittedTree tree;
     tree.num_features = x_.cols();
     tree.importances.assign(x_.cols(), 0.0);
@@ -47,6 +48,8 @@ class TreeBuilder {
     if (classification_) {
       std::vector<size_t> counts(num_classes_, 0);
       for (size_t i : indices) {
+        WPRED_DCHECK_LT(y_[i], num_classes_) << "label out of range";
+        WPRED_DCHECK_GE(y_[i], 0.0);
         ++counts[static_cast<size_t>(y_[i])];
       }
       return static_cast<double>(std::max_element(counts.begin(), counts.end()) -
@@ -214,11 +217,15 @@ class TreeBuilder {
 
 double FittedTree::Evaluate(const Vector& row) const {
   WPRED_CHECK(!nodes.empty());
+  WPRED_DCHECK_EQ(row.size(), num_features) << "feature arity mismatch";
   int node = 0;
   while (nodes[node].feature >= 0) {
     const TreeNode& n = nodes[node];
+    WPRED_DCHECK_LT(static_cast<size_t>(n.feature), row.size());
     node = row[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
                                                               : n.right;
+    WPRED_DCHECK_GE(node, 0);
+    WPRED_DCHECK_LT(static_cast<size_t>(node), nodes.size());
   }
   return nodes[node].value;
 }

@@ -45,6 +45,8 @@ Status MlpRegressor::Fit(const Matrix& x, const Vector& y) {
   if (params_.epochs < 1 || params_.batch_size < 1) {
     return Status::InvalidArgument("bad epochs/batch_size");
   }
+  WPRED_DCHECK(AllFinite(x)) << "non-finite design matrix in MlpRegressor::Fit";
+  WPRED_DCHECK(AllFinite(y)) << "non-finite target in MlpRegressor::Fit";
   fitted_ = false;
 
   Matrix xs;
@@ -66,7 +68,10 @@ Status MlpRegressor::Fit(const Matrix& x, const Vector& y) {
   }
   dims_.push_back(1);
 
-  const size_t num_layers = dims_.size() - 1;
+  // Phrased additively (not dims_.size() - 1) so the optimiser can prove the
+  // per-layer vector sizes below never underflow.
+  const size_t num_layers = params_.hidden_layers.size() + 1;
+  WPRED_DCHECK_EQ(dims_.size(), num_layers + 1);
   Rng rng(params_.seed);
   weights_.assign(num_layers, Matrix());
   biases_.assign(num_layers, Vector());
@@ -164,6 +169,8 @@ Status MlpRegressor::Fit(const Matrix& x, const Vector& y) {
 }
 
 Vector MlpRegressor::Forward(const Vector& input) const {
+  WPRED_DCHECK(!dims_.empty());
+  WPRED_DCHECK_EQ(input.size(), dims_.front()) << "feature arity mismatch";
   Vector act = input;
   for (size_t l = 0; l + 1 < dims_.size(); ++l) {
     Vector next(dims_[l + 1], 0.0);

@@ -141,10 +141,24 @@ class Parser {
       return Status::InvalidArgument("unexpected end of JSON input");
     }
     switch (text_[pos_]) {
-      case '{':
-        return ParseObject();
-      case '[':
-        return ParseArray();
+      case '{': {
+        if (depth_ >= kMaxDepth) {
+          return Status::InvalidArgument("JSON nesting too deep");
+        }
+        ++depth_;
+        Result<Json> obj = ParseObject();
+        --depth_;
+        return obj;
+      }
+      case '[': {
+        if (depth_ >= kMaxDepth) {
+          return Status::InvalidArgument("JSON nesting too deep");
+        }
+        ++depth_;
+        Result<Json> arr = ParseArray();
+        --depth_;
+        return arr;
+      }
       case '"': {
         WPRED_ASSIGN_OR_RETURN(std::string s, ParseString());
         return Json(std::move(s));
@@ -300,6 +314,11 @@ class Parser {
     if (end != token.c_str() + token.size()) {
       return Status::InvalidArgument("malformed number: " + token);
     }
+    // strtod saturates overflow to +/-inf; JSON has no way to write that
+    // back, so reject rather than let inf leak into numeric pipelines.
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("number out of range: " + token);
+    }
     return Json(v);
   }
 
@@ -320,8 +339,13 @@ class Parser {
     }
   }
 
+  // Bounds recursive descent so hostile inputs ("[[[[...") fail with a
+  // Status instead of exhausting the stack (found by fuzz/json_fuzz).
+  static constexpr int kMaxDepth = 192;
+
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

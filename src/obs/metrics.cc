@@ -1,17 +1,47 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 
 namespace wpred::obs {
+
+namespace internal {
+
+EnvBoolParse ParseMetricsEnv(const char* value) {
+  if (value == nullptr) return {false, false};
+  std::string lower(value);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower.empty() || lower == "0" || lower == "false" || lower == "off" ||
+      lower == "no") {
+    return {false, false};
+  }
+  if (lower == "1" || lower == "true" || lower == "on" || lower == "yes") {
+    return {true, false};
+  }
+  return {false, true};
+}
+
+}  // namespace internal
+
 namespace {
 
 bool EnvEnabled() {
   const char* env = std::getenv("WPRED_METRICS");
-  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  const auto parsed = internal::ParseMetricsEnv(env);
+  if (parsed.rejected) {
+    std::fprintf(stderr,
+                 "wpred: ignoring unrecognised WPRED_METRICS=\"%s\" (want "
+                 "0/1/true/false/on/off); metrics stay disabled\n",
+                 env);
+  }
+  return parsed.enabled;
 }
 
 // Dynamic-initialised from the environment before main(); hooks afterwards

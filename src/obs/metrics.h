@@ -29,11 +29,28 @@
 namespace wpred::obs {
 
 /// Global on/off switch. Initialised from the WPRED_METRICS environment
-/// variable (any value except "" and "0" enables); SetMetricsEnabled
-/// overrides it for the rest of the process. Reading is a single relaxed
-/// atomic load.
+/// variable ("1"/"true"/"on"/"yes" enable, ""/"0"/"false"/"off"/"no"
+/// disable, anything else warns on stderr and stays disabled);
+/// SetMetricsEnabled overrides it for the rest of the process. Reading is a
+/// single relaxed atomic load.
 bool MetricsEnabled();
 void SetMetricsEnabled(bool enabled);
+
+namespace internal {
+
+/// Parse outcome for a WPRED_METRICS-style boolean env value; exposed so the
+/// rejection path is unit-testable without touching the real environment.
+struct EnvBoolParse {
+  bool enabled = false;
+  bool rejected = false;  // value present but not a recognised boolean
+};
+
+/// nullptr / "" / "0" / "false" / "off" / "no" → disabled; "1" / "true" /
+/// "on" / "yes" → enabled (ASCII case-insensitive). Anything else →
+/// {false, rejected=true} so the caller can warn instead of guessing.
+EnvBoolParse ParseMetricsEnv(const char* value);
+
+}  // namespace internal
 
 /// Monotonic event counter.
 class Counter {

@@ -13,6 +13,7 @@ namespace {
 // the strategy consumes it (LMM random intercepts).
 Matrix BuildDesign(const std::vector<double>& x, const std::vector<int>& groups,
                    bool uses_group) {
+  WPRED_DCHECK_EQ(x.size(), groups.size());
   Matrix design(x.size(), uses_group ? 2 : 1);
   for (size_t i = 0; i < x.size(); ++i) {
     design(i, 0) = x[i];
@@ -45,6 +46,9 @@ Status SingleScalingModel::Fit(const std::string& strategy,
   std::vector<int> groups(points.size());
   Vector y(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
+    WPRED_DCHECK(std::isfinite(points[i].sku_value) &&
+                 std::isfinite(points[i].perf))
+        << "non-finite SKU observation at index " << i;
     x[i] = points[i].sku_value;
     groups[i] = points[i].group;
     y[i] = points[i].perf;

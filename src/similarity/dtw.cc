@@ -54,6 +54,8 @@ Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
 }  // namespace
 
 Result<double> DtwDistance(const Vector& a, const Vector& b, int window) {
+  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in DtwDistance";
+  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in DtwDistance";
   return DtwCore(a.size(), b.size(), window, [&](size_t i, size_t j) {
     const double d = a[i] - b[j];
     return d * d;
@@ -65,6 +67,8 @@ Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
   if (a.cols() != b.cols()) {
     return Status::InvalidArgument("feature count mismatch");
   }
+  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in DependentDtwDistance";
+  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in DependentDtwDistance";
   const size_t k = a.cols();
   return DtwCore(a.rows(), b.rows(), window, [&](size_t i, size_t j) {
     double acc = 0.0;

@@ -29,6 +29,8 @@ Result<double> LcssCore(size_t m, size_t n, MatchFn match) {
 
 Result<double> LcssDistance(const Vector& a, const Vector& b, double epsilon) {
   if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
+  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in LcssDistance";
+  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in LcssDistance";
   return LcssCore(a.size(), b.size(), [&](size_t i, size_t j) {
     return std::fabs(a[i] - b[j]) <= epsilon;
   });
@@ -40,6 +42,8 @@ Result<double> DependentLcssDistance(const Matrix& a, const Matrix& b,
   if (a.cols() != b.cols()) {
     return Status::InvalidArgument("feature count mismatch");
   }
+  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in DependentLcssDistance";
+  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in DependentLcssDistance";
   const size_t k = a.cols();
   return LcssCore(a.rows(), b.rows(), [&](size_t i, size_t j) {
     for (size_t f = 0; f < k; ++f) {

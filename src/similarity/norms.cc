@@ -12,6 +12,10 @@ Status CheckSameShape(const Matrix& a, const Matrix& b) {
     return Status::InvalidArgument("matrix shape mismatch");
   }
   if (a.empty()) return Status::InvalidArgument("empty matrices");
+  // Normalised representations must be finite; NaN here poisons a whole
+  // pairwise-distance row while comparing equal, so catch it at the door.
+  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in distance kernel";
+  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in distance kernel";
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/csv.h"
 #include "sim/engine.h"
 #include "sim/hardware.h"
 #include "sim/workload_spec.h"
@@ -218,6 +219,56 @@ TEST_F(IoTest, LenientReadFailsWhenEveryFileIsBad) {
   const auto loaded = ReadCorpus(dir_.string(), {.skip_bad_files = true});
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Edge cases below mirror fuzz/corpus/csv; fuzz/csv_fuzz.cc replays them on
+// every toolchain and these pin the exact parses we rely on.
+
+TEST(CsvEdgeCaseTest, EmptyInputYieldsNoRows) {
+  const auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows.value().empty());
+  const auto blank = ParseCsv("\n\n\n");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_TRUE(blank.value().empty());
+}
+
+TEST(CsvEdgeCaseTest, Utf8BomIsStrippedFromFirstHeaderCell) {
+  const auto rows = ParseCsv("\xEF\xBB\xBFname,value\nk,1\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][0], "name");
+  EXPECT_EQ(rows.value()[1][1], "1");
+}
+
+TEST(CsvEdgeCaseTest, CrlfLineEndingsParseLikeLf) {
+  const auto rows = ParseCsv("h1,h2\r\nv1,v2\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"h1", "h2"}));
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"v1", "v2"}));
+  // A \r inside a quoted field is data, not a line ending.
+  const auto quoted = ParseCsv("a\n\"x\ry\"\n");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(quoted.value()[1][0], "x\ry");
+}
+
+TEST(CsvEdgeCaseTest, QuotedQuotesAndEmbeddedSeparators) {
+  const auto rows = ParseCsv("note\n\"say \"\"hi\"\" twice\"\n\"a,b\nc\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[1][0], "say \"hi\" twice");
+  EXPECT_EQ(rows.value()[2][0], "a,b\nc");
+}
+
+TEST(CsvEdgeCaseTest, MissingTrailingNewlineAndUnterminatedQuote) {
+  const auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"c", "d"}));
+  const auto bad = ParseCsv("\"never closed\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// Unit tests for the wpred_lint rule engine (tools/lint). These pin the
+// diagnostic behaviour the CI lint gate relies on: every rule fires on its
+// seeded violation with the right file:line, negatives stay silent, and the
+// `// wpred-lint: allow(<rule>)` suppression syntax works.
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace wpred::lint {
+namespace {
+
+using internal::CodeLine;
+using internal::ContainsIdentifier;
+using internal::Tokenize;
+
+std::vector<std::string> RulesAt(const std::vector<Diagnostic>& diagnostics,
+                                 int line) {
+  std::vector<std::string> rules;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.line == line) rules.push_back(d.rule);
+  }
+  return rules;
+}
+
+bool HasRule(const std::vector<Diagnostic>& diagnostics,
+             const std::string& rule) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+// --- tokenizer ------------------------------------------------------------
+
+TEST(LintTokenizerTest, StripsLineAndBlockComments) {
+  const auto lines = Tokenize("int a;  // rand()\nint /* time( */ b;\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_FALSE(ContainsIdentifier(lines[0].code, "rand"));
+  EXPECT_TRUE(lines[0].has_comment);
+  EXPECT_FALSE(ContainsIdentifier(lines[1].code, "time"));
+  EXPECT_TRUE(ContainsIdentifier(lines[1].code, "b"));
+}
+
+TEST(LintTokenizerTest, StripsStringAndCharLiteralBodies) {
+  const auto lines = Tokenize(
+      "const char* s = \"rand() float\";\nchar c = 'f';\nchar q = '\\\"';\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_FALSE(ContainsIdentifier(lines[0].code, "rand"));
+  EXPECT_FALSE(ContainsIdentifier(lines[0].code, "float"));
+  EXPECT_TRUE(ContainsIdentifier(lines[1].code, "c"));
+  // The escaped quote must not leave the tokenizer stuck inside a literal.
+  EXPECT_TRUE(ContainsIdentifier(lines[2].code, "q"));
+}
+
+TEST(LintTokenizerTest, RawStringsAndDigitSeparators) {
+  const auto lines =
+      Tokenize("auto s = R\"(rand() time( \" ))\";\nint n = "
+               "1'000'000;\nint m = n;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_FALSE(ContainsIdentifier(lines[0].code, "rand"));
+  // The digit separator must not open a char literal and swallow line 3.
+  EXPECT_TRUE(ContainsIdentifier(lines[2].code, "m"));
+}
+
+TEST(LintTokenizerTest, MultiLineBlockCommentCoversAllLines) {
+  const auto lines = Tokenize("/* rand()\n   time(\n*/ int ok;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_FALSE(ContainsIdentifier(lines[0].code, "rand"));
+  EXPECT_FALSE(ContainsIdentifier(lines[1].code, "time"));
+  EXPECT_TRUE(ContainsIdentifier(lines[2].code, "ok"));
+}
+
+TEST(LintTokenizerTest, SuppressionsSameLineAndForwarded) {
+  const auto lines = Tokenize(
+      "int a = rand();  // wpred-lint: allow(nondeterminism, raw-float)\n"
+      "// wpred-lint: allow(layering)\n"
+      "#include \"ml/mlp.h\"\n");
+  ASSERT_EQ(lines.size(), 3u);
+  ASSERT_EQ(lines[0].suppressed.size(), 2u);
+  EXPECT_EQ(lines[0].suppressed[0], "nondeterminism");
+  EXPECT_EQ(lines[0].suppressed[1], "raw-float");
+  // Comment-only line forwards its allowance to the next line.
+  ASSERT_FALSE(lines[2].suppressed.empty());
+  EXPECT_EQ(lines[2].suppressed[0], "layering");
+}
+
+// --- nondeterminism -------------------------------------------------------
+
+TEST(LintRuleTest, NondeterminismFlagsRandAndClocks) {
+  const auto d = LintSource("src/ml/model.cc",
+                            "int f() {\n"
+                            "  srand(42);\n"
+                            "  auto t = std::chrono::system_clock::now();\n"
+                            "  return rand();\n"
+                            "}\n");
+  EXPECT_EQ(RulesAt(d, 2), std::vector<std::string>{"nondeterminism"});
+  EXPECT_EQ(RulesAt(d, 3), std::vector<std::string>{"nondeterminism"});
+  EXPECT_EQ(RulesAt(d, 4), std::vector<std::string>{"nondeterminism"});
+}
+
+TEST(LintRuleTest, NondeterminismAllowsSteadyClockAndNamesContainingTime) {
+  const auto d = LintSource(
+      "src/obs/trace.cc",
+      "auto t0 = std::chrono::steady_clock::now();\n"
+      "double wall_time(int x);\n"   // identifier ends in `time` but is not it
+      "double runtime = 0.0;\n");
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(LintRuleTest, NondeterminismExemptsCommonRng) {
+  const auto d = LintSource("src/common/rng.cc",
+                            "std::random_device rd;\nint s = rand();\n");
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(LintRuleTest, NondeterminismAppliesToToolsAndBench) {
+  EXPECT_TRUE(HasRule(LintSource("tools/wpred_cli.cc", "int x = rand();\n"),
+                      "nondeterminism"));
+  EXPECT_TRUE(HasRule(
+      LintSource("bench/bench_micro_kernels.cc", "srand(7);\n"),
+      "nondeterminism"));
+  // Test code may use whatever clocks it wants.
+  EXPECT_TRUE(LintSource("tests/ml_test.cc", "int x = rand();\n").empty());
+}
+
+// --- unordered-container / raw-float --------------------------------------
+
+TEST(LintRuleTest, UnorderedContainerOnlyInNumericModules) {
+  const std::string snippet = "std::unordered_map<int, double> cache;\n";
+  for (const char* path :
+       {"src/linalg/stats.cc", "src/ml/model.cc", "src/similarity/dtw.cc",
+        "src/featsel/filter.cc", "src/predict/baseline.cc"}) {
+    EXPECT_TRUE(HasRule(LintSource(path, snippet), "unordered-container"))
+        << path;
+  }
+  for (const char* path : {"src/common/csv.cc", "src/obs/metrics.cc",
+                           "src/telemetry/io.cc", "src/core/pipeline.cc",
+                           "tools/metrics_summary.cc"}) {
+    EXPECT_FALSE(HasRule(LintSource(path, snippet), "unordered-container"))
+        << path;
+  }
+}
+
+TEST(LintRuleTest, RawFloatInKernelOnly) {
+  EXPECT_TRUE(
+      HasRule(LintSource("src/linalg/matrix.cc", "float v = 0;\n"),
+              "raw-float"));
+  EXPECT_FALSE(
+      HasRule(LintSource("src/obs/export.cc", "float v = 0;\n"), "raw-float"));
+  // `float` inside an identifier or comment never fires.
+  EXPECT_TRUE(
+      LintSource("src/linalg/matrix.cc",
+                 "int floaty = 1;  // float would be wrong here\n")
+          .empty());
+}
+
+// --- io-in-library --------------------------------------------------------
+
+TEST(LintRuleTest, IoInLibraryFlagsCoutOutsideObsAndCommon) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/predict/roofline.cc", "std::cout << \"x\";\n"),
+      "io-in-library"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/telemetry/io.cc", "fprintf(stderr, \"warn\");\n"),
+      "io-in-library"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/obs/export.cc", "std::cout << \"x\";\n"),
+      "io-in-library"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/common/parallel.cc", "fprintf(stderr, \"warn\");\n"),
+      "io-in-library"));
+  // snprintf formats into a buffer — not console IO.
+  EXPECT_TRUE(LintSource("src/telemetry/io.cc",
+                         "std::snprintf(buf, sizeof(buf), \"%g\", v);\n")
+                  .empty());
+}
+
+// --- nodiscard-status -----------------------------------------------------
+
+TEST(LintRuleTest, NodiscardStatusGuardsTheDeclarations) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/common/status.h", "class Status {\n};\n"),
+      "nodiscard-status"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/common/status.h", "class Result {\n};\n"),
+      "nodiscard-status"));
+  EXPECT_TRUE(LintSource("src/common/status.h",
+                         "class [[nodiscard]] Status {\n};\n"
+                         "enum class StatusCode {\n};\n")
+                  .empty());
+  // Other files may declare whatever they like.
+  EXPECT_TRUE(
+      LintSource("src/telemetry/io.cc", "class Status {\n};\n").empty());
+}
+
+// --- bare-discard ---------------------------------------------------------
+
+TEST(LintRuleTest, BareDiscardNeedsComment) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/pipeline.cc", "void f() {\n  (void)g();\n}\n"),
+      "bare-discard"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/pipeline.cc", "  static_cast<void>(g());\n"),
+      "bare-discard"));
+  EXPECT_FALSE(HasRule(
+      LintSource("src/core/pipeline.cc",
+                 "void f() {\n  (void)g();  // fire-and-forget telemetry\n}\n"),
+      "bare-discard"));
+  // C-style `f(void)` parameter lists are not discards.
+  EXPECT_TRUE(LintSource("src/core/pipeline.cc", "int f(void);\n").empty());
+}
+
+// --- layering -------------------------------------------------------------
+
+TEST(LintRuleTest, LayeringEnforcesTheDag) {
+  // common depends on nothing.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/common/csv.cc", "#include \"linalg/matrix.h\"\n"),
+      "layering"));
+  // obs is leaf-only over common.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/obs/metrics.cc", "#include \"telemetry/io.h\"\n"),
+      "layering"));
+  EXPECT_TRUE(
+      LintSource("src/obs/json.cc", "#include \"common/status.h\"\n").empty());
+  // Downward edges are fine; upward edges are not.
+  EXPECT_TRUE(
+      LintSource("src/ml/mlp.cc", "#include \"linalg/solve.h\"\n").empty());
+  EXPECT_TRUE(HasRule(
+      LintSource("src/linalg/solve.cc", "#include \"ml/mlp.h\"\n"),
+      "layering"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/ml/model.cc", "#include \"core/pipeline.h\"\n"),
+      "layering"));
+  // core sits at the top and sees everything.
+  EXPECT_TRUE(LintSource("src/core/workbench.cc",
+                         "#include \"sim/engine.h\"\n"
+                         "#include \"featsel/registry.h\"\n"
+                         "#include \"predict/strategies.h\"\n")
+                  .empty());
+  // System headers and same-module includes are always fine.
+  EXPECT_TRUE(LintSource("src/linalg/eigen.cc",
+                         "#include <vector>\n#include \"linalg/matrix.h\"\n")
+                  .empty());
+  // src must never reach into tests/ or bench/.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/ml/model.cc", "#include \"tests/helpers.h\"\n"),
+      "layering"));
+}
+
+// --- plumbing -------------------------------------------------------------
+
+TEST(LintFormatTest, DiagnosticFormatIsPinned) {
+  const Diagnostic d{"src/ml/mlp.cc", 42, "raw-float", "message text"};
+  EXPECT_EQ(FormatDiagnostic(d), "src/ml/mlp.cc:42: [raw-float] message text");
+}
+
+TEST(LintFormatTest, DiagnosticsSortedByLine) {
+  const auto d = LintSource("src/ml/model.cc",
+                            "int a = rand();\nfloat b = 0;\nint c = rand();\n");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_LT(d[0].line, d[1].line);
+  EXPECT_LT(d[1].line, d[2].line);
+}
+
+TEST(LintRuleTest, SuppressionSilencesExactlyTheNamedRule) {
+  const auto d = LintSource(
+      "src/ml/model.cc",
+      "float x = rand();  // wpred-lint: allow(raw-float)\n");
+  EXPECT_FALSE(HasRule(d, "raw-float"));
+  EXPECT_TRUE(HasRule(d, "nondeterminism"));
+}
+
+TEST(LintMetaTest, EveryRuleHasADescription) {
+  const std::vector<std::string> rules = RuleNames();
+  EXPECT_EQ(rules.size(), 7u);
+  for (const std::string& rule : rules) {
+    EXPECT_FALSE(RuleDescription(rule).empty()) << rule;
+  }
+  EXPECT_TRUE(RuleDescription("no-such-rule").empty());
+}
+
+TEST(LintMetaTest, SelfTestPasses) {
+  EXPECT_EQ(SelfTest(), std::vector<std::string>{});
+}
+
+}  // namespace
+}  // namespace wpred::lint

@@ -321,5 +321,90 @@ TEST_F(ObsPipelineTest, MetricsEnabledChangesNoPipelineOutput) {
   EXPECT_TRUE(spans.count("pipeline.fit/feature_selection"));
 }
 
+
+TEST(MetricsEnvParseTest, RecognisedBooleans) {
+  using obs::internal::ParseMetricsEnv;
+  EXPECT_FALSE(ParseMetricsEnv(nullptr).enabled);
+  EXPECT_FALSE(ParseMetricsEnv(nullptr).rejected);
+  for (const char* off : {"", "0", "false", "off", "no", "FALSE", "Off"}) {
+    const auto parsed = ParseMetricsEnv(off);
+    EXPECT_FALSE(parsed.enabled) << "value: \"" << off << "\"";
+    EXPECT_FALSE(parsed.rejected) << "value: \"" << off << "\"";
+  }
+  for (const char* on : {"1", "true", "on", "yes", "TRUE", "On"}) {
+    const auto parsed = ParseMetricsEnv(on);
+    EXPECT_TRUE(parsed.enabled) << "value: \"" << on << "\"";
+    EXPECT_FALSE(parsed.rejected) << "value: \"" << on << "\"";
+  }
+}
+
+TEST(MetricsEnvParseTest, GarbageRejectedAndStaysDisabled) {
+  using obs::internal::ParseMetricsEnv;
+  for (const char* bad : {"2", "-1", "enable", "json", "tru", "0x1", " 1"}) {
+    const auto parsed = ParseMetricsEnv(bad);
+    EXPECT_TRUE(parsed.rejected) << "value: \"" << bad << "\"";
+    EXPECT_FALSE(parsed.enabled) << "value: \"" << bad << "\"";
+  }
+}
+
+// Edge cases below mirror fuzz/corpus/json; fuzz/json_fuzz.cc replays them
+// on every toolchain and these pin the exact accept/reject behaviour.
+
+TEST(JsonEdgeCaseTest, DeeplyNestedInputIsRejectedNotACrash) {
+  // Under the 192-level parser bound: accepted.
+  std::string shallow(100, '[');
+  shallow.append("1");
+  shallow.append(100, ']');
+  EXPECT_TRUE(obs::Json::Parse(shallow).ok());
+  // Hostile nesting depth: a clean InvalidArgument, not a stack overflow.
+  std::string deep(100000, '[');
+  const auto rejected = obs::Json::Parse(deep);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("nesting"), std::string::npos);
+  // Width at fixed depth is not nesting; sibling containers never trip it.
+  std::string wide = "[";
+  for (int i = 0; i < 300; ++i) wide += "[1],";
+  wide += "[1]]";
+  EXPECT_TRUE(obs::Json::Parse(wide).ok());
+}
+
+TEST(JsonEdgeCaseTest, TruncatedDocumentsRejectCleanly) {
+  for (const char* text :
+       {"{\"a\": [1, 2", "{\"k\"", "\"abc", "[1,", "{", "tru", "-", ""}) {
+    const auto parsed = obs::Json::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "input: " << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(JsonEdgeCaseTest, OverflowingNumbersAreRejected) {
+  for (const char* text : {"1e999", "-1e999", "[1, 1e309]"}) {
+    const auto parsed = obs::Json::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "input: " << text;
+  }
+  // The largest finite doubles still parse.
+  EXPECT_TRUE(obs::Json::Parse("1.7976931348623157e308").ok());
+  EXPECT_TRUE(obs::Json::Parse("-1.7976931348623157e308").ok());
+}
+
+TEST(JsonEdgeCaseTest, DumpParseDumpIsAFixpoint) {
+  for (const char* text :
+       {"{\"metrics\": {\"ml.mlp.fits\": 3, \"ratio\": 0.25}, "
+        "\"tags\": [\"a\", \"b\"]}",
+        "[1, -2.5, 1e10, true, false, null, \"str\"]",
+        "{\"esc\": \"line\\nbreak \\\"q\\\" \\u0041 tab\\t\"}",
+        "  {  }  ", "[[[[[[[[[[1]]]]]]]]]]"}) {
+    const auto parsed = obs::Json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    for (const int indent : {0, 2}) {
+      const std::string dumped = parsed.value().Dump(indent);
+      const auto reparsed = obs::Json::Parse(dumped);
+      ASSERT_TRUE(reparsed.ok()) << dumped;
+      EXPECT_EQ(reparsed.value().Dump(indent), dumped) << text;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace wpred

@@ -366,5 +366,36 @@ TEST(DeterminismTest, PairwiseErrorPropagatesFromCell) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+
+TEST(ThreadsEnvParseTest, UnsetAndValidValues) {
+  using parallel_internal::ParseThreadsEnv;
+  EXPECT_EQ(ParseThreadsEnv(nullptr).threads, 0);
+  EXPECT_FALSE(ParseThreadsEnv(nullptr).rejected);
+  EXPECT_EQ(ParseThreadsEnv("1").threads, 1);
+  EXPECT_EQ(ParseThreadsEnv("8").threads, 8);
+  EXPECT_FALSE(ParseThreadsEnv("8").rejected);
+  EXPECT_EQ(ParseThreadsEnv("  16").threads, 16);  // strtol skips leading ws
+}
+
+TEST(ThreadsEnvParseTest, GarbageZeroNegativeRejected) {
+  using parallel_internal::ParseThreadsEnv;
+  for (const char* bad : {"", "abc", "4x", "4 ", "0", "-3", "2.5", "--", "+"}) {
+    const auto parsed = ParseThreadsEnv(bad);
+    EXPECT_TRUE(parsed.rejected) << "value: \"" << bad << "\"";
+    EXPECT_EQ(parsed.threads, 0) << "value: \"" << bad << "\"";
+  }
+}
+
+TEST(ThreadsEnvParseTest, OverflowAndHugeValuesClampToMaxWorkers) {
+  using parallel_internal::ParseThreadsEnv;
+  // Larger than kMaxWorkers but representable: intent is clear, clamp.
+  EXPECT_EQ(ParseThreadsEnv("1000").threads, ThreadPool::kMaxWorkers);
+  EXPECT_FALSE(ParseThreadsEnv("1000").rejected);
+  // strtol overflow (ERANGE): same treatment.
+  EXPECT_EQ(ParseThreadsEnv("99999999999999999999999").threads,
+            ThreadPool::kMaxWorkers);
+  EXPECT_FALSE(ParseThreadsEnv("99999999999999999999999").rejected);
+}
+
 }  // namespace
 }  // namespace wpred

@@ -1,0 +1,726 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace wpred::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  std::string root;      // "src", "tools", "bench", "tests", "fuzz", "examples"
+  std::string module;    // src submodule ("ml", "linalg", ...); "" otherwise
+  std::string filename;  // last path component
+};
+
+const std::set<std::string>& KnownRoots() {
+  static const std::set<std::string> roots = {"src",   "tools",    "bench",
+                                              "tests", "examples", "fuzz"};
+  return roots;
+}
+
+FileContext ClassifyPath(const std::string& path) {
+  FileContext ctx;
+  std::vector<std::string> parts;
+  std::string part;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) parts.push_back(part);
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+  if (!part.empty()) parts.push_back(part);
+  if (!parts.empty()) ctx.filename = parts.back();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (KnownRoots().count(parts[i])) {
+      ctx.root = parts[i];
+      // src/<module>/<...>/file — a lone src/file has no module.
+      if (ctx.root == "src" && i + 2 < parts.size()) ctx.module = parts[i + 1];
+      break;
+    }
+  }
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+constexpr std::array<RuleInfo, 7> kRules = {{
+    {"nondeterminism",
+     "wall-clock / libc-rand / random_device use outside common/rng breaks "
+     "bit-reproducible runs"},
+    {"unordered-container",
+     "std::unordered_{map,set} in ordered-output layers (linalg, ml, "
+     "similarity, featsel, predict) makes iteration order leak into results"},
+    {"raw-float",
+     "the numeric kernel is double-only; float narrows silently and splits "
+     "reproducibility across build flags"},
+    {"io-in-library",
+     "stdout/stderr writes in library code outside obs/ and common/; report "
+     "through Status or the obs layer instead"},
+    {"nodiscard-status",
+     "Status and Result<T> in common/status.h must stay class-level "
+     "[[nodiscard]] so dropped errors warn at every call site"},
+    {"bare-discard",
+     "a (void)/static_cast<void> discard needs a same-line comment saying "
+     "why the value is safe to drop"},
+    {"layering",
+     "module includes must follow the dependency DAG (common depends on "
+     "nothing, obs is leaf-only on common, no cycles)"},
+}};
+
+// Modules whose outputs are ordered numeric artifacts (tables, rankings,
+// distance matrices): the unordered-container and raw-float rules bite here.
+const std::set<std::string>& NumericModules() {
+  static const std::set<std::string> modules = {"linalg", "ml", "similarity",
+                                                "featsel", "predict"};
+  return modules;
+}
+
+// Allowed include targets per src module. Mirrors src/CMakeLists.txt's link
+// graph; wpred_lint is the enforcement teeth for that comment.
+const std::map<std::string, std::set<std::string>>& LayerDag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      {"common", {"common"}},
+      {"obs", {"obs", "common"}},
+      {"linalg", {"linalg", "common"}},
+      {"telemetry", {"telemetry", "linalg", "common"}},
+      {"sim", {"sim", "telemetry", "obs", "linalg", "common"}},
+      {"ml", {"ml", "linalg", "obs", "common"}},
+      {"featsel", {"featsel", "ml", "telemetry", "obs", "linalg", "common"}},
+      {"similarity", {"similarity", "linalg", "telemetry", "obs", "common"}},
+      {"predict", {"predict", "ml", "telemetry", "obs", "linalg", "common"}},
+      {"core",
+       {"core", "sim", "featsel", "similarity", "predict", "telemetry", "ml",
+        "obs", "linalg", "common"}},
+  };
+  return dag;
+}
+
+// Identifiers that are nondeterministic however they are used.
+const std::set<std::string>& NondetIdentifiers() {
+  static const std::set<std::string> idents = {
+      "srand",         "rand_r",       "drand48",
+      "lrand48",       "mrand48",      "random_device",
+      "system_clock",  "high_resolution_clock",
+      "gettimeofday",  "localtime",    "gmtime",
+      "ctime",         "asctime",      "clock_gettime",
+  };
+  return idents;
+}
+
+// Identifiers that are only nondeterministic as a call (so `steady_clock`
+// stays fine but `time(nullptr)` is caught).
+const std::set<std::string>& NondetCallIdentifiers() {
+  static const std::set<std::string> idents = {"rand", "time", "clock",
+                                               "random"};
+  return idents;
+}
+
+const std::set<std::string>& UnorderedContainerIdentifiers() {
+  static const std::set<std::string> idents = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return idents;
+}
+
+const std::set<std::string>& IoIdentifiers() {
+  static const std::set<std::string> idents = {
+      "printf", "fprintf", "vprintf", "vfprintf", "puts",  "fputs",
+      "putchar", "cout",   "cerr",    "clog",     "scanf", "fscanf",
+      "getchar"};
+  return idents;
+}
+
+// Yields each identifier token in `code` with its start offset.
+template <typename Fn>
+void ForEachIdentifier(const std::string& code, Fn&& fn) {
+  size_t i = 0;
+  const size_t n = code.size();
+  while (i < n) {
+    if (IsIdentChar(code[i])) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(code[i])) ++i;
+      if (!std::isdigit(static_cast<unsigned char>(code[start]))) {
+        fn(code.substr(start, i - start), start, i);
+      }
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool NextNonSpaceIsParen(const std::string& code, size_t pos) {
+  while (pos < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[pos]))) {
+    ++pos;
+  }
+  return pos < code.size() && code[pos] == '(';
+}
+
+bool Suppressed(const internal::CodeLine& line, const std::string& rule) {
+  return std::find(line.suppressed.begin(), line.suppressed.end(), rule) !=
+         line.suppressed.end();
+}
+
+// Extracts the target of a local include (`#include "x"`); empty if the line
+// is not one. Works on the raw line because the tokenizer blanks string
+// literal bodies in `code`.
+std::string LocalIncludeTarget(const std::string& raw) {
+  const std::string trimmed = Trim(raw);
+  if (trimmed.empty() || trimmed[0] != '#') return "";
+  size_t pos = trimmed.find("include", 1);
+  if (pos == std::string::npos) return "";
+  pos = trimmed.find('"', pos);
+  if (pos == std::string::npos) return "";
+  const size_t end = trimmed.find('"', pos + 1);
+  if (end == std::string::npos) return "";
+  return trimmed.substr(pos + 1, end - pos - 1);
+}
+
+class RuleRunner {
+ public:
+  RuleRunner(const std::string& path, std::vector<Diagnostic>* out)
+      : path_(path), ctx_(ClassifyPath(path)), out_(out) {}
+
+  void Run(const std::vector<internal::CodeLine>& lines) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const int line_no = static_cast<int>(i) + 1;
+      const internal::CodeLine& line = lines[i];
+      CheckNondeterminism(line, line_no);
+      CheckUnorderedContainer(line, line_no);
+      CheckRawFloat(line, line_no);
+      CheckIoInLibrary(line, line_no);
+      CheckNodiscardStatus(line, line_no);
+      CheckBareDiscard(line, line_no);
+      CheckLayering(line, line_no);
+    }
+  }
+
+ private:
+  void Report(int line, const std::string& rule, const std::string& message) {
+    out_->push_back({path_, line, rule, message});
+  }
+
+  bool InLintedTree() const {
+    return ctx_.root == "src" || ctx_.root == "tools" || ctx_.root == "bench";
+  }
+
+  bool IsRngImplementation() const {
+    return ctx_.root == "src" && ctx_.module == "common" &&
+           ctx_.filename.rfind("rng.", 0) == 0;
+  }
+
+  void CheckNondeterminism(const internal::CodeLine& line, int line_no) {
+    if (!InLintedTree() || IsRngImplementation()) return;
+    if (Suppressed(line, "nondeterminism")) return;
+    ForEachIdentifier(line.code, [&](const std::string& ident, size_t /*s*/,
+                                     size_t end) {
+      if (NondetIdentifiers().count(ident) ||
+          (NondetCallIdentifiers().count(ident) &&
+           NextNonSpaceIsParen(line.code, end))) {
+        Report(line_no, "nondeterminism",
+               "'" + ident +
+                   "' is a nondeterminism source; route randomness through "
+                   "common/rng and timing through steady_clock");
+      }
+    });
+  }
+
+  void CheckUnorderedContainer(const internal::CodeLine& line, int line_no) {
+    if (ctx_.root != "src" || !NumericModules().count(ctx_.module)) return;
+    if (Suppressed(line, "unordered-container")) return;
+    ForEachIdentifier(
+        line.code, [&](const std::string& ident, size_t, size_t) {
+          if (UnorderedContainerIdentifiers().count(ident)) {
+            Report(line_no, "unordered-container",
+                   "'" + ident + "' in " + ctx_.module +
+                       "/ — iteration order would feed ordered numeric "
+                       "output; use std::map or a sorted vector");
+          }
+        });
+  }
+
+  void CheckRawFloat(const internal::CodeLine& line, int line_no) {
+    if (ctx_.root != "src" || !NumericModules().count(ctx_.module)) return;
+    if (Suppressed(line, "raw-float")) return;
+    ForEachIdentifier(line.code,
+                      [&](const std::string& ident, size_t, size_t) {
+                        if (ident == "float") {
+                          Report(line_no, "raw-float",
+                                 "raw 'float' in the numeric kernel; wpred "
+                                 "numerics are double end-to-end");
+                        }
+                      });
+  }
+
+  void CheckIoInLibrary(const internal::CodeLine& line, int line_no) {
+    if (ctx_.root != "src" || ctx_.module == "obs" || ctx_.module == "common") {
+      return;
+    }
+    if (Suppressed(line, "io-in-library")) return;
+    ForEachIdentifier(
+        line.code, [&](const std::string& ident, size_t, size_t) {
+          if (IoIdentifiers().count(ident)) {
+            Report(line_no, "io-in-library",
+                   "'" + ident + "' in library module " + ctx_.module +
+                       "/ — libraries stay quiet; return Status or record "
+                       "through obs");
+          }
+        });
+  }
+
+  void CheckNodiscardStatus(const internal::CodeLine& line, int line_no) {
+    if (ctx_.root != "src" || ctx_.module != "common" ||
+        ctx_.filename != "status.h") {
+      return;
+    }
+    if (Suppressed(line, "nodiscard-status")) return;
+    bool has_class = false, has_target = false;
+    std::string target;
+    ForEachIdentifier(line.code,
+                      [&](const std::string& ident, size_t, size_t) {
+                        if (ident == "class") has_class = true;
+                        if (ident == "Status" || ident == "Result") {
+                          has_target = true;
+                          target = ident;
+                        }
+                      });
+    if (has_class && has_target &&
+        line.code.find('{') != std::string::npos &&
+        line.code.find("nodiscard") == std::string::npos &&
+        line.code.find("enum") == std::string::npos) {
+      Report(line_no, "nodiscard-status",
+             "class " + target +
+                 " must be declared [[nodiscard]] so dropped errors warn at "
+                 "every call site");
+    }
+  }
+
+  void CheckBareDiscard(const internal::CodeLine& line, int line_no) {
+    if (!InLintedTree()) return;
+    if (Suppressed(line, "bare-discard")) return;
+    size_t pos = line.code.find("(void)");
+    bool discard = false;
+    if (pos != std::string::npos) {
+      size_t after = pos + 6;
+      while (after < line.code.size() &&
+             std::isspace(static_cast<unsigned char>(line.code[after]))) {
+        ++after;
+      }
+      // `(void)` followed by an expression is a discard; `f(void)` in a
+      // C-style signature is followed by `)` or `;`.
+      if (after < line.code.size() &&
+          (IsIdentChar(line.code[after]) || line.code[after] == '(' ||
+           line.code[after] == '*' || line.code[after] == ':')) {
+        discard = true;
+      }
+    }
+    if (line.code.find("static_cast<void>(") != std::string::npos) {
+      discard = true;
+    }
+    if (discard && !line.has_comment) {
+      Report(line_no, "bare-discard",
+             "discarded value without a comment; write `(void)expr;  // "
+             "reason` so the intent is auditable");
+    }
+  }
+
+  void CheckLayering(const internal::CodeLine& line, int line_no) {
+    if (ctx_.root != "src") return;
+    if (Suppressed(line, "layering")) return;
+    const std::string target = LocalIncludeTarget(line.raw);
+    if (target.empty()) return;
+    const size_t slash = target.find('/');
+    if (slash == std::string::npos) return;  // same-directory include
+    const std::string target_module = target.substr(0, slash);
+    if (!LayerDag().count(target_module)) {
+      if (KnownRoots().count(target_module)) {
+        Report(line_no, "layering",
+               "src/ must not include from " + target_module + "/");
+      }
+      return;
+    }
+    auto it = LayerDag().find(ctx_.module);
+    if (it == LayerDag().end()) return;  // unknown module: no layering rules
+    if (!it->second.count(target_module)) {
+      Report(line_no, "layering",
+             ctx_.module + "/ must not depend on " + target_module +
+                 "/ (allowed: see src/CMakeLists.txt link graph)");
+    }
+  }
+
+  std::string path_;
+  FileContext ctx_;
+  std::vector<Diagnostic>* out_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+namespace internal {
+namespace {
+
+// Pulls every `wpred-lint: allow(a, b)` rule list out of a comment.
+std::vector<std::string> ParseSuppressions(const std::string& comment) {
+  std::vector<std::string> rules;
+  size_t pos = 0;
+  while ((pos = comment.find("wpred-lint:", pos)) != std::string::npos) {
+    size_t open = comment.find("allow(", pos);
+    if (open == std::string::npos) break;
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string list = comment.substr(open + 6, close - open - 6);
+    std::string item;
+    std::istringstream stream(list);
+    while (std::getline(stream, item, ',')) {
+      item = Trim(item);
+      if (!item.empty()) rules.push_back(item);
+    }
+    pos = close;
+  }
+  return rules;
+}
+
+}  // namespace
+
+std::vector<CodeLine> Tokenize(const std::string& content) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+
+  std::vector<CodeLine> lines;
+  CodeLine current;
+  std::string comment_text;  // comment content on the current line
+  State state = State::kCode;
+  std::string raw_delim;  // raw string closing delimiter ")delim"
+
+  auto end_line = [&]() {
+    current.suppressed = ParseSuppressions(comment_text);
+    lines.push_back(current);
+    current = CodeLine();
+    comment_text.clear();
+    if (state == State::kLineComment) state = State::kCode;
+  };
+
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      end_line();
+      continue;
+    }
+    current.raw.push_back(c);
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          current.has_comment = true;
+          current.raw.push_back(next);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          current.has_comment = true;
+          current.raw.push_back(next);
+          ++i;
+          current.code.append("  ");
+        } else if (c == '"') {
+          // Raw string? The prefix directly before the quote must end in R
+          // and form a complete encoding prefix (R, u8R, uR, UR, LR).
+          const std::string& code = current.code;
+          bool raw = false;
+          if (!code.empty() && code.back() == 'R') {
+            size_t start = code.size() - 1;
+            while (start > 0 && IsIdentChar(code[start - 1])) --start;
+            const std::string prefix = code.substr(start);
+            raw = prefix == "R" || prefix == "u8R" || prefix == "uR" ||
+                  prefix == "UR" || prefix == "LR";
+          }
+          if (raw) {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n' &&
+                   delim.size() <= 16) {
+              delim.push_back(content[j]);
+              ++j;
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          current.code.push_back('"');
+        } else if (c == '\'') {
+          // Digit separator (1'000'000) or char literal.
+          if (!current.code.empty() &&
+              std::isalnum(
+                  static_cast<unsigned char>(current.code.back())) &&
+              std::isalnum(static_cast<unsigned char>(next))) {
+            current.code.push_back(c);  // numeric separator, stay in code
+          } else {
+            state = State::kChar;
+            current.code.push_back('\'');
+          }
+        } else {
+          current.code.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        comment_text.push_back(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          current.raw.push_back(next);
+          ++i;
+        } else {
+          comment_text.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          current.raw.push_back(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          current.code.push_back('"');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          current.raw.push_back(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          current.code.push_back('\'');
+        }
+        break;
+      case State::kRawString:
+        if (c == raw_delim[0] &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 1; k < raw_delim.size(); ++k) {
+            current.raw.push_back(content[i + k]);
+          }
+          i += raw_delim.size() - 1;
+          current.code.push_back('"');
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (!current.raw.empty() || !comment_text.empty() || lines.empty()) {
+    end_line();
+  }
+
+  // A comment-only line lends its suppressions to the following line.
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    if (!lines[i].suppressed.empty() && Trim(lines[i].code).empty()) {
+      lines[i + 1].suppressed.insert(lines[i + 1].suppressed.end(),
+                                     lines[i].suppressed.begin(),
+                                     lines[i].suppressed.end());
+    }
+  }
+  return lines;
+}
+
+bool ContainsIdentifier(const std::string& code, const std::string& ident) {
+  bool found = false;
+  ForEachIdentifier(code, [&](const std::string& token, size_t, size_t) {
+    if (token == ident) found = true;
+  });
+  return found;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> RuleNames() {
+  std::vector<std::string> names;
+  names.reserve(kRules.size());
+  for (const RuleInfo& rule : kRules) names.emplace_back(rule.name);
+  return names;
+}
+
+std::string RuleDescription(const std::string& rule) {
+  for (const RuleInfo& info : kRules) {
+    if (rule == info.name) return info.description;
+  }
+  return "";
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Diagnostic> diagnostics;
+  const std::vector<internal::CodeLine> lines = internal::Tokenize(content);
+  RuleRunner runner(path, &diagnostics);
+  runner.Run(lines);
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  os << diagnostic.file << ":" << diagnostic.line << ": [" << diagnostic.rule
+     << "] " << diagnostic.message;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Self-test corpus: one seeded violation per rule (plus clean companions).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SelfTestCase {
+  const char* name;
+  const char* path;
+  const char* content;
+  const char* rule;  // expected rule; nullptr = expect clean
+  int line;          // expected line of the diagnostic
+};
+
+constexpr SelfTestCase kSelfTests[] = {
+    {"rand-call", "src/ml/model.cc", "int f() {\n  return rand();\n}\n",
+     "nondeterminism", 2},
+    {"system-clock", "src/similarity/dtw.cc",
+     "#include <chrono>\nauto t = std::chrono::system_clock::now();\n",
+     "nondeterminism", 2},
+    {"steady-clock-ok", "src/obs/trace.cc",
+     "#include <chrono>\nauto t = std::chrono::steady_clock::now();\n",
+     nullptr, 0},
+    {"rng-impl-exempt", "src/common/rng.cc",
+     "#include <random>\nstd::random_device rd;\n", nullptr, 0},
+    {"unordered-in-ml", "src/ml/model.cc",
+     "#include <unordered_map>\nstd::unordered_map<int, int> m;\n",
+     "unordered-container", 2},
+    {"unordered-in-telemetry-ok", "src/telemetry/io.cc",
+     "#include <unordered_map>\nstd::unordered_map<int, int> m;\n", nullptr,
+     0},
+    {"float-in-linalg", "src/linalg/matrix.cc", "float x = 1.0f;\n",
+     "raw-float", 1},
+    {"float-in-comment-ok", "src/linalg/matrix.cc",
+     "// float is banned here\ndouble x = 1.0;\n", nullptr, 0},
+    {"cout-in-predict", "src/predict/baseline.cc",
+     "#include <iostream>\nvoid f() { std::cout << 1; }\n", "io-in-library",
+     2},
+    {"printf-in-obs-ok", "src/obs/export.cc",
+     "#include <cstdio>\nvoid f() { std::printf(\"x\"); }\n", nullptr, 0},
+    {"missing-nodiscard", "src/common/status.h", "class Status {\n};\n",
+     "nodiscard-status", 1},
+    {"nodiscard-present-ok", "src/common/status.h",
+     "class [[nodiscard]] Status {\n};\nclass [[nodiscard]] Result {\n};\n",
+     nullptr, 0},
+    {"bare-discard", "src/core/pipeline.cc", "void f() {\n  (void)g();\n}\n",
+     "bare-discard", 2},
+    {"commented-discard-ok", "src/core/pipeline.cc",
+     "void f() {\n  (void)g();  // best-effort cleanup\n}\n", nullptr, 0},
+    {"layering-common-upward", "src/common/csv.cc",
+     "#include \"obs/json.h\"\n", "layering", 1},
+    {"layering-obs-leaf", "src/obs/metrics.cc",
+     "#include \"linalg/matrix.h\"\n", "layering", 1},
+    {"layering-linalg-ml", "src/linalg/solve.cc", "#include \"ml/mlp.h\"\n",
+     "layering", 1},
+    {"layering-core-ok", "src/core/pipeline.cc",
+     "#include \"featsel/registry.h\"\n#include \"sim/engine.h\"\n", nullptr,
+     0},
+    {"string-literal-ok", "src/ml/model.cc",
+     "const char* s = \"call rand() and float time(\";\n", nullptr, 0},
+};
+
+}  // namespace
+
+std::vector<std::string> SelfTest() {
+  std::vector<std::string> failures;
+  for (const SelfTestCase& test : kSelfTests) {
+    const std::vector<Diagnostic> diagnostics =
+        LintSource(test.path, test.content);
+    if (test.rule == nullptr) {
+      if (!diagnostics.empty()) {
+        failures.push_back(std::string("self-test '") + test.name +
+                           "': expected clean, got " +
+                           FormatDiagnostic(diagnostics.front()));
+      }
+      continue;
+    }
+    const bool fired =
+        std::any_of(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) {
+                      return d.rule == test.rule && d.line == test.line;
+                    });
+    if (!fired) {
+      failures.push_back(std::string("self-test '") + test.name +
+                         "': expected [" + test.rule + "] at line " +
+                         std::to_string(test.line) + ", rule did not fire");
+      continue;
+    }
+    // The same violation must fall silent under its suppression comment.
+    std::istringstream in(test.content);
+    std::ostringstream suppressed;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      suppressed << line;
+      if (line_no == test.line) {
+        suppressed << "  // wpred-lint: allow(" << test.rule << ")";
+      }
+      suppressed << "\n";
+    }
+    const std::vector<Diagnostic> after =
+        LintSource(test.path, suppressed.str());
+    const bool still_fires =
+        std::any_of(after.begin(), after.end(), [&](const Diagnostic& d) {
+          return d.rule == test.rule && d.line == test.line;
+        });
+    if (still_fires) {
+      failures.push_back(std::string("self-test '") + test.name +
+                         "': suppression comment did not silence [" +
+                         test.rule + "]");
+    }
+  }
+  return failures;
+}
+
+}  // namespace wpred::lint

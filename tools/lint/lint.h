@@ -1,0 +1,79 @@
+#ifndef WPRED_TOOLS_LINT_LINT_H_
+#define WPRED_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+// wpred_lint: project-specific static analysis for the wpred tree.
+//
+// A lightweight tokenizer + rule engine that enforces the invariants the
+// paper reproduction depends on (bit-reproducible runs, ordered outputs,
+// double-only numerics, quiet libraries, consumed Statuses, acyclic
+// layering). It is deliberately *not* a C++ parser: rules operate on
+// comment- and literal-stripped lines plus identifier tokens, which is
+// enough for every rule here and keeps the tool dependency-free and fast.
+//
+// The library is standard-library-only on purpose: the linter must not link
+// the code it lints. The CLI lives in wpred_lint_main.cc; unit tests drive
+// LintSource directly (tests/lint_test.cc).
+//
+// Suppressions: a comment `// wpred-lint: allow(rule)` (or
+// `allow(rule1, rule2)`) silences those rules on its own line — or, when the
+// line holds nothing but the comment, on the following line.
+
+namespace wpred::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// All rule names, in reporting order.
+std::vector<std::string> RuleNames();
+
+/// One-line description of a rule; empty for unknown names.
+std::string RuleDescription(const std::string& rule);
+
+/// Lints one translation unit. `path` is the repo-relative (or absolute)
+/// path; rule applicability is derived from the path components after the
+/// first of {src, tools, bench, tests, fuzz, examples}. Diagnostics come
+/// back sorted by line.
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& content);
+
+/// "file:line: [rule] message" — the single diagnostic format, stable for CI
+/// grepping and for the pinned expectations in tests/lint_test.cc.
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+/// Runs the embedded seeded-violation corpus through every rule: each rule
+/// must fire where expected and fall silent under its suppression comment.
+/// Returns human-readable failure descriptions; empty means the linter
+/// itself is healthy. CI runs this before linting the tree.
+std::vector<std::string> SelfTest();
+
+namespace internal {
+
+/// A source line after tokenization: code with comments and literal bodies
+/// blanked out (positions preserved), plus suppression bookkeeping.
+struct CodeLine {
+  std::string code;                      // sanitized text
+  std::string raw;                       // original text (include parsing)
+  std::vector<std::string> suppressed;   // rules allowed on this line
+  bool has_comment = false;              // raw line carried any comment
+};
+
+/// Strips comments / string / char literals (handling raw strings, escapes,
+/// and digit separators) and collects `wpred-lint: allow(...)` suppressions.
+/// Comment-only lines forward their suppressions to the next line.
+std::vector<CodeLine> Tokenize(const std::string& content);
+
+/// True if `code` contains `ident` as a whole identifier token.
+bool ContainsIdentifier(const std::string& code, const std::string& ident);
+
+}  // namespace internal
+
+}  // namespace wpred::lint
+
+#endif  // WPRED_TOOLS_LINT_LINT_H_

@@ -1,0 +1,145 @@
+// wpred_lint CLI: scans .h/.cc trees and reports wpred invariant violations.
+//
+//   wpred_lint src tools bench          # lint the production tree
+//   wpred_lint --self-test              # run the embedded rule corpus
+//   wpred_lint --list-rules             # print rules + descriptions
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool SkippedDir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+}
+
+// Collects source files under `root` (or `root` itself), sorted for
+// deterministic diagnostic order.
+bool CollectFiles(const std::string& root, std::vector<std::string>* out) {
+  std::error_code ec;
+  const fs::file_status status = fs::status(root, ec);
+  if (ec || !fs::exists(status)) {
+    std::cerr << "wpred_lint: no such path: " << root << "\n";
+    return false;
+  }
+  if (fs::is_regular_file(status)) {
+    out->push_back(root);
+    return true;
+  }
+  fs::recursive_directory_iterator it(root, ec), end;
+  if (ec) {
+    std::cerr << "wpred_lint: cannot walk " << root << ": " << ec.message()
+              << "\n";
+    return false;
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) {
+      std::cerr << "wpred_lint: walk error under " << root << ": "
+                << ec.message() << "\n";
+      return false;
+    }
+    if (it->is_directory() && SkippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && IsSourceFile(it->path())) {
+      out->push_back(it->path().generic_string());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool self_test = false;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: wpred_lint [--self-test] [--list-rules] "
+                   "<path>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wpred_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& rule : wpred::lint::RuleNames()) {
+      std::cout << rule << ": " << wpred::lint::RuleDescription(rule) << "\n";
+    }
+    if (!self_test && roots.empty()) return 0;
+  }
+
+  if (self_test) {
+    const std::vector<std::string> failures = wpred::lint::SelfTest();
+    for (const std::string& failure : failures) {
+      std::cerr << "wpred_lint: " << failure << "\n";
+    }
+    if (!failures.empty()) return 1;
+    std::cout << "wpred_lint: self-test passed ("
+              << wpred::lint::RuleNames().size() << " rules)\n";
+    if (roots.empty()) return 0;
+  }
+
+  if (roots.empty()) {
+    std::cerr << "usage: wpred_lint [--self-test] [--list-rules] <path>...\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (!CollectFiles(root, &files)) return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t issues = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "wpred_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    for (const wpred::lint::Diagnostic& diagnostic :
+         wpred::lint::LintSource(file, buffer.str())) {
+      std::cout << wpred::lint::FormatDiagnostic(diagnostic) << "\n";
+      ++issues;
+    }
+  }
+  if (issues > 0) {
+    std::cerr << "wpred_lint: " << issues << " issue(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "wpred_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
