@@ -1,0 +1,166 @@
+// Lower-bound-pruned similarity search (DESIGN.md §10): exhaustive scan vs
+// the LB_Kim → LB_Keogh → early-abandoning-DTW cascade of
+// similarity/query.h, on a fig05/fig06-style corpus. The pruned engine must
+// return the bit-identical top-k (indices and distances) while visiting a
+// fraction of the DTW lattices; the table reports the per-query speedup and
+// the pruning counters.
+//
+// Flags:
+//   --smoke               small corpus, asserts pruned == exhaustive and
+//                         that the lower bounds actually pruned (CI gate)
+//   --metrics-json=PATH   dump the metrics registry on exit
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "similarity/query.h"
+#include "telemetry/feature_catalog.h"
+#include "telemetry/subsample.h"
+
+namespace wpred::bench {
+namespace {
+
+constexpr size_t kNeighbors = 5;
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+/// Exhaustive reference ranking: full serial distance scan + stable argsort
+/// with the (distance, index) tie-break the engine guarantees.
+std::vector<Neighbor> ExhaustiveTopK(const SimilarityQueryEngine& engine,
+                                     const Matrix& query, size_t k) {
+  const Vector distances =
+      RequireOk(engine.Distances(query, /*num_threads=*/1), "exhaustive scan");
+  std::vector<Neighbor> ranked(distances.size());
+  for (size_t i = 0; i < distances.size(); ++i) ranked[i] = {i, distances[i]};
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  ranked.resize(std::min(k, ranked.size()));
+  return ranked;
+}
+
+void Run(bool smoke) {
+  Banner("Similarity pruning - exhaustive scan vs lower-bound cascade",
+         "UCR-suite-style pruning (LB_Kim, LB_Keogh envelopes, early-"
+         "abandoning DTW) returns the identical top-k at a fraction of the "
+         "kernel work");
+
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "TPC-H", "Twitter"};
+  config.skus = {MakeCpuSku(16)};
+  config.terminals = {8};
+  config.runs = smoke ? 2 : 3;
+  config.sim = FastSimConfig();
+  const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
+  const ExperimentCorpus subs =
+      RequireOk(SubsampleCorpus(corpus, smoke ? 4 : 5), "subsample");
+
+  const std::vector<size_t> features = ResourceFeatureIndices();
+  const NormalizationContext ctx = ComputeNormalization(subs);
+  std::vector<Matrix> reps;
+  reps.reserve(subs.size());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    reps.push_back(RequireOk(
+        BuildRepresentation(Representation::kMts, subs[i], features, ctx),
+        "representation"));
+  }
+  std::printf("corpus: %zu series of %zu samples x %zu features, k=%zu\n\n",
+              reps.size(), reps[0].rows(), reps[0].cols(), kNeighbors);
+
+  TablePrinter table({"measure", "window", "exhaustive ms", "pruned ms",
+                      "speedup", "lb pruned", "dtw abandoned"});
+  bool all_identical = true;
+  for (const char* measure : {"Dependent-DTW", "Independent-DTW"}) {
+    for (const int window : {0, 8}) {
+      const SimilarityQueryEngine engine = RequireOk(
+          SimilarityQueryEngine::Build(reps, measure, window), "engine");
+
+      const auto exhaustive_start = std::chrono::steady_clock::now();
+      std::vector<std::vector<Neighbor>> expected;
+      expected.reserve(reps.size());
+      for (const Matrix& query : reps) {
+        expected.push_back(ExhaustiveTopK(engine, query, kNeighbors));
+      }
+      const double exhaustive_ms = MillisSince(exhaustive_start);
+
+      const uint64_t pruned_before = CounterValue("similarity.lb.pruned");
+      const uint64_t abandoned_before =
+          CounterValue("similarity.dtw.abandoned_candidates");
+      const auto pruned_start = std::chrono::steady_clock::now();
+      std::vector<std::vector<Neighbor>> actual;
+      actual.reserve(reps.size());
+      for (const Matrix& query : reps) {
+        actual.push_back(
+            RequireOk(engine.RankNeighbors(query, kNeighbors), "pruned rank"));
+      }
+      const double pruned_ms = MillisSince(pruned_start);
+
+      // Bit-identical contract: same indices AND same distances, per query.
+      size_t mismatches = 0;
+      for (size_t q = 0; q < reps.size(); ++q) {
+        if (actual[q] != expected[q]) ++mismatches;
+      }
+      if (mismatches > 0) {
+        all_identical = false;
+        std::fprintf(stderr,
+                     "FATAL %s window=%d: %zu of %zu queries diverge from "
+                     "the exhaustive top-k\n",
+                     measure, window, mismatches, reps.size());
+      }
+
+      table.AddRow(
+          {measure, StrFormat("%d", window), F1(exhaustive_ms), F1(pruned_ms),
+           StrFormat("%.1fx", exhaustive_ms / pruned_ms),
+           StrFormat("%llu", static_cast<unsigned long long>(
+                                 CounterValue("similarity.lb.pruned") -
+                                 pruned_before)),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(
+                         CounterValue("similarity.dtw.abandoned_candidates") -
+                         abandoned_before))});
+    }
+  }
+  table.Print(std::cout);
+  if (!all_identical) std::exit(1);
+  std::printf("pruned top-k bit-identical to the exhaustive scan "
+              "(all measures, all windows, %zu queries each)\n",
+              reps.size());
+
+  if (smoke) {
+    const uint64_t pruned = CounterValue("similarity.lb.pruned");
+    if (pruned == 0) {
+      std::fprintf(stderr,
+                   "FATAL smoke: lower bounds pruned nothing "
+                   "(similarity.lb.pruned == 0)\n");
+      std::exit(1);
+    }
+    std::printf("SMOKE OK: similarity.lb.pruned=%llu\n",
+                static_cast<unsigned long long>(pruned));
+  }
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main(int argc, char** argv) {
+  wpred::bench::BenchMetrics metrics(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // The smoke gate asserts on pruning counters, so force the metrics switch
+  // on even without --metrics-json.
+  if (smoke) wpred::obs::SetMetricsEnabled(true);
+  wpred::bench::Run(smoke);
+}

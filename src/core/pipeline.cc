@@ -87,7 +87,7 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
     obs::Span representation_span("representation_build");
     ctx_ = ComputeNormalization(gated);
     WPRED_ASSIGN_OR_RETURN(
-        reference_reps_,
+        std::vector<Matrix> reference_reps,
         ParallelMap<Matrix>(gated.size(), config_.num_threads,
                             [&](size_t i) -> Result<Matrix> {
                               return BuildRepresentation(
@@ -95,6 +95,15 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
                                   selected_features_, ctx_);
                             }));
     WPRED_COUNT_ADD("pipeline.representations_built", gated.size());
+    // The engine owns the reference representations; it also validates the
+    // measure name up front, so a typo fails Fit() instead of the first
+    // prediction.
+    WPRED_ASSIGN_OR_RETURN(
+        SimilarityQueryEngine engine,
+        SimilarityQueryEngine::Build(std::move(reference_reps),
+                                     config_.measure, /*window=*/0,
+                                     config_.num_threads));
+    query_engine_ = std::move(engine);
   }
   reference_workloads_.clear();
   for (const Experiment& e : gated.experiments()) {
@@ -193,11 +202,15 @@ Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
       Matrix rep,
       BuildRepresentation(config_.representation, observation.repaired,
                           observation.features, ctx_));
-  // Degraded feature sets don't match the cached reference representations;
-  // rebuild them over the same effective features from the gated corpus.
-  std::vector<Matrix> rebuilt;
-  const std::vector<Matrix>* references = &reference_reps_;
+  // Distances compute in parallel into per-reference slots; the per-workload
+  // aggregation below runs after the join in reference order, keeping the
+  // ranking bit-identical at any thread count. The healthy path scans the
+  // query engine's cached representations; degraded feature sets don't match
+  // those, so they rebuild representations over the effective features from
+  // the gated corpus.
+  Vector distances;
   if (observation.degraded) {
+    std::vector<Matrix> rebuilt;
     WPRED_ASSIGN_OR_RETURN(
         rebuilt,
         ParallelMap<Matrix>(reference_corpus_.size(), config_.num_threads,
@@ -206,19 +219,17 @@ Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
                                   config_.representation, reference_corpus_[i],
                                   observation.features, ctx_);
                             }));
-    references = &rebuilt;
+    WPRED_ASSIGN_OR_RETURN(
+        distances,
+        ParallelMap<double>(rebuilt.size(), config_.num_threads,
+                            [&](size_t i) -> Result<double> {
+                              return MeasureDistance(config_.measure, rep,
+                                                     rebuilt[i]);
+                            }));
+  } else {
+    WPRED_ASSIGN_OR_RETURN(distances,
+                           query_engine_->Distances(rep, config_.num_threads));
   }
-
-  // Distances compute in parallel into per-reference slots; the per-workload
-  // aggregation below runs after the join in reference order, keeping the
-  // ranking bit-identical at any thread count.
-  WPRED_ASSIGN_OR_RETURN(
-      Vector distances,
-      ParallelMap<double>(references->size(), config_.num_threads,
-                          [&](size_t i) -> Result<double> {
-                            return MeasureDistance(config_.measure, rep,
-                                                   (*references)[i]);
-                          }));
   std::map<std::string, std::pair<double, size_t>> totals;  // sum, count
   for (size_t i = 0; i < distances.size(); ++i) {
     auto& [sum, count] = totals[reference_workloads_[i]];
@@ -230,11 +241,48 @@ Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
   for (const auto& [workload, agg] : totals) {
     ranked.push_back({workload, agg.first / static_cast<double>(agg.second)});
   }
+  // Tie-break on the workload name: totals is keyed by workload, so names
+  // are unique and equal mean distances (duplicated reference telemetry,
+  // symmetric corpora) order identically on every platform instead of
+  // inheriting std::sort's unspecified ordering.
   std::sort(ranked.begin(), ranked.end(),
             [](const WorkloadDistance& a, const WorkloadDistance& b) {
-              return a.mean_distance < b.mean_distance;
+              if (a.mean_distance != b.mean_distance) {
+                return a.mean_distance < b.mean_distance;
+              }
+              return a.workload < b.workload;
             });
   return ranked;
+}
+
+Result<std::vector<Neighbor>> Pipeline::NearestReferences(
+    const Experiment& observed, size_t k) const {
+  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  obs::Span span("similarity_query");
+  WPRED_ASSIGN_OR_RETURN(const PreparedObservation prepared,
+                         PrepareObserved(observed));
+  WPRED_ASSIGN_OR_RETURN(
+      const Matrix rep,
+      BuildRepresentation(config_.representation, prepared.repaired,
+                          prepared.features, ctx_));
+  if (prepared.degraded) {
+    // Degraded feature sets don't match the engine's cached representations;
+    // build a throwaway engine over the effective features.
+    WPRED_ASSIGN_OR_RETURN(
+        std::vector<Matrix> rebuilt,
+        ParallelMap<Matrix>(reference_corpus_.size(), config_.num_threads,
+                            [&](size_t i) -> Result<Matrix> {
+                              return BuildRepresentation(
+                                  config_.representation, reference_corpus_[i],
+                                  prepared.features, ctx_);
+                            }));
+    WPRED_ASSIGN_OR_RETURN(
+        const SimilarityQueryEngine engine,
+        SimilarityQueryEngine::Build(std::move(rebuilt), config_.measure,
+                                     /*window=*/0, config_.num_threads));
+    return engine.RankNeighbors(rep, k);
+  }
+  return query_engine_->RankNeighbors(rep, k);
 }
 
 Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankWorkloads(

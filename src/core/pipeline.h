@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/workbench.h"
 #include "featsel/ranking.h"
 #include "predict/scaling_model.h"
+#include "similarity/query.h"
 #include "similarity/representation.h"
 #include "telemetry/experiment.h"
 #include "telemetry/quality.h"
@@ -96,6 +98,20 @@ class Pipeline {
   Result<std::vector<WorkloadDistance>> RankWorkloads(
       const Experiment& observed) const;
 
+  /// The k reference experiments most similar to `observed`, ascending by
+  /// (distance, index). Indices refer to the gated reference corpus (see
+  /// reference_workloads() for their workload names). DTW measures run the
+  /// lower-bound-pruned cascade of similarity/query.h; the result is
+  /// bit-identical to an exhaustive scan.
+  Result<std::vector<Neighbor>> NearestReferences(const Experiment& observed,
+                                                  size_t k) const;
+
+  /// Workload name of each gated reference experiment, in corpus order
+  /// (parallel to NearestReferences() indices).
+  const std::vector<std::string>& reference_workloads() const {
+    return reference_workloads_;
+  }
+
   /// Full end-to-end prediction.
   struct Prediction {
     double throughput_tps = 0.0;
@@ -138,8 +154,9 @@ class Pipeline {
   // Gated reference corpus, kept to rebuild representations when predict-time
   // degradation changes the feature set.
   ExperimentCorpus reference_corpus_;
-  // Reference representations (one per reference experiment).
-  std::vector<Matrix> reference_reps_;
+  // Owns the reference representations (one per reference experiment) plus
+  // the envelope cache behind NearestReferences(); engaged by Fit().
+  std::optional<SimilarityQueryEngine> query_engine_;
   std::vector<std::string> reference_workloads_;
   // Scaling models keyed by (workload, terminals).
   std::map<std::pair<std::string, int>, PairwiseScalingModel> pairwise_;

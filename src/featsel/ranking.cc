@@ -10,8 +10,12 @@ namespace wpred {
 std::vector<size_t> FeatureRanking::TopK(size_t k) const {
   std::vector<size_t> order(ranks.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [this](size_t a, size_t b) { return ranks[a] < ranks[b]; });
+  // Selectors may assign tied ranks; break ties on the feature index so the
+  // k-th slot does not depend on std::sort's unspecified ordering.
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (ranks[a] != ranks[b]) return ranks[a] < ranks[b];
+    return a < b;
+  });
   order.resize(std::min(k, order.size()));
   return order;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "obs/metrics.h"
@@ -11,9 +12,29 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Generic DTW over a cell-cost callback; O(m·n) time, O(n) space.
+// m·n as a uint64 with saturation: series lengths are attacker-controlled
+// through telemetry files, and a silent wrap here would only corrupt a
+// metric, but metrics are still part of the observable contract.
+uint64_t SaturatingCells(size_t m, size_t n) {
+  const auto um = static_cast<uint64_t>(m);
+  const auto un = static_cast<uint64_t>(n);
+  if (un != 0 && um > std::numeric_limits<uint64_t>::max() / un) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return um * un;
+}
+
+// Generic DTW over a cell-cost callback; O(m·n) time, O(n) space. Threads a
+// best-so-far `cutoff` (in distance space) through the per-row band: when
+// every cell of a row is >= cutoff² no completion can beat the cutoff, so
+// the remaining rows are abandoned. cutoff = +inf reproduces plain DTW.
+//
+// Metrics are emitted only on success (including the abandoned outcome);
+// the unreachable-endpoint error path records nothing, so counters never
+// mix failed calls into band-hit rates.
 template <typename CostFn>
-Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
+Result<DtwEarlyAbandon> DtwCore(size_t m, size_t n, int window, double cutoff,
+                                CostFn cost) {
   if (m == 0 || n == 0) return Status::InvalidArgument("empty series");
   // Sakoe-Chiba band centered on the diagonal. For unequal lengths the band
   // must be at least |m - n| wide or the endpoint (m, n) is unreachable —
@@ -23,6 +44,7 @@ Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
   const size_t band =
       window > 0 ? std::max(static_cast<size_t>(window), len_diff)
                  : std::max(m, n);  // unbounded
+  const double cutoff_sq = cutoff < kInf ? cutoff * cutoff : kInf;
   std::vector<double> prev(n + 1, kInf);
   std::vector<double> curr(n + 1, kInf);
   prev[0] = 0.0;
@@ -32,45 +54,80 @@ Result<double> DtwCore(size_t m, size_t n, int window, CostFn cost) {
     const size_t j_lo = i > band ? i - band : 1;
     const size_t j_hi = std::min(n, i + band);
     cells_in_band += j_hi - j_lo + 1;
+    double row_min = kInf;
     for (size_t j = j_lo; j <= j_hi; ++j) {
       const double c = cost(i - 1, j - 1);
+      WPRED_DCHECK(!std::isnan(c)) << "NaN cell cost in DtwCore";
       curr[j] = c + std::min({prev[j], curr[j - 1], prev[j - 1]});
+      row_min = std::min(row_min, curr[j]);
+    }
+    // cutoff_sq < inf keeps the unreachable-endpoint (all-inf row) case on
+    // the plain kernel's error path instead of reporting it as abandoned.
+    if (cutoff_sq < kInf && row_min >= cutoff_sq) {
+      // Every alignment prefix already costs >= cutoff²; cell costs are
+      // nonnegative, so no completion can finish below the cutoff.
+      WPRED_COUNT_ADD("similarity.dtw.calls", 1);
+      WPRED_COUNT_ADD("similarity.dtw.cells_in_band",
+                      static_cast<uint64_t>(cells_in_band));
+      WPRED_COUNT_ADD("similarity.dtw.cells_total", SaturatingCells(m, n));
+      WPRED_COUNT_ADD("similarity.dtw.abandoned_rows",
+                      static_cast<uint64_t>(m - i));
+      return DtwEarlyAbandon{cutoff, true};
     }
     std::swap(prev, curr);
+  }
+  if (!std::isfinite(prev[n])) {
+    return Status::InvalidArgument("window too narrow for series lengths");
   }
   // Band-hit rate telemetry: cells_in_band / cells_total is the fraction of
   // the full m x n lattice the Sakoe-Chiba band actually visited.
   WPRED_COUNT_ADD("similarity.dtw.calls", 1);
   WPRED_COUNT_ADD("similarity.dtw.cells_in_band",
                   static_cast<uint64_t>(cells_in_band));
-  WPRED_COUNT_ADD("similarity.dtw.cells_total",
-                  static_cast<uint64_t>(m * n));
-  if (!std::isfinite(prev[n])) {
-    return Status::InvalidArgument("window too narrow for series lengths");
+  WPRED_COUNT_ADD("similarity.dtw.cells_total", SaturatingCells(m, n));
+  return DtwEarlyAbandon{std::sqrt(prev[n]), false};
+}
+
+Status CheckFiniteInputs(bool lhs_finite, bool rhs_finite, const char* fn) {
+  if (!lhs_finite) {
+    return Status::InvalidArgument(std::string("non-finite lhs in ") + fn);
   }
-  return std::sqrt(prev[n]);
+  if (!rhs_finite) {
+    return Status::InvalidArgument(std::string("non-finite rhs in ") + fn);
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
-Result<double> DtwDistance(const Vector& a, const Vector& b, int window) {
-  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in DtwDistance";
-  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in DtwDistance";
-  return DtwCore(a.size(), b.size(), window, [&](size_t i, size_t j) {
+Result<DtwEarlyAbandon> DtwDistanceEarlyAbandon(const Vector& a,
+                                                const Vector& b, int window,
+                                                double cutoff) {
+  WPRED_RETURN_IF_ERROR(
+      CheckFiniteInputs(AllFinite(a), AllFinite(b), "DtwDistance"));
+  return DtwCore(a.size(), b.size(), window, cutoff, [&](size_t i, size_t j) {
     const double d = a[i] - b[j];
     return d * d;
   });
 }
 
-Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
-                                    int window) {
+Result<double> DtwDistance(const Vector& a, const Vector& b, int window) {
+  WPRED_ASSIGN_OR_RETURN(const DtwEarlyAbandon r,
+                         DtwDistanceEarlyAbandon(a, b, window, kInf));
+  return r.distance;
+}
+
+Result<DtwEarlyAbandon> DependentDtwDistanceEarlyAbandon(const Matrix& a,
+                                                         const Matrix& b,
+                                                         int window,
+                                                         double cutoff) {
   if (a.cols() != b.cols()) {
     return Status::InvalidArgument("feature count mismatch");
   }
-  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in DependentDtwDistance";
-  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in DependentDtwDistance";
+  WPRED_RETURN_IF_ERROR(
+      CheckFiniteInputs(AllFinite(a), AllFinite(b), "DependentDtwDistance"));
   const size_t k = a.cols();
-  return DtwCore(a.rows(), b.rows(), window, [&](size_t i, size_t j) {
+  return DtwCore(a.rows(), b.rows(), window, cutoff, [&](size_t i, size_t j) {
     double acc = 0.0;
     for (size_t f = 0; f < k; ++f) {
       const double d = a(i, f) - b(j, f);
@@ -80,21 +137,52 @@ Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
   });
 }
 
-Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
-                                      int window) {
+Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
+                                    int window) {
+  WPRED_ASSIGN_OR_RETURN(const DtwEarlyAbandon r,
+                         DependentDtwDistanceEarlyAbandon(a, b, window, kInf));
+  return r.distance;
+}
+
+Result<DtwEarlyAbandon> IndependentDtwDistanceEarlyAbandon(const Matrix& a,
+                                                           const Matrix& b,
+                                                           int window,
+                                                           double cutoff) {
   if (a.cols() != b.cols()) {
     return Status::InvalidArgument("feature count mismatch");
   }
+  if (a.cols() == 0) return Status::InvalidArgument("empty series");
+  const double features = static_cast<double>(a.cols());
   double total = 0.0;
   for (size_t f = 0; f < a.cols(); ++f) {
-    WPRED_ASSIGN_OR_RETURN(const double d,
-                           DtwDistance(a.Col(f), b.Col(f), window));
-    total += d;
+    // The mean over features must stay below `cutoff`, so this feature's
+    // distance alone abandoning at cutoff·features − partial-sum proves the
+    // whole candidate is out. Survivors evaluate every feature exactly, in
+    // feature order, so the final mean is bit-identical to the plain kernel.
+    const double feature_cutoff =
+        cutoff < kInf ? cutoff * features - total : kInf;
+    WPRED_ASSIGN_OR_RETURN(
+        const DtwEarlyAbandon r,
+        DtwDistanceEarlyAbandon(a.Col(f), b.Col(f), window,
+                                std::max(feature_cutoff, 0.0)));
+    if (r.abandoned) return DtwEarlyAbandon{cutoff, true};
+    total += r.distance;
+    if (cutoff < kInf && total >= cutoff * features) {
+      return DtwEarlyAbandon{cutoff, true};
+    }
   }
   // Mean over features, matching IndependentLcssDistance, so the two
   // "Independent" measures scale the same way as the selected-feature count
   // varies across ablations.
-  return total / static_cast<double>(a.cols());
+  return DtwEarlyAbandon{total / features, false};
+}
+
+Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
+                                      int window) {
+  WPRED_ASSIGN_OR_RETURN(
+      const DtwEarlyAbandon r,
+      IndependentDtwDistanceEarlyAbandon(a, b, window, kInf));
+  return r.distance;
 }
 
 }  // namespace wpred

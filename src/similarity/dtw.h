@@ -10,7 +10,8 @@ namespace wpred {
 /// of the minimal accumulated squared difference along a monotone alignment
 /// path. `window` bounds |i − j| (Sakoe-Chiba band, widened to at least the
 /// length difference so unequal-length series stay alignable); <= 0 means
-/// unbounded.
+/// unbounded. Non-finite inputs are rejected with InvalidArgument in every
+/// build type (release builds used to propagate NaN silently).
 Result<double> DtwDistance(const Vector& a, const Vector& b, int window = 0);
 
 /// Dependent multivariate DTW (Shokoohi-Yekta et al.): one alignment over
@@ -26,6 +27,43 @@ Result<double> DependentDtwDistance(const Matrix& a, const Matrix& b,
 /// the size of the selected-feature set.
 Result<double> IndependentDtwDistance(const Matrix& a, const Matrix& b,
                                       int window = 0);
+
+/// Outcome of a cutoff-threaded DTW evaluation (the early-abandoning core
+/// behind the pruned similarity search in similarity/query.h).
+///
+/// When `abandoned` is false, `distance` is the exact DTW distance —
+/// bit-identical to the plain kernel, because the cutoff only decides when
+/// to stop, never how cells are computed. When `abandoned` is true the
+/// kernel proved distance >= cutoff after some prefix of rows and skipped
+/// the rest of the lattice; `distance` is then a lower bound, not the true
+/// value, and must only be used to discard the candidate.
+struct DtwEarlyAbandon {
+  double distance = 0.0;
+  bool abandoned = false;
+};
+
+/// DtwDistance with a best-so-far cutoff: once every cell of a lattice row
+/// is >= cutoff² no alignment can finish below `cutoff` (cell costs are
+/// nonnegative), so the remaining rows are abandoned. `cutoff` = +inf never
+/// abandons and reproduces DtwDistance exactly.
+Result<DtwEarlyAbandon> DtwDistanceEarlyAbandon(const Vector& a,
+                                                const Vector& b, int window,
+                                                double cutoff);
+
+/// Early-abandoning DependentDtwDistance (same contract).
+Result<DtwEarlyAbandon> DependentDtwDistanceEarlyAbandon(const Matrix& a,
+                                                         const Matrix& b,
+                                                         int window,
+                                                         double cutoff);
+
+/// Early-abandoning IndependentDtwDistance: per-feature kernels are chained
+/// so that once the partial sum of per-feature distances alone forces the
+/// mean over all features to reach `cutoff`, the remaining features are
+/// skipped.
+Result<DtwEarlyAbandon> IndependentDtwDistanceEarlyAbandon(const Matrix& a,
+                                                           const Matrix& b,
+                                                           int window,
+                                                           double cutoff);
 
 }  // namespace wpred
 

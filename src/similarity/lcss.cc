@@ -29,9 +29,17 @@ Result<double> LcssCore(size_t m, size_t n, MatchFn match) {
 
 Result<double> LcssDistance(const Vector& a, const Vector& b, double epsilon) {
   if (epsilon < 0.0) return Status::InvalidArgument("epsilon must be >= 0");
-  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in LcssDistance";
-  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in LcssDistance";
+  // Promoted from a DCHECK: release builds used to fold NaN into the match
+  // predicate silently (NaN never matches, biasing the distance towards 1).
+  if (!AllFinite(a)) {
+    return Status::InvalidArgument("non-finite lhs in LcssDistance");
+  }
+  if (!AllFinite(b)) {
+    return Status::InvalidArgument("non-finite rhs in LcssDistance");
+  }
   return LcssCore(a.size(), b.size(), [&](size_t i, size_t j) {
+    WPRED_DCHECK(std::isfinite(a[i]) && std::isfinite(b[j]))
+        << "non-finite cell in LcssCore";
     return std::fabs(a[i] - b[j]) <= epsilon;
   });
 }
@@ -42,11 +50,17 @@ Result<double> DependentLcssDistance(const Matrix& a, const Matrix& b,
   if (a.cols() != b.cols()) {
     return Status::InvalidArgument("feature count mismatch");
   }
-  WPRED_DCHECK(AllFinite(a)) << "non-finite lhs in DependentLcssDistance";
-  WPRED_DCHECK(AllFinite(b)) << "non-finite rhs in DependentLcssDistance";
+  if (!AllFinite(a)) {
+    return Status::InvalidArgument("non-finite lhs in DependentLcssDistance");
+  }
+  if (!AllFinite(b)) {
+    return Status::InvalidArgument("non-finite rhs in DependentLcssDistance");
+  }
   const size_t k = a.cols();
   return LcssCore(a.rows(), b.rows(), [&](size_t i, size_t j) {
     for (size_t f = 0; f < k; ++f) {
+      WPRED_DCHECK(std::isfinite(a(i, f)) && std::isfinite(b(j, f)))
+          << "non-finite cell in LcssCore";
       if (std::fabs(a(i, f) - b(j, f)) > epsilon) return false;
     }
     return true;

@@ -1,0 +1,433 @@
+#include "similarity/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "similarity/dtw.h"
+#include "similarity/measures.h"
+
+namespace wpred {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Ascending (distance, index) order: the tie-break every ranking surface in
+// wpred pins, so equal-distance neighbours resolve to the smaller corpus
+// index on every platform.
+bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
+                          size_t rb) {
+  double acc = 0.0;
+  for (size_t f = 0; f < a.cols(); ++f) {
+    const double d = a(ra, f) - b(rb, f);
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+namespace query_internal {
+
+SeriesEnvelope BuildEnvelope(const Matrix& series, int window) {
+  const size_t rows = series.rows();
+  const size_t cols = series.cols();
+  const size_t band = window > 0 ? static_cast<size_t>(window) : rows;
+  SeriesEnvelope envelope{Matrix(rows, cols), Matrix(rows, cols)};
+  // Lemire-style streaming min/max: each index enters and leaves each
+  // monotonic deque once, so the envelope costs O(rows) per column
+  // regardless of the band width.
+  std::deque<size_t> max_q;
+  std::deque<size_t> min_q;
+  for (size_t f = 0; f < cols; ++f) {
+    max_q.clear();
+    min_q.clear();
+    size_t next = 0;  // first row not yet offered to the deques
+    for (size_t i = 0; i < rows; ++i) {
+      const size_t hi = std::min(rows - 1, i + band);
+      while (next <= hi) {
+        const double v = series(next, f);
+        while (!max_q.empty() && series(max_q.back(), f) <= v) {
+          max_q.pop_back();
+        }
+        max_q.push_back(next);
+        while (!min_q.empty() && series(min_q.back(), f) >= v) {
+          min_q.pop_back();
+        }
+        min_q.push_back(next);
+        ++next;
+      }
+      const size_t lo = i > band ? i - band : 0;
+      while (max_q.front() < lo) max_q.pop_front();
+      while (min_q.front() < lo) min_q.pop_front();
+      envelope.upper(i, f) = series(max_q.front(), f);
+      envelope.lower(i, f) = series(min_q.front(), f);
+    }
+  }
+  return envelope;
+}
+
+double LbKimDependent(const Matrix& query, const Matrix& candidate) {
+  WPRED_DCHECK_EQ(query.cols(), candidate.cols());
+  WPRED_DCHECK(query.rows() > 0 && candidate.rows() > 0);
+  double acc = RowSquaredDistance(query, 0, candidate, 0);
+  if (query.rows() + candidate.rows() > 2) {
+    acc += RowSquaredDistance(query, query.rows() - 1, candidate,
+                              candidate.rows() - 1);
+  }
+  return std::sqrt(acc);
+}
+
+double LbKimIndependent(const Matrix& query, const Matrix& candidate) {
+  WPRED_DCHECK_EQ(query.cols(), candidate.cols());
+  WPRED_DCHECK(query.rows() > 0 && candidate.rows() > 0);
+  const bool distinct_endpoints = query.rows() + candidate.rows() > 2;
+  double total = 0.0;
+  for (size_t f = 0; f < query.cols(); ++f) {
+    const double first = query(0, f) - candidate(0, f);
+    double acc = first * first;
+    if (distinct_endpoints) {
+      const double last = query(query.rows() - 1, f) -
+                          candidate(candidate.rows() - 1, f);
+      acc += last * last;
+    }
+    total += std::sqrt(acc);
+  }
+  return total / static_cast<double>(query.cols());
+}
+
+double LbKeoghDependent(const Matrix& query, const SeriesEnvelope& envelope) {
+  WPRED_DCHECK_EQ(query.rows(), envelope.upper.rows());
+  WPRED_DCHECK_EQ(query.cols(), envelope.upper.cols());
+  double acc = 0.0;
+  for (size_t i = 0; i < query.rows(); ++i) {
+    for (size_t f = 0; f < query.cols(); ++f) {
+      const double v = query(i, f);
+      const double hi = envelope.upper(i, f);
+      const double lo = envelope.lower(i, f);
+      if (v > hi) {
+        const double d = v - hi;
+        acc += d * d;
+      } else if (v < lo) {
+        const double d = lo - v;
+        acc += d * d;
+      }
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double LbKeoghIndependent(const Matrix& query, const SeriesEnvelope& envelope) {
+  WPRED_DCHECK_EQ(query.rows(), envelope.upper.rows());
+  WPRED_DCHECK_EQ(query.cols(), envelope.upper.cols());
+  double total = 0.0;
+  for (size_t f = 0; f < query.cols(); ++f) {
+    double acc = 0.0;
+    for (size_t i = 0; i < query.rows(); ++i) {
+      const double v = query(i, f);
+      const double hi = envelope.upper(i, f);
+      const double lo = envelope.lower(i, f);
+      if (v > hi) {
+        const double d = v - hi;
+        acc += d * d;
+      } else if (v < lo) {
+        const double d = lo - v;
+        acc += d * d;
+      }
+    }
+    total += std::sqrt(acc);
+  }
+  return total / static_cast<double>(query.cols());
+}
+
+}  // namespace query_internal
+
+Result<const std::vector<SeriesEnvelope>*> EnvelopeCache::GetOrBuild(
+    const std::vector<Matrix>& corpus, int window, int num_threads) {
+  const auto it = by_window_.find(window);
+  if (it != by_window_.end()) {
+    WPRED_COUNT_ADD("similarity.envelope.cache_hits", 1);
+    return &it->second;
+  }
+  WPRED_COUNT_ADD("similarity.envelope.cache_misses", 1);
+  std::vector<SeriesEnvelope> envelopes(corpus.size());
+  WPRED_RETURN_IF_ERROR(
+      ParallelFor(corpus.size(), num_threads, [&](size_t i) -> Status {
+        envelopes[i] = query_internal::BuildEnvelope(corpus[i], window);
+        return Status::OK();
+      }));
+  WPRED_COUNT_ADD("similarity.envelope.builds",
+                  static_cast<uint64_t>(corpus.size()));
+  const auto [pos, inserted] = by_window_.emplace(window, std::move(envelopes));
+  WPRED_DCHECK(inserted);
+  return &pos->second;
+}
+
+const std::vector<SeriesEnvelope>* EnvelopeCache::Lookup(int window) const {
+  const auto it = by_window_.find(window);
+  if (it == by_window_.end()) {
+    WPRED_COUNT_ADD("similarity.envelope.cache_misses", 1);
+    return nullptr;
+  }
+  WPRED_COUNT_ADD("similarity.envelope.cache_hits", 1);
+  return &it->second;
+}
+
+Result<SimilarityQueryEngine> SimilarityQueryEngine::Build(
+    std::vector<Matrix> corpus, const std::string& measure, int window,
+    int num_threads) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("need at least one corpus entry");
+  }
+  SimilarityQueryEngine engine;
+  if (measure == "Dependent-DTW") {
+    engine.kind_ = MeasureKind::kDependentDtw;
+  } else if (measure == "Independent-DTW") {
+    engine.kind_ = MeasureKind::kIndependentDtw;
+  } else {
+    const std::vector<std::string> norms = NormMeasureNames();
+    const std::vector<std::string> mts = MtsOnlyMeasureNames();
+    const bool known =
+        std::find(norms.begin(), norms.end(), measure) != norms.end() ||
+        std::find(mts.begin(), mts.end(), measure) != mts.end();
+    if (!known) {
+      return Status::NotFound("unknown similarity measure: " + measure);
+    }
+    engine.kind_ = MeasureKind::kGeneric;
+  }
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (corpus[i].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("corpus entry %zu is an empty matrix", i));
+    }
+    if (!AllFinite(corpus[i])) {
+      return Status::InvalidArgument(
+          StrFormat("corpus entry %zu has non-finite values", i));
+    }
+    if (corpus[i].cols() != corpus[0].cols()) {
+      return Status::InvalidArgument(
+          StrFormat("corpus entry %zu has %zu features, entry 0 has %zu", i,
+                    corpus[i].cols(), corpus[0].cols()));
+    }
+  }
+  engine.measure_ = measure;
+  engine.window_ = window;
+  engine.corpus_ = std::move(corpus);
+  if (engine.kind_ != MeasureKind::kGeneric) {
+    WPRED_RETURN_IF_ERROR(
+        engine.envelopes_.GetOrBuild(engine.corpus_, window, num_threads)
+            .status());
+  }
+  return engine;
+}
+
+Result<double> SimilarityQueryEngine::ExactDistance(
+    const Matrix& query, const Matrix& candidate) const {
+  switch (kind_) {
+    case MeasureKind::kDependentDtw:
+      return DependentDtwDistance(query, candidate, window_);
+    case MeasureKind::kIndependentDtw:
+      return IndependentDtwDistance(query, candidate, window_);
+    case MeasureKind::kGeneric:
+      break;
+  }
+  return MeasureDistance(measure_, query, candidate);
+}
+
+Result<Vector> SimilarityQueryEngine::Distances(const Matrix& query,
+                                                int num_threads) const {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (!AllFinite(query)) {
+    return Status::InvalidArgument("non-finite values in query");
+  }
+  return ParallelMap<double>(corpus_.size(), num_threads,
+                             [&](size_t i) -> Result<double> {
+                               return ExactDistance(query, corpus_[i]);
+                             });
+}
+
+Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
+    const Matrix& query, size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (!AllFinite(query)) {
+    return Status::InvalidArgument("non-finite values in query");
+  }
+  const size_t n = corpus_.size();
+  const size_t k_eff = std::min(k, n);
+
+  if (k_eff == n) {
+    // Whole-corpus ranking: nothing can be pruned (every candidate is in
+    // the result), so take the exact parallel scan plus a stable argsort.
+    WPRED_ASSIGN_OR_RETURN(const Vector distances, Distances(query));
+    WPRED_COUNT_ADD("similarity.query.candidates", static_cast<uint64_t>(n));
+    WPRED_COUNT_ADD("similarity.query.exact", static_cast<uint64_t>(n));
+    std::vector<Neighbor> ranked(n);
+    for (size_t i = 0; i < n; ++i) ranked[i] = {i, distances[i]};
+    std::sort(ranked.begin(), ranked.end(), NeighborLess);
+    return ranked;
+  }
+
+  const bool dtw = kind_ != MeasureKind::kGeneric;
+  const std::vector<SeriesEnvelope>* envelopes = nullptr;
+  SeriesEnvelope query_envelope;
+  if (dtw) {
+    if (query.cols() != corpus_[0].cols()) {
+      return Status::InvalidArgument("feature count mismatch");
+    }
+    envelopes = envelopes_.Lookup(window_);
+    if (envelopes == nullptr) {
+      return Status::FailedPrecondition(
+          "envelope cache missing the engine window");  // unreachable: Build
+                                                        // prebuilds it
+    }
+    // LB_Keogh is symmetric in which series provides the envelope; building
+    // the query's envelope once per call buys the tighter max of both
+    // directions for every equal-length candidate.
+    query_envelope = query_internal::BuildEnvelope(query, window_);
+  }
+
+  WPRED_COUNT_ADD("similarity.query.candidates", static_cast<uint64_t>(n));
+  std::vector<Neighbor> heap;  // max-heap on (distance, index)
+  heap.reserve(k_eff);
+  const auto consider = [&heap, k_eff](const Neighbor& entry) {
+    if (heap.size() < k_eff) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), NeighborLess);
+    } else if (NeighborLess(entry, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), NeighborLess);
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), NeighborLess);
+    }
+  };
+
+  if (!dtw) {
+    // No usable lower bound: serial exact scan in ascending index order.
+    for (size_t idx = 0; idx < n; ++idx) {
+      WPRED_COUNT_ADD("similarity.query.exact", 1);
+      WPRED_ASSIGN_OR_RETURN(const double distance,
+                             MeasureDistance(measure_, query, corpus_[idx]));
+      consider({idx, distance});
+    }
+    std::sort(heap.begin(), heap.end(), NeighborLess);
+    return heap;
+  }
+
+  // UCR-suite visit order: candidates ascend by (LB_Kim, index), so the
+  // true neighbours tend to tighten the cutoff first, and because the sort
+  // key is itself the first cascade stage, the first Kim prune discards
+  // every remaining candidate at once.
+  //
+  // Correctness under an arbitrary visit order needs two guards the naive
+  // ascending-index scan does not:
+  //   - lower bounds discard on strict `lb > cutoff` only — a candidate
+  //     tying the current k-th distance may still win the index tie-break,
+  //     so it must reach the heap, where NeighborLess settles the tie;
+  //   - the kernel abandons against the next double above the cutoff, so
+  //     abandonment proves distance > cutoff, never distance == cutoff.
+  // Survivors' distances come from the same kernel cells as the plain scan
+  // (the cutoff decides when to stop, never what is computed), so the
+  // result stays bit-identical to the exhaustive argsort.
+  std::vector<Neighbor> by_kim(n);
+  for (size_t idx = 0; idx < n; ++idx) {
+    by_kim[idx] = {idx, kind_ == MeasureKind::kDependentDtw
+                            ? query_internal::LbKimDependent(query,
+                                                             corpus_[idx])
+                            : query_internal::LbKimIndependent(query,
+                                                               corpus_[idx])};
+  }
+  std::sort(by_kim.begin(), by_kim.end(), NeighborLess);
+
+  for (size_t pos = 0; pos < n; ++pos) {
+    const size_t idx = by_kim[pos].index;
+    const Matrix& candidate = corpus_[idx];
+    const bool full = heap.size() == k_eff;
+    const double cutoff = full ? heap.front().distance : kInf;
+    if (full && by_kim[pos].distance > cutoff) {
+      const auto remaining = static_cast<uint64_t>(n - pos);
+      WPRED_COUNT_ADD("similarity.lb.pruned", remaining);
+      WPRED_COUNT_ADD("similarity.lb.kim_pruned", remaining);
+      break;  // sorted by LB_Kim: every remaining candidate is out too
+    }
+    if (full && query.rows() == candidate.rows()) {
+      // LB_Keogh is only valid when the Sakoe-Chiba band is exactly the
+      // envelope's window, i.e. for equal lengths (unequal lengths widen
+      // the band to the length difference); other candidates fall through
+      // to the early-abandoning kernel. Both directions (query against the
+      // cached candidate envelope, candidate against the query's) are
+      // valid lower bounds, so the max prunes strictly more.
+      const double lb =
+          kind_ == MeasureKind::kDependentDtw
+              ? std::max(
+                    query_internal::LbKeoghDependent(query, (*envelopes)[idx]),
+                    query_internal::LbKeoghDependent(candidate,
+                                                     query_envelope))
+              : std::max(
+                    query_internal::LbKeoghIndependent(query,
+                                                       (*envelopes)[idx]),
+                    query_internal::LbKeoghIndependent(candidate,
+                                                       query_envelope));
+      if (lb > cutoff) {
+        WPRED_COUNT_ADD("similarity.lb.pruned", 1);
+        WPRED_COUNT_ADD("similarity.lb.keogh_pruned", 1);
+        continue;
+      }
+    }
+    WPRED_COUNT_ADD("similarity.query.exact", 1);
+    const double abandon_cutoff =
+        cutoff < kInf ? std::nextafter(cutoff, kInf) : kInf;
+    Result<DtwEarlyAbandon> outcome =
+        kind_ == MeasureKind::kDependentDtw
+            ? DependentDtwDistanceEarlyAbandon(query, candidate, window_,
+                                               abandon_cutoff)
+            : IndependentDtwDistanceEarlyAbandon(query, candidate, window_,
+                                                 abandon_cutoff);
+    WPRED_ASSIGN_OR_RETURN(const DtwEarlyAbandon ea, std::move(outcome));
+    if (ea.abandoned) {
+      WPRED_COUNT_ADD("similarity.dtw.abandoned_candidates", 1);
+      continue;
+    }
+    consider({idx, ea.distance});
+  }
+  std::sort(heap.begin(), heap.end(), NeighborLess);
+  return heap;
+}
+
+Result<std::vector<Neighbor>> RankNeighbors(
+    const ExperimentCorpus& corpus, const Experiment& query, size_t k,
+    Representation representation, const std::string& measure,
+    const std::vector<size_t>& features, int window, int num_threads) {
+  if (corpus.empty()) {
+    return Status::InvalidArgument("need at least one corpus experiment");
+  }
+  const NormalizationContext ctx = ComputeNormalization(corpus);
+  WPRED_ASSIGN_OR_RETURN(
+      std::vector<Matrix> reps,
+      ParallelMap<Matrix>(corpus.size(), num_threads,
+                          [&](size_t i) -> Result<Matrix> {
+                            return BuildRepresentation(representation,
+                                                       corpus[i], features,
+                                                       ctx);
+                          }));
+  WPRED_ASSIGN_OR_RETURN(
+      const Matrix query_rep,
+      BuildRepresentation(representation, query, features, ctx));
+  WPRED_ASSIGN_OR_RETURN(
+      const SimilarityQueryEngine engine,
+      SimilarityQueryEngine::Build(std::move(reps), measure, window,
+                                   num_threads));
+  return engine.RankNeighbors(query_rep, k);
+}
+
+}  // namespace wpred

@@ -1,0 +1,154 @@
+#ifndef WPRED_SIMILARITY_QUERY_H_
+#define WPRED_SIMILARITY_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "similarity/representation.h"
+#include "telemetry/experiment.h"
+
+// Lower-bound-pruned similarity search (DESIGN.md §10).
+//
+// Top-k retrieval against a fixed corpus of representation matrices without
+// evaluating the full distance kernel for every candidate. For the DTW
+// measures a cascade of cheap lower bounds runs in front of the O(m·n)
+// lattice:
+//
+//   LB_Kim (O(d))  →  LB_Keogh (O(m·d), cached envelopes, both
+//   directions)  →  early-abandoning DTW (cutoff threaded through the
+//   per-row band)
+//
+// Candidates are visited in ascending (LB_Kim, index) order — the UCR-suite
+// trick — so near neighbours tighten the best-so-far cutoff first and the
+// first LB_Kim prune discards the whole remaining tail. A stage only ever
+// discards candidates whose true distance provably *exceeds* the current
+// k-th best (lower bounds prune on strict >, the kernel abandons against
+// the next double above the cutoff), so equal-distance candidates always
+// reach the heap and lose or win on the index tie-break there. The
+// surviving top-k — indices and distances — is therefore bit-identical to
+// a stable argsort of the exhaustive distance vector, at any thread count.
+//
+// Norm and LCSS measures have no usable lower bound; for those the engine
+// degrades to an exact scan that still avoids materialising an n×n pairwise
+// matrix.
+
+namespace wpred {
+
+/// One retrieval hit: corpus index plus exact distance.
+struct Neighbor {
+  size_t index = 0;
+  double distance = 0.0;
+
+  bool operator==(const Neighbor& other) const = default;
+};
+
+/// Per-series LB_Keogh envelope: upper/lower running min/max of every
+/// column over the Sakoe-Chiba band (same shape as the series).
+struct SeriesEnvelope {
+  Matrix lower;
+  Matrix upper;
+};
+
+/// Window-keyed cache of per-series envelopes for one corpus. Envelopes are
+/// built once per (corpus, window) under common/parallel with slot-indexed
+/// writes — the same determinism discipline as PairwiseDistances — and
+/// reused by every subsequent query (`similarity.envelope.cache_hits`).
+class EnvelopeCache {
+ public:
+  /// Envelopes for `window`, building them on first use (parallel,
+  /// deterministic). The returned pointer stays valid for the cache's
+  /// lifetime.
+  Result<const std::vector<SeriesEnvelope>*> GetOrBuild(
+      const std::vector<Matrix>& corpus, int window, int num_threads);
+
+  /// Cache-only lookup; nullptr when `window` has not been built.
+  const std::vector<SeriesEnvelope>* Lookup(int window) const;
+
+ private:
+  std::map<int, std::vector<SeriesEnvelope>> by_window_;
+};
+
+/// Pruned top-k similarity search over a fixed corpus of representation
+/// matrices. Build once per corpus, query many times; the engine owns its
+/// corpus copy and the envelope cache.
+class SimilarityQueryEngine {
+ public:
+  /// Validates the corpus (nonempty, finite, consistent arity for the MTS
+  /// measures), classifies `measure` (any MeasureDistance name), and — for
+  /// the DTW measures — prebuilds the LB_Keogh envelopes for `window`
+  /// (<= 0 means unbounded). `num_threads` follows common/parallel
+  /// semantics; it affects build time only, never results.
+  static Result<SimilarityQueryEngine> Build(std::vector<Matrix> corpus,
+                                             const std::string& measure,
+                                             int window = 0,
+                                             int num_threads = 0);
+
+  /// The k nearest corpus entries to `query`, ascending by (distance,
+  /// index). Bit-identical — indices and distances — to sorting the
+  /// exhaustive distance vector. k >= corpus size degrades to the exact
+  /// (parallel) scan; k < corpus size runs the serial lower-bound cascade.
+  Result<std::vector<Neighbor>> RankNeighbors(const Matrix& query,
+                                              size_t k) const;
+
+  /// Exact distances from `query` to every corpus entry, in corpus order
+  /// (parallel over candidates, deterministic). The pipeline's similarity-
+  /// ranking stage uses this for its per-workload means.
+  Result<Vector> Distances(const Matrix& query, int num_threads = 0) const;
+
+  const std::vector<Matrix>& corpus() const { return corpus_; }
+  const std::string& measure() const { return measure_; }
+  int window() const { return window_; }
+
+ private:
+  enum class MeasureKind { kGeneric, kDependentDtw, kIndependentDtw };
+
+  SimilarityQueryEngine() = default;
+
+  Result<double> ExactDistance(const Matrix& query,
+                               const Matrix& candidate) const;
+
+  std::vector<Matrix> corpus_;
+  std::string measure_;
+  int window_ = 0;
+  MeasureKind kind_ = MeasureKind::kGeneric;
+  EnvelopeCache envelopes_;
+};
+
+/// One-shot convenience: builds the shared normalisation and the chosen
+/// representation for `corpus` and `query`, then returns the k most similar
+/// corpus experiments under `measure` via the pruned engine. For repeated
+/// queries against the same corpus build a SimilarityQueryEngine instead so
+/// the envelope cache amortises.
+Result<std::vector<Neighbor>> RankNeighbors(
+    const ExperimentCorpus& corpus, const Experiment& query, size_t k,
+    Representation representation, const std::string& measure,
+    const std::vector<size_t>& features, int window = 0, int num_threads = 0);
+
+namespace query_internal {
+
+/// Envelope of one series over the band (window <= 0 means unbounded):
+/// upper(i, f) / lower(i, f) = max/min of column f over rows [i-b, i+b].
+SeriesEnvelope BuildEnvelope(const Matrix& series, int window);
+
+/// LB_Kim: the alignment path must match the first cells and the last
+/// cells, so their costs alone lower-bound the DTW distance. Valid for any
+/// pair of lengths and any window.
+double LbKimDependent(const Matrix& query, const Matrix& candidate);
+double LbKimIndependent(const Matrix& query, const Matrix& candidate);
+
+/// LB_Keogh against a cached candidate envelope. Every query row aligns to
+/// at least one candidate row inside the band, so its squared distance to
+/// the envelope lower-bounds that row's contribution. Requires equal
+/// lengths (the caller skips the bound otherwise) and an envelope built
+/// with the same window the DTW kernel will use.
+double LbKeoghDependent(const Matrix& query, const SeriesEnvelope& envelope);
+double LbKeoghIndependent(const Matrix& query, const SeriesEnvelope& envelope);
+
+}  // namespace query_internal
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_QUERY_H_

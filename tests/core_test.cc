@@ -153,6 +153,60 @@ TEST_F(CoreTest, PipelineRejectsUseBeforeFit) {
   EXPECT_FALSE(pipeline.RankWorkloads((*corpus_)[0]).ok());
 }
 
+TEST_F(CoreTest, RankWorkloadsBreaksTiedDistancesDeterministically) {
+  // Duplicate the corpus under two workload names that sort differently
+  // than their insertion order: every "b-clone" experiment is bit-identical
+  // to an "a-clone" one, so the two workloads' mean distances tie exactly
+  // and the ranking must fall back to the workload-name tie-break.
+  ExperimentCorpus duplicated;
+  for (const Experiment& e : corpus_->experiments()) {
+    Experiment clone_b = e;
+    clone_b.workload = "b-clone";
+    Experiment clone_a = e;
+    clone_a.workload = "a-clone";
+    duplicated.Add(std::move(clone_b));
+    duplicated.Add(std::move(clone_a));
+  }
+  PipelineConfig config;
+  config.selector = "fANOVA";
+  Pipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(duplicated).ok());
+  const auto ranked = pipeline.RankWorkloads((*corpus_)[0]);
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].mean_distance, (*ranked)[1].mean_distance);
+  EXPECT_EQ((*ranked)[0].workload, "a-clone");
+  EXPECT_EQ((*ranked)[1].workload, "b-clone");
+}
+
+TEST_F(CoreTest, NearestReferencesMatchesWorkloadRanking) {
+  PipelineConfig config;
+  config.selector = "fANOVA";
+  Pipeline pipeline(config);
+  ASSERT_TRUE(pipeline.Fit(*corpus_).ok());
+  const auto observed =
+      RunOne("TPC-C", MakeCpuSku(2), 8, 7, SimConfig{.duration_s = 40.0,
+                                                     .sample_period_s = 0.5},
+             999);
+  ASSERT_TRUE(observed.ok());
+  const auto neighbors = pipeline.NearestReferences(observed.value(), 3);
+  ASSERT_TRUE(neighbors.ok()) << neighbors.status().ToString();
+  ASSERT_EQ(neighbors->size(), 3u);
+  // Ascending by (distance, index), and the nearest reference should come
+  // from the workload RankWorkloads puts first.
+  for (size_t i = 0; i + 1 < neighbors->size(); ++i) {
+    const Neighbor& a = (*neighbors)[i];
+    const Neighbor& b = (*neighbors)[i + 1];
+    EXPECT_TRUE(a.distance < b.distance ||
+                (a.distance == b.distance && a.index < b.index));
+  }
+  const auto ranked = pipeline.RankWorkloads(observed.value());
+  ASSERT_TRUE(ranked.ok());
+  const std::vector<std::string>& workloads = pipeline.reference_workloads();
+  ASSERT_LT(neighbors->front().index, workloads.size());
+  EXPECT_EQ(workloads[neighbors->front().index], ranked->front().workload);
+}
+
 TEST_F(CoreTest, PipelineMtsConfigRestrictsToResourceFeatures) {
   PipelineConfig config;
   config.selector = "fANOVA";

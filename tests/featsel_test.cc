@@ -52,6 +52,22 @@ TEST(RankingTest, ScoresToRanksWithDeterministicTies) {
   EXPECT_EQ(r.TopK(2), (std::vector<size_t>{1, 0}));
 }
 
+TEST(RankingTest, TopKBreaksTiedRanksByIndex) {
+  // Selectors can hand out tied ranks (e.g. a degenerate scorer giving every
+  // feature the same score). TopK used to run those through std::sort, whose
+  // order for equivalent elements is unspecified — the k-th slot could
+  // change between platforms. Ties now resolve to the smaller feature index.
+  FeatureRanking tied;
+  tied.ranks = {2, 1, 2, 1, 2};
+  EXPECT_EQ(tied.TopK(2), (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(tied.TopK(4), (std::vector<size_t>{1, 3, 0, 2}));
+  EXPECT_EQ(tied.TopK(10), (std::vector<size_t>{1, 3, 0, 2, 4}));
+
+  FeatureRanking all_tied;
+  all_tied.ranks.assign(6, 1);
+  EXPECT_EQ(all_tied.TopK(3), (std::vector<size_t>{0, 1, 2}));
+}
+
 TEST(RankingTest, AggregateRankAcrossExperiments) {
   const FeatureRanking a = ScoresToRanking({3, 2, 1});  // ranks 1,2,3
   const FeatureRanking b = ScoresToRanking({1, 3, 2});  // ranks 3,1,2

@@ -160,8 +160,12 @@ TEST(PipelineFailureTest, UnknownSelectorOrMeasureFailsFit) {
   bad_measure.selector = "fANOVA";
   bad_measure.measure = "nope";
   Pipeline pipeline(bad_measure);
-  ASSERT_TRUE(pipeline.Fit(corpus).ok());  // measure used lazily
-  EXPECT_FALSE(pipeline.RankWorkloads(corpus[0]).ok());
+  // The similarity engine validates the measure name up front, so a typo
+  // fails Fit() instead of the first prediction.
+  const Status fit_status = pipeline.Fit(corpus);
+  EXPECT_FALSE(fit_status.ok());
+  EXPECT_NE(fit_status.message().find("nope"), std::string::npos)
+      << fit_status.message();
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "similarity/bcpd.h"
 #include "similarity/dtw.h"
 #include "similarity/eval.h"
@@ -129,6 +131,59 @@ TEST(DtwTest, DependentVsIndependentMultivariate) {
   // symmetric.
   EXPECT_DOUBLE_EQ(DependentDtwDistance(b, a).value(), dep);
   EXPECT_DOUBLE_EQ(IndependentDtwDistance(b, a).value(), ind);
+}
+
+TEST(DtwTest, NonFiniteInputsRejectedInEveryBuildType) {
+  // Promoted from a DCHECK: release builds used to fold NaN/inf through the
+  // lattice silently. The public entry points now return InvalidArgument.
+  const Vector clean{0.1, 0.2, 0.3};
+  for (const double bad : {std::nan(""),
+                           std::numeric_limits<double>::infinity()}) {
+    const Vector dirty{0.1, bad, 0.3};
+    EXPECT_FALSE(DtwDistance(clean, dirty).ok());
+    EXPECT_FALSE(DtwDistance(dirty, clean).ok());
+    Matrix a(3, 2), b(3, 2);
+    for (double& v : a.data()) v = 0.5;
+    b = a;
+    b(1, 1) = bad;
+    EXPECT_FALSE(DependentDtwDistance(a, b).ok());
+    EXPECT_FALSE(DependentDtwDistance(b, a).ok());
+    EXPECT_FALSE(IndependentDtwDistance(a, b).ok());
+    const Status status = DtwDistance(clean, dirty).status();
+    EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+        << status.message();
+  }
+}
+
+TEST(DtwTest, EarlyAbandonMetricsOnlyOnSuccess) {
+  // A window too narrow to reach the endpoint errors out; the error path
+  // must not pollute the kernel counters.
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  const Vector a{0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  EXPECT_TRUE(DtwDistance(a, a, 1).ok());
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t calls_after_ok =
+      registry.GetCounter("similarity.dtw.calls").value();
+  EXPECT_EQ(calls_after_ok, 1u);
+  obs::SetMetricsEnabled(false);
+  registry.ResetAll();
+}
+
+TEST(LcssTest, NonFiniteInputsRejectedInEveryBuildType) {
+  const Vector clean{0.1, 0.2, 0.3};
+  const Vector dirty{0.1, std::nan(""), 0.3};
+  EXPECT_FALSE(LcssDistance(clean, dirty, 0.1).ok());
+  EXPECT_FALSE(LcssDistance(dirty, clean, 0.1).ok());
+  Matrix a(3, 2), b(3, 2);
+  for (double& v : a.data()) v = 0.5;
+  b = a;
+  b(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(DependentLcssDistance(a, b, 0.1).ok());
+  EXPECT_FALSE(IndependentLcssDistance(a, b, 0.1).ok());
+  const Status status = LcssDistance(clean, dirty, 0.1).status();
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.message();
 }
 
 TEST(LcssTest, IdenticalSeriesDistanceZero) {

@@ -665,6 +665,12 @@ constexpr SelfTestCase kSelfTests[] = {
     {"layering-core-ok", "src/core/pipeline.cc",
      "#include \"featsel/registry.h\"\n#include \"sim/engine.h\"\n", nullptr,
      0},
+    {"layering-similarity-core", "src/similarity/query.cc",
+     "#include \"core/pipeline.h\"\n", "layering", 1},
+    {"layering-similarity-ok", "src/similarity/query.cc",
+     "#include \"similarity/measures.h\"\n#include \"obs/metrics.h\"\n"
+     "#include \"telemetry/experiment.h\"\n",
+     nullptr, 0},
     {"string-literal-ok", "src/ml/model.cc",
      "const char* s = \"call rand() and float time(\";\n", nullptr, 0},
 };
