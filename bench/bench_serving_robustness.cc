@@ -1,0 +1,432 @@
+// Serving-core robustness bench (DESIGN.md §11): drives the resilient
+// PredictionService through the failure scenarios a long-lived serving
+// process actually meets — background refits swapping snapshots under read
+// load, refits failing outright, overload bursts hitting admission control,
+// and crash/restart cycles through the checkpoint — and reports p50/p99
+// read latency per scenario.
+//
+// Structure follows the workload-factory idiom: each scenario registers a
+// named factory that builds per-thread reader simulators; the harness runs
+// the threads, merges their latency samples, and asserts the scenario's
+// robustness invariants.
+//
+// Flags:
+//   --smoke            small corpus + hard assertions (CI gate): zero
+//                      dropped reads across swaps, degraded mode keeps
+//                      serving, checkpoint restore is bit-identical,
+//                      corrupted checkpoints are rejected.
+//   --json=PATH        where to write the JSON report (default
+//                      BENCH_serving.json in the working directory).
+//   --metrics-json=P   full obs dump (bench_util.h).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/json.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+
+namespace wpred::bench {
+namespace {
+
+using serve::PredictionService;
+using serve::ServiceConfig;
+using serve::ServingState;
+
+// --- per-thread reader harness ----------------------------------------------
+
+/// What one reader thread did: latency samples for successful reads plus
+/// outcome counts. Merged across threads per scenario.
+struct ReaderStats {
+  std::vector<double> latencies_s;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;  // anything that is neither ok nor a shed
+};
+
+/// A reader simulator: runs its read loop to completion and reports stats.
+using ReaderSimulator = std::function<ReaderStats()>;
+
+/// Scenario factories build one simulator per reader thread, closing over
+/// the service under test and the thread index.
+using ReaderFactory = std::function<ReaderSimulator(int thread_index)>;
+
+/// Runs `threads` simulators built by `factory` concurrently and merges
+/// their stats.
+ReaderStats RunReaders(const ReaderFactory& factory, int threads) {
+  std::vector<ReaderStats> per_thread(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(
+        [&per_thread, t, simulator = factory(t)] { per_thread[t] = simulator(); });
+  }
+  for (auto& worker : workers) worker.join();
+  ReaderStats merged;
+  for (ReaderStats& stats : per_thread) {
+    merged.ok += stats.ok;
+    merged.shed += stats.shed;
+    merged.failed += stats.failed;
+    merged.latencies_s.insert(merged.latencies_s.end(),
+                              stats.latencies_s.begin(),
+                              stats.latencies_s.end());
+  }
+  return merged;
+}
+
+/// Builds the standard reader: `reads` Predict calls, each timed.
+ReaderFactory PredictReaderFactory(const PredictionService& service,
+                                   const Experiment& observed, int reads) {
+  return [&service, &observed, reads](int /*thread_index*/) -> ReaderSimulator {
+    return [&service, &observed, reads] {
+      ReaderStats stats;
+      stats.latencies_s.reserve(reads);
+      for (int i = 0; i < reads; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto result = service.Predict(observed, 8);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (result.ok()) {
+          stats.ok += 1;
+          stats.latencies_s.push_back(elapsed);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          stats.shed += 1;
+        } else {
+          stats.failed += 1;
+        }
+      }
+      return stats;
+    };
+  };
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+void Smoke(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "FATAL smoke: %s\n", what);
+    std::exit(1);
+  }
+}
+
+obs::Json StatsJson(const ReaderStats& stats) {
+  obs::Json j = obs::Json::Object();
+  j.Set("reads_ok", stats.ok);
+  j.Set("reads_shed", stats.shed);
+  j.Set("reads_failed", stats.failed);
+  j.Set("p50_latency_s", Percentile(stats.latencies_s, 0.50));
+  j.Set("p99_latency_s", Percentile(stats.latencies_s, 0.99));
+  return j;
+}
+
+// --- scenarios --------------------------------------------------------------
+
+struct BenchSetup {
+  ExperimentCorpus corpus;
+  Experiment observed;
+  int reader_threads;
+  int reads_per_thread;
+  int refits;
+};
+
+ServiceConfig BaseServiceConfig() {
+  ServiceConfig config;
+  config.pipeline.selector = "fANOVA";  // fast + deterministic
+  config.refit.initial_backoff_s = 0.001;
+  config.refit.max_backoff_s = 0.01;
+  return config;
+}
+
+/// Scenario 1: snapshot swaps under read load. Admission control off so any
+/// non-OK read is a swap bug, not a shed.
+obs::Json ScenarioSwapUnderLoad(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: refit swaps under read load --\n");
+  ServiceConfig config = BaseServiceConfig();
+  config.max_in_flight = 0;
+  PredictionService service(config);
+  Require(service.Start(setup.corpus), "start");
+
+  std::atomic<bool> refits_done{false};
+  std::thread refitter([&] {
+    for (int i = 0; i < setup.refits; ++i) {
+      Require(service.RefitNow(setup.corpus), "refit");
+    }
+    refits_done.store(true, std::memory_order_release);
+  });
+  const ReaderStats stats = RunReaders(
+      PredictReaderFactory(service, setup.observed, setup.reads_per_thread),
+      setup.reader_threads);
+  refitter.join();
+
+  std::printf("reads ok=%llu failed=%llu  p50=%.6fs p99=%.6fs  epochs=%llu\n",
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.failed),
+              Percentile(stats.latencies_s, 0.50),
+              Percentile(stats.latencies_s, 0.99),
+              static_cast<unsigned long long>(service.snapshot_epoch()));
+  if (smoke) {
+    Smoke(stats.failed == 0 && stats.shed == 0,
+          "reads dropped while snapshots swapped");
+    Smoke(service.snapshot_epoch() ==
+              static_cast<uint64_t>(setup.refits) + 1,
+          "not every refit published");
+    Smoke(refits_done.load(std::memory_order_acquire),
+          "refitter did not finish");
+  }
+  obs::Json j = StatsJson(stats);
+  j.Set("publishes", service.publish_count());
+  return j;
+}
+
+/// Scenario 2: every refit attempt fails (injected). The service must keep
+/// serving the stale snapshot, report degraded, and recover afterwards.
+obs::Json ScenarioDegradedServing(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: fault-injected refit failures --\n");
+  ServiceConfig config = BaseServiceConfig();
+  config.max_in_flight = 0;
+  config.refit.max_attempts = 2;
+  PredictionService service(config);
+  Require(service.Start(setup.corpus), "start");
+  const auto baseline = service.Predict(setup.observed, 8);
+  Require(baseline.status(), "baseline predict");
+
+  service.set_refit_fault_hook(
+      [] { return Status::IoError("injected: telemetry store down"); });
+  service.RequestRefit(setup.corpus);  // background supervised refit fails
+  const ReaderStats stats = RunReaders(
+      PredictReaderFactory(service, setup.observed, setup.reads_per_thread),
+      setup.reader_threads);
+  service.WaitForRefits();
+  const bool degraded = service.state() == ServingState::kDegraded;
+  const uint64_t failures_seen = service.refit_failures();
+
+  // Recovery: clear the fault, refit again.
+  service.set_refit_fault_hook(nullptr);
+  Require(service.RefitNow(setup.corpus), "recovery refit");
+  const auto recovered = service.Predict(setup.observed, 8);
+  Require(recovered.status(), "recovered predict");
+
+  std::printf(
+      "reads ok=%llu failed=%llu  p50=%.6fs p99=%.6fs  degraded=%s "
+      "refit_failures=%llu\n",
+      static_cast<unsigned long long>(stats.ok),
+      static_cast<unsigned long long>(stats.failed),
+      Percentile(stats.latencies_s, 0.50),
+      Percentile(stats.latencies_s, 0.99), degraded ? "yes" : "no",
+      static_cast<unsigned long long>(failures_seen));
+  if (smoke) {
+    Smoke(stats.failed == 0 && stats.shed == 0,
+          "degraded service dropped reads");
+    Smoke(degraded, "failed refit did not mark the service degraded");
+    Smoke(failures_seen >= 2, "retry supervision did not retry");
+    Smoke(recovered->throughput_tps == baseline->throughput_tps,
+          "stale/recovered snapshot changed the prediction (same corpus)");
+    Smoke(service.state() == ServingState::kServing,
+          "service did not recover after a successful refit");
+  }
+  obs::Json j = StatsJson(stats);
+  j.Set("was_degraded", degraded);
+  j.Set("refit_failures", failures_seen);
+  j.Set("degraded_seconds_total", service.degraded_seconds_total());
+  return j;
+}
+
+/// Scenario 3: overload burst against a tight admission limit. Excess load
+/// must shed with Unavailable — quickly — while admitted reads succeed.
+obs::Json ScenarioOverloadBurst(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: overload burst / admission control --\n");
+  ServiceConfig config = BaseServiceConfig();
+  config.max_in_flight = 1;
+  config.shed_on_overload = true;
+  PredictionService service(config);
+  Require(service.Start(setup.corpus), "start");
+
+  const int burst_threads = setup.reader_threads * 4;
+  const ReaderStats stats = RunReaders(
+      PredictReaderFactory(service, setup.observed, setup.reads_per_thread),
+      burst_threads);
+
+  std::printf("reads ok=%llu shed=%llu failed=%llu  p50=%.6fs p99=%.6fs\n",
+              static_cast<unsigned long long>(stats.ok),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.failed),
+              Percentile(stats.latencies_s, 0.50),
+              Percentile(stats.latencies_s, 0.99));
+  if (smoke) {
+    Smoke(stats.failed == 0, "overload produced a non-Unavailable failure");
+    Smoke(stats.ok > 0, "admission control starved every read");
+    Smoke(stats.shed > 0, "burst never tripped admission control");
+    Smoke(service.shed_count() == stats.shed,
+          "shed counter disagrees with observed sheds");
+  }
+  obs::Json j = StatsJson(stats);
+  j.Set("burst_threads", burst_threads);
+  j.Set("shed_count", service.shed_count());
+  return j;
+}
+
+/// Scenario 4: crash/restart through the checkpoint — restore must be
+/// bit-identical, and a corrupted checkpoint must be rejected (falling back
+/// to a cold fit), never served.
+obs::Json ScenarioCheckpointRestore(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: checkpoint restore + corruption --\n");
+  const std::string path = "BENCH_serving.ckpt";
+  std::remove(path.c_str());  // fresh slate for the first bring-up
+
+  ServiceConfig config = BaseServiceConfig();
+  config.checkpoint_path = path;
+  double original_tps = 0.0;
+  double restore_seconds = 0.0;
+  {
+    PredictionService service(config);
+    Require(service.Start(setup.corpus), "start");
+    const auto prediction = service.Predict(setup.observed, 8);
+    Require(prediction.status(), "predict");
+    original_tps = prediction->throughput_tps;
+  }
+
+  // Restart #1: restore from the checkpoint, no corpus needed.
+  bool restored_identical = false;
+  {
+    PredictionService service(config);
+    const auto start = std::chrono::steady_clock::now();
+    Require(service.StartFromCheckpoint(), "restore");
+    restore_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const auto prediction = service.Predict(setup.observed, 8);
+    Require(prediction.status(), "predict after restore");
+    restored_identical = prediction->throughput_tps == original_tps;
+  }
+
+  // Restart #2: the checkpoint got corrupted on disk (single flipped bit).
+  bool corrupt_rejected = false;
+  bool fallback_served = false;
+  {
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    bytes[bytes.size() / 2] ^= 0x10;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    PredictionService service(config);
+    corrupt_rejected = !service.StartFromCheckpoint().ok();
+    // Full Start() falls back to the cold fit and must still come up.
+    Require(service.Start(setup.corpus), "start after corruption");
+    fallback_served = service.Predict(setup.observed, 8).ok();
+  }
+  std::remove(path.c_str());
+
+  std::printf(
+      "restore=%.3fs bit_identical=%s corrupt_rejected=%s fallback=%s\n",
+      restore_seconds, restored_identical ? "yes" : "no",
+      corrupt_rejected ? "yes" : "no", fallback_served ? "yes" : "no");
+  if (smoke) {
+    Smoke(restored_identical, "restored snapshot is not bit-identical");
+    Smoke(corrupt_rejected, "corrupted checkpoint was accepted");
+    Smoke(fallback_served, "fallback after corrupt checkpoint failed");
+  }
+  obs::Json j = obs::Json::Object();
+  j.Set("restore_seconds", restore_seconds);
+  j.Set("bit_identical_restore", restored_identical);
+  j.Set("corrupt_rejected", corrupt_rejected);
+  j.Set("fallback_served", fallback_served);
+  return j;
+}
+
+void Run(bool smoke, const std::string& json_path) {
+  Banner("Serving robustness - lock-free swaps, degradation, checkpoints",
+         "serving-layer hardening around the paper's pipeline; no paper "
+         "counterpart, invariants only");
+
+  WorkbenchConfig wb;
+  wb.workloads = smoke ? std::vector<std::string>{"TPC-C", "Twitter"}
+                       : std::vector<std::string>{"TPC-C", "Twitter", "TPC-H"};
+  wb.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+  wb.terminals = {8};
+  wb.runs = 2;
+  wb.sim.duration_s = smoke ? 30.0 : 60.0;
+  wb.sim.sample_period_s = 0.5;
+
+  BenchSetup setup;
+  setup.corpus = RequireOk(GenerateCorpus(wb), "corpus");
+  setup.observed = RequireOk(
+      RunOne("TPC-C", MakeCpuSku(2), 8, /*run=*/5,
+             SimConfig{.duration_s = wb.sim.duration_s,
+                       .sample_period_s = 0.5},
+             /*base_seed=*/31415),
+      "observed");
+  setup.reader_threads = smoke ? 4 : 8;
+  setup.reads_per_thread = smoke ? 50 : 400;
+  setup.refits = smoke ? 4 : 12;
+
+  // Named factory registry: ordered so the report is diff-stable.
+  using Scenario = std::function<obs::Json(const BenchSetup&, bool)>;
+  const std::vector<std::pair<std::string, Scenario>> scenarios = {
+      {"swap_under_load", ScenarioSwapUnderLoad},
+      {"degraded_serving", ScenarioDegradedServing},
+      {"overload_burst", ScenarioOverloadBurst},
+      {"checkpoint_restore", ScenarioCheckpointRestore},
+  };
+
+  obs::Json report = obs::Json::Object();
+  report.Set("bench", "serving_robustness");
+  report.Set("smoke", smoke);
+  report.Set("reader_threads", setup.reader_threads);
+  report.Set("reads_per_thread", setup.reads_per_thread);
+  obs::Json results = obs::Json::Object();
+  for (const auto& [name, scenario] : scenarios) {
+    results.Set(name, scenario(setup, smoke));
+  }
+  report.Set("scenarios", std::move(results));
+
+  std::ofstream out(json_path, std::ios::trunc);
+  out << report.Dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "FATAL cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nreport written to %s\n", json_path.c_str());
+  if (smoke) std::printf("SMOKE OK: all serving invariants held\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main(int argc, char** argv) {
+  wpred::bench::BenchMetrics metrics(argc, argv);
+  bool smoke = false;
+  std::string json_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    constexpr const char* kJson = "--json=";
+    if (std::strncmp(argv[i], kJson, std::strlen(kJson)) == 0) {
+      json_path = argv[i] + std::strlen(kJson);
+    }
+  }
+  wpred::bench::Run(smoke, json_path);
+}

@@ -22,6 +22,11 @@ enum class StatusCode {
   kNumericalError,
   kIoError,
   kUnimplemented,
+  /// Transient overload/lifecycle refusal: the caller may retry later
+  /// (admission-control shedding, service not yet started).
+  kUnavailable,
+  /// The caller's time budget elapsed before the operation completed.
+  kDeadlineExceeded,
 };
 
 /// Name of a status code, e.g. "InvalidArgument".
@@ -59,6 +64,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

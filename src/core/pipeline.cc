@@ -14,7 +14,75 @@
 
 namespace wpred {
 
+namespace {
+
+// Uniform message for every entry point that needs a fitted pipeline, so
+// callers (and their logs) see which call was premature and what to do.
+Status NotFittedError(const char* method) {
+  return Status::FailedPrecondition(
+      StrFormat("Pipeline::%s called before a successful Fit(); fit a "
+                "reference corpus (>= 2 experiments surviving the quality "
+                "gate) first",
+                method));
+}
+
+}  // namespace
+
+Status PipelineConfig::Validate() const {
+  if (selector.empty()) {
+    return Status::InvalidArgument("PipelineConfig::selector must be set");
+  }
+  if (measure.empty()) {
+    return Status::InvalidArgument("PipelineConfig::measure must be set");
+  }
+  if (strategy.empty()) {
+    return Status::InvalidArgument("PipelineConfig::strategy must be set");
+  }
+  if (top_k == 0) {
+    return Status::InvalidArgument(
+        "PipelineConfig::top_k must be >= 1 (got 0)");
+  }
+  if (subsamples == 0) {
+    return Status::InvalidArgument(
+        "PipelineConfig::subsamples must be >= 1 (got 0)");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument(
+        StrFormat("PipelineConfig::num_threads must be >= 0 (0 = process "
+                  "default); got %d",
+                  num_threads));
+  }
+  if (quality_gate) {
+    if (!(quality.mad_outlier_threshold > 0.0) ||
+        !std::isfinite(quality.mad_outlier_threshold)) {
+      return Status::InvalidArgument(StrFormat(
+          "QualityPolicy::mad_outlier_threshold must be a positive finite "
+          "number; got %g",
+          quality.mad_outlier_threshold));
+    }
+    if (!(quality.stuck_run_fraction > 0.0) ||
+        quality.stuck_run_fraction > 1.0) {
+      return Status::InvalidArgument(StrFormat(
+          "QualityPolicy::stuck_run_fraction must be in (0, 1]; got %g",
+          quality.stuck_run_fraction));
+    }
+    if (!(quality.max_bad_fraction >= 0.0) || quality.max_bad_fraction > 1.0) {
+      return Status::InvalidArgument(StrFormat(
+          "QualityPolicy::max_bad_fraction must be in [0, 1]; got %g",
+          quality.max_bad_fraction));
+    }
+    if (quality.min_samples < 2) {
+      return Status::InvalidArgument(StrFormat(
+          "QualityPolicy::min_samples must be >= 2 (interpolation needs two "
+          "finite anchors); got %zu",
+          quality.min_samples));
+    }
+  }
+  return Status::OK();
+}
+
 Status Pipeline::Fit(const ExperimentCorpus& reference) {
+  WPRED_RETURN_IF_ERROR(config_.Validate());
   if (config_.enable_metrics) obs::SetMetricsEnabled(true);
   obs::Span fit_span("pipeline.fit");
   WPRED_COUNT_ADD("pipeline.fit_calls", 1);
@@ -257,7 +325,11 @@ Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankPrepared(
 
 Result<std::vector<Neighbor>> Pipeline::NearestReferences(
     const Experiment& observed, size_t k) const {
-  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  if (!fitted_) return NotFittedError("NearestReferences");
+  if (k == 0) {
+    return Status::InvalidArgument(
+        "Pipeline::NearestReferences needs k >= 1");
+  }
   obs::Span span("similarity_query");
   WPRED_ASSIGN_OR_RETURN(const PreparedObservation prepared,
                          PrepareObserved(observed));
@@ -287,7 +359,7 @@ Result<std::vector<Neighbor>> Pipeline::NearestReferences(
 
 Result<std::vector<Pipeline::WorkloadDistance>> Pipeline::RankWorkloads(
     const Experiment& observed) const {
-  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  if (!fitted_) return NotFittedError("RankWorkloads");
   WPRED_ASSIGN_OR_RETURN(const PreparedObservation prepared,
                          PrepareObserved(observed));
   return RankPrepared(prepared);
@@ -338,7 +410,7 @@ Result<Pipeline::Prediction> Pipeline::PredictThroughput(
     const Experiment& observed, int target_cpus) const {
   obs::Span predict_span("pipeline.predict");
   WPRED_COUNT_ADD("pipeline.predict_calls", 1);
-  if (!fitted_) return Status::FailedPrecondition("pipeline not fitted");
+  if (!fitted_) return NotFittedError("PredictThroughput");
   if (!std::isfinite(observed.perf.throughput_tps)) {
     return Status::NumericalError(
         "observed throughput is not finite; cannot scale a corrupt target");

@@ -50,6 +50,13 @@ struct PipelineConfig {
   /// switch without code changes; false here leaves the env setting alone.
   /// Metrics never change numeric results — only record them.
   bool enable_metrics = false;
+
+  /// Range-checks every knob and returns the first violation as
+  /// Status::InvalidArgument (negative num_threads, zero top_k/subsamples,
+  /// empty stage names, out-of-range quality-gate thresholds). Fit() calls
+  /// this at entry, so a misconfigured pipeline fails fast with a message
+  /// instead of tripping a debug-only DCHECK deep in a stage.
+  Status Validate() const;
 };
 
 /// The paper's primary artifact: feature selection → workload similarity →
@@ -78,6 +85,18 @@ class Pipeline {
   Status Fit(const ExperimentCorpus& reference);
 
   bool fitted() const { return fitted_; }
+  const PipelineConfig& config() const { return config_; }
+
+  /// Re-points the parallelism knob after Fit(). Results are bit-identical
+  /// at any setting (DESIGN.md §7), so this only chooses *how* later calls
+  /// execute: the serving layer fits with a parallel knob, then pins
+  /// prediction to 1 so the read path runs inline and touches zero
+  /// thread-pool code (no pool mutex on reads).
+  void set_num_threads(int num_threads) { config_.num_threads = num_threads; }
+  // Accessors below return empty/default values before a successful Fit();
+  // they never dereference unfitted state. Every value- or Status-producing
+  // entry point (RankWorkloads, NearestReferences, PredictThroughput)
+  // instead reports a descriptive FailedPrecondition when called early.
   const std::vector<size_t>& selected_features() const {
     return selected_features_;
   }

@@ -1,0 +1,399 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wpred::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// RAII admission slot: releases the in-flight count on scope exit.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<int64_t>& in_flight)
+      : in_flight_(in_flight) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightGuard() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>& in_flight_;
+};
+
+}  // namespace
+
+std::string_view ServingStateName(ServingState state) {
+  switch (state) {
+    case ServingState::kCold:
+      return "cold";
+    case ServingState::kServing:
+      return "serving";
+    case ServingState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+PredictionService::PredictionService(ServiceConfig config)
+    : config_(std::move(config)), jitter_rng_(config_.jitter_seed) {
+  supervisor_ = std::thread([this] { SupervisorLoop(); });
+}
+
+PredictionService::~PredictionService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+}
+
+// --- bring-up ---------------------------------------------------------------
+
+Status PredictionService::Start(const ExperimentCorpus& initial) {
+  if (!config_.checkpoint_path.empty()) {
+    const Status restored = StartFromCheckpoint();
+    if (restored.ok()) return restored;
+    if (restored.code() != StatusCode::kNotFound) {
+      // Corrupt / unreadable / version-skewed checkpoint: reject it loudly,
+      // then fall back to the cold fit below.
+      WPRED_COUNT_ADD("serve.checkpoint.rejected", 1);
+    }
+  }
+  return RefitNow(initial);
+}
+
+Status PredictionService::StartFromCheckpoint() {
+  if (config_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition(
+        "no checkpoint_path configured; cannot restore");
+  }
+  WPRED_ASSIGN_OR_RETURN(CheckpointContents contents,
+                         ReadCheckpoint(config_.checkpoint_path));
+  // Refitting the checkpointed closure reproduces the pre-crash snapshot
+  // bit-identically (deterministic pipeline; DESIGN.md §7/§11).
+  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  obs::Span span("serve.restore");
+  WPRED_ASSIGN_OR_RETURN(
+      SnapshotPtr snapshot,
+      BuildSnapshot(contents.config,
+                    contents.corpus,
+                    next_epoch_.load(std::memory_order_relaxed)));
+  PublishSnapshot(std::move(snapshot));
+  LeaveDegraded();
+  return Status::OK();
+}
+
+// --- read path --------------------------------------------------------------
+
+Status PredictionService::CheckAdmission() const {
+  if (config_.max_in_flight == 0) return Status::OK();
+  if (in_flight_.load(std::memory_order_relaxed) <=
+      static_cast<int64_t>(config_.max_in_flight)) {
+    return Status::OK();
+  }
+  if (!config_.shed_on_overload) {
+    WPRED_COUNT_ADD("serve.overload.soft", 1);
+    return Status::OK();
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  WPRED_COUNT_ADD("serve.shed", 1);
+  return Status::Unavailable(StrFormat(
+      "admission control: %zu reads already in flight (max_in_flight); "
+      "retry later",
+      config_.max_in_flight));
+}
+
+Result<Pipeline::Prediction> PredictionService::Predict(
+    const Experiment& observed, int target_cpus,
+    const RequestOptions& opts) const {
+  const auto start = Clock::now();
+  WPRED_COUNT_ADD("serve.predict.calls", 1);
+  InFlightGuard admitted(in_flight_);
+  WPRED_RETURN_IF_ERROR(CheckAdmission());
+
+  SnapshotBox::ReadGuard snapshot = box_.Acquire();
+  if (!snapshot) {
+    return Status::Unavailable(
+        "service is cold: no snapshot has been published yet (Start() not "
+        "called or initial fit failed)");
+  }
+  Result<Pipeline::Prediction> result =
+      snapshot->pipeline->PredictThroughput(observed, target_cpus);
+
+  const double elapsed = SecondsSince(start);
+  WPRED_HIST_RECORD("serve.predict.latency_s", elapsed);
+  const int64_t fitted_ns = published_at_ns_.load(std::memory_order_relaxed);
+  if (fitted_ns != 0) {
+    WPRED_HIST_RECORD("serve.read.staleness_s",
+                      static_cast<double>(NowNs() - fitted_ns) * 1e-9);
+  }
+  if (!result.ok()) WPRED_COUNT_ADD("serve.predict.errors", 1);
+  if (opts.deadline_s > 0.0 && elapsed > opts.deadline_s) {
+    WPRED_COUNT_ADD("serve.predict.deadline_exceeded", 1);
+    return Status::DeadlineExceeded(
+        StrFormat("prediction finished after %.3fs, over the caller's %.3fs "
+                  "deadline",
+                  elapsed, opts.deadline_s));
+  }
+  return result;
+}
+
+Result<std::vector<Neighbor>> PredictionService::NearestReferences(
+    const Experiment& observed, size_t k, const RequestOptions& opts) const {
+  const auto start = Clock::now();
+  WPRED_COUNT_ADD("serve.query.calls", 1);
+  InFlightGuard admitted(in_flight_);
+  WPRED_RETURN_IF_ERROR(CheckAdmission());
+
+  SnapshotBox::ReadGuard snapshot = box_.Acquire();
+  if (!snapshot) {
+    return Status::Unavailable(
+        "service is cold: no snapshot has been published yet");
+  }
+  Result<std::vector<Neighbor>> result =
+      snapshot->pipeline->NearestReferences(observed, k);
+  const double elapsed = SecondsSince(start);
+  WPRED_HIST_RECORD("serve.query.latency_s", elapsed);
+  if (opts.deadline_s > 0.0 && elapsed > opts.deadline_s) {
+    WPRED_COUNT_ADD("serve.query.deadline_exceeded", 1);
+    return Status::DeadlineExceeded(
+        StrFormat("query finished after %.3fs, over the caller's %.3fs "
+                  "deadline",
+                  elapsed, opts.deadline_s));
+  }
+  return result;
+}
+
+Result<std::vector<Pipeline::WorkloadDistance>>
+PredictionService::RankWorkloads(const Experiment& observed,
+                                 const RequestOptions& opts) const {
+  const auto start = Clock::now();
+  InFlightGuard admitted(in_flight_);
+  WPRED_RETURN_IF_ERROR(CheckAdmission());
+
+  SnapshotBox::ReadGuard snapshot = box_.Acquire();
+  if (!snapshot) {
+    return Status::Unavailable(
+        "service is cold: no snapshot has been published yet");
+  }
+  Result<std::vector<Pipeline::WorkloadDistance>> result =
+      snapshot->pipeline->RankWorkloads(observed);
+  const double elapsed = SecondsSince(start);
+  if (opts.deadline_s > 0.0 && elapsed > opts.deadline_s) {
+    return Status::DeadlineExceeded(
+        StrFormat("ranking finished after %.3fs, over the caller's %.3fs "
+                  "deadline",
+                  elapsed, opts.deadline_s));
+  }
+  return result;
+}
+
+// --- refit supervision ------------------------------------------------------
+
+void PredictionService::RequestRefit(ExperimentCorpus corpus) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queued_corpus_ = std::move(corpus);  // newest request wins
+  }
+  queue_cv_.notify_one();
+}
+
+void PredictionService::WaitForRefits() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] {
+    return !queued_corpus_.has_value() && !refit_running_;
+  });
+}
+
+void PredictionService::SupervisorLoop() {
+  for (;;) {
+    std::optional<ExperimentCorpus> corpus;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || queued_corpus_.has_value(); });
+      if (stopping_) return;
+      corpus = std::move(queued_corpus_);
+      queued_corpus_.reset();
+      refit_running_ = true;
+    }
+    // The outcome (good or degraded) is recorded in the service state and
+    // metrics; the supervisor itself never dies on a failed refit.
+    (void)SupervisedRefit(*corpus);  // failure → degraded state, not a crash
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      refit_running_ = false;
+    }
+    queue_cv_.notify_all();
+  }
+}
+
+Status PredictionService::RefitNow(const ExperimentCorpus& corpus) {
+  return SupervisedRefit(corpus);
+}
+
+Status PredictionService::SupervisedRefit(const ExperimentCorpus& corpus) {
+  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  obs::Span span("serve.refit");
+  const auto start = Clock::now();
+  const RetryPolicy& policy = config_.refit;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  double backoff = std::max(0.0, policy.initial_backoff_s);
+  Status last = Status::OK();
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    WPRED_COUNT_ADD("serve.refit.attempts", 1);
+    last = AttemptRefit(corpus);
+    if (last.ok()) {
+      WPRED_COUNT_ADD("serve.refit.success", 1);
+      LeaveDegraded();
+      return Status::OK();
+    }
+    refit_failures_.fetch_add(1, std::memory_order_relaxed);
+    WPRED_COUNT_ADD("serve.refit.failures", 1);
+
+    if (attempt == max_attempts) break;
+    // Jittered exponential backoff, but never past the deadline budget.
+    const double jitter =
+        1.0 + policy.jitter_fraction *
+                  jitter_rng_.Uniform(-1.0, 1.0);
+    const double sleep_s = std::max(0.0, backoff * jitter);
+    if (policy.deadline_s > 0.0 &&
+        SecondsSince(start) + sleep_s >= policy.deadline_s) {
+      last = Status::DeadlineExceeded(StrFormat(
+          "refit deadline budget (%.1fs) exhausted after %d failed "
+          "attempt(s); last error: %s",
+          policy.deadline_s, attempt, last.ToString().c_str()));
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    backoff = std::min(policy.max_backoff_s,
+                       backoff * std::max(1.0, policy.backoff_multiplier));
+  }
+
+  EnterDegraded(last);
+  return last;
+}
+
+Status PredictionService::AttemptRefit(const ExperimentCorpus& corpus) {
+  if (refit_fault_hook_) {
+    WPRED_RETURN_IF_ERROR(refit_fault_hook_());
+  }
+  WPRED_ASSIGN_OR_RETURN(
+      SnapshotPtr snapshot,
+      BuildSnapshot(config_.pipeline, corpus,
+                    next_epoch_.load(std::memory_order_relaxed)));
+  PublishSnapshot(std::move(snapshot));
+  return Status::OK();
+}
+
+void PredictionService::PublishSnapshot(SnapshotPtr snapshot) {
+  const auto swap_start = Clock::now();
+  const FittedSnapshot& published = *snapshot;
+  box_.Publish(snapshot);
+  next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  published_at_ns_.store(NowNs(), std::memory_order_relaxed);
+  WPRED_HIST_RECORD("serve.swap.latency_s", SecondsSince(swap_start));
+  WPRED_GAUGE_SET("serve.snapshot.epoch",
+                  static_cast<double>(published.epoch));
+  WPRED_HIST_RECORD("serve.fit.seconds", published.fit_seconds);
+  if (!config_.checkpoint_path.empty() && config_.checkpoint_on_publish) {
+    const Status written =
+        WriteCheckpoint(config_.checkpoint_path, published.config,
+                        published.source_corpus);
+    if (!written.ok()) {
+      // A failed checkpoint write must not fail the publish: the snapshot
+      // is already serving. Surface through metrics.
+      WPRED_COUNT_ADD("serve.checkpoint.write_errors", 1);
+    }
+  }
+}
+
+Status PredictionService::WriteCheckpointNow() const {
+  if (config_.checkpoint_path.empty()) {
+    return Status::FailedPrecondition("no checkpoint_path configured");
+  }
+  SnapshotBox::ReadGuard snapshot = box_.Acquire();
+  if (!snapshot) {
+    return Status::FailedPrecondition(
+        "service is cold: nothing to checkpoint");
+  }
+  return WriteCheckpoint(config_.checkpoint_path, snapshot->config,
+                         snapshot->source_corpus);
+}
+
+// --- health -----------------------------------------------------------------
+
+void PredictionService::EnterDegraded(const Status& why) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (state_ != ServingState::kDegraded) degraded_since_ = Clock::now();
+  // Cold stays cold: degraded means "serving stale", which needs a snapshot.
+  state_ = box_.CurrentEpoch() > 0 ? ServingState::kDegraded
+                                   : ServingState::kCold;
+  if (state_ != ServingState::kDegraded) degraded_since_.reset();
+  degraded_reason_ = why.ToString();
+  WPRED_GAUGE_SET("serve.degraded", state_ == ServingState::kDegraded ? 1 : 0);
+}
+
+void PredictionService::LeaveDegraded() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (degraded_since_.has_value()) {
+    degraded_total_s_ += SecondsSince(*degraded_since_);
+    degraded_since_.reset();
+  }
+  state_ = ServingState::kServing;
+  degraded_reason_.clear();
+  WPRED_GAUGE_SET("serve.degraded", 0);
+  WPRED_GAUGE_SET("serve.degraded_seconds_total", degraded_total_s_);
+}
+
+ServingState PredictionService::state() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+std::string PredictionService::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return degraded_reason_;
+}
+
+uint64_t PredictionService::snapshot_epoch() const {
+  return box_.CurrentEpoch();
+}
+
+double PredictionService::snapshot_age_s() const {
+  const int64_t fitted_ns = published_at_ns_.load(std::memory_order_relaxed);
+  if (fitted_ns == 0) return 0.0;
+  return static_cast<double>(NowNs() - fitted_ns) * 1e-9;
+}
+
+double PredictionService::degraded_seconds_total() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  double total = degraded_total_s_;
+  if (degraded_since_.has_value()) total += SecondsSince(*degraded_since_);
+  return total;
+}
+
+}  // namespace wpred::serve

@@ -1,0 +1,245 @@
+#ifndef WPRED_SERVE_SERVICE_H_
+#define WPRED_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "serve/checkpoint.h"
+#include "serve/snapshot.h"
+
+// Resilient serving core (DESIGN.md §11): wraps the batch Pipeline in a
+// long-lived service that keeps answering under partial failure.
+//
+//   - Readers (Predict / NearestReferences / RankWorkloads) are wait-free:
+//     they pin the current FittedSnapshot through the left-right SnapshotBox
+//     and run the pipeline's const, serial read path — no mutex anywhere.
+//   - A supervisor thread refits in the background with bounded retries,
+//     exponential backoff + deterministic jitter, and a per-request deadline
+//     budget. A failed or exhausted refit never takes the service down: the
+//     last good snapshot stays live and the service reports *degraded*
+//     (state + reason + obs gauges) until a later refit succeeds.
+//   - Admission control bounds concurrent in-flight reads; over the limit
+//     the service sheds with Status::Unavailable instead of queueing
+//     unboundedly and starving the refit thread.
+//   - Successful publishes are checkpointed (atomic rename, versioned,
+//     checksummed); a restarted process restores the snapshot from disk and
+//     serves immediately, falling back to a cold fit only when the
+//     checkpoint is missing or corrupt.
+
+namespace wpred::serve {
+
+/// Supervision knobs for one refit request (attempts share the deadline).
+struct RetryPolicy {
+  /// Maximum fit attempts per refit request; >= 1.
+  int max_attempts = 3;
+  /// Backoff before attempt n+1 is initial * multiplier^(n-1), capped.
+  double initial_backoff_s = 0.5;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 8.0;
+  /// Uniform jitter: the actual sleep is backoff * (1 ± jitter_fraction),
+  /// drawn from a deterministic per-service stream (seeded, reproducible).
+  double jitter_fraction = 0.2;
+  /// Total wall budget for one refit request, attempts + backoffs. A fit
+  /// already running is never pre-empted (Fit is not interruptible); the
+  /// deadline gates whether another attempt or backoff may start.
+  double deadline_s = 300.0;
+};
+
+struct ServiceConfig {
+  PipelineConfig pipeline;
+  /// Maximum concurrent reads admitted; 0 disables admission control.
+  size_t max_in_flight = 1024;
+  /// Over the limit: true sheds with Status::Unavailable (load cannot
+  /// starve the refit thread); false only counts serve.overload.soft.
+  bool shed_on_overload = true;
+  RetryPolicy refit;
+  /// Checkpoint file; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+  /// Write a checkpoint after every successful publish (needs a path).
+  bool checkpoint_on_publish = true;
+  /// Seed for the backoff-jitter stream.
+  uint64_t jitter_seed = 0x5e9e5;
+};
+
+/// Lifecycle / health of the service.
+enum class ServingState {
+  /// No snapshot published yet (not started, or initial fit failed).
+  kCold,
+  /// Serving the newest successfully fitted snapshot.
+  kServing,
+  /// Serving a stale snapshot: the most recent refit request failed or ran
+  /// out of retry/deadline budget. Reads still succeed.
+  kDegraded,
+};
+
+std::string_view ServingStateName(ServingState state);
+
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceConfig config);
+  ~PredictionService();
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Brings the service up. With a configured checkpoint path, tries a
+  /// restore first (serving immediately from disk); a missing or corrupt
+  /// checkpoint falls back to a cold supervised fit of `initial`. Publishes
+  /// epoch 1 (restore) or the first fitted epoch on success.
+  Status Start(const ExperimentCorpus& initial);
+
+  /// Restore-only bring-up: fails (and stays cold) when the checkpoint is
+  /// missing, corrupt, or unfittable — no corpus to fall back to.
+  Status StartFromCheckpoint();
+
+  /// Per-read options.
+  struct RequestOptions {
+    // Constructor instead of a default member initializer: the latter may
+    // not be used in a default argument of the enclosing class (GCC rejects
+    // the incomplete-class context), and every read method defaults opts.
+    RequestOptions() : deadline_s(0.0) {}
+    /// Wall budget for this call; <= 0 means none. The snapshot read is not
+    /// pre-emptible, so a blown budget is reported as DeadlineExceeded on
+    /// completion (server-side deadline checking) rather than by
+    /// interrupting the computation.
+    double deadline_s;
+  };
+
+  /// Wait-free read path: admission check (atomics), snapshot pin
+  /// (left-right), serial pipeline call. Never takes a lock; never blocks
+  /// on a concurrent refit. Errors:
+  ///   - Unavailable: shed by admission control, or service never started;
+  ///   - DeadlineExceeded: opts.deadline_s elapsed;
+  ///   - anything Pipeline::PredictThroughput reports.
+  Result<Pipeline::Prediction> Predict(const Experiment& observed,
+                                       int target_cpus,
+                                       const RequestOptions& opts = RequestOptions()) const;
+
+  /// Wait-free top-k similarity (same admission/deadline semantics).
+  Result<std::vector<Neighbor>> NearestReferences(
+      const Experiment& observed, size_t k,
+      const RequestOptions& opts = RequestOptions()) const;
+
+  /// Wait-free full similarity ranking (same admission/deadline semantics).
+  Result<std::vector<Pipeline::WorkloadDistance>> RankWorkloads(
+      const Experiment& observed, const RequestOptions& opts = RequestOptions()) const;
+
+  /// Hands a fresh corpus to the supervisor thread and returns immediately.
+  /// Pending requests coalesce: only the newest corpus is fitted.
+  void RequestRefit(ExperimentCorpus corpus);
+
+  /// Runs one supervised refit synchronously (same retry/backoff/deadline
+  /// machinery as the background path). Returns the final outcome; on
+  /// failure the previous snapshot remains live and the service is
+  /// degraded.
+  Status RefitNow(const ExperimentCorpus& corpus);
+
+  /// Blocks until no background refit is queued or running.
+  void WaitForRefits();
+
+  /// Serialises the live snapshot's fit closure to the configured
+  /// checkpoint path (FailedPrecondition when cold or no path configured).
+  Status WriteCheckpointNow() const;
+
+  // --- introspection (all safe from any thread) ----------------------------
+  ServingState state() const;
+  /// Why the service is degraded; empty when healthy.
+  std::string degraded_reason() const;
+  /// Epoch of the published snapshot; 0 when cold.
+  uint64_t snapshot_epoch() const;
+  /// Seconds since the published snapshot was fitted/restored; 0 when cold.
+  double snapshot_age_s() const;
+  /// Reads shed by admission control since construction.
+  uint64_t shed_count() const { return shed_.load(std::memory_order_relaxed); }
+  /// Refit attempts that failed since construction.
+  uint64_t refit_failures() const {
+    return refit_failures_.load(std::memory_order_relaxed);
+  }
+  /// Successful snapshot publishes since construction.
+  uint64_t publish_count() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  /// Total seconds spent in the degraded state since construction.
+  double degraded_seconds_total() const;
+
+  /// Fault-injection seam: called at the top of every refit attempt; a
+  /// non-OK return fails that attempt before Fit() runs. Benches and tests
+  /// use this (with telemetry/faults-corrupted corpora as the data-level
+  /// counterpart) to drive the service through failure scenarios. Not
+  /// thread-safe against concurrent refits — install before triggering.
+  void set_refit_fault_hook(std::function<Status()> hook) {
+    refit_fault_hook_ = std::move(hook);
+  }
+
+ private:
+  struct RefitOutcome {
+    Status status = Status::OK();
+    int attempts = 0;
+  };
+
+  /// Admission check, called with this read's in-flight slot already
+  /// counted: over the limit either sheds (Unavailable) or records a soft
+  /// overload. Add-then-check keeps the limit exact under contention.
+  Status CheckAdmission() const;
+
+  /// One supervised refit: retry loop + backoff + deadline. Serialised by
+  /// refit_mu_.
+  Status SupervisedRefit(const ExperimentCorpus& corpus);
+  /// One fit attempt; publishes and checkpoints on success.
+  Status AttemptRefit(const ExperimentCorpus& corpus);
+  void PublishSnapshot(SnapshotPtr snapshot);
+  void EnterDegraded(const Status& why);
+  void LeaveDegraded();
+  void SupervisorLoop();
+
+  ServiceConfig config_;
+
+  SnapshotBox box_;
+  std::atomic<uint64_t> next_epoch_{1};
+
+  // Read-path atomics (never touched under a mutex).
+  mutable std::atomic<int64_t> in_flight_{0};
+  mutable std::atomic<uint64_t> shed_{0};
+  // Published-snapshot fit time as steady-clock nanos, for staleness
+  // accounting without pinning a snapshot; 0 when cold.
+  std::atomic<int64_t> published_at_ns_{0};
+
+  // Health state. Written by the (single) refitting thread under state_mu_;
+  // read by introspection calls. The read path never touches it.
+  mutable std::mutex state_mu_;
+  ServingState state_ = ServingState::kCold;
+  std::string degraded_reason_;
+  std::optional<std::chrono::steady_clock::time_point> degraded_since_;
+  double degraded_total_s_ = 0.0;
+
+  std::atomic<uint64_t> refit_failures_{0};
+  std::atomic<uint64_t> publishes_{0};
+
+  // Refit machinery. refit_mu_ serialises SupervisedRefit (background
+  // supervisor and RefitNow callers alike) so SnapshotBox sees one writer.
+  std::mutex refit_mu_;
+  std::function<Status()> refit_fault_hook_;
+  Rng jitter_rng_;
+
+  // Supervisor thread + its queue (depth 1: newest corpus wins).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::optional<ExperimentCorpus> queued_corpus_;
+  bool refit_running_ = false;
+  bool stopping_ = false;
+  std::thread supervisor_;
+};
+
+}  // namespace wpred::serve
+
+#endif  // WPRED_SERVE_SERVICE_H_

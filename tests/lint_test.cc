@@ -249,6 +249,26 @@ TEST(LintRuleTest, LayeringEnforcesTheDag) {
   EXPECT_TRUE(HasRule(
       LintSource("src/ml/model.cc", "#include \"tests/helpers.h\"\n"),
       "layering"));
+  // serve sits above core (core + obs + common only) ...
+  EXPECT_TRUE(LintSource("src/serve/service.cc",
+                         "#include \"core/pipeline.h\"\n"
+                         "#include \"obs/metrics.h\"\n"
+                         "#include \"common/status.h\"\n")
+                  .empty());
+  EXPECT_TRUE(HasRule(
+      LintSource("src/serve/service.cc", "#include \"ml/mlp.h\"\n"),
+      "layering"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/serve/checkpoint.cc",
+                 "#include \"telemetry/experiment.h\"\n"),
+      "layering"));
+  // ... and nothing inside src/ may depend back on serve.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/core/pipeline.cc", "#include \"serve/service.h\"\n"),
+      "layering"));
+  EXPECT_TRUE(HasRule(
+      LintSource("src/obs/metrics.cc", "#include \"serve/snapshot.h\"\n"),
+      "layering"));
 }
 
 // --- plumbing -------------------------------------------------------------

@@ -142,6 +142,139 @@ TEST(PipelineFailureTest, ObservedWithoutResourceSamplesIsRejected) {
   EXPECT_FALSE(pipeline.RankWorkloads(broken).ok());
 }
 
+// --- Config validation ------------------------------------------------------
+
+// Every out-of-range knob must surface as InvalidArgument naming the knob,
+// both from Validate() directly and from Fit() (which calls it at entry).
+TEST(PipelineConfigValidateTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(PipelineConfig{}.Validate().ok());
+}
+
+TEST(PipelineConfigValidateTest, RejectsOutOfRangeKnobs) {
+  const auto expect_invalid = [](PipelineConfig config,
+                                 const std::string& expect_substring) {
+    const Status status = config.Validate();
+    ASSERT_FALSE(status.ok()) << "expected rejection: " << expect_substring;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find(expect_substring), std::string::npos)
+        << status.message();
+  };
+
+  PipelineConfig config;
+  config.selector = "";
+  expect_invalid(config, "selector");
+
+  config = PipelineConfig{};
+  config.measure = "";
+  expect_invalid(config, "measure");
+
+  config = PipelineConfig{};
+  config.strategy = "";
+  expect_invalid(config, "strategy");
+
+  config = PipelineConfig{};
+  config.top_k = 0;
+  expect_invalid(config, "top_k");
+
+  config = PipelineConfig{};
+  config.subsamples = 0;
+  expect_invalid(config, "subsamples");
+
+  config = PipelineConfig{};
+  config.num_threads = -4;
+  expect_invalid(config, "num_threads");
+
+  config = PipelineConfig{};
+  config.quality.mad_outlier_threshold = 0.0;
+  expect_invalid(config, "mad_outlier_threshold");
+
+  config = PipelineConfig{};
+  config.quality.stuck_run_fraction = 0.0;
+  expect_invalid(config, "stuck_run_fraction");
+
+  config = PipelineConfig{};
+  config.quality.stuck_run_fraction = 1.5;
+  expect_invalid(config, "stuck_run_fraction");
+
+  config = PipelineConfig{};
+  config.quality.max_bad_fraction = -0.1;
+  expect_invalid(config, "max_bad_fraction");
+
+  config = PipelineConfig{};
+  config.quality.min_samples = 1;
+  expect_invalid(config, "min_samples");
+}
+
+TEST(PipelineConfigValidateTest, QualityKnobsIgnoredWhenGateDisabled) {
+  PipelineConfig config;
+  config.quality_gate = false;
+  config.quality.mad_outlier_threshold = -1.0;  // nonsense, but unused
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(PipelineConfigValidateTest, FitFailsFastOnInvalidConfig) {
+  PipelineConfig config;
+  config.num_threads = -1;
+  Pipeline pipeline(config);
+  const Status status = pipeline.Fit(ExperimentCorpus{});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(pipeline.fitted());
+}
+
+// --- Pre-Fit call audit -----------------------------------------------------
+
+// Every Status-producing entry point called before Fit() must return a
+// descriptive FailedPrecondition naming the method, and accessors must
+// return empty defaults — never crash or serve garbage.
+TEST(PipelinePreFitTest, EntryPointsReportFailedPrecondition) {
+  Pipeline pipeline{PipelineConfig{}};
+  Experiment observed;
+
+  const auto expect_not_fitted = [](const Status& status,
+                                    const std::string& method) {
+    ASSERT_FALSE(status.ok()) << method;
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << method;
+    EXPECT_NE(status.message().find(method), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("Fit"), std::string::npos)
+        << status.message();
+  };
+
+  expect_not_fitted(pipeline.RankWorkloads(observed).status(),
+                    "RankWorkloads");
+  expect_not_fitted(pipeline.NearestReferences(observed, 3).status(),
+                    "NearestReferences");
+  expect_not_fitted(pipeline.PredictThroughput(observed, 8).status(),
+                    "PredictThroughput");
+}
+
+TEST(PipelinePreFitTest, AccessorsReturnEmptyDefaults) {
+  Pipeline pipeline{PipelineConfig{}};
+  EXPECT_FALSE(pipeline.fitted());
+  EXPECT_TRUE(pipeline.selected_features().empty());
+  EXPECT_TRUE(pipeline.reference_workloads().empty());
+  EXPECT_TRUE(pipeline.fit_report().items.empty());
+}
+
+TEST(PipelinePreFitTest, NearestReferencesRejectsZeroK) {
+  WorkbenchConfig config;
+  config.workloads = {"TPC-C", "Twitter"};
+  config.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+  config.terminals = {8};
+  config.runs = 2;
+  config.sim.duration_s = 30.0;
+  config.sim.sample_period_s = 0.5;
+  const ExperimentCorpus corpus = GenerateCorpus(config).value();
+  PipelineConfig pc;
+  pc.selector = "fANOVA";
+  Pipeline pipeline(pc);
+  ASSERT_TRUE(pipeline.Fit(corpus).ok());
+  const auto result = pipeline.NearestReferences(corpus[0], 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(PipelineFailureTest, UnknownSelectorOrMeasureFailsFit) {
   WorkbenchConfig config;
   config.workloads = {"TPC-C", "Twitter"};

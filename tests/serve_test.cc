@@ -1,0 +1,589 @@
+// Resilient serving core (src/serve/, DESIGN.md §11): snapshot publication,
+// supervised refits with graceful degradation, admission control, deadlines,
+// and crash-safe checkpoint/restore. The ServeConcurrency* suites run under
+// TSan in CI: readers hammer the left-right SnapshotBox while a writer
+// publishes, proving the wait-free read path has no torn state.
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/workbench.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "sim/hardware.h"
+
+namespace wpred::serve {
+namespace {
+
+// One small shared corpus for the whole file; Fit() on it takes well under a
+// second, so supervised-refit tests stay fast.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.workloads = {"TPC-C", "Twitter"};
+    config.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+    config.terminals = {8};
+    config.runs = 2;
+    config.sim.duration_s = 30.0;
+    config.sim.sample_period_s = 0.5;
+    corpus_ = new ExperimentCorpus(GenerateCorpus(config).value());
+    observed_ = new Experiment(
+        RunOne("TPC-C", MakeCpuSku(2), 8,
+               /*run=*/5, SimConfig{.duration_s = 30.0, .sample_period_s = 0.5},
+               /*base_seed=*/31415)
+            .value());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete observed_;
+    corpus_ = nullptr;
+    observed_ = nullptr;
+  }
+
+  static PipelineConfig FastPipeline() {
+    PipelineConfig config;
+    config.selector = "fANOVA";  // fast, deterministic
+    return config;
+  }
+
+  static ServiceConfig FastService() {
+    ServiceConfig config;
+    config.pipeline = FastPipeline();
+    config.refit.initial_backoff_s = 0.001;
+    config.refit.max_backoff_s = 0.002;
+    return config;
+  }
+
+  static std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + name;
+  }
+
+  static ExperimentCorpus* corpus_;
+  static Experiment* observed_;
+};
+
+ExperimentCorpus* ServeTest::corpus_ = nullptr;
+Experiment* ServeTest::observed_ = nullptr;
+
+// --- snapshot box (serial semantics) ----------------------------------------
+
+TEST(SnapshotBoxTest, ColdBoxYieldsNullGuardAndEpochZero) {
+  SnapshotBox box;
+  EXPECT_EQ(box.CurrentEpoch(), 0u);
+  SnapshotBox::ReadGuard guard = box.Acquire();
+  EXPECT_FALSE(guard);
+  EXPECT_EQ(guard.get(), nullptr);
+}
+
+TEST(SnapshotBoxTest, PublishMakesSnapshotVisibleInOrder) {
+  SnapshotBox box;
+  auto first = std::make_shared<FittedSnapshot>();
+  first->epoch = 1;
+  box.Publish(first);
+  EXPECT_EQ(box.CurrentEpoch(), 1u);
+  {
+    SnapshotBox::ReadGuard guard = box.Acquire();
+    ASSERT_TRUE(guard);
+    EXPECT_EQ(guard->epoch, 1u);
+  }
+  // Left-right semantics: Publish blocks until readers of the retired epoch
+  // depart, so guards must be released before the writer can finish. (The
+  // concurrency suite below exercises publishes racing live readers.)
+  auto second = std::make_shared<FittedSnapshot>();
+  second->epoch = 2;
+  box.Publish(second);
+  EXPECT_EQ(box.CurrentEpoch(), 2u);
+}
+
+TEST(SnapshotBoxTest, GuardKeepsSnapshotUsableWhileWriterWaits) {
+  SnapshotBox box;
+  auto first = std::make_shared<FittedSnapshot>();
+  first->epoch = 1;
+  box.Publish(first);
+
+  SnapshotBox::ReadGuard pinned = box.Acquire();
+  ASSERT_TRUE(pinned);
+  auto second = std::make_shared<FittedSnapshot>();
+  second->epoch = 2;
+  std::atomic<bool> published{false};
+  // The writer flips to epoch 2 immediately, then blocks draining the
+  // reader; the pinned snapshot stays fully usable the whole time.
+  std::thread publisher([&] {
+    box.Publish(second);
+    published.store(true, std::memory_order_release);
+  });
+  while (box.CurrentEpoch() != 2u) std::this_thread::yield();
+  EXPECT_EQ(pinned->epoch, 1u);  // still valid mid-publish
+  EXPECT_FALSE(published.load(std::memory_order_acquire));
+  { SnapshotBox::ReadGuard released = std::move(pinned); }  // depart
+  publisher.join();
+  EXPECT_TRUE(published.load(std::memory_order_acquire));
+}
+
+// --- service lifecycle ------------------------------------------------------
+
+TEST_F(ServeTest, ColdServiceRefusesReadsWithUnavailable) {
+  PredictionService service(FastService());
+  const auto prediction = service.Predict(*observed_, 8);
+  ASSERT_FALSE(prediction.ok());
+  EXPECT_EQ(prediction.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.state(), ServingState::kCold);
+  EXPECT_EQ(service.snapshot_epoch(), 0u);
+}
+
+TEST_F(ServeTest, StartPublishesEpochOneAndServes) {
+  PredictionService service(FastService());
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  EXPECT_EQ(service.state(), ServingState::kServing);
+  EXPECT_EQ(service.snapshot_epoch(), 1u);
+  EXPECT_GE(service.snapshot_age_s(), 0.0);
+
+  const auto prediction = service.Predict(*observed_, 8);
+  ASSERT_TRUE(prediction.ok()) << prediction.status().ToString();
+  EXPECT_EQ(prediction->reference_workload, "TPC-C");
+
+  const auto neighbors = service.NearestReferences(*observed_, 3);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ(neighbors->size(), 3u);
+
+  const auto ranked = service.RankWorkloads(*observed_);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->front().workload, "TPC-C");
+}
+
+TEST_F(ServeTest, ServiceMatchesStandalonePipelineBitForBit) {
+  Pipeline pipeline(FastPipeline());
+  ASSERT_TRUE(pipeline.Fit(*corpus_).ok());
+  const auto direct = pipeline.PredictThroughput(*observed_, 8);
+  ASSERT_TRUE(direct.ok());
+
+  PredictionService service(FastService());
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  const auto served = service.Predict(*observed_, 8);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->throughput_tps, direct->throughput_tps);
+  EXPECT_EQ(served->similarity_distance, direct->similarity_distance);
+  EXPECT_EQ(served->reference_workload, direct->reference_workload);
+}
+
+// --- refit supervision & degradation ----------------------------------------
+
+TEST_F(ServeTest, FailedRefitKeepsLastGoodSnapshotAndDegrades) {
+  ServiceConfig config = FastService();
+  config.refit.max_attempts = 2;
+  PredictionService service(config);
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  const auto before = service.Predict(*observed_, 8);
+  ASSERT_TRUE(before.ok());
+
+  service.set_refit_fault_hook(
+      [] { return Status::IoError("injected: telemetry store unreachable"); });
+  const Status refit = service.RefitNow(*corpus_);
+  ASSERT_FALSE(refit.ok());
+
+  // Still serving — the stale snapshot, with the service marked degraded.
+  EXPECT_EQ(service.state(), ServingState::kDegraded);
+  EXPECT_NE(service.degraded_reason().find("telemetry store unreachable"),
+            std::string::npos)
+      << service.degraded_reason();
+  EXPECT_EQ(service.snapshot_epoch(), 1u);
+  EXPECT_EQ(service.refit_failures(), 2u);  // both attempts failed
+  const auto during = service.Predict(*observed_, 8);
+  ASSERT_TRUE(during.ok());
+  EXPECT_EQ(during->throughput_tps, before->throughput_tps);
+
+  // Recovery: the next successful refit publishes and clears degradation.
+  service.set_refit_fault_hook(nullptr);
+  ASSERT_TRUE(service.RefitNow(*corpus_).ok());
+  EXPECT_EQ(service.state(), ServingState::kServing);
+  EXPECT_TRUE(service.degraded_reason().empty());
+  EXPECT_EQ(service.snapshot_epoch(), 2u);
+  EXPECT_GE(service.degraded_seconds_total(), 0.0);
+}
+
+TEST_F(ServeTest, UnfittableCorpusDegradesWithoutFaultHook) {
+  PredictionService service(FastService());
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  // An empty corpus is unfittable at the data level — no injection seam
+  // involved; the quality gate rejects it inside Fit().
+  const Status refit = service.RefitNow(ExperimentCorpus{});
+  ASSERT_FALSE(refit.ok());
+  EXPECT_EQ(service.state(), ServingState::kDegraded);
+  EXPECT_TRUE(service.Predict(*observed_, 8).ok());
+}
+
+TEST_F(ServeTest, RefitDeadlineBudgetCutsRetriesShort) {
+  ServiceConfig config = FastService();
+  config.refit.max_attempts = 100;
+  config.refit.initial_backoff_s = 10.0;  // one backoff would blow the budget
+  config.refit.deadline_s = 0.05;
+  PredictionService service(config);
+  service.set_refit_fault_hook([] { return Status::IoError("injected"); });
+  const Status refit = service.RefitNow(*corpus_);
+  ASSERT_FALSE(refit.ok());
+  EXPECT_EQ(refit.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(refit.message().find("deadline budget"), std::string::npos);
+  EXPECT_EQ(service.refit_failures(), 1u);  // no second attempt started
+}
+
+TEST_F(ServeTest, BackgroundRefitPublishesAsynchronously) {
+  PredictionService service(FastService());
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  service.RequestRefit(*corpus_);
+  service.WaitForRefits();
+  EXPECT_EQ(service.snapshot_epoch(), 2u);
+  EXPECT_EQ(service.state(), ServingState::kServing);
+  EXPECT_EQ(service.publish_count(), 2u);
+}
+
+// --- admission control & deadlines ------------------------------------------
+
+TEST_F(ServeTest, OverloadShedsWithUnavailable) {
+  ServiceConfig config = FastService();
+  config.max_in_flight = 1;
+  config.shed_on_overload = true;
+  PredictionService service(config);
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+
+  // Hammer the read path from enough threads that >1 read is in flight at
+  // once; each shed must surface as Unavailable, never a crash or a wrong
+  // answer.
+  constexpr int kThreads = 8;
+  constexpr int kReadsPerThread = 50;
+  std::atomic<int64_t> ok_count{0};
+  std::atomic<int64_t> shed_count{0};
+  std::atomic<int64_t> other_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const auto result = service.RankWorkloads(*observed_);
+        if (result.ok()) {
+          ok_count.fetch_add(1);
+        } else if (result.status().code() == StatusCode::kUnavailable) {
+          shed_count.fetch_add(1);
+        } else {
+          other_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok_count + shed_count, kThreads * kReadsPerThread);
+  EXPECT_EQ(other_count, 0);
+  EXPECT_GT(ok_count, 0);
+  EXPECT_EQ(service.shed_count(), static_cast<uint64_t>(shed_count.load()));
+}
+
+TEST_F(ServeTest, SoftOverloadCountsInsteadOfShedding) {
+  ServiceConfig config = FastService();
+  config.max_in_flight = 1;
+  config.shed_on_overload = false;
+  PredictionService service(config);
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        if (!service.RankWorkloads(*observed_).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(service.shed_count(), 0u);
+}
+
+TEST_F(ServeTest, BlownDeadlineIsReportedOnCompletion) {
+  PredictionService service(FastService());
+  ASSERT_TRUE(service.Start(*corpus_).ok());
+  PredictionService::RequestOptions opts;
+  opts.deadline_s = 1e-12;  // any real computation exceeds this
+  const auto prediction = service.Predict(*observed_, 8, opts);
+  ASSERT_FALSE(prediction.ok());
+  EXPECT_EQ(prediction.status().code(), StatusCode::kDeadlineExceeded);
+  // No deadline → same call succeeds.
+  EXPECT_TRUE(service.Predict(*observed_, 8).ok());
+}
+
+// --- checkpoint / restore ---------------------------------------------------
+
+TEST_F(ServeTest, CheckpointRoundTripsTheFitClosure) {
+  const std::string path = TempPath("roundtrip.ckpt");
+  const PipelineConfig config = FastPipeline();
+  ASSERT_TRUE(WriteCheckpoint(path, config, *corpus_).ok());
+  const auto contents = ReadCheckpoint(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->config.selector, config.selector);
+  EXPECT_EQ(contents->config.top_k, config.top_k);
+  EXPECT_EQ(contents->config.measure, config.measure);
+  ASSERT_EQ(contents->corpus.size(), corpus_->size());
+  for (size_t i = 0; i < corpus_->size(); ++i) {
+    const Experiment& original = (*corpus_)[i];
+    const Experiment& restored = contents->corpus[i];
+    EXPECT_EQ(restored.workload, original.workload);
+    ASSERT_EQ(restored.resource.values.rows(), original.resource.values.rows());
+    ASSERT_EQ(restored.resource.values.cols(), original.resource.values.cols());
+    // Bit-exact doubles: the closure must reproduce Fit() exactly.
+    for (size_t r = 0; r < original.resource.values.rows(); ++r) {
+      for (size_t c = 0; c < original.resource.values.cols(); ++c) {
+        EXPECT_EQ(restored.resource.values(r, c),
+                  original.resource.values(r, c));
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, RestoredServiceServesBitIdenticalPredictions) {
+  const std::string path = TempPath("restore.ckpt");
+  std::remove(path.c_str());  // fresh slate: first Start must cold-fit
+
+  ServiceConfig config = FastService();
+  config.checkpoint_path = path;
+  Pipeline::Prediction original;
+  {
+    PredictionService service(config);
+    ASSERT_TRUE(service.Start(*corpus_).ok());  // publishes + checkpoints
+    const auto prediction = service.Predict(*observed_, 8);
+    ASSERT_TRUE(prediction.ok());
+    original = *prediction;
+  }
+  {
+    // "Crashed" process restarts: restore from disk, no corpus needed.
+    PredictionService service(config);
+    ASSERT_TRUE(service.StartFromCheckpoint().ok());
+    EXPECT_EQ(service.state(), ServingState::kServing);
+    const auto prediction = service.Predict(*observed_, 8);
+    ASSERT_TRUE(prediction.ok());
+    EXPECT_EQ(prediction->throughput_tps, original.throughput_tps);
+    EXPECT_EQ(prediction->similarity_distance, original.similarity_distance);
+    EXPECT_EQ(prediction->reference_workload, original.reference_workload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, MissingCheckpointIsNotFound) {
+  const auto contents = ReadCheckpoint(TempPath("never_written.ckpt"));
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, TruncatedCheckpointIsRejected) {
+  const std::string path = TempPath("truncated.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(path, FastPipeline(), *corpus_).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));  // torn write
+  }
+  const auto contents = ReadCheckpoint(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, BitFlippedCheckpointFailsTheChecksum) {
+  const std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(path, FastPipeline(), *corpus_).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto contents = ReadCheckpoint(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+  EXPECT_NE(contents.status().message().find("checksum"), std::string::npos)
+      << contents.status().message();
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, NewerFormatVersionIsRejectedNotMisread) {
+  const std::string path = TempPath("version.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(path, FastPipeline(), *corpus_).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[8] = static_cast<char>(kCheckpointVersion + 1);  // u32 LE version
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const auto contents = ReadCheckpoint(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, StartFallsBackToColdFitOnCorruptCheckpoint) {
+  const std::string path = TempPath("fallback.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "WPREDCKP garbage that is neither header nor payload";
+  }
+  ServiceConfig config = FastService();
+  config.checkpoint_path = path;
+  PredictionService service(config);
+  ASSERT_TRUE(service.Start(*corpus_).ok());  // rejected ckpt → cold fit
+  EXPECT_EQ(service.state(), ServingState::kServing);
+  EXPECT_TRUE(service.Predict(*observed_, 8).ok());
+  // The fallback fit re-checkpointed a good file over the corrupt one.
+  EXPECT_TRUE(ReadCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, PayloadDecodeRejectsGarbageWithoutCrashing) {
+  const auto decoded = checkpoint_internal::DecodePayload("not a payload");
+  EXPECT_FALSE(decoded.ok());
+  const std::string payload =
+      checkpoint_internal::EncodePayload(FastPipeline(), *corpus_);
+  EXPECT_TRUE(
+      checkpoint_internal::DecodePayload(payload).ok());
+  // Every strict prefix must fail cleanly (bounds-checked reader).
+  for (size_t cut : {size_t{0}, size_t{1}, payload.size() / 3,
+                     payload.size() - 1}) {
+    EXPECT_FALSE(
+        checkpoint_internal::DecodePayload(payload.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+// --- concurrency (runs under TSan in CI) ------------------------------------
+
+// Readers hammer the box while a writer publishes many epochs: every guard
+// must see a fully constructed snapshot whose payload is internally
+// consistent (no torn state), and epochs must never run backwards within a
+// reader thread... the left-right invariants, empirically.
+TEST(ServeConcurrencyTest, SnapshotBoxReadersNeverSeeTornState) {
+  SnapshotBox box;
+  constexpr uint64_t kEpochs = 400;
+  constexpr int kReaders = 4;
+
+  const auto make = [](uint64_t epoch) {
+    auto snapshot = std::make_shared<FittedSnapshot>();
+    snapshot->epoch = epoch;
+    // Redundant copies of the epoch: a torn snapshot shows mixed values.
+    snapshot->fit_seconds = static_cast<double>(epoch);
+    snapshot->config.top_k = epoch;
+    return snapshot;
+  };
+
+  box.Publish(make(1));
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        SnapshotBox::ReadGuard guard = box.Acquire();
+        if (!guard) {
+          violations.fetch_add(1);  // published box must never read null
+          continue;
+        }
+        const uint64_t epoch = guard->epoch;
+        if (guard->fit_seconds != static_cast<double>(epoch) ||
+            guard->config.top_k != epoch || epoch < last_seen) {
+          violations.fetch_add(1);
+        }
+        last_seen = epoch;
+      }
+    });
+  }
+
+  for (uint64_t epoch = 2; epoch <= kEpochs; ++epoch) box.Publish(make(epoch));
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(violations, 0);
+  EXPECT_EQ(box.CurrentEpoch(), kEpochs);
+}
+
+// Full-service version: concurrent Predicts during repeated refit publishes
+// must always succeed and stay bit-identical to the snapshot's fit (the
+// corpus never changes, so every epoch serves the same numbers).
+TEST(ServeConcurrencyTest, PredictsStayCorrectAcrossConcurrentRefits) {
+  WorkbenchConfig wb;
+  wb.workloads = {"TPC-C", "Twitter"};
+  wb.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+  wb.terminals = {8};
+  wb.runs = 2;
+  wb.sim.duration_s = 30.0;
+  wb.sim.sample_period_s = 0.5;
+  const ExperimentCorpus corpus = GenerateCorpus(wb).value();
+  const Experiment observed =
+      RunOne("TPC-C", MakeCpuSku(2), 8, /*run=*/5,
+             SimConfig{.duration_s = 30.0, .sample_period_s = 0.5},
+             /*base_seed=*/31415)
+          .value();
+
+  ServiceConfig config;
+  config.pipeline.selector = "fANOVA";
+  config.max_in_flight = 0;  // isolate the swap path from admission control
+  PredictionService service(config);
+  ASSERT_TRUE(service.Start(corpus).ok());
+  const auto expected = service.Predict(observed, 8);
+  ASSERT_TRUE(expected.ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kRefits = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> violations{0};
+  std::atomic<int64_t> reads{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto result = service.Predict(observed, 8);
+        reads.fetch_add(1);
+        if (!result.ok() ||
+            result->throughput_tps != expected->throughput_tps ||
+            result->reference_workload != expected->reference_workload) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kRefits; ++i) {
+    ASSERT_TRUE(service.RefitNow(corpus).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(violations, 0);
+  EXPECT_GT(reads, 0);
+  EXPECT_EQ(service.snapshot_epoch(), static_cast<uint64_t>(kRefits + 1));
+  EXPECT_EQ(service.state(), ServingState::kServing);
+}
+
+}  // namespace
+}  // namespace wpred::serve

@@ -21,7 +21,12 @@ TEST(StatusTest, DefaultAndFactoryCodes) {
   EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(Status::NotFound("x").ok());
+  EXPECT_FALSE(Status::Unavailable("x").ok());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").ok());
 }
 
 TEST(StatusTest, ToStringAndNames) {
@@ -32,6 +37,9 @@ TEST(StatusTest, ToStringAndNames) {
   EXPECT_NE(status.ToString().find("bad knob"), std::string::npos);
   EXPECT_STREQ(StatusCodeName(StatusCode::kNumericalError), "NumericalError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValueOrStatus) {

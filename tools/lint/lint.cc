@@ -120,6 +120,11 @@ const std::map<std::string, std::set<std::string>>& LayerDag() {
       {"core",
        {"core", "sim", "featsel", "similarity", "predict", "telemetry", "ml",
         "obs", "linalg", "common"}},
+      // Serving sits on top of the read-side API: it may reach core (and the
+      // layers core re-exports transitively via its headers is NOT a licence
+      // to include them directly), obs, and common. Nothing inside src/ may
+      // include serve/ — only bench, tests, and tools consume it.
+      {"serve", {"serve", "core", "obs", "common"}},
   };
   return dag;
 }
@@ -673,6 +678,14 @@ constexpr SelfTestCase kSelfTests[] = {
      nullptr, 0},
     {"string-literal-ok", "src/ml/model.cc",
      "const char* s = \"call rand() and float time(\";\n", nullptr, 0},
+    {"layering-serve-ok", "src/serve/service.cc",
+     "#include \"core/pipeline.h\"\n#include \"obs/metrics.h\"\n"
+     "#include \"common/status.h\"\n#include \"serve/snapshot.h\"\n",
+     nullptr, 0},
+    {"layering-serve-ml", "src/serve/service.cc",
+     "#include \"ml/mlp.h\"\n", "layering", 1},
+    {"layering-core-serve", "src/core/pipeline.cc",
+     "#include \"serve/service.h\"\n", "layering", 1},
 };
 
 }  // namespace
