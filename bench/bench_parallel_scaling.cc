@@ -1,21 +1,42 @@
 // Micro-bench for the deterministic parallel substrate: wall-clock speedup
 // of the O(n²) pairwise Independent-DTW distance matrix and of random-forest
 // fitting at threads=1 vs threads=N, with a byte-identity check on every
-// parallel result. The determinism contract (common/parallel.h) says the
-// speedup must come for free: identical bits, fewer seconds.
+// parallel result, plus a static-vs-stealing comparison on an irregular
+// workload whose cost is concentrated in the first static chunk. The
+// determinism contract (common/parallel.h) says the speedup must come for
+// free: identical bits, fewer seconds.
 //
 // Shape to check: near-linear scaling of pairwise DTW up to the physical
 // core count (the cells are independent and compute-bound); >= 3x at 8
 // threads on an 8-core host. On fewer cores the ratio degrades toward 1x —
-// the "threads" column tells you what the host allowed.
+// the "threads" column tells you what the host allowed. On the irregular
+// workload the stealing schedule should beat static by >= 1.5x at 8 threads
+// on an 8-core host (static pins the whole heavy region to one worker;
+// thieves rebalance it), with bit-identical outputs.
+//
+// Flags:
+//   --smoke       shrink the workloads and hard-fail (exit 1) if any
+//                 parallel result diverges from serial, if the stealing run
+//                 never stole, or — on hosts with >= 2 hardware threads —
+//                 if stealing is slower than static on the irregular
+//                 workload (CI gate).
+//   --json=PATH   where to write the JSON report (default
+//                 BENCH_parallel.json in the working directory).
+//   --metrics-json=P   full obs dump (bench_util.h).
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "ml/random_forest.h"
+#include "obs/json.h"
 #include "similarity/measures.h"
 #include "telemetry/subsample.h"
 
@@ -35,21 +56,78 @@ bool BytesEqual(const Matrix& a, const Matrix& b) {
                      a.data().size() * sizeof(double)) == 0;
 }
 
-void Run() {
-  Banner("parallel scaling - pairwise DTW + random forest",
+bool BytesEqual(const Vector& a, const Vector& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+void Smoke(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "FATAL smoke: %s\n", what);
+    std::exit(1);
+  }
+}
+
+// Irregular workload: n independent cells where all the cost lives in the
+// first n/8 indices — exactly the region a static schedule hands to its
+// first worker, leaving the rest idle. Cost per heavy cell is a sin-sum
+// long enough to dwarf the light cells; the value written is a
+// deterministic function of the index alone, so any schedule must
+// reproduce it bit-for-bit.
+double IrregularCell(size_t i, size_t n, size_t heavy_reps) {
+  const size_t reps = i < n / 8 ? heavy_reps : heavy_reps / 256;
+  double acc = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    acc += std::sin(static_cast<double>(i * 131 + r));
+  }
+  return acc;
+}
+
+struct IrregularRun {
+  double seconds = 0.0;
+  uint64_t tasks_stolen = 0;
+  Vector out;
+};
+
+IrregularRun RunIrregular(Schedule schedule, size_t n, size_t heavy_reps,
+                          int threads) {
+  IrregularRun run;
+  run.out.assign(n, 0.0);
+  const uint64_t stolen_before = GlobalStealCounters().tasks_stolen;
+  run.seconds = Seconds([&] {
+    Require(ParallelFor(n, threads, schedule,
+                        [&](size_t i) -> Status {
+                          run.out[i] = IrregularCell(i, n, heavy_reps);
+                          return Status::OK();
+                        }),
+            "irregular workload");
+  });
+  run.tasks_stolen = GlobalStealCounters().tasks_stolen - stolen_before;
+  return run;
+}
+
+void Run(bool smoke, const std::string& json_path) {
+  Banner("parallel scaling - pairwise DTW + random forest + stealing",
          "throughput of the similarity/training stage is a first-class "
          "concern in production load prediction (Seagull, Sibyl)");
   std::printf("host hardware threads: %d (WPRED_THREADS overrides)\n\n",
               DefaultNumThreads());
 
+  obs::Json report = obs::Json::Object();
+  report.Set("bench", "parallel_scaling");
+  report.Set("smoke", smoke);
+  report.Set("hardware_threads",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+
   WorkbenchConfig config;
   config.workloads = {"TPC-C", "TPC-H", "Twitter"};
   config.skus = {MakeCpuSku(16)};
   config.terminals = {4, 8, 32};
-  config.runs = 2;
+  config.runs = smoke ? 1 : 2;
   config.sim = FastSimConfig();
   const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
-  const ExperimentCorpus subs = RequireOk(SubsampleCorpus(corpus, 8), "subs");
+  const ExperimentCorpus subs =
+      RequireOk(SubsampleCorpus(corpus, smoke ? 4 : 8), "subs");
   const std::vector<size_t> features = {0, 1, 2};
 
   TablePrinter table({"stage", "threads", "seconds", "speedup", "identical"});
@@ -63,6 +141,9 @@ void Run() {
         "serial pairwise");
   });
   table.AddRow({"pairwise Independent-DTW", "1", F3(t_serial), "1.0", "-"});
+  obs::Json dtw_json = obs::Json::Object();
+  dtw_json.Set("serial_seconds", t_serial);
+  bool all_identical = true;
   for (const int threads : {2, 4, 8}) {
     Matrix parallel_dtw;
     const double t = Seconds([&] {
@@ -71,9 +152,17 @@ void Run() {
                             features, threads),
           "parallel pairwise");
     });
+    const bool identical = BytesEqual(serial_dtw, parallel_dtw);
+    all_identical = all_identical && identical;
     table.AddRow({"", StrFormat("%d", threads), F3(t), F1(t_serial / t),
-                  BytesEqual(serial_dtw, parallel_dtw) ? "yes" : "NO"});
+                  identical ? "yes" : "NO"});
+    obs::Json row = obs::Json::Object();
+    row.Set("seconds", t);
+    row.Set("speedup", t_serial / t);
+    row.Set("identical", identical);
+    dtw_json.Set(StrFormat("threads_%d", threads), std::move(row));
   }
+  report.Set("pairwise_dtw", std::move(dtw_json));
   table.AddSeparator();
 
   // Random-forest fitting: one independent CART build per tree.
@@ -85,30 +174,105 @@ void Run() {
     y[i] = x(i, 0) * x(i, 1) + std::sin(x(i, 2)) + rng.Gaussian(0, 0.2);
   }
   ForestParams fp;
-  fp.num_trees = 160;
+  fp.num_trees = smoke ? 48 : 160;
   fp.num_threads = 1;
   RandomForestRegressor serial_forest(fp);
   const double f_serial =
       Seconds([&] { Require(serial_forest.Fit(x, y), "serial forest"); });
   const Vector serial_imp = serial_forest.FeatureImportances().value();
-  table.AddRow({"random-forest fit (160 trees)", "1", F3(f_serial), "1.0",
-                "-"});
+  table.AddRow({StrFormat("random-forest fit (%d trees)", fp.num_trees), "1",
+                F3(f_serial), "1.0", "-"});
+  obs::Json forest_json = obs::Json::Object();
+  forest_json.Set("serial_seconds", f_serial);
   for (const int threads : {2, 4, 8}) {
     fp.num_threads = threads;
     RandomForestRegressor forest(fp);
     const double t =
         Seconds([&] { Require(forest.Fit(x, y), "parallel forest"); });
     const Vector imp = forest.FeatureImportances().value();
-    const bool identical =
-        std::memcmp(serial_imp.data(), imp.data(),
-                    imp.size() * sizeof(double)) == 0;
+    const bool identical = BytesEqual(serial_imp, imp);
+    all_identical = all_identical && identical;
     table.AddRow({"", StrFormat("%d", threads), F3(t), F1(f_serial / t),
                   identical ? "yes" : "NO"});
+    obs::Json row = obs::Json::Object();
+    row.Set("seconds", t);
+    row.Set("speedup", f_serial / t);
+    row.Set("identical", identical);
+    forest_json.Set(StrFormat("threads_%d", threads), std::move(row));
   }
+  report.Set("random_forest", std::move(forest_json));
+  table.AddSeparator();
+
+  // Irregular workload, static vs stealing at the same thread count. All
+  // the cost sits in the first static chunk, so the static schedule
+  // serialises it on one worker while the stealing schedule lets the idle
+  // workers lift chunks from the loaded worker's deque.
+  const size_t n_irregular = 512;
+  const size_t heavy_reps = smoke ? 100000 : 400000;
+  const int steal_threads = 8;
+  const IrregularRun serial_run =
+      RunIrregular(Schedule::kStatic, n_irregular, heavy_reps, 1);
+  const IrregularRun static_run =
+      RunIrregular(Schedule::kStatic, n_irregular, heavy_reps, steal_threads);
+  const IrregularRun stealing_run = RunIrregular(
+      Schedule::kStealing, n_irregular, heavy_reps, steal_threads);
+  const bool static_identical = BytesEqual(serial_run.out, static_run.out);
+  const bool stealing_identical = BytesEqual(serial_run.out, stealing_run.out);
+  all_identical = all_identical && static_identical && stealing_identical;
+  const double steal_ratio = stealing_run.seconds > 0.0
+                                 ? static_run.seconds / stealing_run.seconds
+                                 : 0.0;
+  table.AddRow({"irregular cells (static)", StrFormat("%d", steal_threads),
+                F3(static_run.seconds), "1.0",
+                static_identical ? "yes" : "NO"});
+  table.AddRow({"irregular cells (stealing)", StrFormat("%d", steal_threads),
+                F3(stealing_run.seconds), F1(steal_ratio),
+                stealing_identical ? "yes" : "NO"});
   table.Print(std::cout);
 
-  std::printf("\nEvery 'identical' cell must read yes: the substrate's\n"
-              "contract is bit-identical output at any thread count.\n");
+  obs::Json irregular_json = obs::Json::Object();
+  irregular_json.Set("cells", static_cast<uint64_t>(n_irregular));
+  irregular_json.Set("heavy_reps", static_cast<uint64_t>(heavy_reps));
+  irregular_json.Set("threads", steal_threads);
+  irregular_json.Set("serial_seconds", serial_run.seconds);
+  irregular_json.Set("static_seconds", static_run.seconds);
+  irregular_json.Set("stealing_seconds", stealing_run.seconds);
+  irregular_json.Set("stealing_over_static", steal_ratio);
+  irregular_json.Set("tasks_stolen", stealing_run.tasks_stolen);
+  irregular_json.Set("identical", static_identical && stealing_identical);
+  report.Set("irregular", std::move(irregular_json));
+
+  std::printf(
+      "\nirregular workload: stealing %.2fx static at %d threads, "
+      "%llu chunks stolen\n",
+      steal_ratio, steal_threads,
+      static_cast<unsigned long long>(stealing_run.tasks_stolen));
+  std::printf("Every 'identical' cell must read yes: the substrate's\n"
+              "contract is bit-identical output at any thread count and\n"
+              "under either schedule.\n");
+
+  std::ofstream out(json_path, std::ios::trunc);
+  out << report.Dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "FATAL cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nreport written to %s\n", json_path.c_str());
+
+  if (smoke) {
+    Smoke(all_identical, "a parallel result diverged from serial");
+    Smoke(stealing_run.tasks_stolen > 0,
+          "stealing schedule never stole on the irregular workload");
+    if (std::thread::hardware_concurrency() >= 2) {
+      // Wall-clock gate only where wall-clock is meaningful: on a 1-core
+      // host every schedule serialises and the ratio is noise.
+      Smoke(steal_ratio >= 0.95,
+            "stealing slower than static on the irregular workload");
+    } else {
+      std::printf("single hardware thread: skipping the wall-clock gate\n");
+    }
+    std::printf("SMOKE OK: determinism and stealing invariants held\n");
+  }
 }
 
 }  // namespace
@@ -116,5 +280,14 @@ void Run() {
 
 int main(int argc, char** argv) {
   wpred::bench::BenchMetrics metrics(argc, argv);
-  wpred::bench::Run();
+  bool smoke = false;
+  std::string json_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    constexpr const char* kJson = "--json=";
+    if (std::strncmp(argv[i], kJson, std::strlen(kJson)) == 0) {
+      json_path = argv[i] + std::strlen(kJson);
+    }
+  }
+  wpred::bench::Run(smoke, json_path);
 }

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+
+#include "common/check.h"
+#include "common/work_steal_deque.h"
 
 namespace wpred {
 
@@ -14,6 +19,12 @@ namespace parallel_internal {
 
 EnvThreadsParse ParseThreadsEnv(const char* value) {
   if (value == nullptr) return {0, false};
+  // Strict positive-integer contract: the value must lead with a digit.
+  // strtol alone would accept " 8", "+8", and parse "0x8" as 0-then-junk —
+  // all inconsistent with the documented format.
+  if (std::isdigit(static_cast<unsigned char>(value[0])) == 0) {
+    return {0, true};
+  }
   errno = 0;
   char* end = nullptr;
   const long v = std::strtol(value, &end, 10);
@@ -27,12 +38,44 @@ EnvThreadsParse ParseThreadsEnv(const char* value) {
   return {static_cast<int>(v), false};
 }
 
+EnvScheduleParse ParseScheduleEnv(const char* value) {
+  EnvScheduleParse parsed;
+  if (value == nullptr) return parsed;
+  parsed.present = true;
+  const std::string v(value);
+  if (v == "static") {
+    parsed.schedule = Schedule::kStatic;
+  } else if (v == "stealing") {
+    parsed.schedule = Schedule::kStealing;
+  } else {
+    parsed.rejected = true;
+  }
+  return parsed;
+}
+
+ChunkRange ChunkBounds(size_t n, size_t chunks, size_t c) {
+  WPRED_DCHECK(chunks >= 1);
+  WPRED_DCHECK(c < chunks);
+  // base*c + min(c, extra) never overflows: base*chunks <= n and c < chunks,
+  // so base*c < n; min(c, extra) <= extra < chunks <= n (for n >= chunks,
+  // the only case where extra > 0 matters). The naive c*n/chunks forms c*n,
+  // which wraps for n past SIZE_MAX / chunks and silently drops iterations.
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  const size_t lo = base * c + std::min(c, extra);
+  return {lo, lo + base + (c < extra ? 1 : 0)};
+}
+
 }  // namespace parallel_internal
 
 namespace {
 
 std::atomic<bool> g_shared_created{false};
-std::atomic<int> g_default_override{0};  // 0 = no override
+std::atomic<int> g_default_override{0};   // 0 = no override
+std::atomic<int> g_schedule_override{-1};  // -1 = no override
+
+std::atomic<uint64_t> g_tasks_stolen{0};
+std::atomic<uint64_t> g_steal_failures{0};
 
 thread_local int tl_parallel_depth = 0;
 
@@ -55,6 +98,18 @@ int EnvDefaultThreads() {
   return HardwareDefaultThreads();
 }
 
+Schedule EnvDefaultSchedule() {
+  const char* env = std::getenv("WPRED_SCHEDULE");
+  const auto parsed = parallel_internal::ParseScheduleEnv(env);
+  if (parsed.rejected) {
+    std::fprintf(stderr,
+                 "wpred: ignoring invalid WPRED_SCHEDULE=\"%s\" (want "
+                 "\"static\" or \"stealing\"); using static\n",
+                 env);
+  }
+  return parsed.schedule;
+}
+
 }  // namespace
 
 int DefaultNumThreads() {
@@ -73,6 +128,27 @@ void SetDefaultNumThreads(int n) {
 int ResolveNumThreads(int num_threads) {
   if (num_threads < 1) return DefaultNumThreads();
   return std::min(num_threads, ThreadPool::kMaxWorkers);
+}
+
+Schedule DefaultSchedule() {
+  const int override = g_schedule_override.load(std::memory_order_relaxed);
+  if (override >= 0) return static_cast<Schedule>(override);
+  static const Schedule env_default = EnvDefaultSchedule();
+  return env_default;
+}
+
+void SetDefaultSchedule(Schedule schedule) {
+  g_schedule_override.store(static_cast<int>(schedule),
+                            std::memory_order_relaxed);
+}
+
+void ResetDefaultSchedule() {
+  g_schedule_override.store(-1, std::memory_order_relaxed);
+}
+
+StealCounters GlobalStealCounters() {
+  return {g_tasks_stolen.load(std::memory_order_relaxed),
+          g_steal_failures.load(std::memory_order_relaxed)};
 }
 
 ThreadPool& ThreadPool::Shared() {
@@ -211,18 +287,20 @@ Status SerialFor(size_t n, const std::function<Status(size_t)>& fn) {
 
 }  // namespace
 
-Status ParallelFor(size_t n, int num_threads,
-                   const std::function<Status(size_t)>& fn) {
-  if (n == 0) return Status::OK();
-  const size_t threads = static_cast<size_t>(ResolveNumThreads(num_threads));
-  const size_t chunks = std::min(threads, n);
-  // Serial fallback: one thread, or already inside a parallel region (nested
-  // parallelism would oversubscribe and gains nothing with static chunks).
-  // Touches no thread-pool code whatsoever.
-  if (chunks <= 1 || parallel_internal::InParallelRegion()) {
-    return SerialFor(n, fn);
-  }
+namespace {
 
+// Lowest-index error wins: scanning chunk outcomes in order yields the
+// smallest failed index because chunks are contiguous and ascending — under
+// either schedule.
+Status FirstFailure(std::vector<ChunkOutcome>& outcomes) {
+  for (ChunkOutcome& outcome : outcomes) {
+    if (outcome.failed) return std::move(outcome.status);
+  }
+  return Status::OK();
+}
+
+Status StaticFor(size_t n, size_t chunks,
+                 const std::function<Status(size_t)>& fn) {
   ThreadPool& pool = ThreadPool::Shared();
   pool.EnsureWorkers(static_cast<int>(chunks) - 1);
 
@@ -233,10 +311,9 @@ Status ParallelFor(size_t n, int num_threads,
   size_t pending = chunks - 1;
 
   for (size_t c = 1; c < chunks; ++c) {
-    const size_t lo = c * n / chunks;
-    const size_t hi = (c + 1) * n / chunks;
-    pool.Submit([&, lo, hi, c] {
-      RunChunk(lo, hi, fn, abort, outcomes[c]);
+    const auto range = parallel_internal::ChunkBounds(n, chunks, c);
+    pool.Submit([&, range, c] {
+      RunChunk(range.lo, range.hi, fn, abort, outcomes[c]);
       // Notify while holding the lock: done_cv lives on the caller's stack,
       // and the caller may return (destroying it) the moment it observes
       // pending == 0 — which it cannot do before this unlock completes.
@@ -246,22 +323,131 @@ Status ParallelFor(size_t n, int num_threads,
     });
   }
   // The calling thread owns chunk 0 rather than idling on the join.
-  RunChunk(0, n / chunks, fn, abort, outcomes[0]);
+  const auto first = parallel_internal::ChunkBounds(n, chunks, 0);
+  RunChunk(first.lo, first.hi, fn, abort, outcomes[0]);
   {
     std::unique_lock<std::mutex> lock(done_mu);
     done_cv.wait(lock, [&] { return pending == 0; });
   }
+  return FirstFailure(outcomes);
+}
 
-  // Lowest-index error wins: scanning chunk outcomes in order yields the
-  // smallest failed index because chunks are contiguous and ascending.
-  for (ChunkOutcome& outcome : outcomes) {
-    if (outcome.failed) return std::move(outcome.status);
+// Chunks per worker under Schedule::kStealing: enough slack that an unlucky
+// cost distribution can be rebalanced by theft, coarse enough that deque
+// traffic stays negligible next to the chunk bodies.
+constexpr size_t kStealChunksPerWorker = 8;
+
+Status StealingFor(size_t n, size_t workers,
+                   const std::function<Status(size_t)>& fn) {
+  const size_t chunks = std::min(n, workers * kStealChunksPerWorker);
+  const size_t roles = std::min(workers, chunks);
+  if (roles <= 1) return SerialFor(n, fn);
+
+  ThreadPool& pool = ThreadPool::Shared();
+  pool.EnsureWorkers(static_cast<int>(roles) - 1);
+
+  std::vector<ChunkOutcome> outcomes(chunks);
+  std::atomic<bool> abort{false};
+
+  // One deque per worker role, preloaded with a contiguous block of chunk
+  // ids. Chunks are pushed in descending order so the owner pops them in
+  // ascending order (walking its block front-to-back, like the static
+  // schedule would) while thieves take from the block's tail.
+  std::vector<std::unique_ptr<WorkStealDeque>> deques(roles);
+  for (size_t r = 0; r < roles; ++r) {
+    const auto block = parallel_internal::ChunkBounds(chunks, roles, r);
+    deques[r] = std::make_unique<WorkStealDeque>(block.hi - block.lo);
+    for (size_t c = block.hi; c > block.lo; --c) {
+      const bool pushed = deques[r]->PushBottom(c - 1);
+      WPRED_DCHECK(pushed);
+      (void)pushed;  // capacity was sized to the block; cannot be full
+    }
   }
-  return Status::OK();
+
+  const auto run_role = [&](size_t role) {
+    uint64_t stolen = 0;
+    uint64_t failures = 0;
+    size_t chunk = 0;
+    const auto run = [&](size_t c) {
+      const auto range = parallel_internal::ChunkBounds(n, chunks, c);
+      RunChunk(range.lo, range.hi, fn, abort, outcomes[c]);
+    };
+    for (;;) {
+      if (deques[role]->PopBottom(&chunk)) {
+        run(chunk);
+        continue;
+      }
+      // Own deque drained: sweep the other deques for work, retrying a
+      // victim while CAS races (not emptiness) keep the theft from landing.
+      bool progressed = false;
+      for (size_t v = 1; v < roles && !progressed; ++v) {
+        WorkStealDeque& victim = *deques[(role + v) % roles];
+        for (;;) {
+          const WorkStealDeque::Steal outcome = victim.StealTop(&chunk);
+          if (outcome == WorkStealDeque::Steal::kStolen) {
+            ++stolen;
+            run(chunk);
+            progressed = true;
+            break;
+          }
+          if (outcome == WorkStealDeque::Steal::kEmpty) break;
+          ++failures;  // kLost: a racing pop/steal won; the victim may
+                       // still hold work, so try it again.
+        }
+      }
+      // Every deque observed empty: all chunks are claimed (each by exactly
+      // one role); whoever claimed them finishes them before returning.
+      if (!progressed) break;
+    }
+    g_tasks_stolen.fetch_add(stolen, std::memory_order_relaxed);
+    g_steal_failures.fetch_add(failures, std::memory_order_relaxed);
+  };
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = roles - 1;
+  for (size_t r = 1; r < roles; ++r) {
+    pool.Submit([&, r] {
+      run_role(r);
+      // Same lock-held notify as the static path: done_cv lives on the
+      // caller's stack.
+      std::lock_guard<std::mutex> lock(done_mu);
+      --pending;
+      done_cv.notify_one();
+    });
+  }
+  run_role(0);
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+  }
+  return FirstFailure(outcomes);
+}
+
+}  // namespace
+
+Status ParallelFor(size_t n, int num_threads, Schedule schedule,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  const size_t threads = static_cast<size_t>(ResolveNumThreads(num_threads));
+  const size_t chunks = std::min(threads, n);
+  // Serial fallback: one thread, or already inside a parallel region (nested
+  // parallelism would oversubscribe and gains nothing under either
+  // schedule). Touches no thread-pool code whatsoever.
+  if (chunks <= 1 || parallel_internal::InParallelRegion()) {
+    return SerialFor(n, fn);
+  }
+  if (schedule == Schedule::kStealing) return StealingFor(n, threads, fn);
+  return StaticFor(n, chunks, fn);
+}
+
+Status ParallelFor(size_t n, int num_threads,
+                   const std::function<Status(size_t)>& fn) {
+  return ParallelFor(n, num_threads, DefaultSchedule(), fn);
 }
 
 Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn) {
-  return ParallelFor(n, /*num_threads=*/0, fn);
+  return ParallelFor(n, /*num_threads=*/0, DefaultSchedule(), fn);
 }
 
 }  // namespace wpred

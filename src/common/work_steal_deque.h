@@ -1,0 +1,129 @@
+#ifndef WPRED_COMMON_WORK_STEAL_DEQUE_H_
+#define WPRED_COMMON_WORK_STEAL_DEQUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+// Chase-Lev-style bounded work-stealing deque of chunk ids, the scheduling
+// core behind ParallelFor's Schedule::kStealing mode (common/parallel.h).
+//
+// One owner thread pushes and pops at the bottom (LIFO for the owner, so a
+// worker walks its own chunk block in the order it was loaded); any number
+// of thief threads steal from the top (FIFO for thieves, so theft takes the
+// chunks the owner would reach last). Every pushed item is handed to exactly
+// one PopBottom or StealTop call — the exactly-once property ParallelFor's
+// outcome slots rely on.
+//
+// This header is an implementation detail of common/parallel: nothing else
+// in src/, tools/, or bench/ may include it or touch WorkStealDeque (the
+// `steal-deque` lint rule enforces that); tests exercise it directly for
+// torn-state coverage.
+//
+// Memory-model notes: the classic formulation (Chase & Lev 2005; Le et al.
+// 2013) uses standalone fences on the pop/steal fast paths. ThreadSanitizer
+// does not model standalone fences, so this implementation pins the
+// synchronizing loads/stores/CAS on `top_`/`bottom_` to seq_cst instead and
+// keeps the cells themselves atomic (relaxed) to rule out torn reads while
+// a thief races the owner. The deque moves whole chunks — thousands of
+// iterations each — so the stronger ordering is noise next to the chunk
+// bodies.
+
+namespace wpred {
+
+class WorkStealDeque {
+ public:
+  /// Outcome of a StealTop attempt. kLost (a racing pop/steal won the CAS)
+  /// is worth distinguishing from kEmpty: the caller should retry a kLost
+  /// victim, move on from a kEmpty one, and count kLost as a steal failure.
+  enum class Steal { kStolen, kEmpty, kLost };
+
+  /// Fixed capacity, rounded up to a power of two (minimum 1). The deque
+  /// never grows: ParallelFor sizes each worker's deque to its chunk block
+  /// before any thief starts.
+  explicit WorkStealDeque(size_t capacity) {
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    cells_ = std::vector<std::atomic<size_t>>(rounded);
+    mask_ = rounded - 1;
+  }
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  /// Owner only. False when the deque is full (capacity items in flight).
+  bool PushBottom(size_t item) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<int64_t>(mask_ + 1)) return false;
+    cells_[static_cast<size_t>(b) & mask_].store(item,
+                                                 std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. False when the deque is empty (including losing the
+  /// last-item race to a thief).
+  bool PopBottom(size_t* item) {
+    WPRED_DCHECK(item != nullptr);
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    const size_t value =
+        cells_[static_cast<size_t>(b) & mask_].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: the owner must win the same CAS a thief would, or the
+      // thief owns the item.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return false;
+    }
+    *item = value;
+    return true;
+  }
+
+  /// Any thread. The CAS on `top_` decides ownership; reading the cell
+  /// before the CAS is safe because PushBottom never reuses a slot while
+  /// fewer than `capacity` items separate bottom from top.
+  Steal StealTop(size_t* item) {
+    WPRED_DCHECK(item != nullptr);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return Steal::kEmpty;
+    const size_t value =
+        cells_[static_cast<size_t>(t) & mask_].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return Steal::kLost;
+    }
+    *item = value;
+    return Steal::kStolen;
+  }
+
+  /// Racy by nature (another thread may push or steal immediately after);
+  /// use only as a heuristic or from quiescent states.
+  bool Empty() const {
+    return top_.load(std::memory_order_seq_cst) >=
+           bottom_.load(std::memory_order_seq_cst);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<std::atomic<size_t>> cells_;
+  size_t mask_ = 0;
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_WORK_STEAL_DEQUE_H_

@@ -170,7 +170,8 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
         SimilarityQueryEngine engine,
         SimilarityQueryEngine::Build(std::move(reference_reps),
                                      config_.measure, /*window=*/0,
-                                     config_.num_threads));
+                                     config_.num_threads,
+                                     config_.similarity_shard_traces));
     query_engine_ = std::move(engine);
   }
   reference_workloads_.clear();
@@ -351,7 +352,8 @@ Result<std::vector<Neighbor>> Pipeline::NearestReferences(
     WPRED_ASSIGN_OR_RETURN(
         const SimilarityQueryEngine engine,
         SimilarityQueryEngine::Build(std::move(rebuilt), config_.measure,
-                                     /*window=*/0, config_.num_threads));
+                                     /*window=*/0, config_.num_threads,
+                                     config_.similarity_shard_traces));
     return engine.RankNeighbors(rep, k);
   }
   return query_engine_->RankNeighbors(rep, k);

@@ -37,6 +37,11 @@ struct PipelineConfig {
   /// process default (WPRED_THREADS env var, else hardware concurrency), 1
   /// forces the serial path. Results are bit-identical at any setting.
   int num_threads = 0;
+  /// Traces per contiguous shard of the reference corpus inside the
+  /// similarity engine (scheduling/layout granularity for the parallel
+  /// similarity stages); 0 means ShardedCorpus::kDefaultShardTraces.
+  /// Never changes results — only how work is laid out and scheduled.
+  size_t similarity_shard_traces = 0;
   /// Run the data-quality gate: Fit() repairs or quarantines dirty
   /// reference experiments; prediction repairs observed telemetry and falls
   /// back to the next-ranked healthy features when a selected feature's
@@ -129,6 +134,14 @@ class Pipeline {
   /// (parallel to NearestReferences() indices).
   const std::vector<std::string>& reference_workloads() const {
     return reference_workloads_;
+  }
+
+  /// Shards of the fitted similarity engine's reference corpus (0 before a
+  /// successful Fit(), or when the measure stage is disabled). The serving
+  /// layer exports this so operators can see the scheduling granularity a
+  /// snapshot serves with.
+  size_t reference_shards() const {
+    return query_engine_.has_value() ? query_engine_->num_shards() : 0;
   }
 
   /// Full end-to-end prediction.

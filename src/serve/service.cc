@@ -318,6 +318,8 @@ void PredictionService::PublishSnapshot(SnapshotPtr snapshot) {
   WPRED_HIST_RECORD("serve.swap.latency_s", SecondsSince(swap_start));
   WPRED_GAUGE_SET("serve.snapshot.epoch",
                   static_cast<double>(published.epoch));
+  WPRED_GAUGE_SET("serve.snapshot.reference_shards",
+                  static_cast<double>(published.pipeline->reference_shards()));
   WPRED_HIST_RECORD("serve.fit.seconds", published.fit_seconds);
   if (!config_.checkpoint_path.empty() && config_.checkpoint_on_publish) {
     const Status written =

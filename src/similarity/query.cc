@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <atomic>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <utility>
 
@@ -153,40 +155,93 @@ double LbKeoghIndependent(const Matrix& query, const SeriesEnvelope& envelope) {
 
 }  // namespace query_internal
 
-Result<const std::vector<SeriesEnvelope>*> EnvelopeCache::GetOrBuild(
-    const std::vector<Matrix>& corpus, int window, int num_threads) {
-  const auto it = by_window_.find(window);
-  if (it != by_window_.end()) {
+EnvelopeCache::~EnvelopeCache() {
+  Node* node = head_.load(std::memory_order_acquire);
+  while (node != nullptr) {
+    Node* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+EnvelopeCache::EnvelopeCache(EnvelopeCache&& other) noexcept
+    : head_(other.head_.exchange(nullptr, std::memory_order_acq_rel)) {}
+
+EnvelopeCache& EnvelopeCache::operator=(EnvelopeCache&& other) noexcept {
+  if (this == &other) return *this;
+  Node* mine = head_.exchange(
+      other.head_.exchange(nullptr, std::memory_order_acq_rel),
+      std::memory_order_acq_rel);
+  while (mine != nullptr) {
+    Node* next = mine->next;
+    delete mine;
+    mine = next;
+  }
+  return *this;
+}
+
+const EnvelopeCache::Node* EnvelopeCache::Find(int window) const {
+  // Acquire on the head pairs with the release publish in GetOrBuild, so a
+  // reader that sees a node sees its fully-built EnvelopeSet; `next` links
+  // are immutable after publication.
+  for (const Node* node = head_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    if (node->window == window) return node;
+  }
+  return nullptr;
+}
+
+Result<const EnvelopeSet*> EnvelopeCache::GetOrBuild(
+    const ShardedCorpus& corpus, int window, int num_threads) {
+  if (const Node* hit = Find(window)) {
     WPRED_COUNT_ADD("similarity.envelope.cache_hits", 1);
-    return &it->second;
+    return &hit->set;
+  }
+  // Cold window: serialise the build, then re-check — a racing caller may
+  // have published this window while we waited for the lock.
+  std::lock_guard<std::mutex> lock(build_mu_);
+  if (const Node* hit = Find(window)) {
+    WPRED_COUNT_ADD("similarity.envelope.cache_hits", 1);
+    return &hit->set;
   }
   WPRED_COUNT_ADD("similarity.envelope.cache_misses", 1);
-  std::vector<SeriesEnvelope> envelopes(corpus.size());
+  EnvelopeSet set;
+  set.shard_traces_ = corpus.shard_traces();
+  set.blocks_.resize(corpus.num_shards());
   WPRED_RETURN_IF_ERROR(
-      ParallelFor(corpus.size(), num_threads, [&](size_t i) -> Status {
-        envelopes[i] = query_internal::BuildEnvelope(corpus[i], window);
+      ParallelFor(corpus.num_shards(), num_threads, [&](size_t s) -> Status {
+        const CorpusShard shard = corpus.shard(s);
+        std::vector<SeriesEnvelope>& block = set.blocks_[s];
+        block.resize(shard.size());
+        for (size_t i = shard.begin; i < shard.end; ++i) {
+          block[i - shard.begin] =
+              query_internal::BuildEnvelope(corpus[i], window);
+        }
         return Status::OK();
       }));
   WPRED_COUNT_ADD("similarity.envelope.builds",
                   static_cast<uint64_t>(corpus.size()));
-  const auto [pos, inserted] = by_window_.emplace(window, std::move(envelopes));
-  WPRED_DCHECK(inserted);
-  return &pos->second;
+  Node* node = new Node;
+  node->window = window;
+  node->set = std::move(set);
+  node->next = head_.load(std::memory_order_relaxed);
+  head_.store(node, std::memory_order_release);
+  return &node->set;
 }
 
-const std::vector<SeriesEnvelope>* EnvelopeCache::Lookup(int window) const {
-  const auto it = by_window_.find(window);
-  if (it == by_window_.end()) {
+const EnvelopeSet* EnvelopeCache::Lookup(int window) const {
+  const Node* node = Find(window);
+  if (node == nullptr) {
     WPRED_COUNT_ADD("similarity.envelope.cache_misses", 1);
     return nullptr;
   }
   WPRED_COUNT_ADD("similarity.envelope.cache_hits", 1);
-  return &it->second;
+  return &node->set;
 }
 
 Result<SimilarityQueryEngine> SimilarityQueryEngine::Build(
     std::vector<Matrix> corpus, const std::string& measure, int window,
-    int num_threads) {
+    int num_threads, size_t shard_traces) {
   if (corpus.empty()) {
     return Status::InvalidArgument("need at least one corpus entry");
   }
@@ -223,7 +278,7 @@ Result<SimilarityQueryEngine> SimilarityQueryEngine::Build(
   }
   engine.measure_ = measure;
   engine.window_ = window;
-  engine.corpus_ = std::move(corpus);
+  engine.corpus_ = ShardedCorpus(std::move(corpus), shard_traces);
   if (engine.kind_ != MeasureKind::kGeneric) {
     WPRED_RETURN_IF_ERROR(
         engine.envelopes_.GetOrBuild(engine.corpus_, window, num_threads)
@@ -251,10 +306,19 @@ Result<Vector> SimilarityQueryEngine::Distances(const Matrix& query,
   if (!AllFinite(query)) {
     return Status::InvalidArgument("non-finite values in query");
   }
-  return ParallelMap<double>(corpus_.size(), num_threads,
-                             [&](size_t i) -> Result<double> {
-                               return ExactDistance(query, corpus_[i]);
-                             });
+  // Shard-granular parallel loop: one task per contiguous shard, each with
+  // slot-indexed writes into the global-index output, so results are in
+  // corpus order and independent of schedule and thread count.
+  Vector out(corpus_.size());
+  WPRED_RETURN_IF_ERROR(
+      ParallelFor(corpus_.num_shards(), num_threads, [&](size_t s) -> Status {
+        const CorpusShard shard = corpus_.shard(s);
+        for (size_t i = shard.begin; i < shard.end; ++i) {
+          WPRED_ASSIGN_OR_RETURN(out[i], ExactDistance(query, corpus_[i]));
+        }
+        return Status::OK();
+      }));
+  return out;
 }
 
 Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
@@ -280,7 +344,7 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
   }
 
   const bool dtw = kind_ != MeasureKind::kGeneric;
-  const std::vector<SeriesEnvelope>* envelopes = nullptr;
+  const EnvelopeSet* envelopes = nullptr;
   SeriesEnvelope query_envelope;
   if (dtw) {
     if (query.cols() != corpus_[0].cols()) {
@@ -370,12 +434,13 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
       const double lb =
           kind_ == MeasureKind::kDependentDtw
               ? std::max(
-                    query_internal::LbKeoghDependent(query, (*envelopes)[idx]),
+                    query_internal::LbKeoghDependent(query,
+                                                     envelopes->At(idx)),
                     query_internal::LbKeoghDependent(candidate,
                                                      query_envelope))
               : std::max(
                     query_internal::LbKeoghIndependent(query,
-                                                       (*envelopes)[idx]),
+                                                       envelopes->At(idx)),
                     query_internal::LbKeoghIndependent(candidate,
                                                        query_envelope));
       if (lb > cutoff) {

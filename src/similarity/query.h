@@ -1,13 +1,15 @@
 #ifndef WPRED_SIMILARITY_QUERY_H_
 #define WPRED_SIMILARITY_QUERY_H_
 
-#include <map>
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "similarity/representation.h"
+#include "similarity/sharded_corpus.h"
 #include "telemetry/experiment.h"
 
 // Lower-bound-pruned similarity search (DESIGN.md §10).
@@ -52,23 +54,74 @@ struct SeriesEnvelope {
   Matrix upper;
 };
 
-/// Window-keyed cache of per-series envelopes for one corpus. Envelopes are
-/// built once per (corpus, window) under common/parallel with slot-indexed
-/// writes — the same determinism discipline as PairwiseDistances — and
-/// reused by every subsequent query (`similarity.envelope.cache_hits`).
-class EnvelopeCache {
+/// All envelopes of one (corpus, window), stored as one contiguous block
+/// per corpus shard so a worker scanning shard s streams one allocation.
+/// Global corpus indices address it (`At`), so callers never see the shard
+/// seams. Immutable once published by EnvelopeCache.
+class EnvelopeSet {
  public:
-  /// Envelopes for `window`, building them on first use (parallel,
-  /// deterministic). The returned pointer stays valid for the cache's
-  /// lifetime.
-  Result<const std::vector<SeriesEnvelope>*> GetOrBuild(
-      const std::vector<Matrix>& corpus, int window, int num_threads);
+  /// Envelope of corpus trace `index` (global index, as in Neighbor).
+  const SeriesEnvelope& At(size_t index) const {
+    return blocks_[index / shard_traces_][index % shard_traces_];
+  }
 
-  /// Cache-only lookup; nullptr when `window` has not been built.
-  const std::vector<SeriesEnvelope>* Lookup(int window) const;
+  size_t num_blocks() const { return blocks_.size(); }
+  const std::vector<SeriesEnvelope>& block(size_t s) const {
+    return blocks_[s];
+  }
 
  private:
-  std::map<int, std::vector<SeriesEnvelope>> by_window_;
+  friend class EnvelopeCache;
+  std::vector<std::vector<SeriesEnvelope>> blocks_;
+  size_t shard_traces_ = 1;
+};
+
+/// Window-keyed cache of per-shard envelope blocks for one corpus.
+/// Envelopes are built once per (corpus, window) under common/parallel with
+/// slot-indexed writes — the same determinism discipline as
+/// PairwiseDistances — and reused by every subsequent query
+/// (`similarity.envelope.cache_hits`).
+///
+/// Thread safety: reads (Lookup, and the GetOrBuild hit path) are lock-free
+/// — built windows live in immutable nodes on a singly-linked list whose
+/// head is the only mutable cell, published with release/acquire ordering.
+/// Builds are serialised by a mutex and double-checked, so two threads
+/// racing a cold window build it once and both observe the published
+/// result. Nodes are never removed before the cache dies, so a returned
+/// pointer stays valid for the cache's lifetime.
+class EnvelopeCache {
+ public:
+  EnvelopeCache() = default;
+  ~EnvelopeCache();
+
+  /// Moves are for engine construction only (SimilarityQueryEngine is
+  /// returned by value from Build); they must not race any other access.
+  EnvelopeCache(EnvelopeCache&& other) noexcept;
+  EnvelopeCache& operator=(EnvelopeCache&& other) noexcept;
+  EnvelopeCache(const EnvelopeCache&) = delete;
+  EnvelopeCache& operator=(const EnvelopeCache&) = delete;
+
+  /// Envelopes for `window`, building them on first use (parallel over
+  /// corpus shards, deterministic). The returned pointer stays valid for
+  /// the cache's lifetime.
+  Result<const EnvelopeSet*> GetOrBuild(const ShardedCorpus& corpus,
+                                        int window, int num_threads);
+
+  /// Cache-only lookup; nullptr when `window` has not been built. Lock-free
+  /// and safe against a concurrent GetOrBuild.
+  const EnvelopeSet* Lookup(int window) const;
+
+ private:
+  struct Node {
+    int window = 0;
+    EnvelopeSet set;
+    Node* next = nullptr;
+  };
+
+  const Node* Find(int window) const;
+
+  std::atomic<Node*> head_{nullptr};
+  std::mutex build_mu_;
 };
 
 /// Pruned top-k similarity search over a fixed corpus of representation
@@ -77,14 +130,18 @@ class EnvelopeCache {
 class SimilarityQueryEngine {
  public:
   /// Validates the corpus (nonempty, finite, consistent arity for the MTS
-  /// measures), classifies `measure` (any MeasureDistance name), and — for
-  /// the DTW measures — prebuilds the LB_Keogh envelopes for `window`
-  /// (<= 0 means unbounded). `num_threads` follows common/parallel
-  /// semantics; it affects build time only, never results.
+  /// measures), classifies `measure` (any MeasureDistance name), shards the
+  /// corpus (`shard_traces` traces per contiguous shard; 0 means
+  /// ShardedCorpus::kDefaultShardTraces), and — for the DTW measures —
+  /// prebuilds the per-shard LB_Keogh envelope blocks for `window` (<= 0
+  /// means unbounded). `num_threads` follows common/parallel semantics;
+  /// neither it nor the shard width ever changes results — sharding decides
+  /// layout and scheduling granularity only.
   static Result<SimilarityQueryEngine> Build(std::vector<Matrix> corpus,
                                              const std::string& measure,
                                              int window = 0,
-                                             int num_threads = 0);
+                                             int num_threads = 0,
+                                             size_t shard_traces = 0);
 
   /// The k nearest corpus entries to `query`, ascending by (distance,
   /// index). Bit-identical — indices and distances — to sorting the
@@ -94,11 +151,14 @@ class SimilarityQueryEngine {
                                               size_t k) const;
 
   /// Exact distances from `query` to every corpus entry, in corpus order
-  /// (parallel over candidates, deterministic). The pipeline's similarity-
-  /// ranking stage uses this for its per-workload means.
+  /// (parallel over corpus shards — the granularity the stealing schedule
+  /// balances — with slot-indexed writes, deterministic). The pipeline's
+  /// similarity-ranking stage uses this for its per-workload means.
   Result<Vector> Distances(const Matrix& query, int num_threads = 0) const;
 
-  const std::vector<Matrix>& corpus() const { return corpus_; }
+  const std::vector<Matrix>& corpus() const { return corpus_.traces(); }
+  const ShardedCorpus& sharded_corpus() const { return corpus_; }
+  size_t num_shards() const { return corpus_.num_shards(); }
   const std::string& measure() const { return measure_; }
   int window() const { return window_; }
 
@@ -110,7 +170,7 @@ class SimilarityQueryEngine {
   Result<double> ExactDistance(const Matrix& query,
                                const Matrix& candidate) const;
 
-  std::vector<Matrix> corpus_;
+  ShardedCorpus corpus_;
   std::string measure_;
   int window_ = 0;
   MeasureKind kind_ = MeasureKind::kGeneric;

@@ -1,0 +1,26 @@
+#include "similarity/sharded_corpus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace wpred {
+
+ShardedCorpus::ShardedCorpus(std::vector<Matrix> traces, size_t shard_traces)
+    : traces_(std::move(traces)),
+      shard_traces_(shard_traces == 0 ? kDefaultShardTraces
+                                      : std::max<size_t>(1, shard_traces)) {}
+
+size_t ShardedCorpus::num_shards() const {
+  if (traces_.empty()) return 0;
+  return (traces_.size() + shard_traces_ - 1) / shard_traces_;
+}
+
+CorpusShard ShardedCorpus::shard(size_t s) const {
+  WPRED_DCHECK_LT(s, num_shards());
+  const size_t begin = s * shard_traces_;
+  return {begin, std::min(traces_.size(), begin + shard_traces_)};
+}
+
+}  // namespace wpred

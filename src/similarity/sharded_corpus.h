@@ -1,0 +1,75 @@
+#ifndef WPRED_SIMILARITY_SHARDED_CORPUS_H_
+#define WPRED_SIMILARITY_SHARDED_CORPUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+// Sharded reference corpus (DESIGN.md §12).
+//
+// A reference corpus of 10^5–10^6 representation traces cannot be treated
+// as one flat array by the parallel similarity stages: work distribution
+// wants units much smaller than "the whole corpus" and much larger than
+// "one trace", and the envelope cache wants each unit's data contiguous so
+// a worker streams one cache-friendly block instead of striding the heap.
+//
+// ShardedCorpus fixes the unit: traces stay in one vector in corpus order
+// (global indices are unchanged — every Neighbor::index, top-k result, and
+// envelope lookup is identical to the unsharded layout), and the corpus is
+// overlaid with contiguous fixed-width shards of `shard_traces` traces
+// (the last shard may be short). The similarity engine parallelises over
+// shards — the granularity ParallelFor's stealing schedule balances — and
+// the envelope cache stores one contiguous envelope block per shard.
+
+namespace wpred {
+
+/// One contiguous shard: trace indices [begin, end) of the corpus.
+struct CorpusShard {
+  size_t begin = 0;
+  size_t end = 0;  // exclusive
+
+  size_t size() const { return end - begin; }
+};
+
+/// A corpus of representation matrices plus its shard overlay. Immutable
+/// after construction; the shard map is pure arithmetic over (size,
+/// shard_traces), so sharding never changes what is computed — only how it
+/// is laid out and scheduled.
+class ShardedCorpus {
+ public:
+  /// Default shard width. Sized so a shard's representations plus their
+  /// envelope block stay within a typical L2 while one shard is still
+  /// thousands of DTW lattice rows of work — coarse enough to amortise a
+  /// steal, fine enough to rebalance an irregular cascade.
+  static constexpr size_t kDefaultShardTraces = 64;
+
+  ShardedCorpus() = default;
+
+  /// Takes ownership of `traces`. `shard_traces == 0` selects
+  /// kDefaultShardTraces; any positive width is honoured as-is (clamped to
+  /// at least 1).
+  explicit ShardedCorpus(std::vector<Matrix> traces, size_t shard_traces = 0);
+
+  size_t size() const { return traces_.size(); }
+  bool empty() const { return traces_.empty(); }
+  const Matrix& operator[](size_t index) const { return traces_[index]; }
+  const std::vector<Matrix>& traces() const { return traces_; }
+
+  /// Shard width in traces (>= 1, even for an empty corpus).
+  size_t shard_traces() const { return shard_traces_; }
+  /// ceil(size / shard_traces); 0 for an empty corpus.
+  size_t num_shards() const;
+  /// The s-th shard's [begin, end) range. Requires s < num_shards().
+  CorpusShard shard(size_t s) const;
+  /// The shard holding trace `index`. Requires index < size().
+  size_t shard_of(size_t index) const { return index / shard_traces_; }
+
+ private:
+  std::vector<Matrix> traces_;
+  size_t shard_traces_ = kDefaultShardTraces;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_SIMILARITY_SHARDED_CORPUS_H_

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -203,6 +204,32 @@ TEST(CsvTest, RoundTripWithQuoting) {
 
 TEST(CsvTest, RejectsUnterminatedQuote) {
   EXPECT_FALSE(ParseCsv("a,\"unterminated").ok());
+}
+
+// Environment-knob parsers (WPRED_THREADS / WPRED_SCHEDULE). Both are
+// strict: a value either parses exactly or is rejected with a warning —
+// never silently reinterpreted. The deeper boundary/behaviour suites live
+// in parallel_test.cc; this pins the parser contracts themselves.
+
+TEST(EnvKnobTest, ThreadsParserIsStrict) {
+  using parallel_internal::ParseThreadsEnv;
+  EXPECT_EQ(ParseThreadsEnv("4").threads, 4);
+  EXPECT_FALSE(ParseThreadsEnv("4").rejected);
+  // Non-digit-leading input — whitespace, '+', hex — is rejected, not
+  // strtol-massaged into a number.
+  for (const char* bad : {" 4", "+4", "0x4", "four", ""}) {
+    EXPECT_TRUE(ParseThreadsEnv(bad).rejected) << "value: \"" << bad << "\"";
+  }
+}
+
+TEST(EnvKnobTest, ScheduleParserAcceptsExactlyTwoNames) {
+  using parallel_internal::ParseScheduleEnv;
+  EXPECT_EQ(ParseScheduleEnv("static").schedule, Schedule::kStatic);
+  EXPECT_EQ(ParseScheduleEnv("stealing").schedule, Schedule::kStealing);
+  EXPECT_FALSE(ParseScheduleEnv("stealing").rejected);
+  EXPECT_TRUE(ParseScheduleEnv("greedy").rejected);
+  EXPECT_TRUE(ParseScheduleEnv("Static").rejected);
+  EXPECT_FALSE(ParseScheduleEnv(nullptr).present);
 }
 
 }  // namespace

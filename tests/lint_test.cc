@@ -271,6 +271,39 @@ TEST(LintRuleTest, LayeringEnforcesTheDag) {
       "layering"));
 }
 
+TEST(LintRuleTest, StealDequeConfinedToParallelSubstrate) {
+  // Including the deque header outside common/parallel fires.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/ml/random_forest.cc",
+                 "#include \"common/work_steal_deque.h\"\n"),
+      "steal-deque"));
+  EXPECT_TRUE(HasRule(
+      LintSource("bench/bench_parallel_scaling.cc",
+                 "#include \"common/work_steal_deque.h\"\n"),
+      "steal-deque"));
+  // So does naming the type directly.
+  EXPECT_TRUE(HasRule(
+      LintSource("src/similarity/query.cc", "WorkStealDeque deque(8);\n"),
+      "steal-deque"));
+  // The substrate itself is licensed: the header, parallel.h, parallel.cc.
+  EXPECT_TRUE(LintSource("src/common/parallel.cc",
+                         "#include \"common/work_steal_deque.h\"\n"
+                         "WorkStealDeque deque(8);\n")
+                  .empty());
+  EXPECT_TRUE(LintSource("src/common/work_steal_deque.h",
+                         "class WorkStealDeque {};\n")
+                  .empty());
+  // Tests live outside the linted tree and may hammer the deque directly.
+  EXPECT_TRUE(LintSource("tests/parallel_test.cc",
+                         "#include \"common/work_steal_deque.h\"\n"
+                         "WorkStealDeque deque(8);\n")
+                  .empty());
+  // Comments and strings never fire.
+  EXPECT_TRUE(LintSource("src/ml/model.cc",
+                         "// WorkStealDeque is confined to common/parallel\n")
+                  .empty());
+}
+
 // --- plumbing -------------------------------------------------------------
 
 TEST(LintFormatTest, DiagnosticFormatIsPinned) {
@@ -296,7 +329,7 @@ TEST(LintRuleTest, SuppressionSilencesExactlyTheNamedRule) {
 
 TEST(LintMetaTest, EveryRuleHasADescription) {
   const std::vector<std::string> rules = RuleNames();
-  EXPECT_EQ(rules.size(), 7u);
+  EXPECT_EQ(rules.size(), 8u);
   for (const std::string& rule : rules) {
     EXPECT_FALSE(RuleDescription(rule).empty()) << rule;
   }

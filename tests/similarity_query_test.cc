@@ -4,11 +4,15 @@
 // and the cascade's lower bounds must actually bound the DTW distance.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
 #include "similarity/dtw.h"
@@ -361,6 +365,189 @@ TEST(SimilarityQueryTest, CorpusConvenienceOverloadRanksExperiments) {
   EXPECT_EQ((*ranked)[0].index, 0u);  // itself
   for (const Neighbor& n : *ranked) {
     EXPECT_EQ(corpus[n.index].workload, "A") << "index " << n.index;
+  }
+}
+
+// --- Sharded corpus: layout arithmetic, determinism, cache concurrency. ---
+
+TEST(ShardedCorpusTest, ShardMapCoversCorpusExactly) {
+  for (const auto& [n, width] : std::vector<std::pair<size_t, size_t>>{
+           {0, 4}, {1, 4}, {4, 4}, {5, 4}, {12, 4}, {13, 5}, {100, 64}}) {
+    ShardedCorpus corpus(RandomCorpus(/*seed=*/n + 7 * width + 1, n, 4, 2),
+                         width);
+    ASSERT_EQ(corpus.size(), n);
+    EXPECT_EQ(corpus.shard_traces(), width);
+    const size_t expected_shards = n == 0 ? 0 : (n + width - 1) / width;
+    ASSERT_EQ(corpus.num_shards(), expected_shards);
+    size_t covered = 0;
+    for (size_t s = 0; s < corpus.num_shards(); ++s) {
+      const CorpusShard shard = corpus.shard(s);
+      EXPECT_EQ(shard.begin, covered) << "shard " << s;  // contiguous
+      EXPECT_GT(shard.size(), 0u);
+      EXPECT_LE(shard.size(), width);
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        EXPECT_EQ(corpus.shard_of(i), s) << "index " << i;
+      }
+      covered = shard.end;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ShardedCorpusTest, DefaultAndClampedWidths) {
+  ShardedCorpus by_default(RandomCorpus(3, 5, 4, 2));
+  EXPECT_EQ(by_default.shard_traces(), ShardedCorpus::kDefaultShardTraces);
+  ShardedCorpus zero(RandomCorpus(3, 5, 4, 2), 0);
+  EXPECT_EQ(zero.shard_traces(), ShardedCorpus::kDefaultShardTraces);
+  // Global indices are untouched by sharding.
+  const std::vector<Matrix> traces = RandomCorpus(4, 6, 4, 2);
+  ShardedCorpus sharded(traces, 2);
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(sharded[i].data(), traces[i].data()) << "index " << i;
+  }
+}
+
+TEST(SimilarityQueryTest, ShardWidthNeverChangesResults) {
+  // The sharding contract: shard_traces decides layout and scheduling
+  // granularity only. Rankings and distances must be bit-identical across
+  // widths spanning one-trace-per-shard to whole-corpus-in-one-shard.
+  const std::vector<Matrix> corpus = RandomCorpus(111, 13, 10, 2);
+  Rng rng(112);
+  const Matrix query = RandomSeries(rng, 10, 2);
+  for (const char* measure : {"Dependent-DTW", "L2,1-Norm"}) {
+    const Result<SimilarityQueryEngine> baseline = SimilarityQueryEngine::Build(
+        corpus, measure, /*window=*/3, /*num_threads=*/1, /*shard_traces=*/1);
+    ASSERT_TRUE(baseline.ok());
+    const Result<std::vector<Neighbor>> expected_ranked =
+        baseline->RankNeighbors(query, 5);
+    const Result<Vector> expected_distances = baseline->Distances(query);
+    ASSERT_TRUE(expected_ranked.ok());
+    ASSERT_TRUE(expected_distances.ok());
+    for (const size_t width : {2ul, 5ul, 13ul, 64ul}) {
+      for (const int threads : {1, 4}) {
+        const Result<SimilarityQueryEngine> engine =
+            SimilarityQueryEngine::Build(corpus, measure, /*window=*/3,
+                                         threads, width);
+        ASSERT_TRUE(engine.ok());
+        EXPECT_EQ(engine->sharded_corpus().shard_traces(), width);
+        const Result<std::vector<Neighbor>> ranked =
+            engine->RankNeighbors(query, 5);
+        ASSERT_TRUE(ranked.ok());
+        EXPECT_EQ(*ranked, *expected_ranked)
+            << measure << " width=" << width << " threads=" << threads;
+        const Result<Vector> distances = engine->Distances(query, threads);
+        ASSERT_TRUE(distances.ok());
+        for (size_t i = 0; i < expected_distances->size(); ++i) {
+          EXPECT_EQ((*distances)[i], (*expected_distances)[i])
+              << measure << " width=" << width << " index=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilarityQueryTest, ShardedTopKBitIdenticalAcrossSchedules) {
+  const std::vector<Matrix> corpus = RandomCorpus(121, 20, 12, 2);
+  Rng rng(122);
+  const Matrix query = RandomSeries(rng, 12, 2);
+  const Result<SimilarityQueryEngine> engine = SimilarityQueryEngine::Build(
+      corpus, "Independent-DTW", /*window=*/4, /*num_threads=*/1,
+      /*shard_traces=*/3);
+  ASSERT_TRUE(engine.ok());
+  const Result<std::vector<Neighbor>> baseline = engine->RankNeighbors(query, 6);
+  ASSERT_TRUE(baseline.ok());
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kStealing}) {
+    SetDefaultSchedule(schedule);
+    for (const int threads : {1, 2, 8}) {
+      const Result<SimilarityQueryEngine> rebuilt =
+          SimilarityQueryEngine::Build(corpus, "Independent-DTW", /*window=*/4,
+                                       threads, /*shard_traces=*/3);
+      ASSERT_TRUE(rebuilt.ok());
+      const Result<std::vector<Neighbor>> ranked =
+          rebuilt->RankNeighbors(query, 6);
+      ASSERT_TRUE(ranked.ok());
+      EXPECT_EQ(*ranked, *baseline) << "threads=" << threads;
+      const Result<Vector> distances = rebuilt->Distances(query, threads);
+      ASSERT_TRUE(distances.ok());
+      EXPECT_EQ(*distances, *engine->Distances(query))
+          << "threads=" << threads;
+    }
+  }
+  ResetDefaultSchedule();
+}
+
+TEST(EnvelopeCacheTest, ConcurrentLookupAndBuildIsRaceFree) {
+  // TSan regression for the cache race: the old implementation mutated a
+  // plain std::map under GetOrBuild while concurrent readers ran Lookup on
+  // the same structure. Readers now traverse an immutable node list off an
+  // atomic head, so lookups may run against in-flight builds of *other*
+  // windows freely. Hammer both paths from several threads.
+  const ShardedCorpus corpus(RandomCorpus(131, 24, 8, 2), /*shard_traces=*/5);
+  EnvelopeCache cache;
+  ASSERT_TRUE(cache.GetOrBuild(corpus, /*window=*/1, /*num_threads=*/1).ok());
+
+  constexpr int kReaders = 3;
+  constexpr int kWindows = 6;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> hits{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&cache, &stop, &hits]() {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (int w = 1; w <= kWindows; ++w) {
+          if (cache.Lookup(w) != nullptr) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::vector<std::thread> builders;
+  builders.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    builders.emplace_back([&cache, &corpus, t]() {
+      // Overlapping window sets: both builders race every window, so the
+      // double-checked build path is exercised, and each window must still
+      // be built exactly once.
+      for (int w = 1 + (t % 2); w <= kWindows; ++w) {
+        const auto built = cache.GetOrBuild(corpus, w, /*num_threads=*/2);
+        ASSERT_TRUE(built.ok());
+        ASSERT_NE(*built, nullptr);
+      }
+    });
+  }
+  for (std::thread& b : builders) b.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+  EXPECT_GT(hits.load(), 0u);
+
+  // Every window is now resident and identical between Lookup and a repeat
+  // GetOrBuild (pointer-stable: the same published EnvelopeSet).
+  for (int w = 1; w <= kWindows; ++w) {
+    const EnvelopeSet* looked_up = cache.Lookup(w);
+    ASSERT_NE(looked_up, nullptr) << "window " << w;
+    const auto again = cache.GetOrBuild(corpus, w, /*num_threads=*/1);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, looked_up) << "window " << w;
+  }
+}
+
+TEST(EnvelopeCacheTest, EnvelopeSetMatchesPerTraceBuild) {
+  // The per-shard block layout must address exactly the same envelope a
+  // flat per-trace build would produce for each global index.
+  const ShardedCorpus corpus(RandomCorpus(141, 11, 6, 2), /*shard_traces=*/4);
+  EnvelopeCache cache;
+  const auto built = cache.GetOrBuild(corpus, /*window=*/2, /*num_threads=*/4);
+  ASSERT_TRUE(built.ok());
+  const EnvelopeSet& set = **built;
+  ASSERT_EQ(set.num_blocks(), corpus.num_shards());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const SeriesEnvelope expected =
+        query_internal::BuildEnvelope(corpus[i], /*window=*/2);
+    const SeriesEnvelope& actual = set.At(i);
+    EXPECT_EQ(actual.lower.data(), expected.lower.data()) << "index " << i;
+    EXPECT_EQ(actual.upper.data(), expected.upper.data()) << "index " << i;
   }
 }
 

@@ -72,7 +72,7 @@ struct RuleInfo {
   const char* description;
 };
 
-constexpr std::array<RuleInfo, 7> kRules = {{
+constexpr std::array<RuleInfo, 8> kRules = {{
     {"nondeterminism",
      "wall-clock / libc-rand / random_device use outside common/rng breaks "
      "bit-reproducible runs"},
@@ -94,6 +94,10 @@ constexpr std::array<RuleInfo, 7> kRules = {{
     {"layering",
      "module includes must follow the dependency DAG (common depends on "
      "nothing, obs is leaf-only on common, no cycles)"},
+    {"steal-deque",
+     "the Chase-Lev deque (common/work_steal_deque.h) is internal to the "
+     "parallel substrate; everything else selects a Schedule and lets "
+     "common/parallel own the deque invariants"},
 }};
 
 // Modules whose outputs are ordered numeric artifacts (tables, rankings,
@@ -226,6 +230,7 @@ class RuleRunner {
       CheckNodiscardStatus(line, line_no);
       CheckBareDiscard(line, line_no);
       CheckLayering(line, line_no);
+      CheckStealDeque(line, line_no);
     }
   }
 
@@ -379,6 +384,31 @@ class RuleRunner {
       Report(line_no, "layering",
              ctx_.module + "/ must not depend on " + target_module +
                  "/ (allowed: see src/CMakeLists.txt link graph)");
+    }
+  }
+
+  // The only files licensed to touch the deque: its own header and the
+  // parallel substrate that wraps it behind the Schedule knob.
+  bool IsStealDequeImplementation() const {
+    return ctx_.root == "src" && ctx_.module == "common" &&
+           (ctx_.filename.rfind("parallel.", 0) == 0 ||
+            ctx_.filename == "work_steal_deque.h");
+  }
+
+  void CheckStealDeque(const internal::CodeLine& line, int line_no) {
+    if (!InLintedTree() || IsStealDequeImplementation()) return;
+    if (Suppressed(line, "steal-deque")) return;
+    if (LocalIncludeTarget(line.raw) == "common/work_steal_deque.h") {
+      Report(line_no, "steal-deque",
+             "common/work_steal_deque.h is internal to the parallel "
+             "substrate; select Schedule::kStealing on ParallelFor instead");
+      return;
+    }
+    if (internal::ContainsIdentifier(line.code, "WorkStealDeque")) {
+      Report(line_no, "steal-deque",
+             "'WorkStealDeque' outside common/parallel — the deque's "
+             "memory-ordering invariants live in one place; select a "
+             "Schedule on ParallelFor instead");
     }
   }
 
@@ -686,6 +716,18 @@ constexpr SelfTestCase kSelfTests[] = {
      "#include \"ml/mlp.h\"\n", "layering", 1},
     {"layering-core-serve", "src/core/pipeline.cc",
      "#include \"serve/service.h\"\n", "layering", 1},
+    {"steal-deque-include", "src/ml/random_forest.cc",
+     "#include \"common/work_steal_deque.h\"\n", "steal-deque", 1},
+    {"steal-deque-identifier", "src/similarity/query.cc",
+     "#include \"common/parallel.h\"\nwpred::WorkStealDeque deque(8);\n",
+     "steal-deque", 2},
+    {"steal-deque-impl-ok", "src/common/parallel.cc",
+     "#include \"common/work_steal_deque.h\"\nWorkStealDeque deque(8);\n",
+     nullptr, 0},
+    {"steal-deque-comment-ok", "src/ml/random_forest.cc",
+     "// WorkStealDeque balances irregular trees via Schedule::kStealing\n"
+     "#include \"common/parallel.h\"\n",
+     nullptr, 0},
 };
 
 }  // namespace
