@@ -1,0 +1,309 @@
+// Streaming-ingest bench (DESIGN.md §13): measures what the incremental
+// pipeline buys over the batch workflow it replaces —
+//
+//   1. per-sample ingest cost (window update + online BCPD across the
+//      selected features) against the full supervised refit the batch
+//      workflow would rerun instead;
+//   2. incremental reference-engine growth (AppendTraces) against a
+//      from-scratch engine rebuild, with a bit-identity check;
+//   3. warm pipeline Refit() against a cold Fit().
+//
+// The headline gate: amortised per-sample ingest must be at least 10x
+// cheaper than a full refit — the number that justifies running detection
+// on every arriving sample and refitting only on regime shifts.
+//
+// Flags:
+//   --smoke            small sizes + hard assertions (CI gate): window
+//                      representations bit-identical to batch rebuilds,
+//                      regime shift detected and refit requested, appended
+//                      engine bit-identical to a scratch build, >= 10x
+//                      ingest-vs-refit headroom.
+//   --json=PATH        JSON report path (default BENCH_streaming.json).
+//   --metrics-json=P   full obs dump (bench_util.h).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "obs/json.h"
+#include "similarity/query.h"
+#include "similarity/representation.h"
+#include "stream/ingest.h"
+#include "telemetry/feature_catalog.h"
+
+namespace wpred::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  return samples[lo] + (samples[hi] - samples[lo]) * (rank - lo);
+}
+
+void Smoke(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "FATAL smoke: %s\n", what);
+    std::exit(1);
+  }
+}
+
+struct BenchSetup {
+  ExperimentCorpus corpus;
+  std::vector<size_t> features;
+  NormalizationContext ctx;
+  size_t window_samples;
+  int stream_samples;
+};
+
+/// One synthetic telemetry sample: three regimes so the detectors have real
+/// shifts to find.
+Vector StreamSample(Rng& rng, int i, int total) {
+  const double level = i < total / 3 ? 0.25 : (i < 2 * total / 3 ? 0.7 : 0.45);
+  Vector row(kNumResourceFeatures);
+  for (double& v : row) {
+    v = std::clamp(level + rng.Gaussian(0.0, 0.02), 0.0, 1.0);
+  }
+  return row;
+}
+
+/// Scenario 1: per-sample ingest latency vs one full supervised refit.
+obs::Json ScenarioIngestVsRefit(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: per-sample ingest vs full refit --\n");
+
+  // The comparison baseline: the batch workflow's answer to new telemetry
+  // is a full Pipeline::Fit over the reference corpus.
+  PipelineConfig pipeline_config;
+  pipeline_config.selector = "fANOVA";
+  Pipeline pipeline(pipeline_config);
+  const auto fit_start = std::chrono::steady_clock::now();
+  Require(pipeline.Fit(setup.corpus), "full fit");
+  const double full_fit_s = Seconds(fit_start);
+
+  IngestConfig config;
+  config.window_samples = setup.window_samples;
+  config.min_refit_spacing = setup.window_samples;
+  IncrementalIngest ingest = RequireOk(
+      IncrementalIngest::Create(config, setup.features, setup.ctx,
+                                setup.corpus[0]),
+      "ingest create");
+  ingest.set_base_corpus(setup.corpus);
+  int refit_corpora = 0;
+  ingest.set_refit_sink([&refit_corpora](ExperimentCorpus) { ++refit_corpora; });
+
+  Rng rng(271);
+  std::vector<double> latencies_s;
+  latencies_s.reserve(setup.stream_samples);
+  for (int i = 0; i < setup.stream_samples; ++i) {
+    const Vector row = StreamSample(rng, i, setup.stream_samples);
+    const auto start = std::chrono::steady_clock::now();
+    (void)RequireOk(ingest.Observe(row), "observe");  // timing the call only
+    latencies_s.push_back(Seconds(start));
+  }
+
+  const double mean_s =
+      std::accumulate(latencies_s.begin(), latencies_s.end(), 0.0) /
+      static_cast<double>(latencies_s.size());
+  const double speedup = full_fit_s / mean_s;
+  std::printf(
+      "samples=%d window=%zu  mean=%.2fus p50=%.2fus p99=%.2fus\n"
+      "full refit=%.4fs  per-sample speedup=%.0fx  change_points=%llu "
+      "refits=%llu\n",
+      setup.stream_samples, setup.window_samples, mean_s * 1e6,
+      Percentile(latencies_s, 0.50) * 1e6, Percentile(latencies_s, 0.99) * 1e6,
+      full_fit_s, speedup,
+      static_cast<unsigned long long>(ingest.change_points_detected()),
+      static_cast<unsigned long long>(ingest.refits_requested()));
+
+  if (smoke) {
+    Smoke(ingest.change_points_detected() >= 1,
+          "regime shifts went undetected");
+    Smoke(ingest.refits_requested() >= 1 &&
+              refit_corpora == static_cast<int>(ingest.refits_requested()),
+          "change points did not reach the refit sink");
+    // The acceptance gate: ingest must be at least 10x cheaper per sample
+    // than rerunning the fit. Real headroom is orders of magnitude.
+    Smoke(mean_s * 10.0 <= full_fit_s,
+          "per-sample ingest is not 10x cheaper than a full refit");
+    // Equivalence: the incremental window representations are bit-identical
+    // to a batch rebuild of the same rows.
+    const Experiment window_experiment = ingest.WindowExperiment();
+    const Matrix batch_hist = RequireOk(
+        BuildHistFp(window_experiment, setup.features, setup.ctx), "hist");
+    const Matrix incremental_hist =
+        RequireOk(ingest.window().HistFp(setup.features), "window hist");
+    Smoke(batch_hist == incremental_hist,
+          "incremental Hist-FP diverged from the batch build");
+    const Matrix batch_mts = RequireOk(
+        BuildMts(window_experiment, setup.features, setup.ctx), "mts");
+    const Matrix incremental_mts =
+        RequireOk(ingest.window().Mts(setup.features), "window mts");
+    Smoke(batch_mts == incremental_mts,
+          "incremental MTS diverged from the batch build");
+  }
+
+  obs::Json j = obs::Json::Object();
+  j.Set("samples", setup.stream_samples);
+  j.Set("window_samples", setup.window_samples);
+  j.Set("mean_ingest_s", mean_s);
+  j.Set("p50_ingest_s", Percentile(latencies_s, 0.50));
+  j.Set("p99_ingest_s", Percentile(latencies_s, 0.99));
+  j.Set("full_fit_s", full_fit_s);
+  j.Set("ingest_vs_refit_speedup_x", speedup);
+  j.Set("change_points", ingest.change_points_detected());
+  j.Set("refits_requested", ingest.refits_requested());
+  return j;
+}
+
+/// Scenario 2: growing the reference engine by appending vs rebuilding it
+/// from scratch, with the bit-identity check the append contract promises.
+obs::Json ScenarioAppendVsRebuild(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: engine append vs from-scratch rebuild --\n");
+  const size_t base_traces = setup.corpus.size();
+  std::vector<Matrix> traces;
+  traces.reserve(base_traces + 1);
+  for (size_t i = 0; i < base_traces; ++i) {
+    traces.push_back(RequireOk(
+        BuildHistFp(setup.corpus[i], setup.features, setup.ctx), "trace"));
+  }
+  Rng rng(272);
+  Matrix fresh(traces[0].rows(), traces[0].cols());
+  for (double& v : fresh.data()) v = rng.Uniform(0.0, 1.0);
+
+  SimilarityQueryEngine grown = RequireOk(
+      SimilarityQueryEngine::Build(traces, "L2,1-Norm"), "base engine");
+  const auto append_start = std::chrono::steady_clock::now();
+  Require(grown.AppendTraces({fresh}), "append");
+  const double append_s = Seconds(append_start);
+
+  traces.push_back(fresh);
+  const auto rebuild_start = std::chrono::steady_clock::now();
+  SimilarityQueryEngine scratch = RequireOk(
+      SimilarityQueryEngine::Build(traces, "L2,1-Norm"), "scratch engine");
+  const double rebuild_s = Seconds(rebuild_start);
+
+  const Vector grown_d = RequireOk(grown.Distances(fresh), "distances");
+  const Vector scratch_d = RequireOk(scratch.Distances(fresh), "distances");
+  const bool identical = grown_d == scratch_d;
+  std::printf("append=%.2fus rebuild=%.2fus bit_identical=%s\n",
+              append_s * 1e6, rebuild_s * 1e6, identical ? "yes" : "no");
+  if (smoke) {
+    Smoke(identical, "appended engine diverged from a scratch rebuild");
+  }
+  obs::Json j = obs::Json::Object();
+  j.Set("append_s", append_s);
+  j.Set("rebuild_s", rebuild_s);
+  j.Set("bit_identical", identical);
+  return j;
+}
+
+/// Scenario 3: warm Refit() vs cold Fit() on the same corpus.
+obs::Json ScenarioWarmRefit(const BenchSetup& setup, bool smoke) {
+  std::printf("\n-- scenario: warm pipeline refit vs cold fit --\n");
+  PipelineConfig config;
+  // The wrapper selector makes stage 1 the dominant cost — exactly what the
+  // warm path skips.
+  config.selector = "RFE LogReg";
+  config.incremental_refit = true;
+  Pipeline pipeline(config);
+
+  const auto cold_start = std::chrono::steady_clock::now();
+  Require(pipeline.Fit(setup.corpus), "cold fit");
+  const double cold_s = Seconds(cold_start);
+
+  const auto warm_start = std::chrono::steady_clock::now();
+  Require(pipeline.Refit(setup.corpus), "warm refit");
+  const double warm_s = Seconds(warm_start);
+
+  std::printf("cold fit=%.4fs warm refit=%.4fs speedup=%.1fx\n", cold_s,
+              warm_s, cold_s / warm_s);
+  if (smoke) {
+    Smoke(pipeline.fitted(), "refit left the pipeline unfitted");
+    Smoke(warm_s < cold_s, "warm refit was not cheaper than the cold fit");
+  }
+  obs::Json j = obs::Json::Object();
+  j.Set("cold_fit_s", cold_s);
+  j.Set("warm_refit_s", warm_s);
+  j.Set("warm_speedup_x", cold_s / warm_s);
+  return j;
+}
+
+void Run(bool smoke, const std::string& json_path) {
+  Banner("Streaming ingestion - sliding windows, online BCPD, warm refits",
+         "incremental serving extension of the paper's batch workflow; no "
+         "paper counterpart, invariants only");
+
+  WorkbenchConfig wb;
+  wb.workloads = {"TPC-C", "Twitter"};
+  wb.skus = {MakeCpuSku(2), MakeCpuSku(8)};
+  wb.terminals = {8};
+  wb.runs = 2;
+  wb.sim.duration_s = smoke ? 30.0 : 60.0;
+  wb.sim.sample_period_s = 0.5;
+
+  BenchSetup setup;
+  setup.corpus = RequireOk(GenerateCorpus(wb), "corpus");
+  setup.features = {0, 1, 2};
+  setup.ctx.min.assign(kNumFeatures, 0.0);
+  setup.ctx.max.assign(kNumFeatures, 1.0);
+  setup.window_samples = smoke ? 96 : 240;
+  setup.stream_samples = smoke ? 1500 : 20000;
+
+  using Scenario = std::function<obs::Json(const BenchSetup&, bool)>;
+  const std::vector<std::pair<std::string, Scenario>> scenarios = {
+      {"ingest_vs_refit", ScenarioIngestVsRefit},
+      {"append_vs_rebuild", ScenarioAppendVsRebuild},
+      {"warm_refit", ScenarioWarmRefit},
+  };
+
+  obs::Json report = obs::Json::Object();
+  report.Set("bench", "streaming_ingest");
+  report.Set("smoke", smoke);
+  obs::Json results = obs::Json::Object();
+  for (const auto& [name, scenario] : scenarios) {
+    results.Set(name, scenario(setup, smoke));
+  }
+  report.Set("scenarios", std::move(results));
+
+  std::ofstream out(json_path, std::ios::trunc);
+  out << report.Dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "FATAL cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nreport written to %s\n", json_path.c_str());
+  if (smoke) std::printf("SMOKE OK: all streaming invariants held\n");
+}
+
+}  // namespace
+}  // namespace wpred::bench
+
+int main(int argc, char** argv) {
+  wpred::bench::BenchMetrics metrics(argc, argv);
+  bool smoke = false;
+  std::string json_path = "BENCH_streaming.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    constexpr const char* kJson = "--json=";
+    if (std::strncmp(argv[i], kJson, std::strlen(kJson)) == 0) {
+      json_path = argv[i] + std::strlen(kJson);
+    }
+  }
+  wpred::bench::Run(smoke, json_path);
+}

@@ -81,6 +81,64 @@ Status PipelineConfig::Validate() const {
   return Status::OK();
 }
 
+// Stage 0: data-quality gate. Repairable experiments are repaired;
+// unrepairable ones are quarantined into fit_report_ so one corrupt run
+// cannot abort the whole fit.
+Result<ExperimentCorpus> Pipeline::GateReference(
+    const ExperimentCorpus& reference) {
+  fit_report_ = CorpusQualityReport{};
+  if (!config_.quality_gate) return reference;
+  obs::Span gate_span("quality_gate");
+  ExperimentCorpus gated;
+  WPRED_ASSIGN_OR_RETURN(gated,
+                         GateCorpus(reference, config_.quality, &fit_report_));
+  WPRED_COUNT_ADD("pipeline.fit_experiments_quarantined",
+                  reference.size() - gated.size());
+  if (gated.size() < 2) {
+    return Status::FailedPrecondition(
+        StrFormat("only %zu of %zu reference experiments survived the "
+                  "quality gate: ",
+                  gated.size(), reference.size()) +
+        fit_report_.Summary());
+  }
+  return gated;
+}
+
+// Stage 1: feature selection on aggregate observations.
+Status Pipeline::SelectFeatures(const ExperimentCorpus& gated) {
+  obs::Span selection_span("feature_selection");
+  WPRED_ASSIGN_OR_RETURN(AggregateObservations aggregates,
+                         BuildAggregateObservations(gated, config_.subsamples));
+  WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
+                         CreateSelector(config_.selector));
+  selector->set_num_threads(config_.num_threads);
+  WPRED_ASSIGN_OR_RETURN(Vector scores,
+                         selector->ScoreFeatures(aggregates.x,
+                                                 aggregates.labels));
+  if (config_.representation == Representation::kMts) {
+    // MTS can only represent resource features; exclude plan features from
+    // the ranking by zeroing them below every resource feature.
+    for (size_t f = kNumResourceFeatures; f < scores.size(); ++f) {
+      scores[f] = -std::numeric_limits<double>::infinity();
+    }
+  }
+  ranking_ = ScoresToRanking(scores);
+  selected_features_ = ranking_.TopK(config_.top_k);
+  if (config_.representation == Representation::kMts) {
+    // Defensive: drop any plan feature that slipped in via k > 7.
+    std::vector<size_t> resource_only;
+    for (size_t f : selected_features_) {
+      if (f < kNumResourceFeatures) resource_only.push_back(f);
+    }
+    selected_features_ = std::move(resource_only);
+    if (selected_features_.empty()) {
+      return Status::FailedPrecondition(
+          "MTS representation selected no resource features");
+    }
+  }
+  return Status::OK();
+}
+
 Status Pipeline::Fit(const ExperimentCorpus& reference) {
   WPRED_RETURN_IF_ERROR(config_.Validate());
   if (config_.enable_metrics) obs::SetMetricsEnabled(true);
@@ -90,65 +148,29 @@ Status Pipeline::Fit(const ExperimentCorpus& reference) {
     return Status::InvalidArgument("reference corpus too small");
   }
   fitted_ = false;
-  fit_report_ = CorpusQualityReport{};
+  WPRED_ASSIGN_OR_RETURN(ExperimentCorpus gated, GateReference(reference));
+  WPRED_RETURN_IF_ERROR(SelectFeatures(gated));
+  return FitFromSelection(std::move(gated));
+}
 
-  // Stage 0: data-quality gate. Repairable experiments are repaired;
-  // unrepairable ones are quarantined into fit_report_ so one corrupt run
-  // cannot abort the whole fit.
-  ExperimentCorpus gated;
-  if (config_.quality_gate) {
-    obs::Span gate_span("quality_gate");
-    WPRED_ASSIGN_OR_RETURN(gated,
-                           GateCorpus(reference, config_.quality,
-                                      &fit_report_));
-    WPRED_COUNT_ADD("pipeline.fit_experiments_quarantined",
-                    reference.size() - gated.size());
-    if (gated.size() < 2) {
-      return Status::FailedPrecondition(
-          StrFormat("only %zu of %zu reference experiments survived the "
-                    "quality gate: ",
-                    gated.size(), reference.size()) +
-          fit_report_.Summary());
-    }
-  } else {
-    gated = reference;
+Status Pipeline::Refit(const ExperimentCorpus& reference) {
+  if (!(config_.incremental_refit && fitted_)) return Fit(reference);
+  WPRED_RETURN_IF_ERROR(config_.Validate());
+  if (config_.enable_metrics) obs::SetMetricsEnabled(true);
+  obs::Span refit_span("pipeline.refit");
+  WPRED_COUNT_ADD("pipeline.refit_calls", 1);
+  if (reference.size() < 2) {
+    return Status::InvalidArgument("reference corpus too small");
   }
+  // Warm path: the fitted ranking_ / selected_features_ carry over; only
+  // the corpus-dependent stages rerun.
+  fitted_ = false;
+  WPRED_ASSIGN_OR_RETURN(ExperimentCorpus gated, GateReference(reference));
+  return FitFromSelection(std::move(gated));
+}
 
-  // Stage 1: feature selection on aggregate observations.
-  {
-    obs::Span selection_span("feature_selection");
-    WPRED_ASSIGN_OR_RETURN(
-        AggregateObservations aggregates,
-        BuildAggregateObservations(gated, config_.subsamples));
-    WPRED_ASSIGN_OR_RETURN(std::unique_ptr<FeatureSelector> selector,
-                           CreateSelector(config_.selector));
-    selector->set_num_threads(config_.num_threads);
-    WPRED_ASSIGN_OR_RETURN(Vector scores,
-                           selector->ScoreFeatures(aggregates.x,
-                                                   aggregates.labels));
-    if (config_.representation == Representation::kMts) {
-      // MTS can only represent resource features; exclude plan features from
-      // the ranking by zeroing them below every resource feature.
-      for (size_t f = kNumResourceFeatures; f < scores.size(); ++f) {
-        scores[f] = -std::numeric_limits<double>::infinity();
-      }
-    }
-    ranking_ = ScoresToRanking(scores);
-    selected_features_ = ranking_.TopK(config_.top_k);
-    if (config_.representation == Representation::kMts) {
-      // Defensive: drop any plan feature that slipped in via k > 7.
-      std::vector<size_t> resource_only;
-      for (size_t f : selected_features_) {
-        if (f < kNumResourceFeatures) resource_only.push_back(f);
-      }
-      selected_features_ = std::move(resource_only);
-      if (selected_features_.empty()) {
-        return Status::FailedPrecondition(
-            "MTS representation selected no resource features");
-      }
-    }
-  }
-
+// Stages 2–3 against the current ranking_/selected_features_.
+Status Pipeline::FitFromSelection(ExperimentCorpus gated) {
   // Stage 2: similarity machinery — shared normalisation + reference
   // representations.
   {

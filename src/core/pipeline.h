@@ -55,6 +55,15 @@ struct PipelineConfig {
   /// switch without code changes; false here leaves the env setting alone.
   /// Metrics never change numeric results — only record them.
   bool enable_metrics = false;
+  /// Warm-started model refresh for the streaming path: Refit() on an
+  /// already-fitted pipeline reuses the fitted feature ranking and
+  /// selection — skipping the selection stage, the dominant cost with
+  /// wrapper selectors — and refits normalisation, representations, and
+  /// scaling models against the new corpus. Off (the default), Refit() is
+  /// exactly Fit(). Predictions after an incremental Refit match a full
+  /// Fit on the same corpus whenever that full fit would select the same
+  /// features (StreamWarmRefitTest pins this).
+  bool incremental_refit = false;
 
   /// Range-checks every knob and returns the first violation as
   /// Status::InvalidArgument (negative num_threads, zero top_k/subsamples,
@@ -88,6 +97,17 @@ class Pipeline {
   explicit Pipeline(PipelineConfig config) : config_(std::move(config)) {}
 
   Status Fit(const ExperimentCorpus& reference);
+
+  /// Refreshes the fitted pipeline against a new reference corpus. With
+  /// `config().incremental_refit` set and a previous successful Fit(), the
+  /// fitted feature ranking and selection carry over and only the
+  /// corpus-dependent stages rerun (quality gate, normalisation,
+  /// representations + similarity engine, scaling models); otherwise this
+  /// is exactly Fit(). On failure the pipeline is unfitted, like a failed
+  /// Fit() — callers who need the old model to survive a failed refresh
+  /// refresh a copy (the serving layer's snapshot path already works that
+  /// way).
+  Status Refit(const ExperimentCorpus& reference);
 
   bool fitted() const { return fitted_; }
   const PipelineConfig& config() const { return config_; }
@@ -160,6 +180,14 @@ class Pipeline {
                                        int target_cpus) const;
 
  private:
+  // Fit stages, shared by Fit() and the warm path of Refit(). GateReference
+  // runs stage 0 into fit_report_; SelectFeatures runs stage 1 into
+  // ranking_/selected_features_; FitFromSelection runs stages 2–3 against
+  // the current selection and commits the fitted state.
+  Result<ExperimentCorpus> GateReference(const ExperimentCorpus& reference);
+  Status SelectFeatures(const ExperimentCorpus& gated);
+  Status FitFromSelection(ExperimentCorpus gated);
+
   /// Observed telemetry after the quality gate: repaired copy plus the
   /// effective (possibly substituted) feature set.
   struct PreparedObservation {

@@ -13,20 +13,39 @@ double Mean(const Vector& v) {
   return acc / static_cast<double>(v.size());
 }
 
+namespace {
+
+// Welford's online recurrence for the centred sum of squares. Naive
+// sum-of-squares cancels catastrophically when mean² ≫ variance (an
+// epoch-timestamp feature has mean ≈ 1e9 and variance ≈ 1, which is 18
+// orders of magnitude below mean² — past double precision), and even the
+// two-pass form loses digits once the mean itself rounds. Welford keeps a
+// running mean and accumulates squared deviations from it, so each term is
+// already centred. The streaming layer shares this exact recurrence
+// (stream/window.h), so batch and online moments agree.
+double WelfordM2(const Vector& v) {
+  double mean = 0.0;
+  double m2 = 0.0;
+  double count = 0.0;
+  for (double x : v) {
+    count += 1.0;
+    const double delta = x - mean;
+    mean += delta / count;
+    m2 += delta * (x - mean);
+  }
+  return m2;
+}
+
+}  // namespace
+
 double Variance(const Vector& v) {
   if (v.empty()) return 0.0;
-  const double m = Mean(v);
-  double acc = 0.0;
-  for (double x : v) acc += (x - m) * (x - m);
-  return acc / static_cast<double>(v.size());
+  return WelfordM2(v) / static_cast<double>(v.size());
 }
 
 double SampleVariance(const Vector& v) {
   if (v.size() < 2) return 0.0;
-  const double m = Mean(v);
-  double acc = 0.0;
-  for (double x : v) acc += (x - m) * (x - m);
-  return acc / static_cast<double>(v.size() - 1);
+  return WelfordM2(v) / static_cast<double>(v.size() - 1);
 }
 
 double StdDev(const Vector& v) { return std::sqrt(Variance(v)); }

@@ -110,9 +110,14 @@ Status ElasticNet::Fit(const Matrix& x, const Vector& y) {
   feature_mean_ = s.mean;
   feature_scale_ = s.scale;
   intercept_ = s.y_mean;
-  coef_.assign(x.cols(), 0.0);
-  CoordinateDescent(s.x, s.y_centered, alpha_, l1_ratio_, max_iter_, tol_,
-                    coef_);
+  // Coefficients live in the standardised space, so the previous solution
+  // is a valid starting point for the re-standardised problem whenever the
+  // arity matches.
+  if (!(warm_start_ && coef_.size() == x.cols())) {
+    coef_.assign(x.cols(), 0.0);
+  }
+  last_sweeps_ = CoordinateDescent(s.x, s.y_centered, alpha_, l1_ratio_,
+                                   max_iter_, tol_, coef_);
   fitted_ = true;
   return Status::OK();
 }

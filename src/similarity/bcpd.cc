@@ -20,91 +20,112 @@ double LogStudentT(double x, double mu, double kappa, double alpha,
 
 }  // namespace
 
-Result<std::vector<size_t>> DetectChangePoints(const Vector& series,
-                                               const BcpdParams& params) {
-  if (series.empty()) return Status::InvalidArgument("empty series");
+OnlineBcpdDetector::OnlineBcpdDetector(const BcpdParams& params)
+    : params_(params), hazard_(1.0 / params.hazard_lambda) {
+  Reset();
+}
+
+Result<OnlineBcpdDetector> OnlineBcpdDetector::Create(
+    const BcpdParams& params) {
   if (params.hazard_lambda <= 1.0) {
     return Status::InvalidArgument("hazard_lambda must exceed 1");
   }
-  const double hazard = 1.0 / params.hazard_lambda;
+  return OnlineBcpdDetector(params);
+}
+
+void OnlineBcpdDetector::Reset() {
+  run_p_ = {1.0};
+  mu_ = {params_.mu0};
+  kappa_ = {params_.kappa0};
+  alpha_ = {params_.alpha0};
+  beta_ = {params_.beta0};
+  t_ = 0;
+  prev_map_run_ = 0;
+  last_emitted_.reset();
+}
+
+std::optional<size_t> OnlineBcpdDetector::Observe(double x) {
+  const size_t runs = run_p_.size();
+
+  // Predictive probability of x under each run length.
+  std::vector<double> pred(runs);
+  for (size_t r = 0; r < runs; ++r) {
+    pred[r] = std::exp(LogStudentT(x, mu_[r], kappa_[r], alpha_[r], beta_[r]));
+  }
+
+  // Growth and change-point probabilities.
+  std::vector<double> next_p(runs + 1, 0.0);
+  double cp_mass = 0.0;
+  for (size_t r = 0; r < runs; ++r) {
+    const double joint = run_p_[r] * pred[r];
+    next_p[r + 1] = joint * (1.0 - hazard_);
+    cp_mass += joint * hazard_;
+  }
+  next_p[0] = cp_mass;
+
+  double total = 0.0;
+  for (double p : next_p) total += p;
+  if (total <= 0.0) total = 1.0;
+  for (double& p : next_p) p /= total;
+
+  // Posterior updates (run r at t+1 observed x with run-r params).
+  std::vector<double> next_mu(runs + 1), next_kappa(runs + 1),
+      next_alpha(runs + 1), next_beta(runs + 1);
+  next_mu[0] = params_.mu0;
+  next_kappa[0] = params_.kappa0;
+  next_alpha[0] = params_.alpha0;
+  next_beta[0] = params_.beta0;
+  for (size_t r = 0; r < runs; ++r) {
+    next_mu[r + 1] = (kappa_[r] * mu_[r] + x) / (kappa_[r] + 1.0);
+    next_kappa[r + 1] = kappa_[r] + 1.0;
+    next_alpha[r + 1] = alpha_[r] + 0.5;
+    next_beta[r + 1] = beta_[r] + kappa_[r] * (x - mu_[r]) * (x - mu_[r]) /
+                                      (2.0 * (kappa_[r] + 1.0));
+  }
+
+  // Prune negligible run lengths (keep index 0 always).
+  size_t keep = next_p.size();
+  while (keep > 1 && next_p[keep - 1] < params_.prune_threshold) --keep;
+  next_p.resize(keep);
+  next_mu.resize(keep);
+  next_kappa.resize(keep);
+  next_alpha.resize(keep);
+  next_beta.resize(keep);
+
+  run_p_ = std::move(next_p);
+  mu_ = std::move(next_mu);
+  kappa_ = std::move(next_kappa);
+  alpha_ = std::move(next_alpha);
+  beta_ = std::move(next_beta);
+
+  // MAP run length; a collapse marks a change point.
+  const size_t map_run = static_cast<size_t>(
+      std::max_element(run_p_.begin(), run_p_.end()) - run_p_.begin());
+  std::optional<size_t> change_point;
+  if (t_ > 0 && map_run + 2 < prev_map_run_) {
+    const size_t cp = t_ + 1 - map_run;
+    if (cp > 0 && (!last_emitted_.has_value() || *last_emitted_ != cp)) {
+      change_point = cp;
+      last_emitted_ = cp;
+    }
+  }
+  prev_map_run_ = map_run;
+  ++t_;
+  return change_point;
+}
+
+Result<std::vector<size_t>> DetectChangePoints(const Vector& series,
+                                               const BcpdParams& params) {
+  if (series.empty()) return Status::InvalidArgument("empty series");
+  WPRED_ASSIGN_OR_RETURN(OnlineBcpdDetector detector,
+                         OnlineBcpdDetector::Create(params));
   const size_t n = series.size();
-
-  // Run-length state: probability plus Normal-Gamma posterior per run.
-  std::vector<double> run_p = {1.0};
-  std::vector<double> mu = {params.mu0};
-  std::vector<double> kappa = {params.kappa0};
-  std::vector<double> alpha = {params.alpha0};
-  std::vector<double> beta = {params.beta0};
-
   std::vector<size_t> change_points;
-  size_t prev_map_run = 0;
-
-  for (size_t t = 0; t < n; ++t) {
-    const double x = series[t];
-    const size_t runs = run_p.size();
-
-    // Predictive probability of x under each run length.
-    std::vector<double> pred(runs);
-    for (size_t r = 0; r < runs; ++r) {
-      pred[r] = std::exp(LogStudentT(x, mu[r], kappa[r], alpha[r], beta[r]));
-    }
-
-    // Growth and change-point probabilities.
-    std::vector<double> next_p(runs + 1, 0.0);
-    double cp_mass = 0.0;
-    for (size_t r = 0; r < runs; ++r) {
-      const double joint = run_p[r] * pred[r];
-      next_p[r + 1] = joint * (1.0 - hazard);
-      cp_mass += joint * hazard;
-    }
-    next_p[0] = cp_mass;
-
-    double total = 0.0;
-    for (double p : next_p) total += p;
-    if (total <= 0.0) total = 1.0;
-    for (double& p : next_p) p /= total;
-
-    // Posterior updates (run r at t+1 observed x with run-r params).
-    std::vector<double> next_mu(runs + 1), next_kappa(runs + 1),
-        next_alpha(runs + 1), next_beta(runs + 1);
-    next_mu[0] = params.mu0;
-    next_kappa[0] = params.kappa0;
-    next_alpha[0] = params.alpha0;
-    next_beta[0] = params.beta0;
-    for (size_t r = 0; r < runs; ++r) {
-      next_mu[r + 1] = (kappa[r] * mu[r] + x) / (kappa[r] + 1.0);
-      next_kappa[r + 1] = kappa[r] + 1.0;
-      next_alpha[r + 1] = alpha[r] + 0.5;
-      next_beta[r + 1] =
-          beta[r] + kappa[r] * (x - mu[r]) * (x - mu[r]) / (2.0 * (kappa[r] + 1.0));
-    }
-
-    // Prune negligible run lengths (keep index 0 always).
-    size_t keep = next_p.size();
-    while (keep > 1 && next_p[keep - 1] < params.prune_threshold) --keep;
-    next_p.resize(keep);
-    next_mu.resize(keep);
-    next_kappa.resize(keep);
-    next_alpha.resize(keep);
-    next_beta.resize(keep);
-
-    run_p = std::move(next_p);
-    mu = std::move(next_mu);
-    kappa = std::move(next_kappa);
-    alpha = std::move(next_alpha);
-    beta = std::move(next_beta);
-
-    // MAP run length; a collapse marks a change point.
-    const size_t map_run = static_cast<size_t>(
-        std::max_element(run_p.begin(), run_p.end()) - run_p.begin());
-    if (t > 0 && map_run + 2 < prev_map_run) {
-      const size_t cp = t + 1 - map_run;
-      if (cp > 0 && cp < n &&
-          (change_points.empty() || change_points.back() != cp)) {
-        change_points.push_back(cp);
-      }
-    }
-    prev_map_run = map_run;
+  for (double x : series) {
+    const std::optional<size_t> cp = detector.Observe(x);
+    // A change point at index n means "the new regime starts after the
+    // series" — meaningful online, but not a split of [0, n).
+    if (cp.has_value() && *cp < n) change_points.push_back(*cp);
   }
   std::sort(change_points.begin(), change_points.end());
   change_points.erase(
@@ -118,6 +139,8 @@ std::vector<Segment> SegmentsFromChangePoints(
   std::vector<Segment> segments;
   size_t begin = 0;
   for (size_t cp : change_points) {
+    // Skip splits outside (begin, n): a change point at the final sample
+    // still yields a one-sample trailing segment below, never an empty one.
     if (cp <= begin || cp >= n) continue;
     segments.push_back({begin, cp});
     begin = cp;

@@ -2,6 +2,7 @@
 #define WPRED_SIMILARITY_BCPD_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -24,10 +25,60 @@ struct BcpdParams {
   double prune_threshold = 1e-6;
 };
 
+/// The online form of the detector: feed samples one at a time, get a
+/// change point back the moment the MAP run length collapses. This is the
+/// primitive the streaming ingestion layer runs per selected feature;
+/// DetectChangePoints is implemented on top of it, so the online and batch
+/// paths produce bit-identical change points by construction.
+///
+/// State is O(active run lengths) — bounded by the prune threshold, not by
+/// the stream length — and each Observe costs O(active run lengths).
+class OnlineBcpdDetector {
+ public:
+  /// Validates params (hazard_lambda must exceed 1).
+  static Result<OnlineBcpdDetector> Create(const BcpdParams& params = {});
+
+  /// Feeds the sample at index samples_seen(). Returns the index where a
+  /// new segment begins when a collapse of the MAP run length signals a
+  /// change point, otherwise nullopt. Returned indices are always > 0 and
+  /// <= samples_seen() (after the increment); an index equal to the number
+  /// of samples seen means the new regime starts at the next sample — batch
+  /// callers with a known series length n drop change points >= n, and
+  /// SegmentsFromChangePoints does the same, so a boundary collapse never
+  /// yields an empty trailing segment. The same index is never returned
+  /// twice in a row.
+  std::optional<size_t> Observe(double x);
+
+  /// Samples fed so far.
+  size_t samples_seen() const { return t_; }
+  /// MAP run length after the most recent Observe (0 before any sample).
+  size_t map_run_length() const { return prev_map_run_; }
+
+  /// Drops all posterior state, as if freshly created. samples_seen()
+  /// restarts at zero; the caller owns any index re-basing.
+  void Reset();
+
+ private:
+  explicit OnlineBcpdDetector(const BcpdParams& params);
+
+  BcpdParams params_;
+  double hazard_ = 0.0;
+  // Run-length state: probability plus Normal-Gamma posterior per run.
+  std::vector<double> run_p_;
+  std::vector<double> mu_;
+  std::vector<double> kappa_;
+  std::vector<double> alpha_;
+  std::vector<double> beta_;
+  size_t t_ = 0;
+  size_t prev_map_run_ = 0;
+  std::optional<size_t> last_emitted_;
+};
+
 /// Detects change points in a univariate series. Returns the sorted indices
 /// where new segments begin (excluding index 0). Detection follows the MAP
 /// run length: when it collapses, a change point is recorded at the
-/// collapse target.
+/// collapse target. Runs OnlineBcpdDetector over the series, keeping only
+/// change points inside (0, n).
 Result<std::vector<size_t>> DetectChangePoints(const Vector& series,
                                                const BcpdParams& params = {});
 

@@ -229,6 +229,40 @@ Result<const EnvelopeSet*> EnvelopeCache::GetOrBuild(
   return &node->set;
 }
 
+Status EnvelopeCache::ExtendForAppend(const ShardedCorpus& corpus,
+                                      size_t old_size, int num_threads) {
+  WPRED_DCHECK_LE(old_size, corpus.size());
+  const size_t new_count = corpus.size() - old_size;
+  if (new_count == 0) return Status::OK();
+  // The build mutex serialises against concurrent GetOrBuild calls; readers
+  // must be quiescent (single-writer contract in the header).
+  std::lock_guard<std::mutex> lock(build_mu_);
+  for (Node* node = head_.load(std::memory_order_acquire); node != nullptr;
+       node = node->next) {
+    EnvelopeSet& set = node->set;
+    WPRED_DCHECK_EQ(set.shard_traces_, corpus.shard_traces());
+    // Pre-size the per-shard blocks so the parallel loop below only does
+    // slot-indexed writes (determinism discipline of DESIGN.md §7).
+    set.blocks_.resize(corpus.num_shards());
+    for (size_t s = corpus.shard_of(old_size == 0 ? 0 : old_size - 1);
+         s < corpus.num_shards(); ++s) {
+      set.blocks_[s].resize(corpus.shard(s).size());
+    }
+    WPRED_RETURN_IF_ERROR(
+        ParallelFor(new_count, num_threads, [&](size_t j) -> Status {
+          const size_t i = old_size + j;
+          set.blocks_[i / set.shard_traces_][i % set.shard_traces_] =
+              query_internal::BuildEnvelope(corpus[i], node->window);
+          return Status::OK();
+        }));
+    WPRED_COUNT_ADD("similarity.envelope.builds",
+                    static_cast<uint64_t>(new_count));
+    WPRED_COUNT_ADD("similarity.envelope.appended",
+                    static_cast<uint64_t>(new_count));
+  }
+  return Status::OK();
+}
+
 const EnvelopeSet* EnvelopeCache::Lookup(int window) const {
   const Node* node = Find(window);
   if (node == nullptr) {
@@ -285,6 +319,43 @@ Result<SimilarityQueryEngine> SimilarityQueryEngine::Build(
             .status());
   }
   return engine;
+}
+
+Status SimilarityQueryEngine::AppendTraces(std::vector<Matrix> traces,
+                                           int num_threads) {
+  if (corpus_.empty()) {
+    return Status::FailedPrecondition(
+        "AppendTraces on an engine that was never Built");
+  }
+  if (traces.empty()) return Status::OK();
+  const size_t old_size = corpus_.size();
+  for (size_t j = 0; j < traces.size(); ++j) {
+    if (traces[j].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("appended trace %zu (global index %zu) is an empty "
+                    "matrix",
+                    j, old_size + j));
+    }
+    if (!AllFinite(traces[j])) {
+      return Status::InvalidArgument(
+          StrFormat("appended trace %zu (global index %zu) has non-finite "
+                    "values",
+                    j, old_size + j));
+    }
+    if (traces[j].cols() != corpus_[0].cols()) {
+      return Status::InvalidArgument(
+          StrFormat("appended trace %zu has %zu features, corpus has %zu", j,
+                    traces[j].cols(), corpus_[0].cols()));
+    }
+  }
+  corpus_.Append(std::move(traces));
+  WPRED_COUNT_ADD("similarity.corpus.appended_traces",
+                  static_cast<uint64_t>(corpus_.size() - old_size));
+  if (kind_ != MeasureKind::kGeneric) {
+    WPRED_RETURN_IF_ERROR(
+        envelopes_.ExtendForAppend(corpus_, old_size, num_threads));
+  }
+  return Status::OK();
 }
 
 Result<double> SimilarityQueryEngine::ExactDistance(

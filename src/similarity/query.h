@@ -57,7 +57,9 @@ struct SeriesEnvelope {
 /// All envelopes of one (corpus, window), stored as one contiguous block
 /// per corpus shard so a worker scanning shard s streams one allocation.
 /// Global corpus indices address it (`At`), so callers never see the shard
-/// seams. Immutable once published by EnvelopeCache.
+/// seams. Published by EnvelopeCache; after publication it changes only by
+/// appending blocks for corpus traces appended at the tail
+/// (EnvelopeCache::ExtendForAppend) — existing entries never move.
 class EnvelopeSet {
  public:
   /// Envelope of corpus trace `index` (global index, as in Neighbor).
@@ -111,6 +113,18 @@ class EnvelopeCache {
   /// and safe against a concurrent GetOrBuild.
   const EnvelopeSet* Lookup(int window) const;
 
+  /// Incremental maintenance as the corpus grows: extends every cached
+  /// window's EnvelopeSet with envelopes for the traces appended at indices
+  /// [old_size, corpus.size()). Each trace's envelope depends on that trace
+  /// alone, so the extended set is bit-identical to rebuilding the whole
+  /// window from scratch — only the new traces' envelopes are computed
+  /// (parallel, slot-indexed, deterministic). Unlike GetOrBuild/Lookup this
+  /// MUTATES published sets: it is single-writer and must not race any
+  /// reader (the streaming layer owns its engine exclusively; serving reads
+  /// go through immutable snapshots and never see an appending engine).
+  Status ExtendForAppend(const ShardedCorpus& corpus, size_t old_size,
+                         int num_threads);
+
  private:
   struct Node {
     int window = 0;
@@ -124,9 +138,11 @@ class EnvelopeCache {
   std::mutex build_mu_;
 };
 
-/// Pruned top-k similarity search over a fixed corpus of representation
-/// matrices. Build once per corpus, query many times; the engine owns its
-/// corpus copy and the envelope cache.
+/// Pruned top-k similarity search over an append-only corpus of
+/// representation matrices. Build once per corpus, query many times; the
+/// engine owns its corpus copy and the envelope cache. AppendTraces grows
+/// the corpus at the tail with results bit-identical to a from-scratch
+/// Build over the concatenated trace list.
 class SimilarityQueryEngine {
  public:
   /// Validates the corpus (nonempty, finite, consistent arity for the MTS
@@ -142,6 +158,18 @@ class SimilarityQueryEngine {
                                              int window = 0,
                                              int num_threads = 0,
                                              size_t shard_traces = 0);
+
+  /// Grows the reference corpus at the tail: validates the new traces
+  /// (nonempty, finite, same feature arity as the existing corpus), appends
+  /// them to the sharded corpus, and extends every cached window's envelope
+  /// blocks — building envelopes only for the new traces. Queries after an
+  /// append return results bit-identical to an engine Built from scratch
+  /// over the concatenated corpus (pinned by StreamAppendTest). Existing
+  /// global indices never change. Single-writer: must not race concurrent
+  /// queries on the same engine — the streaming layer owns its engine
+  /// exclusively, and serving reads only ever see engines frozen inside
+  /// immutable snapshots.
+  Status AppendTraces(std::vector<Matrix> traces, int num_threads = 0);
 
   /// The k nearest corpus entries to `query`, ascending by (distance,
   /// index). Bit-identical — indices and distances — to sorting the

@@ -123,8 +123,7 @@ Result<Matrix> BuildHistFp(const Experiment& experiment,
                            FeatureValues(experiment, features[j], ctx));
     Vector hist(static_cast<size_t>(bins), 0.0);
     for (double v : values) {
-      int b = static_cast<int>(v * bins);
-      b = std::clamp(b, 0, bins - 1);
+      const int b = representation_internal::HistFpBin(v, bins);
       hist[static_cast<size_t>(b)] += 1.0 / static_cast<double>(values.size());
     }
     double cum = 0.0;

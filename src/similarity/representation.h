@@ -66,6 +66,22 @@ Result<Matrix> BuildRepresentation(Representation representation,
                                    const std::vector<size_t>& features,
                                    const NormalizationContext& ctx);
 
+namespace representation_internal {
+
+/// Equi-width histogram bin of one normalised value: floor(v·bins) with
+/// both edges clamped into range. The upper-edge clamp is load-bearing — a
+/// value exactly at the feature max normalises to 1.0 and floor(1.0·bins)
+/// is the out-of-range bin `bins`; it must land in the last bin, bins-1.
+/// Batch BuildHistFp and the streaming incremental histogram
+/// (stream/window.h) both route through this helper, so the edge policy
+/// lives in exactly one place.
+inline int HistFpBin(double v, int bins) {
+  const int b = static_cast<int>(v * bins);
+  return b < 0 ? 0 : (b > bins - 1 ? bins - 1 : b);
+}
+
+}  // namespace representation_internal
+
 }  // namespace wpred
 
 #endif  // WPRED_SIMILARITY_REPRESENTATION_H_

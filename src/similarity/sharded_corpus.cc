@@ -12,6 +12,11 @@ ShardedCorpus::ShardedCorpus(std::vector<Matrix> traces, size_t shard_traces)
       shard_traces_(shard_traces == 0 ? kDefaultShardTraces
                                       : std::max<size_t>(1, shard_traces)) {}
 
+void ShardedCorpus::Append(std::vector<Matrix> traces) {
+  traces_.reserve(traces_.size() + traces.size());
+  for (Matrix& trace : traces) traces_.push_back(std::move(trace));
+}
+
 size_t ShardedCorpus::num_shards() const {
   if (traces_.empty()) return 0;
   return (traces_.size() + shard_traces_ - 1) / shard_traces_;

@@ -32,10 +32,12 @@ struct CorpusShard {
   size_t size() const { return end - begin; }
 };
 
-/// A corpus of representation matrices plus its shard overlay. Immutable
-/// after construction; the shard map is pure arithmetic over (size,
+/// A corpus of representation matrices plus its shard overlay. Grows only
+/// by appending at the tail (Append); existing traces and their global
+/// indices never move. The shard map is pure arithmetic over (size,
 /// shard_traces), so sharding never changes what is computed — only how it
-/// is laid out and scheduled.
+/// is laid out and scheduled — and an appended corpus has exactly the shard
+/// map a from-scratch construction of the full trace list would have.
 class ShardedCorpus {
  public:
   /// Default shard width. Sized so a shard's representations plus their
@@ -50,6 +52,13 @@ class ShardedCorpus {
   /// kDefaultShardTraces; any positive width is honoured as-is (clamped to
   /// at least 1).
   explicit ShardedCorpus(std::vector<Matrix> traces, size_t shard_traces = 0);
+
+  /// Appends traces at the tail. Existing global indices are untouched; the
+  /// last (possibly short) shard fills up before new shards appear, exactly
+  /// as if the full trace list had been sharded from scratch. Not
+  /// thread-safe against concurrent reads — single-writer, like every
+  /// mutation in the streaming layer (DESIGN.md §13).
+  void Append(std::vector<Matrix> traces);
 
   size_t size() const { return traces_.size(); }
   bool empty() const { return traces_.empty(); }

@@ -175,6 +175,19 @@ TEST(StatsTest, BasicMoments) {
   EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
 }
 
+TEST(StatsTest, VarianceIsStableForLargeOffsets) {
+  // Regression for the naive sum-of-squares formulation: values near 1e9
+  // with unit spread cancel catastrophically in E[x²] − E[x]², flipping the
+  // variance negative or to garbage. Welford's recurrence keeps full
+  // precision.
+  Vector v;
+  for (int i = 0; i < 10; ++i) v.push_back(1e9 + (i % 2 == 0 ? -1.0 : 1.0));
+  EXPECT_DOUBLE_EQ(Mean(v), 1e9);
+  EXPECT_NEAR(Variance(v), 1.0, 1e-9);
+  EXPECT_NEAR(SampleVariance(v), 10.0 / 9.0, 1e-9);
+  EXPECT_GE(Variance(v), 0.0);
+}
+
 TEST(StatsTest, EmptyInputsAreZero) {
   Vector v;
   EXPECT_DOUBLE_EQ(Mean(v), 0.0);

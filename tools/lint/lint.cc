@@ -103,8 +103,8 @@ constexpr std::array<RuleInfo, 8> kRules = {{
 // Modules whose outputs are ordered numeric artifacts (tables, rankings,
 // distance matrices): the unordered-container and raw-float rules bite here.
 const std::set<std::string>& NumericModules() {
-  static const std::set<std::string> modules = {"linalg", "ml", "similarity",
-                                                "featsel", "predict"};
+  static const std::set<std::string> modules = {"linalg", "ml",     "similarity",
+                                                "featsel", "predict", "stream"};
   return modules;
 }
 
@@ -124,11 +124,20 @@ const std::map<std::string, std::set<std::string>>& LayerDag() {
       {"core",
        {"core", "sim", "featsel", "similarity", "predict", "telemetry", "ml",
         "obs", "linalg", "common"}},
+      // Streaming ingestion sits beside core: windows and online detectors
+      // reuse similarity/ml/telemetry primitives and core configs, but stream
+      // only *exposes* refit hooks — it never includes serve/, and nothing
+      // below serve/ may depend on those hooks being connected.
+      {"stream",
+       {"stream", "core", "similarity", "ml", "telemetry", "obs", "linalg",
+        "common"}},
       // Serving sits on top of the read-side API: it may reach core (and the
       // layers core re-exports transitively via its headers is NOT a licence
-      // to include them directly), obs, and common. Nothing inside src/ may
-      // include serve/ — only bench, tests, and tools consume it.
-      {"serve", {"serve", "core", "obs", "common"}},
+      // to include them directly), stream (serve/stream_refit.h is the one
+      // sanctioned bridge to the refit hooks), obs, and common. Nothing
+      // inside src/ may include serve/ — only bench, tests, and tools
+      // consume it.
+      {"serve", {"serve", "stream", "core", "obs", "common"}},
   };
   return dag;
 }
@@ -716,6 +725,17 @@ constexpr SelfTestCase kSelfTests[] = {
      "#include \"ml/mlp.h\"\n", "layering", 1},
     {"layering-core-serve", "src/core/pipeline.cc",
      "#include \"serve/service.h\"\n", "layering", 1},
+    {"layering-core-stream", "src/core/pipeline.cc",
+     "#include \"stream/ingest.h\"\n", "layering", 1},
+    {"layering-serve-stream-ok", "src/serve/stream_refit.h",
+     "#include \"stream/ingest.h\"\n#include \"serve/service.h\"\n", nullptr,
+     0},
+    {"layering-stream-serve", "src/stream/ingest.cc",
+     "#include \"serve/service.h\"\n", "layering", 1},
+    {"layering-stream-ok", "src/stream/window.cc",
+     "#include \"similarity/representation.h\"\n"
+     "#include \"telemetry/feature_catalog.h\"\n",
+     nullptr, 0},
     {"steal-deque-include", "src/ml/random_forest.cc",
      "#include \"common/work_steal_deque.h\"\n", "steal-deque", 1},
     {"steal-deque-identifier", "src/similarity/query.cc",
