@@ -1,0 +1,100 @@
+#ifndef WPRED_COMMON_MUTEX_H_
+#define WPRED_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+// Annotated mutex primitives (DESIGN.md §14).
+//
+// Clang's thread-safety analysis only tracks lock acquisitions it can see:
+// `std::lock_guard<std::mutex>` from libstdc++ carries no attributes, so a
+// field marked WPRED_GUARDED_BY would warn at every legitimate access.
+// These thin wrappers — the pattern the Clang docs and Abseil use — carry
+// the attributes, cost nothing beyond the underlying std::mutex, and give
+// wpred_lint's `guarded-field` pass unambiguous lock/unlock tokens to
+// track.
+//
+//   Mutex mu_;
+//   int shared_ WPRED_GUARDED_BY(mu_);
+//   void Tick() { MutexLock lock(mu_); ++shared_; }
+//   void TickLocked() WPRED_REQUIRES(mu_) { ++shared_; }
+//
+// CondVar pairs with Mutex the way std::condition_variable pairs with
+// std::mutex; Wait/WaitFor are annotated WPRED_REQUIRES so waiting without
+// the lock is a compile error under Clang.
+
+namespace wpred {
+
+/// std::mutex with acquire/release annotations. Prefer MutexLock for
+/// scoped holds; explicit Lock()/Unlock() are for the rare hand-over-hand
+/// or wait-loop shapes, and the analysis checks they balance on every path.
+class WPRED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WPRED_ACQUIRE() { mu_.lock(); }
+  void Unlock() WPRED_RELEASE() { mu_.unlock(); }
+  bool TryLock() WPRED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable interface for std waiters (CondVar below). Deliberately
+  /// unannotated: these are called from inside system-header templates the
+  /// analysis does not model; annotated code uses Lock()/Unlock().
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped hold of a Mutex (Clang `scoped_lockable`).
+class WPRED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WPRED_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() WPRED_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Wait atomically releases the mutex and
+/// reacquires it before returning, so from the caller's (and the
+/// analysis's) point of view the mutex is held across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // No predicate overload on purpose: Clang's analysis treats a lambda body
+  // as a separate unannotated function, so `cv.Wait(mu, [&]{ return done_; })`
+  // would warn on every guarded field the predicate reads. Write the loop
+  // out instead: `while (!done_) cv_.Wait(mu_);`
+  void Wait(Mutex& mu) WPRED_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      WPRED_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any waits on any BasicLockable — our Mutex directly
+  // — at the cost of one extra internal mutex next to plain
+  // condition_variable. Every wait here guards queue handoff or shutdown,
+  // never a per-iteration hot path, so the simplicity wins.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_MUTEX_H_

@@ -166,17 +166,21 @@ bool ThreadPool::SharedCreated() {
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
+    // Swap the workers out so the join below happens outside the lock —
+    // joining under mu_ would deadlock against WorkerLoop's reacquire.
+    workers.swap(threads_);
   }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  cv_.NotifyAll();
+  for (std::thread& t : workers) t.join();
 }
 
 void ThreadPool::EnsureWorkers(int count) {
   count = std::min(count, kMaxWorkers);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (static_cast<int>(threads_.size()) < count) {
     const int worker_id = static_cast<int>(threads_.size());
     threads_.emplace_back([this, worker_id] { WorkerLoop(worker_id); });
@@ -185,25 +189,25 @@ void ThreadPool::EnsureWorkers(int count) {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++tasks_submitted_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 int ThreadPool::workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(threads_.size());
 }
 
 uint64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_executed_;
 }
 
 uint64_t ThreadPool::tasks_submitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_submitted_;
 }
 
@@ -220,8 +224,11 @@ void ThreadPool::WorkerLoop(int worker_id) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Spelled as a loop, not a predicate lambda: Clang's thread-safety
+      // analysis treats a lambda body as a separate unannotated function
+      // and would warn on every guarded field the predicate reads.
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -3,14 +3,14 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 // Deterministic parallel-for substrate for the similarity and ML hot paths.
@@ -135,13 +135,15 @@ class ThreadPool {
   ThreadPool() = default;
   void WorkerLoop(int worker_id);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool stopping_ = false;
-  uint64_t tasks_executed_ = 0;
-  uint64_t tasks_submitted_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ WPRED_GUARDED_BY(mu_);
+  // Grown under mu_; the destructor swaps the vector out under mu_ and joins
+  // outside it (joining under the lock would deadlock against WorkerLoop).
+  std::vector<std::thread> threads_ WPRED_GUARDED_BY(mu_);
+  bool stopping_ WPRED_GUARDED_BY(mu_) = false;
+  uint64_t tasks_executed_ WPRED_GUARDED_BY(mu_) = 0;
+  uint64_t tasks_submitted_ WPRED_GUARDED_BY(mu_) = 0;
   // Fixed-capacity so worker threads accumulate without locking mu_.
   std::array<std::atomic<uint64_t>, kMaxWorkers> busy_ns_ = {};
 };

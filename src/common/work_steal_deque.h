@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 
 // Chase-Lev-style bounded work-stealing deque of chunk ids, the scheduling
@@ -56,9 +57,14 @@ class WorkStealDeque {
 
   /// Owner only. False when the deque is full (capacity items in flight).
   bool PushBottom(size_t item) {
+    // wpred-lint: allow(atomics-order): bottom_ is written by the owner
+    // thread alone, so the owner's own load of it needs no ordering.
     const int64_t b = bottom_.load(std::memory_order_relaxed);
     const int64_t t = top_.load(std::memory_order_acquire);
     if (b - t >= static_cast<int64_t>(mask_ + 1)) return false;
+    // wpred-lint: allow(atomics-order): the cell is handed off by the
+    // seq_cst store to bottom_ below (and claimed through the seq_cst CAS
+    // on top_); the cell itself is atomic only to rule out torn reads.
     cells_[static_cast<size_t>(b) & mask_].store(item,
                                                  std::memory_order_relaxed);
     bottom_.store(b + 1, std::memory_order_seq_cst);
@@ -69,13 +75,20 @@ class WorkStealDeque {
   /// last-item race to a thief).
   bool PopBottom(size_t* item) {
     WPRED_DCHECK(item != nullptr);
+    // wpred-lint: allow(atomics-order): owner-only load of bottom_ (see
+    // PushBottom); the seq_cst store on the next line is the ordering point.
     const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     bottom_.store(b, std::memory_order_seq_cst);
     int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {
+      // wpred-lint: allow(atomics-order): restores the owner's own
+      // decrement on the empty path; thieves never read past top_, which
+      // this store does not move.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return false;
     }
+    // wpred-lint: allow(atomics-order): cell reads are ordered by the
+    // seq_cst load of top_ above; atomic only against torn reads.
     const size_t value =
         cells_[static_cast<size_t>(b) & mask_].load(std::memory_order_relaxed);
     if (t == b) {
@@ -83,6 +96,8 @@ class WorkStealDeque {
       // thief owns the item.
       const bool won = top_.compare_exchange_strong(
           t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      // wpred-lint: allow(atomics-order): same owner-only restore as the
+      // empty path; ownership of the last item was decided by the CAS.
       bottom_.store(b + 1, std::memory_order_relaxed);
       if (!won) return false;
     }
@@ -98,6 +113,8 @@ class WorkStealDeque {
     int64_t t = top_.load(std::memory_order_seq_cst);
     const int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return Steal::kEmpty;
+    // wpred-lint: allow(atomics-order): ordered by the seq_cst top_/bottom_
+    // loads above and validated by the seq_cst CAS below (Chase-Lev).
     const size_t value =
         cells_[static_cast<size_t>(t) & mask_].load(std::memory_order_relaxed);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
@@ -118,10 +135,13 @@ class WorkStealDeque {
   size_t capacity() const { return mask_ + 1; }
 
  private:
-  std::vector<std::atomic<size_t>> cells_;
+  // All three atomics publish hand-off state between owner and thieves;
+  // the relaxed operations above are each justified line-by-line. The
+  // atomics-order pass flags any new relaxed access without a rationale.
+  std::vector<std::atomic<size_t>> cells_ WPRED_ATOMIC_PUBLISHED;
   size_t mask_ = 0;
-  std::atomic<int64_t> top_{0};
-  std::atomic<int64_t> bottom_{0};
+  std::atomic<int64_t> top_ WPRED_ATOMIC_PUBLISHED{0};
+  std::atomic<int64_t> bottom_ WPRED_ATOMIC_PUBLISHED{0};
 };
 
 }  // namespace wpred

@@ -155,7 +155,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -165,7 +165,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -174,7 +174,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -184,7 +184,7 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
@@ -192,7 +192,7 @@ void MetricsRegistry::ResetAll() {
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -203,7 +203,7 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterSnapshot()
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) {
@@ -214,7 +214,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeSnapshot()
 
 std::vector<std::pair<std::string, const Histogram*>>
 MetricsRegistry::HistogramSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {

@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 // Process-wide metrics registry: counters, gauges, and fixed log-scale-bin
 // histograms, all safe to record from any thread (including PR 2's pool
@@ -133,10 +135,17 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the maps only. The instruments the maps point to are all
+  // relaxed atomics updated outside the lock — they are counters, not
+  // publication points, so no WPRED_ATOMIC_PUBLISHED and no ordering
+  // stronger than relaxed is needed (DESIGN.md §8).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      WPRED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      WPRED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      WPRED_GUARDED_BY(mu_);
 };
 
 /// Convenience hooks for cold call sites (one registry lookup per call).

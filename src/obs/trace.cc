@@ -27,7 +27,7 @@ SpanRegistry& SpanRegistry::Global() {
 }
 
 void SpanRegistry::Record(const std::string& path, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SpanStats& stats = spans_[path];
   if (stats.count == 0) {
     stats.min_seconds = seconds;
@@ -41,12 +41,12 @@ void SpanRegistry::Record(const std::string& path, double seconds) {
 }
 
 std::map<std::string, SpanStats> SpanRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 void SpanRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 

@@ -4,10 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "obs/metrics.h"
 
 // RAII stage tracing. A Span names the stage it covers; spans nest via a
@@ -43,8 +44,8 @@ class SpanRegistry {
  private:
   SpanRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, SpanStats> spans_;
+  mutable Mutex mu_;
+  std::map<std::string, SpanStats> spans_ WPRED_GUARDED_BY(mu_);
 };
 
 /// RAII stage timer. `name` must outlive the span (string literals in

@@ -61,10 +61,10 @@ PredictionService::PredictionService(ServiceConfig config)
 
 PredictionService::~PredictionService() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (supervisor_.joinable()) supervisor_.join();
 }
 
@@ -92,7 +92,7 @@ Status PredictionService::StartFromCheckpoint() {
                          ReadCheckpoint(config_.checkpoint_path));
   // Refitting the checkpointed closure reproduces the pre-crash snapshot
   // bit-identically (deterministic pipeline; DESIGN.md §7/§11).
-  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  MutexLock refit_lock(refit_mu_);
   obs::Span span("serve.restore");
   WPRED_ASSIGN_OR_RETURN(
       SnapshotPtr snapshot,
@@ -213,26 +213,23 @@ PredictionService::RankWorkloads(const Experiment& observed,
 
 void PredictionService::RequestRefit(ExperimentCorpus corpus) {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     queued_corpus_ = std::move(corpus);  // newest request wins
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
 }
 
 void PredictionService::WaitForRefits() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.wait(lock, [this] {
-    return !queued_corpus_.has_value() && !refit_running_;
-  });
+  MutexLock lock(queue_mu_);
+  while (queued_corpus_.has_value() || refit_running_) queue_cv_.Wait(queue_mu_);
 }
 
 void PredictionService::SupervisorLoop() {
   for (;;) {
     std::optional<ExperimentCorpus> corpus;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return stopping_ || queued_corpus_.has_value(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && !queued_corpus_.has_value()) queue_cv_.Wait(queue_mu_);
       if (stopping_) return;
       corpus = std::move(queued_corpus_);
       queued_corpus_.reset();
@@ -242,10 +239,10 @@ void PredictionService::SupervisorLoop() {
     // metrics; the supervisor itself never dies on a failed refit.
     (void)SupervisedRefit(*corpus);  // failure → degraded state, not a crash
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       refit_running_ = false;
     }
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
 }
 
@@ -254,7 +251,7 @@ Status PredictionService::RefitNow(const ExperimentCorpus& corpus) {
 }
 
 Status PredictionService::SupervisedRefit(const ExperimentCorpus& corpus) {
-  std::lock_guard<std::mutex> refit_lock(refit_mu_);
+  MutexLock refit_lock(refit_mu_);
   obs::Span span("serve.refit");
   const auto start = Clock::now();
   const RetryPolicy& policy = config_.refit;
@@ -349,7 +346,7 @@ Status PredictionService::WriteCheckpointNow() const {
 // --- health -----------------------------------------------------------------
 
 void PredictionService::EnterDegraded(const Status& why) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   if (state_ != ServingState::kDegraded) degraded_since_ = Clock::now();
   // Cold stays cold: degraded means "serving stale", which needs a snapshot.
   state_ = box_.CurrentEpoch() > 0 ? ServingState::kDegraded
@@ -360,7 +357,7 @@ void PredictionService::EnterDegraded(const Status& why) {
 }
 
 void PredictionService::LeaveDegraded() {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   if (degraded_since_.has_value()) {
     degraded_total_s_ += SecondsSince(*degraded_since_);
     degraded_since_.reset();
@@ -372,12 +369,12 @@ void PredictionService::LeaveDegraded() {
 }
 
 ServingState PredictionService::state() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return state_;
 }
 
 std::string PredictionService::degraded_reason() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return degraded_reason_;
 }
 
@@ -392,7 +389,7 @@ double PredictionService::snapshot_age_s() const {
 }
 
 double PredictionService::degraded_seconds_total() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   double total = degraded_total_s_;
   if (degraded_since_.has_value()) total += SecondsSince(*degraded_since_);
   return total;

@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/pipeline.h"
@@ -175,9 +175,11 @@ class PredictionService {
   /// Fault-injection seam: called at the top of every refit attempt; a
   /// non-OK return fails that attempt before Fit() runs. Benches and tests
   /// use this (with telemetry/faults-corrupted corpora as the data-level
-  /// counterpart) to drive the service through failure scenarios. Not
-  /// thread-safe against concurrent refits — install before triggering.
+  /// counterpart) to drive the service through failure scenarios. Taking
+  /// refit_mu_ here means installing a hook waits out any refit already in
+  /// flight rather than racing it.
   void set_refit_fault_hook(std::function<Status()> hook) {
+    MutexLock lock(refit_mu_);
     refit_fault_hook_ = std::move(hook);
   }
 
@@ -192,14 +194,18 @@ class PredictionService {
   /// overload. Add-then-check keeps the limit exact under contention.
   Status CheckAdmission() const;
 
-  /// One supervised refit: retry loop + backoff + deadline. Serialised by
-  /// refit_mu_.
-  Status SupervisedRefit(const ExperimentCorpus& corpus);
+  /// One supervised refit: retry loop + backoff + deadline. Acquires
+  /// refit_mu_ for its whole duration so SnapshotBox sees a single writer.
+  Status SupervisedRefit(const ExperimentCorpus& corpus)
+      WPRED_EXCLUDES(refit_mu_);
   /// One fit attempt; publishes and checkpoints on success.
-  Status AttemptRefit(const ExperimentCorpus& corpus);
-  void PublishSnapshot(SnapshotPtr snapshot);
-  void EnterDegraded(const Status& why);
-  void LeaveDegraded();
+  Status AttemptRefit(const ExperimentCorpus& corpus)
+      WPRED_REQUIRES(refit_mu_);
+  /// Publishes through box_. SnapshotBox::Publish demands a single draining
+  /// writer; holding refit_mu_ is exactly that serialisation.
+  void PublishSnapshot(SnapshotPtr snapshot) WPRED_REQUIRES(refit_mu_);
+  void EnterDegraded(const Status& why) WPRED_EXCLUDES(state_mu_);
+  void LeaveDegraded() WPRED_EXCLUDES(state_mu_);
   void SupervisorLoop();
 
   ServiceConfig config_;
@@ -207,7 +213,10 @@ class PredictionService {
   SnapshotBox box_;
   std::atomic<uint64_t> next_epoch_{1};
 
-  // Read-path atomics (never touched under a mutex).
+  // Read-path atomics (never touched under a mutex). These are counters and
+  // staleness metadata, not publication points — no thread reads other data
+  // "through" them — so relaxed ordering is correct and none carries
+  // WPRED_ATOMIC_PUBLISHED. The snapshot itself is published by box_.
   mutable std::atomic<int64_t> in_flight_{0};
   mutable std::atomic<uint64_t> shed_{0};
   // Published-snapshot fit time as steady-clock nanos, for staleness
@@ -216,27 +225,28 @@ class PredictionService {
 
   // Health state. Written by the (single) refitting thread under state_mu_;
   // read by introspection calls. The read path never touches it.
-  mutable std::mutex state_mu_;
-  ServingState state_ = ServingState::kCold;
-  std::string degraded_reason_;
-  std::optional<std::chrono::steady_clock::time_point> degraded_since_;
-  double degraded_total_s_ = 0.0;
+  mutable Mutex state_mu_;
+  ServingState state_ WPRED_GUARDED_BY(state_mu_) = ServingState::kCold;
+  std::string degraded_reason_ WPRED_GUARDED_BY(state_mu_);
+  std::optional<std::chrono::steady_clock::time_point> degraded_since_
+      WPRED_GUARDED_BY(state_mu_);
+  double degraded_total_s_ WPRED_GUARDED_BY(state_mu_) = 0.0;
 
   std::atomic<uint64_t> refit_failures_{0};
   std::atomic<uint64_t> publishes_{0};
 
   // Refit machinery. refit_mu_ serialises SupervisedRefit (background
   // supervisor and RefitNow callers alike) so SnapshotBox sees one writer.
-  std::mutex refit_mu_;
-  std::function<Status()> refit_fault_hook_;
-  Rng jitter_rng_;
+  Mutex refit_mu_;
+  std::function<Status()> refit_fault_hook_ WPRED_GUARDED_BY(refit_mu_);
+  Rng jitter_rng_ WPRED_GUARDED_BY(refit_mu_);
 
   // Supervisor thread + its queue (depth 1: newest corpus wins).
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::optional<ExperimentCorpus> queued_corpus_;
-  bool refit_running_ = false;
-  bool stopping_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::optional<ExperimentCorpus> queued_corpus_ WPRED_GUARDED_BY(queue_mu_);
+  bool refit_running_ WPRED_GUARDED_BY(queue_mu_) = false;
+  bool stopping_ WPRED_GUARDED_BY(queue_mu_) = false;
   std::thread supervisor_;
 };
 

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/status.h"
 #include "core/pipeline.h"
 
@@ -131,10 +131,18 @@ class SnapshotBox {
  private:
   void WaitForReaders(uint32_t version) const;
 
+  // The left-right protocol: every operation on these three atomics is
+  // seq_cst (or release on the reader-departure fetch_sub) on purpose — the
+  // writer's flip-then-drain handshake needs a single total order between
+  // the selector flip and the reader arrivals. WPRED_ATOMIC_PUBLISHED makes
+  // the atomics-order lint pass flag any relaxed operation that sneaks in.
+  // slots_ itself is plain data: the writer only stores to a slot it has
+  // proven unobserved (both epochs drained since the flip), and readers
+  // reach it only through the lr_ load in Acquire().
   SnapshotPtr slots_[2];
-  std::atomic<uint32_t> lr_{0};
-  std::atomic<uint32_t> version_index_{0};
-  mutable std::atomic<int64_t> readers_[2] = {0, 0};
+  std::atomic<uint32_t> lr_ WPRED_ATOMIC_PUBLISHED{0};
+  std::atomic<uint32_t> version_index_ WPRED_ATOMIC_PUBLISHED{0};
+  mutable std::atomic<int64_t> readers_[2] WPRED_ATOMIC_PUBLISHED = {0, 0};
 };
 
 }  // namespace wpred::serve

@@ -199,7 +199,7 @@ Result<const EnvelopeSet*> EnvelopeCache::GetOrBuild(
   }
   // Cold window: serialise the build, then re-check — a racing caller may
   // have published this window while we waited for the lock.
-  std::lock_guard<std::mutex> lock(build_mu_);
+  MutexLock lock(build_mu_);
   if (const Node* hit = Find(window)) {
     WPRED_COUNT_ADD("similarity.envelope.cache_hits", 1);
     return &hit->set;
@@ -224,6 +224,9 @@ Result<const EnvelopeSet*> EnvelopeCache::GetOrBuild(
   Node* node = new Node;
   node->window = window;
   node->set = std::move(set);
+  // wpred-lint: allow(atomics-order): head_ is written only under build_mu_,
+  // held here — the relaxed load cannot miss a concurrent publish, and the
+  // release store below orders the whole node before readers can reach it.
   node->next = head_.load(std::memory_order_relaxed);
   head_.store(node, std::memory_order_release);
   return &node->set;
@@ -236,7 +239,7 @@ Status EnvelopeCache::ExtendForAppend(const ShardedCorpus& corpus,
   if (new_count == 0) return Status::OK();
   // The build mutex serialises against concurrent GetOrBuild calls; readers
   // must be quiescent (single-writer contract in the header).
-  std::lock_guard<std::mutex> lock(build_mu_);
+  MutexLock lock(build_mu_);
   for (Node* node = head_.load(std::memory_order_acquire); node != nullptr;
        node = node->next) {
     EnvelopeSet& set = node->set;

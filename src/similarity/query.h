@@ -2,10 +2,11 @@
 #define WPRED_SIMILARITY_QUERY_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 #include "similarity/representation.h"
@@ -134,8 +135,13 @@ class EnvelopeCache {
 
   const Node* Find(int window) const;
 
-  std::atomic<Node*> head_{nullptr};
-  std::mutex build_mu_;
+  // Publication point of the lock-free read path: a release store of a new
+  // Node installs everything reachable from it for the acquire loads in
+  // Find(). Writers (GetOrBuild cold path, ExtendForAppend) serialise on
+  // build_mu_; only the head_ load *inside that critical section* may be
+  // relaxed, and those sites carry atomics-order suppressions saying so.
+  std::atomic<Node*> head_ WPRED_ATOMIC_PUBLISHED{nullptr};
+  Mutex build_mu_;
 };
 
 /// Pruned top-k similarity search over an append-only corpus of

@@ -31,6 +31,12 @@
 // refit sink fires inside Observe on that thread and is expected to hand
 // off (RequestRefit enqueues and returns). Concurrent serving reads never
 // touch this object — they read immutable snapshots.
+//
+// Accordingly this module carries no thread-safety annotations
+// (common/annotations.h): there is no mutex to name and no atomic that
+// publishes — the ownership contract above is the whole story, and the
+// concurrent machinery it hands off to (PredictionService, EnvelopeCache)
+// is annotated and lint-checked at the hand-off points instead.
 
 namespace wpred {
 

@@ -73,6 +73,28 @@ TEST(LintTokenizerTest, MultiLineBlockCommentCoversAllLines) {
   EXPECT_TRUE(ContainsIdentifier(lines[2].code, "ok"));
 }
 
+TEST(LintTokenizerTest, MultiLineRawStringCoversAllLines) {
+  const auto lines =
+      Tokenize("auto s = R\"(rand()\n   time( \"\n)\";\nint ok = 1;\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_FALSE(ContainsIdentifier(lines[0].code, "rand"));
+  EXPECT_FALSE(ContainsIdentifier(lines[1].code, "time"));
+  EXPECT_TRUE(ContainsIdentifier(lines[3].code, "ok"));
+}
+
+TEST(LintTokenizerTest, LineCommentBackslashContinuation) {
+  // A `//` comment whose line ends in a backslash continues onto the next
+  // physical line; the continuation must stay comment, not leak into code.
+  const auto lines = Tokenize(
+      "int a = 1;  // disabled: rand() \\\n"
+      "    time( still inside the comment\n"
+      "int b = 2;\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_FALSE(ContainsIdentifier(lines[1].code, "time"));
+  EXPECT_TRUE(lines[1].has_comment);
+  EXPECT_TRUE(ContainsIdentifier(lines[2].code, "b"));
+}
+
 TEST(LintTokenizerTest, SuppressionsSameLineAndForwarded) {
   const auto lines = Tokenize(
       "int a = rand();  // wpred-lint: allow(nondeterminism, raw-float)\n"
@@ -85,6 +107,31 @@ TEST(LintTokenizerTest, SuppressionsSameLineAndForwarded) {
   // Comment-only line forwards its allowance to the next line.
   ASSERT_FALSE(lines[2].suppressed.empty());
   EXPECT_EQ(lines[2].suppressed[0], "layering");
+}
+
+TEST(LintTokenizerTest, SuppressionCascadesAcrossBlankLines) {
+  const auto lines = Tokenize(
+      "// wpred-lint: allow(layering): staged migration\n"
+      "\n"
+      "#include \"ml/mlp.h\"\n");
+  ASSERT_EQ(lines.size(), 3u);
+  ASSERT_FALSE(lines[2].suppressed.empty());
+  EXPECT_EQ(lines[2].suppressed[0], "layering");
+}
+
+TEST(LintTokenizerTest, SuppressionFollowsWrappedStatements) {
+  // Code not ending in `;{}` forwards its suppressions, so a comment above
+  // a wrapped statement covers every line the statement spans — and stops
+  // once the statement ends.
+  const auto lines = Tokenize(
+      "// wpred-lint: allow(nondeterminism): seeded for the demo\n"
+      "int a = rand() +\n"
+      "        rand();\n"
+      "int b = rand();\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_FALSE(lines[1].suppressed.empty());
+  EXPECT_FALSE(lines[2].suppressed.empty());
+  EXPECT_TRUE(lines[3].suppressed.empty());
 }
 
 // --- nondeterminism -------------------------------------------------------
@@ -304,6 +351,280 @@ TEST(LintRuleTest, StealDequeConfinedToParallelSubstrate) {
                   .empty());
 }
 
+// --- guarded-field --------------------------------------------------------
+
+TEST(LintRuleTest, GuardedFieldNeedsTheDeclaredMutex) {
+  const auto d = LintSource("src/core/counter.cc",
+                            "#include \"common/mutex.h\"\n"
+                            "class Counter {\n"
+                            " public:\n"
+                            "  void Bump() {\n"
+                            "    ++count_;\n"
+                            "  }\n"
+                            " private:\n"
+                            "  Mutex mu_;\n"
+                            "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+                            "};\n");
+  EXPECT_EQ(RulesAt(d, 5), std::vector<std::string>{"guarded-field"});
+}
+
+TEST(LintRuleTest, GuardedFieldSatisfiedByMutexLockOrRequires) {
+  EXPECT_TRUE(LintSource("src/core/counter.cc",
+                         "#include \"common/mutex.h\"\n"
+                         "class Counter {\n"
+                         " public:\n"
+                         "  void Bump() {\n"
+                         "    MutexLock lock(mu_);\n"
+                         "    ++count_;\n"
+                         "  }\n"
+                         " private:\n"
+                         "  Mutex mu_;\n"
+                         "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+                         "};\n")
+                  .empty());
+  EXPECT_TRUE(LintSource("src/core/counter.cc",
+                         "#include \"common/mutex.h\"\n"
+                         "class Counter {\n"
+                         " public:\n"
+                         "  void BumpLocked() WPRED_REQUIRES(mu_) "
+                         "{ ++count_; }\n"
+                         " private:\n"
+                         "  Mutex mu_;\n"
+                         "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+                         "};\n")
+                  .empty());
+}
+
+TEST(LintRuleTest, GuardedFieldCoversOutOfClassDefinitions) {
+  // The WPRED_REQUIRES contract on the declaration licenses the
+  // out-of-class body; without it the same body fires.
+  const std::string header =
+      "#include \"common/mutex.h\"\n"
+      "class Counter {\n"
+      " public:\n"
+      "  void Bump();\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  const auto d = LintSource(
+      "src/core/counter.cc",
+      header + "void Counter::Bump() {\n  ++count_;\n}\n");
+  EXPECT_EQ(RulesAt(d, 10), std::vector<std::string>{"guarded-field"});
+}
+
+TEST(LintRuleTest, GuardedFieldLockReleasesAtScopeExit) {
+  const auto d = LintSource("src/core/counter.cc",
+                            "#include \"common/mutex.h\"\n"
+                            "class Counter {\n"
+                            " public:\n"
+                            "  void Bump() {\n"
+                            "    { MutexLock lock(mu_); }\n"
+                            "    ++count_;\n"
+                            "  }\n"
+                            " private:\n"
+                            "  Mutex mu_;\n"
+                            "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+                            "};\n");
+  EXPECT_EQ(RulesAt(d, 6), std::vector<std::string>{"guarded-field"});
+}
+
+TEST(LintRuleTest, GuardedFieldExemptsConstructorsLikeClangTsa) {
+  EXPECT_TRUE(LintSource("src/core/counter.cc",
+                         "#include \"common/mutex.h\"\n"
+                         "class Counter {\n"
+                         " public:\n"
+                         "  Counter() { count_ = 0; }\n"
+                         "  ~Counter() { count_ = 0; }\n"
+                         " private:\n"
+                         "  Mutex mu_;\n"
+                         "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+                         "};\n")
+                  .empty());
+}
+
+// --- atomics-order --------------------------------------------------------
+
+TEST(LintRuleTest, AtomicsOrderMustBeExplicit) {
+  EXPECT_TRUE(HasRule(LintSource("src/serve/box.cc",
+                                 "#include <atomic>\n"
+                                 "std::atomic<int> a{0};\n"
+                                 "int f() {\n"
+                                 "  return a.load();\n"
+                                 "}\n"),
+                      "atomics-order"));
+  EXPECT_TRUE(LintSource("src/serve/box.cc",
+                         "#include <atomic>\n"
+                         "std::atomic<int> a{0};\n"
+                         "int f() {\n"
+                         "  return a.load(std::memory_order_acquire);\n"
+                         "}\n")
+                  .empty());
+  // The order argument may land on a continuation line.
+  EXPECT_TRUE(LintSource("src/serve/box.cc",
+                         "#include <atomic>\n"
+                         "std::atomic<int> a{0};\n"
+                         "int f() {\n"
+                         "  return a.load(\n"
+                         "      std::memory_order_acquire);\n"
+                         "}\n")
+                  .empty());
+}
+
+TEST(LintRuleTest, AtomicFencesConfinedToTheStealDeque) {
+  const std::string snippet =
+      "#include <atomic>\n"
+      "void f() {\n"
+      "  std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRule(LintSource("src/serve/box.cc", snippet), "atomics-order"));
+  EXPECT_FALSE(
+      HasRule(LintSource("src/common/work_steal_deque.h", snippet),
+              "atomics-order"));
+}
+
+TEST(LintRuleTest, RelaxedLoadOnPublishedFieldFlagged) {
+  const auto d = LintSource("src/serve/box.cc",
+                            "#include <atomic>\n"
+                            "#include \"common/annotations.h\"\n"
+                            "class Box {\n"
+                            "  int Read() {\n"
+                            "    return head_.load(std::memory_order_relaxed);\n"
+                            "  }\n"
+                            "  std::atomic<int> head_ "
+                            "WPRED_ATOMIC_PUBLISHED{0};\n"
+                            "};\n");
+  EXPECT_EQ(RulesAt(d, 5), std::vector<std::string>{"atomics-order"});
+  EXPECT_TRUE(LintSource("src/serve/box.cc",
+                         "#include <atomic>\n"
+                         "#include \"common/annotations.h\"\n"
+                         "class Box {\n"
+                         "  int Read() {\n"
+                         "    return head_.load(std::memory_order_acquire);\n"
+                         "  }\n"
+                         "  std::atomic<int> head_ "
+                         "WPRED_ATOMIC_PUBLISHED{0};\n"
+                         "};\n")
+                  .empty());
+}
+
+// --- bare-suppression -----------------------------------------------------
+
+TEST(LintRuleTest, BareSuppressionWantsARationale) {
+  EXPECT_TRUE(HasRule(
+      LintSource("src/ml/model.cc",
+                 "double x = 0.0;  // wpred-lint: allow(raw-float)\n"),
+      "bare-suppression"));
+  EXPECT_TRUE(LintSource("src/ml/model.cc",
+                         "std::unordered_map<int, int> m;  // wpred-lint: "
+                         "allow(unordered-container): drained into a sorted "
+                         "vector\n")
+                  .empty());
+}
+
+TEST(LintRuleTest, BareSuppressionRejectsUnknownRules) {
+  const auto d = LintSource(
+      "src/ml/model.cc",
+      "// wpred-lint: allow(no-such-rule): misremembered the name\n"
+      "double x = 0.0;\n");
+  EXPECT_EQ(RulesAt(d, 1), std::vector<std::string>{"bare-suppression"});
+}
+
+// --- whole-program passes -------------------------------------------------
+
+TEST(LintProgramTest, ReportsIncludeCycles) {
+  const std::vector<SourceFile> files = {
+      {"src/linalg/a.h", "#include \"linalg/b.h\"\nint a();\n"},
+      {"src/linalg/b.h", "#include \"linalg/a.h\"\nint b();\n"},
+      {"src/linalg/a.cc", "#include \"linalg/a.h\"\nint a() { return 1; }\n"}};
+  const std::vector<SourceFile> consumers = {
+      {"tests/a_test.cc", "#include \"linalg/a.h\"\n"}};
+  const auto d = LintProgram(files, consumers);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "include-graph");
+  EXPECT_EQ(d[0].file, "src/linalg/b.h");
+  EXPECT_EQ(d[0].line, 1);
+}
+
+TEST(LintProgramTest, OrphanHeaderUnlessAConsumerIncludesIt) {
+  const std::vector<SourceFile> files = {
+      {"src/linalg/used.h", "int u();\n"},
+      {"src/linalg/helper.h", "int h();\n"},
+      {"src/linalg/used.cc",
+       "#include \"linalg/used.h\"\nint u() { return 1; }\n"}};
+  const auto orphaned = LintProgram(files, {});
+  ASSERT_EQ(orphaned.size(), 1u);
+  EXPECT_EQ(orphaned[0].rule, "include-graph");
+  EXPECT_EQ(orphaned[0].file, "src/linalg/helper.h");
+  const std::vector<SourceFile> consumers = {
+      {"tests/helper_test.cc", "#include \"linalg/helper.h\"\n"}};
+  EXPECT_TRUE(LintProgram(files, consumers).empty());
+}
+
+TEST(LintProgramTest, HeaderContractBindsTheCc) {
+  // The header declares the guard; the .cc touches the field. Only the
+  // whole-program pass sees both sides of the contract.
+  const std::vector<SourceFile> header = {
+      {"src/core/counter.h",
+       "#include \"common/mutex.h\"\n"
+       "class Counter {\n"
+       " public:\n"
+       "  void Bump();\n"
+       " private:\n"
+       "  Mutex mu_;\n"
+       "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+       "};\n"}};
+  const std::vector<SourceFile> consumers = {
+      {"tests/counter_test.cc", "#include \"core/counter.h\"\n"}};
+  std::vector<SourceFile> unlocked = header;
+  unlocked.push_back({"src/core/counter.cc",
+                      "#include \"core/counter.h\"\n"
+                      "void Counter::Bump() {\n"
+                      "  ++count_;\n"
+                      "}\n"});
+  const auto d = LintProgram(unlocked, consumers);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].rule, "guarded-field");
+  EXPECT_EQ(d[0].file, "src/core/counter.cc");
+  EXPECT_EQ(d[0].line, 3);
+  std::vector<SourceFile> locked = header;
+  locked.push_back({"src/core/counter.cc",
+                    "#include \"core/counter.h\"\n"
+                    "void Counter::Bump() {\n"
+                    "  MutexLock lock(mu_);\n"
+                    "  ++count_;\n"
+                    "}\n"});
+  EXPECT_TRUE(LintProgram(locked, consumers).empty());
+}
+
+TEST(LintProgramTest, OutputInvariantAcrossThreadCounts) {
+  // Several files with violations in each: diagnostics and the graph JSON
+  // must come back identical whether the fan-out uses 1 thread or many.
+  const std::vector<SourceFile> files = {
+      {"src/ml/model.cc", "int a = rand();\nfloat b = 0;\n"},
+      {"src/linalg/solve.cc", "float x = 0;\nint y = rand();\n"},
+      {"src/obs/export.cc", "#include \"telemetry/io.h\"\n"},
+      {"src/telemetry/io.h", "int t();\n"}};
+  std::string json_serial;
+  std::string json_threaded;
+  const auto serial = LintProgram(files, {}, 1, &json_serial);
+  const auto threaded = LintProgram(files, {}, 4, &json_threaded);
+  EXPECT_FALSE(serial.empty());
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(FormatDiagnostic(serial[i]), FormatDiagnostic(threaded[i]));
+  }
+  EXPECT_EQ(json_serial, json_threaded);
+  EXPECT_NE(json_serial.find("\"files\""), std::string::npos);
+  EXPECT_NE(json_serial.find("\"cycles\""), std::string::npos);
+  EXPECT_NE(json_serial.find("\"orphans\""), std::string::npos);
+  // Sorted by (file, line, rule, message).
+  for (size_t i = 1; i < serial.size(); ++i) {
+    EXPECT_LE(serial[i - 1].file, serial[i].file);
+  }
+}
+
 // --- plumbing -------------------------------------------------------------
 
 TEST(LintFormatTest, DiagnosticFormatIsPinned) {
@@ -329,7 +650,7 @@ TEST(LintRuleTest, SuppressionSilencesExactlyTheNamedRule) {
 
 TEST(LintMetaTest, EveryRuleHasADescription) {
   const std::vector<std::string> rules = RuleNames();
-  EXPECT_EQ(rules.size(), 8u);
+  EXPECT_EQ(rules.size(), 12u);
   for (const std::string& rule : rules) {
     EXPECT_FALSE(RuleDescription(rule).empty()) << rule;
   }

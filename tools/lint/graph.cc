@@ -1,0 +1,357 @@
+#include "lint/graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace wpred::lint {
+namespace {
+
+const std::set<std::string>& GraphRoots() {
+  static const std::set<std::string> roots = {"src",   "tools",    "bench",
+                                              "tests", "examples", "fuzz"};
+  return roots;
+}
+
+// Splits `path` on '/' and returns (root, include-key): the first component
+// that is a known tree root, and everything after it — the form `#include`
+// lines use ("common/status.h" under src/, "lint/lint.h" under tools/).
+// Falls back to ("", path) outside the known roots.
+std::pair<std::string, std::string> RootAndKey(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) parts.push_back(part);
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+  if (!part.empty()) parts.push_back(part);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (GraphRoots().count(parts[i])) {
+      std::string key;
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        if (!key.empty()) key.push_back('/');
+        key += parts[j];
+      }
+      return {parts[i], key};
+    }
+  }
+  return {"", path};
+}
+
+struct Node {
+  const SourceFile* file = nullptr;
+  std::string root;    // "src", "tools", "bench"
+  std::string key;     // include-path form
+  std::string module;  // first key segment for src files; "" otherwise
+  std::vector<internal::CodeLine> lines;
+  std::vector<std::pair<int, size_t>> edges;  // (1-based line, target node)
+  bool included = false;  // some file or consumer includes it
+};
+
+bool SuppressedAt(const Node& node, int line) {
+  if (line < 1 || line > static_cast<int>(node.lines.size())) return false;
+  const std::vector<std::string>& rules =
+      node.lines[line - 1].suppressed;
+  return std::find(rules.begin(), rules.end(), "include-graph") != rules.end();
+}
+
+// Same-directory includes (`#include "measures.h"`) resolve against the
+// includer's directory; everything else is already in key form.
+std::string ResolveTarget(const std::string& includer_key,
+                          const std::string& target) {
+  if (target.find('/') != std::string::npos) return target;
+  const size_t slash = includer_key.rfind('/');
+  if (slash == std::string::npos) return target;
+  return includer_key.substr(0, slash + 1) + target;
+}
+
+// LayerDag lists each module's allowed *direct* includes; the transitive
+// check needs the closure (what a module may legitimately reach through
+// any chain of allowed edges).
+std::map<std::string, std::set<std::string>> LayerClosure() {
+  std::map<std::string, std::set<std::string>> closure = internal::LayerDag();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [module, allowed] : closure) {
+      std::set<std::string> add;
+      for (const std::string& dep : allowed) {
+        auto it = closure.find(dep);
+        if (it == closure.end()) continue;
+        for (const std::string& transitive : it->second) {
+          if (!allowed.count(transitive)) add.insert(transitive);
+        }
+      }
+      if (!add.empty()) {
+        allowed.insert(add.begin(), add.end());
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+class GraphAnalyzer {
+ public:
+  GraphAnalyzer(const std::vector<SourceFile>& files,
+                const std::vector<SourceFile>& consumers)
+      : files_(files), consumers_(consumers) {}
+
+  IncludeGraphAnalysis Run() {
+    BuildNodes();
+    FindCycles();
+    CheckTransitiveLayering();
+    CheckOrphans();
+    BuildJson();
+    std::sort(result_.diagnostics.begin(), result_.diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.message < b.message;
+              });
+    return std::move(result_);
+  }
+
+ private:
+  void Report(const Node& node, int line, const std::string& message) {
+    if (!SuppressedAt(node, line)) {
+      result_.diagnostics.push_back(
+          {node.file->path, line, "include-graph", message});
+    }
+  }
+
+  void BuildNodes() {
+    // Sorted path order fixes node indices, so every downstream walk is
+    // deterministic.
+    std::vector<const SourceFile*> sorted;
+    sorted.reserve(files_.size());
+    for (const SourceFile& f : files_) sorted.push_back(&f);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SourceFile* a, const SourceFile* b) {
+                return a->path < b->path;
+              });
+    nodes_.reserve(sorted.size());
+    for (const SourceFile* f : sorted) {
+      Node node;
+      node.file = f;
+      auto [root, key] = RootAndKey(f->path);
+      node.root = root;
+      node.key = key;
+      if (root == "src") {
+        const size_t slash = key.find('/');
+        if (slash != std::string::npos) node.module = key.substr(0, slash);
+      }
+      node.lines = internal::Tokenize(f->content);
+      nodes_.push_back(std::move(node));
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      by_key_.emplace(nodes_[i].key, i);
+    }
+    for (Node& node : nodes_) {
+      for (size_t li = 0; li < node.lines.size(); ++li) {
+        const std::string target =
+            internal::LocalIncludeTarget(node.lines[li].raw);
+        if (target.empty()) continue;
+        auto it = by_key_.find(ResolveTarget(node.key, target));
+        if (it == by_key_.end()) continue;
+        node.edges.emplace_back(static_cast<int>(li) + 1, it->second);
+        nodes_[it->second].included = true;
+      }
+    }
+    for (const SourceFile& consumer : consumers_) {
+      auto [root, key] = RootAndKey(consumer.path);
+      for (const internal::CodeLine& line : internal::Tokenize(
+               consumer.content)) {
+        const std::string target = internal::LocalIncludeTarget(line.raw);
+        if (target.empty()) continue;
+        auto it = by_key_.find(ResolveTarget(key, target));
+        if (it == by_key_.end()) continue;
+        nodes_[it->second].included = true;
+        ++consumer_edges_;
+      }
+    }
+  }
+
+  void FindCycles() {
+    colors_.assign(nodes_.size(), 0);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (colors_[i] == 0) CycleDfs(i);
+    }
+  }
+
+  void CycleDfs(size_t u) {
+    colors_[u] = 1;
+    stack_.push_back(u);
+    for (const auto& [line, v] : nodes_[u].edges) {
+      if (colors_[v] == 1) {
+        // Back edge: the cycle is the stack suffix starting at v.
+        std::vector<std::string> cycle;
+        size_t k = stack_.size();
+        while (k > 0 && stack_[k - 1] != v) --k;
+        for (size_t j = k - 1; j < stack_.size(); ++j) {
+          cycle.push_back(nodes_[stack_[j]].key);
+        }
+        cycle.push_back(nodes_[v].key);
+        std::string desc;
+        for (size_t j = 0; j < cycle.size(); ++j) {
+          if (j > 0) desc += " -> ";
+          desc += cycle[j];
+        }
+        cycles_.push_back(cycle);
+        Report(nodes_[u], line,
+               "include cycle: " + desc +
+                   " — header guards hide this per-TU, but it makes the "
+                   "layer order circular");
+      } else if (colors_[v] == 0) {
+        CycleDfs(v);
+      }
+    }
+    stack_.pop_back();
+    colors_[u] = 2;
+  }
+
+  // Modules transitively reachable from node `u` (including its own).
+  // Tolerates cycles by returning the partial set for gray nodes — cycles
+  // are already fatal via FindCycles.
+  const std::set<std::string>& Reach(size_t u) {
+    if (reach_done_[u] || reach_visiting_[u]) return reach_[u];
+    reach_visiting_[u] = true;
+    if (!nodes_[u].module.empty()) reach_[u].insert(nodes_[u].module);
+    for (const auto& [line, v] : nodes_[u].edges) {
+      (void)line;  // only the target matters for reachability
+      const std::set<std::string>& sub = Reach(v);
+      reach_[u].insert(sub.begin(), sub.end());
+    }
+    reach_visiting_[u] = false;
+    reach_done_[u] = true;
+    return reach_[u];
+  }
+
+  void CheckTransitiveLayering() {
+    reach_.assign(nodes_.size(), {});
+    reach_done_.assign(nodes_.size(), false);
+    reach_visiting_.assign(nodes_.size(), false);
+    const std::map<std::string, std::set<std::string>> closure =
+        LayerClosure();
+    for (Node& node : nodes_) {
+      if (node.root != "src") continue;
+      auto allowed = closure.find(node.module);
+      if (allowed == closure.end()) continue;
+      for (const auto& [line, v] : node.edges) {
+        std::vector<std::string> outside;
+        for (const std::string& module :
+             Reach(static_cast<size_t>(v))) {
+          if (!allowed->second.count(module)) outside.push_back(module);
+        }
+        if (outside.empty()) continue;
+        std::string list;
+        for (size_t j = 0; j < outside.size(); ++j) {
+          if (j > 0) list += ", ";
+          list += outside[j] + "/";
+        }
+        Report(node, line,
+               "including '" + nodes_[v].key + "' transitively reaches " +
+                   list + " — outside " + node.module +
+                   "/'s layer closure; a suppressed layering edge somewhere "
+                   "down the chain is leaking upward");
+      }
+    }
+  }
+
+  void CheckOrphans() {
+    for (const Node& node : nodes_) {
+      const std::string& key = node.key;
+      const bool is_header = key.size() > 2 &&
+                             key.compare(key.size() - 2, 2, ".h") == 0;
+      if (!is_header || node.included) continue;
+      orphans_.push_back(key);
+      Report(node, 1,
+             "orphan header: nothing in the tree (or its test/fuzz/example "
+             "consumers) includes '" +
+                 key + "' — dead weight or a missing wiring bug");
+    }
+  }
+
+  void BuildJson() {
+    std::string& json = result_.json;
+    json += "{\n  \"files\": [\n";
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& node = nodes_[i];
+      json += "    {\"path\": ";
+      AppendJsonString(node.file->path, &json);
+      json += ", \"key\": ";
+      AppendJsonString(node.key, &json);
+      json += ", \"module\": ";
+      AppendJsonString(node.module, &json);
+      json += ", \"includes\": [";
+      for (size_t e = 0; e < node.edges.size(); ++e) {
+        if (e > 0) json += ", ";
+        AppendJsonString(nodes_[node.edges[e].second].key, &json);
+      }
+      json += "]}";
+      json += i + 1 < nodes_.size() ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"cycles\": [";
+    for (size_t c = 0; c < cycles_.size(); ++c) {
+      if (c > 0) json += ", ";
+      json += "[";
+      for (size_t j = 0; j < cycles_[c].size(); ++j) {
+        if (j > 0) json += ", ";
+        AppendJsonString(cycles_[c][j], &json);
+      }
+      json += "]";
+    }
+    json += "],\n  \"orphans\": [";
+    std::sort(orphans_.begin(), orphans_.end());
+    for (size_t o = 0; o < orphans_.size(); ++o) {
+      if (o > 0) json += ", ";
+      AppendJsonString(orphans_[o], &json);
+    }
+    json += "],\n  \"consumer_edges\": " + std::to_string(consumer_edges_) +
+            "\n}\n";
+  }
+
+  const std::vector<SourceFile>& files_;
+  const std::vector<SourceFile>& consumers_;
+  std::vector<Node> nodes_;
+  std::map<std::string, size_t> by_key_;
+  std::vector<int> colors_;  // 0 white, 1 gray, 2 black
+  std::vector<size_t> stack_;
+  std::vector<std::vector<std::string>> cycles_;
+  std::vector<std::set<std::string>> reach_;
+  std::vector<char> reach_done_;
+  std::vector<char> reach_visiting_;
+  std::vector<std::string> orphans_;
+  size_t consumer_edges_ = 0;
+  IncludeGraphAnalysis result_;
+};
+
+}  // namespace
+
+IncludeGraphAnalysis AnalyzeIncludeGraph(
+    const std::vector<SourceFile>& files,
+    const std::vector<SourceFile>& consumers) {
+  return GraphAnalyzer(files, consumers).Run();
+}
+
+}  // namespace wpred::lint

@@ -1,0 +1,48 @@
+#ifndef WPRED_TOOLS_LINT_GRAPH_H_
+#define WPRED_TOOLS_LINT_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+// Cross-TU include-graph analysis (the `include-graph` rule).
+//
+// Per-file rules see one translation unit at a time; this pass sees the
+// whole tree. It builds the local-include DAG over every file handed to
+// LintProgram and checks three properties no single file can witness:
+//
+//   - cycles: `a.h` → `b.h` → `a.h` compiles fine per-TU (header guards
+//     hide it) but makes the layer order a lie; reported at the include
+//     line that closes the cycle.
+//   - transitive layering: the per-file `layering` rule checks each direct
+//     include, so one suppressed edge mid-chain lets, say, linalg/ reach
+//     ml/ through a helper. Here each module's *transitive* reach must stay
+//     inside the closure of its allowed set; reported at the direct include
+//     whose subtree escapes.
+//   - orphan headers: a header nothing in the tree (or its test/fuzz/
+//     example consumers) includes is dead weight or a missing wiring bug;
+//     reported at line 1 of the orphan.
+//
+// The pass also serialises the DAG as lint_graph.json (files, edges,
+// modules, cycles, orphans — all lists sorted) so CI can archive the graph
+// next to the diagnostics.
+
+namespace wpred::lint {
+
+struct IncludeGraphAnalysis {
+  std::vector<Diagnostic> diagnostics;
+  std::string json;  // lint_graph.json payload
+};
+
+/// Analyzes the include DAG over `files` (the linted set). `consumers`
+/// (tests, fuzz harnesses, examples) contribute edges — a header only a
+/// test includes is not an orphan — but are not themselves checked.
+/// Deterministic: nodes are visited in sorted path order.
+IncludeGraphAnalysis AnalyzeIncludeGraph(
+    const std::vector<SourceFile>& files,
+    const std::vector<SourceFile>& consumers);
+
+}  // namespace wpred::lint
+
+#endif  // WPRED_TOOLS_LINT_GRAPH_H_

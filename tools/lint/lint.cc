@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cctype>
+#include <cstddef>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string_view>
+#include <thread>
+#include <utility>
+
+#include "lint/graph.h"
 
 namespace wpred::lint {
 namespace {
@@ -72,7 +78,7 @@ struct RuleInfo {
   const char* description;
 };
 
-constexpr std::array<RuleInfo, 8> kRules = {{
+constexpr std::array<RuleInfo, 12> kRules = {{
     {"nondeterminism",
      "wall-clock / libc-rand / random_device use outside common/rng breaks "
      "bit-reproducible runs"},
@@ -98,6 +104,20 @@ constexpr std::array<RuleInfo, 8> kRules = {{
      "the Chase-Lev deque (common/work_steal_deque.h) is internal to the "
      "parallel substrate; everything else selects a Schedule and lets "
      "common/parallel own the deque invariants"},
+    {"guarded-field",
+     "a field marked WPRED_GUARDED_BY(mu) may only be touched in scopes "
+     "that hold mu (MutexLock, mu.Lock(), or a WPRED_REQUIRES(mu) method)"},
+    {"atomics-order",
+     "every atomic load/store/fetch_*/compare_exchange_* must name an "
+     "explicit std::memory_order; standalone fences live only in "
+     "work_steal_deque.h; relaxed on a WPRED_ATOMIC_PUBLISHED atomic needs "
+     "a rationale suppression"},
+    {"include-graph",
+     "whole-tree include DAG: no cycles, no transitive reach outside a "
+     "module's layering closure, no header that nothing includes"},
+    {"bare-suppression",
+     "every wpred-lint: allow(...) must name known rules and carry a "
+     "trailing ': rationale' explaining why the violation is safe"},
 }};
 
 // Modules whose outputs are ordered numeric artifacts (tables, rankings,
@@ -106,40 +126,6 @@ const std::set<std::string>& NumericModules() {
   static const std::set<std::string> modules = {"linalg", "ml",     "similarity",
                                                 "featsel", "predict", "stream"};
   return modules;
-}
-
-// Allowed include targets per src module. Mirrors src/CMakeLists.txt's link
-// graph; wpred_lint is the enforcement teeth for that comment.
-const std::map<std::string, std::set<std::string>>& LayerDag() {
-  static const std::map<std::string, std::set<std::string>> dag = {
-      {"common", {"common"}},
-      {"obs", {"obs", "common"}},
-      {"linalg", {"linalg", "common"}},
-      {"telemetry", {"telemetry", "linalg", "common"}},
-      {"sim", {"sim", "telemetry", "obs", "linalg", "common"}},
-      {"ml", {"ml", "linalg", "obs", "common"}},
-      {"featsel", {"featsel", "ml", "telemetry", "obs", "linalg", "common"}},
-      {"similarity", {"similarity", "linalg", "telemetry", "obs", "common"}},
-      {"predict", {"predict", "ml", "telemetry", "obs", "linalg", "common"}},
-      {"core",
-       {"core", "sim", "featsel", "similarity", "predict", "telemetry", "ml",
-        "obs", "linalg", "common"}},
-      // Streaming ingestion sits beside core: windows and online detectors
-      // reuse similarity/ml/telemetry primitives and core configs, but stream
-      // only *exposes* refit hooks — it never includes serve/, and nothing
-      // below serve/ may depend on those hooks being connected.
-      {"stream",
-       {"stream", "core", "similarity", "ml", "telemetry", "obs", "linalg",
-        "common"}},
-      // Serving sits on top of the read-side API: it may reach core (and the
-      // layers core re-exports transitively via its headers is NOT a licence
-      // to include them directly), stream (serve/stream_refit.h is the one
-      // sanctioned bridge to the refit hooks), obs, and common. Nothing
-      // inside src/ may include serve/ — only bench, tests, and tools
-      // consume it.
-      {"serve", {"serve", "stream", "core", "obs", "common"}},
-  };
-  return dag;
 }
 
 // Identifiers that are nondeterministic however they are used.
@@ -208,21 +194,6 @@ bool Suppressed(const internal::CodeLine& line, const std::string& rule) {
          line.suppressed.end();
 }
 
-// Extracts the target of a local include (`#include "x"`); empty if the line
-// is not one. Works on the raw line because the tokenizer blanks string
-// literal bodies in `code`.
-std::string LocalIncludeTarget(const std::string& raw) {
-  const std::string trimmed = Trim(raw);
-  if (trimmed.empty() || trimmed[0] != '#') return "";
-  size_t pos = trimmed.find("include", 1);
-  if (pos == std::string::npos) return "";
-  pos = trimmed.find('"', pos);
-  if (pos == std::string::npos) return "";
-  const size_t end = trimmed.find('"', pos + 1);
-  if (end == std::string::npos) return "";
-  return trimmed.substr(pos + 1, end - pos - 1);
-}
-
 class RuleRunner {
  public:
   RuleRunner(const std::string& path, std::vector<Diagnostic>* out)
@@ -240,6 +211,7 @@ class RuleRunner {
       CheckBareDiscard(line, line_no);
       CheckLayering(line, line_no);
       CheckStealDeque(line, line_no);
+      CheckBareSuppression(line, line_no);
     }
   }
 
@@ -375,20 +347,22 @@ class RuleRunner {
   void CheckLayering(const internal::CodeLine& line, int line_no) {
     if (ctx_.root != "src") return;
     if (Suppressed(line, "layering")) return;
-    const std::string target = LocalIncludeTarget(line.raw);
+    const std::string target = internal::LocalIncludeTarget(line.raw);
     if (target.empty()) return;
     const size_t slash = target.find('/');
     if (slash == std::string::npos) return;  // same-directory include
     const std::string target_module = target.substr(0, slash);
-    if (!LayerDag().count(target_module)) {
+    if (!internal::LayerDag().count(target_module)) {
       if (KnownRoots().count(target_module)) {
         Report(line_no, "layering",
                "src/ must not include from " + target_module + "/");
       }
       return;
     }
-    auto it = LayerDag().find(ctx_.module);
-    if (it == LayerDag().end()) return;  // unknown module: no layering rules
+    auto it = internal::LayerDag().find(ctx_.module);
+    if (it == internal::LayerDag().end()) {
+      return;  // unknown module: no layering rules
+    }
     if (!it->second.count(target_module)) {
       Report(line_no, "layering",
              ctx_.module + "/ must not depend on " + target_module +
@@ -407,7 +381,8 @@ class RuleRunner {
   void CheckStealDeque(const internal::CodeLine& line, int line_no) {
     if (!InLintedTree() || IsStealDequeImplementation()) return;
     if (Suppressed(line, "steal-deque")) return;
-    if (LocalIncludeTarget(line.raw) == "common/work_steal_deque.h") {
+    if (internal::LocalIncludeTarget(line.raw) ==
+        "common/work_steal_deque.h") {
       Report(line_no, "steal-deque",
              "common/work_steal_deque.h is internal to the parallel "
              "substrate; select Schedule::kStealing on ParallelFor instead");
@@ -418,6 +393,59 @@ class RuleRunner {
              "'WorkStealDeque' outside common/parallel — the deque's "
              "memory-ordering invariants live in one place; select a "
              "Schedule on ParallelFor instead");
+    }
+  }
+
+  // The linter's own sources document the suppression syntax in comments and
+  // embed seeded-violation corpora as string literals; auditing them would
+  // flag the documentation itself.
+  bool IsLintImplementation() const {
+    return ctx_.root == "tools" && path_.find("lint") != std::string::npos;
+  }
+
+  void CheckBareSuppression(const internal::CodeLine& line, int line_no) {
+    if (!InLintedTree() || IsLintImplementation()) return;
+    if (!line.has_comment) return;
+    if (Suppressed(line, "bare-suppression")) return;
+    const std::string& raw = line.raw;
+    size_t pos = 0;
+    while ((pos = raw.find("wpred-lint:", pos)) != std::string::npos) {
+      const size_t open = raw.find("allow(", pos);
+      if (open == std::string::npos) break;
+      const size_t close = raw.find(')', open);
+      if (close == std::string::npos) break;
+      std::string item;
+      std::istringstream list(raw.substr(open + 6, close - open - 6));
+      while (std::getline(list, item, ',')) {
+        item = Trim(item);
+        if (!item.empty() && RuleDescription(item).empty()) {
+          Report(line_no, "bare-suppression",
+                 "suppression names unknown rule '" + item +
+                     "'; see --list-rules for the rule set");
+        }
+      }
+      // After the rule list the suppression must justify itself:
+      // `: <rationale>` with non-empty text.
+      size_t after = close + 1;
+      while (after < raw.size() &&
+             std::isspace(static_cast<unsigned char>(raw[after]))) {
+        ++after;
+      }
+      bool has_rationale = false;
+      if (after < raw.size() && raw[after] == ':') {
+        ++after;
+        while (after < raw.size() &&
+               std::isspace(static_cast<unsigned char>(raw[after]))) {
+          ++after;
+        }
+        has_rationale = after < raw.size();
+      }
+      if (!has_rationale) {
+        Report(line_no, "bare-suppression",
+               "suppression without rationale; a reader must not have to "
+               "reconstruct why the violation is safe");
+      }
+      pos = close;
     }
   }
 
@@ -476,10 +504,21 @@ std::vector<CodeLine> Tokenize(const std::string& content) {
 
   auto end_line = [&]() {
     current.suppressed = ParseSuppressions(comment_text);
+    // A `//` comment whose line ends in a backslash splices the next line
+    // into the comment; without this the continuation leaks into `code`.
+    const bool comment_continues = state == State::kLineComment &&
+                                   !current.raw.empty() &&
+                                   current.raw.back() == '\\';
     lines.push_back(current);
     current = CodeLine();
     comment_text.clear();
-    if (state == State::kLineComment) state = State::kCode;
+    if (state == State::kLineComment) {
+      if (comment_continues) {
+        current.has_comment = true;
+      } else {
+        state = State::kCode;
+      }
+    }
   };
 
   const size_t n = content.size();
@@ -592,9 +631,17 @@ std::vector<CodeLine> Tokenize(const std::string& content) {
     end_line();
   }
 
-  // A comment-only line lends its suppressions to the following line.
+  // A comment-only line lends its suppressions to the following line, and a
+  // statement that continues past the line break (code not ending in one of
+  // `;{}`) carries them forward with it — so a suppression comment above a
+  // wrapped statement covers every line the statement spans.
   for (size_t i = 0; i + 1 < lines.size(); ++i) {
-    if (!lines[i].suppressed.empty() && Trim(lines[i].code).empty()) {
+    if (lines[i].suppressed.empty()) continue;
+    const std::string code = Trim(lines[i].code);
+    const bool forwards = code.empty() || (code.back() != ';' &&
+                                           code.back() != '{' &&
+                                           code.back() != '}');
+    if (forwards) {
       lines[i + 1].suppressed.insert(lines[i + 1].suppressed.end(),
                                      lines[i].suppressed.begin(),
                                      lines[i].suppressed.end());
@@ -611,7 +658,631 @@ bool ContainsIdentifier(const std::string& code, const std::string& ident) {
   return found;
 }
 
+// Extracts the target of a local include (`#include "x"`); empty if the line
+// is not one. Works on the raw line because the tokenizer blanks string
+// literal bodies in `code`.
+std::string LocalIncludeTarget(const std::string& raw_line) {
+  const std::string trimmed = Trim(raw_line);
+  if (trimmed.empty() || trimmed[0] != '#') return "";
+  size_t pos = trimmed.find("include", 1);
+  if (pos == std::string::npos) return "";
+  pos = trimmed.find('"', pos);
+  if (pos == std::string::npos) return "";
+  const size_t end = trimmed.find('"', pos + 1);
+  if (end == std::string::npos) return "";
+  return trimmed.substr(pos + 1, end - pos - 1);
+}
+
+// Allowed include targets per src module. Mirrors src/CMakeLists.txt's link
+// graph; wpred_lint is the enforcement teeth for that comment.
+const std::map<std::string, std::set<std::string>>& LayerDag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      {"common", {"common"}},
+      {"obs", {"obs", "common"}},
+      {"linalg", {"linalg", "common"}},
+      {"telemetry", {"telemetry", "linalg", "common"}},
+      {"sim", {"sim", "telemetry", "obs", "linalg", "common"}},
+      {"ml", {"ml", "linalg", "obs", "common"}},
+      {"featsel", {"featsel", "ml", "telemetry", "obs", "linalg", "common"}},
+      {"similarity", {"similarity", "linalg", "telemetry", "obs", "common"}},
+      {"predict", {"predict", "ml", "telemetry", "obs", "linalg", "common"}},
+      {"core",
+       {"core", "sim", "featsel", "similarity", "predict", "telemetry", "ml",
+        "obs", "linalg", "common"}},
+      // Streaming ingestion sits beside core: windows and online detectors
+      // reuse similarity/ml/telemetry primitives and core configs, but stream
+      // only *exposes* refit hooks — it never includes serve/, and nothing
+      // below serve/ may depend on those hooks being connected.
+      {"stream",
+       {"stream", "core", "similarity", "ml", "telemetry", "obs", "linalg",
+        "common"}},
+      // Serving sits on top of the read-side API: it may reach core (and the
+      // layers core re-exports transitively via its headers is NOT a licence
+      // to include them directly), stream (serve/stream_refit.h is the one
+      // sanctioned bridge to the refit hooks), obs, and common. Nothing
+      // inside src/ may include serve/ — only bench, tests, and tools
+      // consume it.
+      {"serve", {"serve", "stream", "core", "obs", "common"}},
+  };
+  return dag;
+}
+
 }  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Concurrency analysis: guarded-field and atomics-order
+// ---------------------------------------------------------------------------
+//
+// Both passes run over a flat token stream (identifiers, numbers,
+// punctuation; `::` and `->` fused) built from the sanitized lines, so a
+// statement wrapped across lines analyses the same as a one-liner. This is
+// still not a parser: class membership, lock scopes, and field resolution
+// use the bracket structure plus a handful of conventions the tree actually
+// follows, and every heuristic errs toward silence (a field it cannot
+// resolve to a unique class is skipped, not guessed).
+
+namespace {
+
+struct Tok {
+  std::string text;
+  int line = 0;  // 1-based
+  char kind = 'p';  // 'i' identifier, 'n' number, 'p' punctuation
+};
+
+std::vector<Tok> TokenStream(const std::vector<internal::CodeLine>& lines) {
+  std::vector<Tok> toks;
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int line_no = static_cast<int>(li) + 1;
+    size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (IsIdentChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        while (j < code.size() && IsIdentChar(code[j])) ++j;
+        toks.push_back({code.substr(i, j - i), line_no, 'i'});
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        while (j < code.size() && (IsIdentChar(code[j]) || code[j] == '.')) {
+          ++j;
+        }
+        toks.push_back({code.substr(i, j - i), line_no, 'n'});
+        i = j;
+      } else if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        toks.push_back({"::", line_no, 'p'});
+        i += 2;
+      } else if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+        toks.push_back({"->", line_no, 'p'});
+        i += 2;
+      } else {
+        toks.push_back({std::string(1, c), line_no, 'p'});
+        ++i;
+      }
+    }
+  }
+  return toks;
+}
+
+// Index of the matching close for the open bracket at `open`; toks.size()
+// when unbalanced. `open_ch`/`close_ch` are single-char bracket tokens.
+size_t MatchForward(const std::vector<Tok>& toks, size_t open,
+                    const std::string& open_ch, const std::string& close_ch) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_ch) ++depth;
+    if (toks[i].text == close_ch && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// Index of the identifier naming the declarator that ends just before
+// `pos` — walks back over one `[...]` group (array declarators); npos-like
+// toks.size() when there is none.
+size_t DeclaratorIdentBefore(const std::vector<Tok>& toks, size_t pos) {
+  size_t i = pos;
+  if (i == 0) return toks.size();
+  --i;
+  if (toks[i].text == "]") {
+    int depth = 0;
+    while (true) {
+      if (toks[i].text == "]") ++depth;
+      if (toks[i].text == "[" && --depth == 0) break;
+      if (i == 0) return toks.size();
+      --i;
+    }
+    if (i == 0) return toks.size();
+    --i;
+  }
+  return toks[i].kind == 'i' ? i : toks.size();
+}
+
+const std::set<std::string>& AnnotationMacros() {
+  static const std::set<std::string> macros = {
+      "WPRED_GUARDED_BY",   "WPRED_PT_GUARDED_BY", "WPRED_ATOMIC_PUBLISHED",
+      "WPRED_REQUIRES",     "WPRED_ACQUIRE",       "WPRED_RELEASE",
+      "WPRED_TRY_ACQUIRE",  "WPRED_EXCLUDES",      "WPRED_CAPABILITY",
+      "WPRED_SCOPED_CAPABILITY"};
+  return macros;
+}
+
+// Concurrency contracts collected from declarations (headers, mostly):
+// which fields are guarded by which mutex, which methods require one held,
+// and which atomics publish data.
+struct ConcurrencyTables {
+  // (class, field) -> mutex named in WPRED_GUARDED_BY.
+  std::map<std::pair<std::string, std::string>, std::string> guarded;
+  // field -> classes declaring a guarded field of that name (for resolving
+  // accesses with no class context; ambiguous names are skipped).
+  std::map<std::string, std::set<std::string>> field_classes;
+  // (class, method) -> mutexes in WPRED_REQUIRES.
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      requires_held;
+  // Fields marked WPRED_ATOMIC_PUBLISHED (relaxed ops on them need a
+  // rationale suppression).
+  std::set<std::string> published;
+};
+
+// One class (or struct) scope on the nesting stack.
+struct ClassScope {
+  std::string name;
+  int brace_depth = 0;  // depth at which its `{` sits
+};
+
+// Walks the token stream recording annotation declarations. Only class
+// scopes matter: WPRED_GUARDED_BY / WPRED_ATOMIC_PUBLISHED annotate the
+// field declared directly before them, WPRED_REQUIRES annotates the method
+// whose parameter list closes directly before it.
+void CollectConcurrency(const std::vector<Tok>& toks,
+                        ConcurrencyTables* tables) {
+  std::vector<ClassScope> classes;
+  int depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Tok& tok = toks[i];
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      while (!classes.empty() && classes.back().brace_depth > depth) {
+        classes.pop_back();
+      }
+      continue;
+    }
+    if (tok.kind != 'i') continue;
+    if ((tok.text == "class" || tok.text == "struct") &&
+        (i == 0 || toks[i - 1].text != "enum")) {
+      // Scan ahead for the class-head name: the last identifier before the
+      // body `{`, base-clause `:`, or `;` (forward declaration) — skipping
+      // attribute macros' `(...)` arguments and `[[...]]` attributes.
+      std::string name;
+      size_t j = i + 1;
+      while (j < toks.size()) {
+        const std::string& t = toks[j].text;
+        if (t == "(") {
+          j = MatchForward(toks, j, "(", ")") + 1;
+          continue;
+        }
+        if (t == "[") {
+          j = MatchForward(toks, j, "[", "]") + 1;
+          continue;
+        }
+        if (t == "{" || t == ":" || t == ";" || t == "<") break;
+        if (toks[j].kind == 'i' && t != "final" && t != "alignas" &&
+            !AnnotationMacros().count(t)) {
+          name = t;
+        }
+        ++j;
+      }
+      // Template intro or specialisation (`<`) — out of scope, skip; a
+      // forward declaration (`;`) opens no scope either.
+      while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].text == "{" && !name.empty()) {
+        classes.push_back({name, depth + 1});
+      }
+      continue;
+    }
+    if (classes.empty()) continue;
+    const std::string& cls = classes.back().name;
+    if (tok.text == "WPRED_GUARDED_BY" || tok.text == "WPRED_PT_GUARDED_BY") {
+      const size_t field = DeclaratorIdentBefore(toks, i);
+      if (field == toks.size()) continue;
+      std::string mutex_name;
+      if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+        const size_t close = MatchForward(toks, i + 1, "(", ")");
+        for (size_t k = i + 2; k < close; ++k) {
+          if (toks[k].kind == 'i') {
+            mutex_name = toks[k].text;
+            break;
+          }
+        }
+      }
+      if (mutex_name.empty()) continue;
+      tables->guarded[{cls, toks[field].text}] = mutex_name;
+      tables->field_classes[toks[field].text].insert(cls);
+    } else if (tok.text == "WPRED_ATOMIC_PUBLISHED") {
+      const size_t field = DeclaratorIdentBefore(toks, i);
+      if (field != toks.size()) tables->published.insert(toks[field].text);
+    } else if (tok.text == "WPRED_REQUIRES") {
+      // ... Ret Name ( params ) [const] [noexcept] WPRED_REQUIRES(mu, ...)
+      size_t j = i;
+      std::vector<std::string> mutexes;
+      if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+        const size_t close = MatchForward(toks, i + 1, "(", ")");
+        for (size_t k = i + 2; k < close; ++k) {
+          if (toks[k].kind == 'i') mutexes.push_back(toks[k].text);
+        }
+      }
+      if (mutexes.empty()) continue;
+      while (j > 0) {
+        --j;
+        const std::string& t = toks[j].text;
+        if (t == "const" || t == "noexcept" || t == "override" ||
+            t == "final") {
+          continue;
+        }
+        if (t == ")") {
+          int d = 0;
+          while (j > 0) {
+            if (toks[j].text == ")") ++d;
+            if (toks[j].text == "(" && --d == 0) break;
+            --j;
+          }
+          continue;
+        }
+        break;
+      }
+      if (toks[j].kind == 'i') {
+        tables->requires_held[{cls, toks[j].text}] = mutexes;
+      }
+    }
+  }
+}
+
+// After a candidate definition's parameter list (close paren at `close`),
+// finds the body `{`: skips cv/ref/noexcept qualifiers, annotation macros
+// with their arguments, and a constructor's member-init list. Returns
+// toks.size() for declarations, initializer calls, `= default`, etc.
+size_t FindBodyBrace(const std::vector<Tok>& toks, size_t close) {
+  size_t j = close + 1;
+  while (j < toks.size()) {
+    const std::string& t = toks[j].text;
+    if (t == ";" || t == "=") return toks.size();
+    if (t == "{") return j;
+    if (t == "(") {
+      j = MatchForward(toks, j, "(", ")") + 1;
+      continue;
+    }
+    if (t == ":") {
+      // Member-init list: `name(...)` / `name{...}` groups; the body brace
+      // is the first `{` not directly after an identifier or `>`.
+      ++j;
+      while (j < toks.size()) {
+        const std::string& u = toks[j].text;
+        if (u == "(") {
+          j = MatchForward(toks, j, "(", ")") + 1;
+          continue;
+        }
+        if (u == "{") {
+          if (j > 0 && (toks[j - 1].kind == 'i' || toks[j - 1].text == ">")) {
+            j = MatchForward(toks, j, "{", "}") + 1;
+            continue;
+          }
+          return j;
+        }
+        if (u == ";") return toks.size();
+        ++j;
+      }
+      return toks.size();
+    }
+    if (toks[j].kind == 'i' || t == "," || t == "&" || t == "*" ||
+        t == "::" || t == "->" || t == "<" || t == ">") {
+      ++j;
+      continue;
+    }
+    return toks.size();
+  }
+  return toks.size();
+}
+
+const std::set<std::string>& AtomicOps() {
+  static const std::set<std::string> ops = {
+      "load",      "store",     "exchange",  "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",  "fetch_xor",
+      "compare_exchange_strong", "compare_exchange_weak"};
+  return ops;
+}
+
+const std::set<std::string>& LockHolderTypes() {
+  static const std::set<std::string> types = {"MutexLock", "lock_guard",
+                                              "unique_lock", "scoped_lock"};
+  return types;
+}
+
+// Guarded-field and atomics-order over one file's token stream, with the
+// (possibly whole-program) declaration tables. `lines` is the same
+// tokenization the stream was built from — used for suppression lookups.
+void CheckConcurrency(const std::string& path, const FileContext& ctx,
+                      const std::vector<internal::CodeLine>& lines,
+                      const std::vector<Tok>& toks,
+                      const ConcurrencyTables& tables,
+                      std::vector<Diagnostic>* out) {
+  const bool in_linted_tree =
+      ctx.root == "src" || ctx.root == "tools" || ctx.root == "bench";
+  if (!in_linted_tree) return;
+
+  auto suppressed_at = [&](int line, const char* rule) {
+    return line >= 1 && line <= static_cast<int>(lines.size()) &&
+           Suppressed(lines[line - 1], rule);
+  };
+  auto report = [&](int line, const char* rule, const std::string& message) {
+    if (!suppressed_at(line, rule)) out->push_back({path, line, rule, message});
+  };
+
+  struct Held {
+    std::string mutex;
+    int depth;
+  };
+  struct ActiveFn {
+    int body_depth = -1;  // < 0: no function body active
+    std::string cls;
+    bool exempt = false;  // constructor/destructor: Clang's analysis and
+                          // ours both treat the object as thread-private
+  };
+  std::vector<Held> held;
+  std::vector<ClassScope> classes;
+  ActiveFn fn;
+  int depth = 0;
+  size_t pending_body = toks.size();
+  ActiveFn pending;
+  std::vector<std::string> pending_requires;
+
+  const size_t n = toks.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Tok& tok = toks[i];
+    if (i == pending_body) {
+      fn = pending;
+      fn.body_depth = depth + 1;
+      for (const std::string& m : pending_requires) {
+        held.push_back({m, depth + 1});
+      }
+      pending_body = n;
+      pending_requires.clear();
+    }
+    if (tok.text == "{") {
+      ++depth;
+      continue;
+    }
+    if (tok.text == "}") {
+      --depth;
+      while (!classes.empty() && classes.back().brace_depth > depth) {
+        classes.pop_back();
+      }
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      if (fn.body_depth >= 0 && fn.body_depth > depth) fn = ActiveFn();
+      continue;
+    }
+    if (tok.kind != 'i') continue;
+
+    // Class scopes (mirrors CollectConcurrency).
+    if ((tok.text == "class" || tok.text == "struct") &&
+        (i == 0 || toks[i - 1].text != "enum")) {
+      std::string name;
+      size_t j = i + 1;
+      while (j < n) {
+        const std::string& t = toks[j].text;
+        if (t == "(") {
+          j = MatchForward(toks, j, "(", ")") + 1;
+          continue;
+        }
+        if (t == "[") {
+          j = MatchForward(toks, j, "[", "]") + 1;
+          continue;
+        }
+        if (t == "{" || t == ":" || t == ";" || t == "<") break;
+        if (toks[j].kind == 'i' && t != "final" && t != "alignas" &&
+            !AnnotationMacros().count(t)) {
+          name = t;
+        }
+        ++j;
+      }
+      while (j < n && toks[j].text != "{" && toks[j].text != ";") ++j;
+      if (j < n && toks[j].text == "{" && !name.empty()) {
+        classes.push_back({name, depth + 1});
+      }
+      continue;
+    }
+
+    // Method definitions, in-class (`Name(...) ... {`) and out-of-class
+    // (`Class::Name(...) ... {`): establish the class context, the
+    // ctor/dtor exemption, and any WPRED_REQUIRES-held mutexes.
+    if (pending_body == n && fn.body_depth < 0) {
+      if (!classes.empty() && i + 1 < n && toks[i + 1].text == "(" &&
+          !AnnotationMacros().count(tok.text) &&
+          !LockHolderTypes().count(tok.text)) {
+        const size_t close = MatchForward(toks, i + 1, "(", ")");
+        const size_t body = FindBodyBrace(toks, close);
+        if (body != n) {
+          pending_body = body;
+          pending.cls = classes.back().name;
+          pending.exempt = tok.text == classes.back().name ||
+                           (i > 0 && toks[i - 1].text == "~");
+          auto it = tables.requires_held.find({pending.cls, tok.text});
+          if (it != tables.requires_held.end()) pending_requires = it->second;
+        }
+      } else if (classes.empty() && tok.text != "operator" && i + 2 < n &&
+                 toks[i + 1].text == "::") {
+        size_t m = i + 2;
+        bool dtor = false;
+        if (m < n && toks[m].text == "~") {
+          dtor = true;
+          ++m;
+        }
+        if (m + 1 < n && toks[m].kind == 'i' && toks[m + 1].text == "(") {
+          const size_t close = MatchForward(toks, m + 1, "(", ")");
+          const size_t body = FindBodyBrace(toks, close);
+          if (body != n) {
+            pending_body = body;
+            pending.cls = tok.text;
+            pending.exempt = dtor || toks[m].text == tok.text;
+            auto it = tables.requires_held.find({pending.cls, toks[m].text});
+            if (it != tables.requires_held.end()) {
+              pending_requires = it->second;
+            }
+          }
+        }
+      }
+    }
+
+    // Lock acquisition / release.
+    if (LockHolderTypes().count(tok.text)) {
+      // `MutexLock lock(mu_);` / `std::lock_guard<std::mutex> l(m);` — the
+      // lock lives until its block closes.
+      size_t j = i + 1;
+      int angle = 0;
+      while (j < n) {
+        const std::string& t = toks[j].text;
+        if (t == "<") ++angle;
+        else if (t == ">") --angle;
+        else if (angle == 0 && (t == "(" || t == ";" || t == "{" || t == "}"))
+          break;
+        ++j;
+      }
+      if (j < n && toks[j].text == "(") {
+        const size_t close = MatchForward(toks, j, "(", ")");
+        std::string mutex_name;
+        for (size_t k = j + 1; k < close; ++k) {
+          if (toks[k].kind == 'i') mutex_name = toks[k].text;
+        }
+        if (!mutex_name.empty()) held.push_back({mutex_name, depth});
+      }
+      continue;
+    }
+    if ((tok.text == "Lock" || tok.text == "Unlock") && i > 0 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") && i + 1 < n &&
+        toks[i + 1].text == "(") {
+      const size_t obj = DeclaratorIdentBefore(toks, i - 1);
+      if (obj != n) {
+        if (tok.text == "Lock") {
+          held.push_back({toks[obj].text, depth});
+        } else {
+          for (size_t k = held.size(); k-- > 0;) {
+            if (held[k].mutex == toks[obj].text) {
+              held.erase(held.begin() + static_cast<ptrdiff_t>(k));
+              break;
+            }
+          }
+        }
+      }
+      continue;
+    }
+
+    // --- atomics-order ---------------------------------------------------
+    if (tok.text == "atomic_thread_fence" &&
+        ctx.filename != "work_steal_deque.h") {
+      report(tok.line, "atomics-order",
+             "standalone atomic_thread_fence outside work_steal_deque.h — "
+             "attach the ordering to the operation that needs it");
+    }
+    if (AtomicOps().count(tok.text) && i > 0 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->") && i + 1 < n &&
+        toks[i + 1].text == "(") {
+      const size_t close = MatchForward(toks, i + 1, "(", ")");
+      bool has_order = false;
+      bool relaxed = false;
+      for (size_t k = i + 2; k < close; ++k) {
+        if (toks[k].kind == 'i' &&
+            toks[k].text.rfind("memory_order_", 0) == 0) {
+          has_order = true;
+          if (toks[k].text == "memory_order_relaxed") relaxed = true;
+        }
+      }
+      const size_t obj = DeclaratorIdentBefore(toks, i - 1);
+      const std::string object =
+          obj != n ? toks[obj].text : std::string();
+      if (!has_order) {
+        report(tok.line, "atomics-order",
+               "atomic '" + tok.text + "'" +
+                   (object.empty() ? "" : " on '" + object + "'") +
+                   " names no std::memory_order; sequential consistency "
+                   "must be chosen, not defaulted into");
+      } else if (relaxed && tables.published.count(object)) {
+        report(tok.line, "atomics-order",
+               "memory_order_relaxed on '" + object +
+                   "', a WPRED_ATOMIC_PUBLISHED atomic — publication needs "
+                   "release/acquire; if a single-writer invariant makes "
+                   "relaxed safe here, suppress with the rationale");
+      }
+    }
+
+    // --- guarded-field ---------------------------------------------------
+    auto field_it = tables.field_classes.find(tok.text);
+    if (field_it == tables.field_classes.end()) continue;
+    // Declaration site: the annotation macro follows the declarator
+    // (possibly after an array extent).
+    size_t after = i + 1;
+    if (after < n && toks[after].text == "[") {
+      after = MatchForward(toks, after, "[", "]") + 1;
+    }
+    if (after < n && AnnotationMacros().count(toks[after].text)) continue;
+    // Another object's member (`other.field_`) is that object's problem;
+    // `this->field_` is ours.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
+        !(i > 1 && toks[i - 2].text == "this")) {
+      continue;
+    }
+    // Call syntax: member-init `mu_()` in a ctor, or invoking a callable
+    // field. The latter is a read this heuristic misses — a documented
+    // soundness limit, not a licence.
+    if (i + 1 < n && toks[i + 1].text == "(") continue;
+    std::string cls;
+    if (fn.body_depth >= 0) {
+      cls = fn.cls;
+    } else if (!classes.empty()) {
+      cls = classes.back().name;
+    }
+    std::string mutex_name;
+    if (!cls.empty()) {
+      auto it = tables.guarded.find({cls, tok.text});
+      // Known context without an entry: a same-named field of an
+      // unannotated class — skip rather than guess.
+      if (it == tables.guarded.end()) continue;
+      mutex_name = it->second;
+    } else {
+      // No class context: resolve only when the field name is unique to
+      // one annotated class tree-wide.
+      if (field_it->second.size() != 1) continue;
+      cls = *field_it->second.begin();
+      auto it = tables.guarded.find({cls, tok.text});
+      if (it == tables.guarded.end()) continue;
+      mutex_name = it->second;
+    }
+    if (fn.body_depth >= 0 && fn.exempt) continue;
+    bool is_held = false;
+    for (const Held& h : held) {
+      if (h.mutex == mutex_name) {
+        is_held = true;
+        break;
+      }
+    }
+    if (!is_held) {
+      report(tok.line, "guarded-field",
+             "field '" + tok.text + "' of " + cls + " is WPRED_GUARDED_BY(" +
+                 mutex_name + ") but " + mutex_name +
+                 " is not held here (no MutexLock/Lock in scope and no "
+                 "WPRED_REQUIRES on the enclosing method)");
+    }
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Public API
@@ -631,16 +1302,93 @@ std::string RuleDescription(const std::string& rule) {
   return "";
 }
 
+namespace {
+
+bool DiagnosticOrder(const Diagnostic& a, const Diagnostic& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+}  // namespace
+
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    const std::string& content) {
   std::vector<Diagnostic> diagnostics;
   const std::vector<internal::CodeLine> lines = internal::Tokenize(content);
   RuleRunner runner(path, &diagnostics);
   runner.Run(lines);
-  std::stable_sort(diagnostics.begin(), diagnostics.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     return a.line < b.line;
-                   });
+  const std::vector<Tok> toks = TokenStream(lines);
+  ConcurrencyTables tables;
+  CollectConcurrency(toks, &tables);
+  CheckConcurrency(path, ClassifyPath(path), lines, toks, tables,
+                   &diagnostics);
+  std::stable_sort(diagnostics.begin(), diagnostics.end(), DiagnosticOrder);
+  return diagnostics;
+}
+
+std::vector<Diagnostic> LintProgram(const std::vector<SourceFile>& files,
+                                    const std::vector<SourceFile>& consumers,
+                                    int threads,
+                                    std::string* graph_json) {
+  // Tokenize every file once and collect the tree-wide concurrency
+  // declarations, so a .cc is checked against its header's contract.
+  struct FileData {
+    const SourceFile* file = nullptr;
+    FileContext ctx;
+    std::vector<internal::CodeLine> lines;
+    std::vector<Tok> toks;
+  };
+  std::vector<FileData> data(files.size());
+  ConcurrencyTables tables;
+  for (size_t i = 0; i < files.size(); ++i) {
+    data[i].file = &files[i];
+    data[i].ctx = ClassifyPath(files[i].path);
+    data[i].lines = internal::Tokenize(files[i].content);
+    data[i].toks = TokenStream(data[i].lines);
+    CollectConcurrency(data[i].toks, &tables);
+  }
+
+  // Per-file rules fan out over worker threads; the final sort makes the
+  // output identical at any thread count.
+  std::vector<std::vector<Diagnostic>> per_file(data.size());
+  auto check_one = [&](size_t i) {
+    RuleRunner runner(data[i].file->path, &per_file[i]);
+    runner.Run(data[i].lines);
+    CheckConcurrency(data[i].file->path, data[i].ctx, data[i].lines,
+                     data[i].toks, tables, &per_file[i]);
+  };
+  if (threads <= 1 || data.size() <= 1) {
+    for (size_t i = 0; i < data.size(); ++i) check_one(i);
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= data.size()) return;
+        check_one(i);
+      }
+    };
+    const size_t count = std::min<size_t>(static_cast<size_t>(threads),
+                                          data.size());
+    std::vector<std::thread> workers;
+    workers.reserve(count);
+    for (size_t t = 0; t < count; ++t) workers.emplace_back(worker);
+    for (std::thread& w : workers) w.join();
+  }
+
+  std::vector<Diagnostic> diagnostics;
+  for (std::vector<Diagnostic>& d : per_file) {
+    diagnostics.insert(diagnostics.end(), d.begin(), d.end());
+  }
+
+  IncludeGraphAnalysis graph = AnalyzeIncludeGraph(files, consumers);
+  diagnostics.insert(diagnostics.end(), graph.diagnostics.begin(),
+                     graph.diagnostics.end());
+  if (graph_json != nullptr) *graph_json = std::move(graph.json);
+
+  std::sort(diagnostics.begin(), diagnostics.end(), DiagnosticOrder);
   return diagnostics;
 }
 
@@ -748,7 +1496,260 @@ constexpr SelfTestCase kSelfTests[] = {
      "// WorkStealDeque balances irregular trees via Schedule::kStealing\n"
      "#include \"common/parallel.h\"\n",
      nullptr, 0},
+    // --- guarded-field ---
+    {"guarded-unlocked-write", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void Bump() {\n"
+     "    ++count_;\n"
+     "  }\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     "guarded-field", 5},
+    {"guarded-mutexlock-ok", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void Bump() {\n"
+     "    MutexLock lock(mu_);\n"
+     "    ++count_;\n"
+     "  }\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     nullptr, 0},
+    {"guarded-requires-ok", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void BumpLocked() WPRED_REQUIRES(mu_) { ++count_; }\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     nullptr, 0},
+    {"guarded-out-of-class", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void Bump();\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n"
+     "void Counter::Bump() {\n"
+     "  ++count_;\n"
+     "}\n",
+     "guarded-field", 10},
+    {"guarded-out-of-class-requires-ok", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void BumpLocked() WPRED_REQUIRES(mu_);\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n"
+     "void Counter::BumpLocked() {\n"
+     "  ++count_;\n"
+     "}\n",
+     nullptr, 0},
+    {"guarded-ctor-exempt-ok", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  Counter() { count_ = 0; }\n"
+     "  ~Counter() { count_ = 0; }\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     nullptr, 0},
+    {"guarded-lock-released", "src/core/counter.cc",
+     "#include \"common/mutex.h\"\n"
+     "class Counter {\n"
+     " public:\n"
+     "  void Bump() {\n"
+     "    { MutexLock lock(mu_); }\n"
+     "    ++count_;\n"
+     "  }\n"
+     " private:\n"
+     "  Mutex mu_;\n"
+     "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     "guarded-field", 6},
+    // --- atomics-order ---
+    {"atomics-defaulted-order", "src/serve/box.cc",
+     "#include <atomic>\n"
+     "std::atomic<int> a{0};\n"
+     "int f() {\n"
+     "  return a.load();\n"
+     "}\n",
+     "atomics-order", 4},
+    {"atomics-explicit-ok", "src/serve/box.cc",
+     "#include <atomic>\n"
+     "std::atomic<int> a{0};\n"
+     "int f() {\n"
+     "  return a.load(std::memory_order_acquire);\n"
+     "}\n",
+     nullptr, 0},
+    {"atomics-wrapped-call-ok", "src/serve/box.cc",
+     "#include <atomic>\n"
+     "std::atomic<int> a{0};\n"
+     "int f() {\n"
+     "  return a.load(\n"
+     "      std::memory_order_acquire);\n"
+     "}\n",
+     nullptr, 0},
+    {"atomics-fence-outside-deque", "src/serve/box.cc",
+     "#include <atomic>\n"
+     "void f() {\n"
+     "  std::atomic_thread_fence(std::memory_order_seq_cst);\n"
+     "}\n",
+     "atomics-order", 3},
+    {"atomics-relaxed-on-published", "src/serve/box.cc",
+     "#include <atomic>\n"
+     "#include \"common/annotations.h\"\n"
+     "class Box {\n"
+     "  int Read() {\n"
+     "    return head_.load(std::memory_order_relaxed);\n"
+     "  }\n"
+     "  std::atomic<int> head_ WPRED_ATOMIC_PUBLISHED{0};\n"
+     "};\n",
+     "atomics-order", 5},
+    {"atomics-acquire-on-published-ok", "src/serve/box.cc",
+     "#include <atomic>\n"
+     "#include \"common/annotations.h\"\n"
+     "class Box {\n"
+     "  int Read() {\n"
+     "    return head_.load(std::memory_order_acquire);\n"
+     "  }\n"
+     "  std::atomic<int> head_ WPRED_ATOMIC_PUBLISHED{0};\n"
+     "};\n",
+     nullptr, 0},
+    // --- bare-suppression ---
+    {"suppression-no-rationale", "src/ml/model.cc",
+     "double x = 0.0;  // wpred-lint: allow(raw-float)\n", "bare-suppression",
+     1},
+    {"suppression-unknown-rule", "src/ml/model.cc",
+     "// wpred-lint: allow(no-such-rule): misremembered name\n"
+     "double x = 0.0;\n",
+     "bare-suppression", 1},
+    {"suppression-with-rationale-ok", "src/ml/model.cc",
+     "// wpred-lint: allow(unordered-container): scratch map, drained into\n"
+     "// a sorted vector before anything reads it\n"
+     "std::unordered_map<int, int> scratch;\n",
+     nullptr, 0},
+    {"suppression-multi-rule-ok", "src/ml/model.cc",
+     "// wpred-lint: allow(unordered-container, raw-float): interop shim\n"
+     "std::unordered_map<int, float> shim;\n",
+     nullptr, 0},
 };
+
+// Program-level corpus: each case is a miniature tree fed to LintProgram.
+// `rule` fires at (file, line); a nullptr rule expects a clean program.
+struct ProgramSelfTestCase {
+  const char* name;
+  std::vector<SourceFile> files;
+  std::vector<SourceFile> consumers;
+  const char* rule;
+  const char* file;  // where the diagnostic lands
+  int line;
+};
+
+const std::vector<ProgramSelfTestCase>& ProgramSelfTests() {
+  static const std::vector<ProgramSelfTestCase> cases = {
+      {"include-cycle",
+       {{"src/linalg/a.h", "#include \"linalg/b.h\"\nint a();\n"},
+        {"src/linalg/b.h", "#include \"linalg/a.h\"\nint b();\n"},
+        {"src/linalg/a.cc", "#include \"linalg/a.h\"\nint a() { return 1; }\n"}},
+       {{"tests/a_test.cc", "#include \"linalg/a.h\"\n"}},
+       "include-graph",
+       "src/linalg/b.h",
+       1},
+      {"orphan-header",
+       {{"src/linalg/used.h", "int u();\n"},
+        {"src/linalg/unused.h", "int x();\n"},
+        {"src/linalg/used.cc",
+         "#include \"linalg/used.h\"\nint u() { return 1; }\n"}},
+       {},
+       "include-graph",
+       "src/linalg/unused.h",
+       1},
+      {"orphan-consumed-ok",
+       {{"src/linalg/used.h", "int u();\n"},
+        {"src/linalg/helper.h", "int h();\n"},
+        {"src/linalg/used.cc",
+         "#include \"linalg/used.h\"\nint u() { return 1; }\n"}},
+       {{"tests/helper_test.cc", "#include \"linalg/helper.h\"\n"}},
+       nullptr,
+       "",
+       0},
+      // A suppressed direct layering violation mid-chain: the per-file rule
+      // is silenced in helper.h, but the include-graph pass still flags the
+      // consumer that transitively reaches ml/ from linalg/.
+      {"transitive-layering-leak",
+       {{"src/linalg/solve.cc",
+         "#include \"linalg/helper.h\"\nint s() { return h(); }\n"},
+        {"src/linalg/helper.h",
+         "// wpred-lint: allow(layering, include-graph): seeded violation\n"
+         "#include \"ml/model.h\"\nint h();\n"},
+        {"src/ml/model.h", "int m();\n"}},
+       {{"tests/t.cc",
+         "#include \"linalg/helper.h\"\n#include \"ml/model.h\"\n"}},
+       "include-graph",
+       "src/linalg/solve.cc",
+       1},
+      // Cross-file contract: the header guards the field, the .cc touches
+      // it without the mutex — only a whole-program pass can see both.
+      {"cross-file-guarded-field",
+       {{"src/core/counter.h",
+         "#include \"common/mutex.h\"\n"
+         "class Counter {\n"
+         " public:\n"
+         "  void Bump();\n"
+         " private:\n"
+         "  Mutex mu_;\n"
+         "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+         "};\n"},
+        {"src/core/counter.cc",
+         "#include \"core/counter.h\"\n"
+         "void Counter::Bump() {\n"
+         "  ++count_;\n"
+         "}\n"}},
+       {{"tests/counter_test.cc", "#include \"core/counter.h\"\n"},
+        {"tests/mutex_test.cc", "#include \"common/mutex.h\"\n"}},
+       "guarded-field",
+       "src/core/counter.cc",
+       3},
+      {"cross-file-guarded-ok",
+       {{"src/core/counter.h",
+         "#include \"common/mutex.h\"\n"
+         "class Counter {\n"
+         " public:\n"
+         "  void Bump();\n"
+         " private:\n"
+         "  Mutex mu_;\n"
+         "  int count_ WPRED_GUARDED_BY(mu_) = 0;\n"
+         "};\n"},
+        {"src/core/counter.cc",
+         "#include \"core/counter.h\"\n"
+         "void Counter::Bump() {\n"
+         "  MutexLock lock(mu_);\n"
+         "  ++count_;\n"
+         "}\n"}},
+       {{"tests/counter_test.cc", "#include \"core/counter.h\"\n"},
+        {"tests/mutex_test.cc", "#include \"common/mutex.h\"\n"}},
+       nullptr,
+       "",
+       0},
+  };
+  return cases;
+}
 
 }  // namespace
 
@@ -785,7 +1786,10 @@ std::vector<std::string> SelfTest() {
       ++line_no;
       suppressed << line;
       if (line_no == test.line) {
-        suppressed << "  // wpred-lint: allow(" << test.rule << ")";
+        // Rationale included so the appended comment passes the
+        // bare-suppression audit itself.
+        suppressed << "  // wpred-lint: allow(" << test.rule
+                   << "): self-test suppression";
       }
       suppressed << "\n";
     }
@@ -799,6 +1803,35 @@ std::vector<std::string> SelfTest() {
       failures.push_back(std::string("self-test '") + test.name +
                          "': suppression comment did not silence [" +
                          test.rule + "]");
+    }
+  }
+
+  for (const ProgramSelfTestCase& test : ProgramSelfTests()) {
+    std::string json;
+    const std::vector<Diagnostic> diagnostics =
+        LintProgram(test.files, test.consumers, 1, &json);
+    if (json.empty()) {
+      failures.push_back(std::string("program self-test '") + test.name +
+                         "': empty lint_graph.json payload");
+    }
+    if (test.rule == nullptr) {
+      if (!diagnostics.empty()) {
+        failures.push_back(std::string("program self-test '") + test.name +
+                           "': expected clean, got " +
+                           FormatDiagnostic(diagnostics.front()));
+      }
+      continue;
+    }
+    const bool fired = std::any_of(
+        diagnostics.begin(), diagnostics.end(), [&](const Diagnostic& d) {
+          return d.rule == test.rule && d.file == test.file &&
+                 d.line == test.line;
+        });
+    if (!fired) {
+      failures.push_back(std::string("program self-test '") + test.name +
+                         "': expected [" + test.rule + "] at " + test.file +
+                         ":" + std::to_string(test.line) +
+                         ", rule did not fire");
     }
   }
   return failures;

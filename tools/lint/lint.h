@@ -1,6 +1,8 @@
 #ifndef WPRED_TOOLS_LINT_LINT_H_
 #define WPRED_TOOLS_LINT_LINT_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -15,11 +17,26 @@
 //
 // The library is standard-library-only on purpose: the linter must not link
 // the code it lints. The CLI lives in wpred_lint_main.cc; unit tests drive
-// LintSource directly (tests/lint_test.cc).
+// LintSource / LintProgram directly (tests/lint_test.cc).
 //
-// Suppressions: a comment `// wpred-lint: allow(rule)` (or
-// `allow(rule1, rule2)`) silences those rules on its own line — or, when the
-// line holds nothing but the comment, on the following line.
+// Two entry points:
+//   - LintSource: one translation unit, declarations and accesses in the
+//     same text. What tests and SelfTest() drive.
+//   - LintProgram: the whole tree at once. Concurrency declarations
+//     (WPRED_GUARDED_BY / WPRED_ATOMIC_PUBLISHED / WPRED_REQUIRES, declared
+//     in headers) are collected across every file first, so a .cc touching
+//     a field its header guards is checked against the header's contract;
+//     then the cross-TU include-graph pass (tools/lint/graph.h) runs over
+//     the full include DAG.
+//
+// Suppressions: a comment `// wpred-lint: allow(rule): rationale` (or
+// `allow(rule1, rule2): rationale`) silences those rules on its own line —
+// or, when the line holds nothing but the comment, on the following line.
+// A suppression also carries forward through statement continuations: any
+// line whose code does not end in one of `;{}` lends its suppressions to
+// the next line, so a suppression above a wrapped statement covers the
+// whole statement. The `bare-suppression` rule rejects suppressions with
+// no rationale text after the rule list.
 
 namespace wpred::lint {
 
@@ -28,6 +45,12 @@ struct Diagnostic {
   int line = 0;  // 1-based
   std::string rule;
   std::string message;
+};
+
+/// One file handed to LintProgram: repo-relative path + full contents.
+struct SourceFile {
+  std::string path;
+  std::string content;
 };
 
 /// All rule names, in reporting order.
@@ -42,6 +65,21 @@ std::string RuleDescription(const std::string& rule);
 /// back sorted by line.
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    const std::string& content);
+
+/// Whole-program lint over `files`: per-file rules run with concurrency
+/// declaration tables collected across the entire set, then the include
+/// graph is analyzed once (cycles, transitive layering, orphan headers).
+/// `consumers` are additional files (tests, fuzz harnesses, examples) that
+/// count as includers in the graph — so a header only tests consume is not
+/// an orphan — but are not themselves linted. Per-file linting fans out
+/// over `threads` std::threads (<= 1 means serial); output is
+/// deterministic regardless: diagnostics come back sorted by
+/// (file, line, rule, message). When `graph_json` is non-null it receives
+/// the lint_graph.json payload describing the include DAG.
+std::vector<Diagnostic> LintProgram(const std::vector<SourceFile>& files,
+                                    const std::vector<SourceFile>& consumers,
+                                    int threads = 1,
+                                    std::string* graph_json = nullptr);
 
 /// "file:line: [rule] message" — the single diagnostic format, stable for CI
 /// grepping and for the pinned expectations in tests/lint_test.cc.
@@ -64,13 +102,24 @@ struct CodeLine {
   bool has_comment = false;              // raw line carried any comment
 };
 
-/// Strips comments / string / char literals (handling raw strings, escapes,
-/// and digit separators) and collects `wpred-lint: allow(...)` suppressions.
-/// Comment-only lines forward their suppressions to the next line.
+/// Strips comments / string / char literals (handling raw strings — also
+/// multi-line ones — escapes, digit separators, and `//` comments continued
+/// with a trailing backslash) and collects `wpred-lint: allow(...)`
+/// suppressions. Comment-only lines and statement-continuation lines (code
+/// not ending in `;{}`) forward their suppressions to the next line.
 std::vector<CodeLine> Tokenize(const std::string& content);
 
 /// True if `code` contains `ident` as a whole identifier token.
 bool ContainsIdentifier(const std::string& code, const std::string& ident);
+
+/// Extracts the target of a local include (`#include "x"`) from a raw
+/// source line; empty when the line is not one. Shared with the include
+/// graph pass (tools/lint/graph.cc).
+std::string LocalIncludeTarget(const std::string& raw_line);
+
+/// The allowed-direct-includes DAG per src module (mirrors the
+/// src/CMakeLists.txt link graph). Shared with the include graph pass.
+const std::map<std::string, std::set<std::string>>& LayerDag();
 
 }  // namespace internal
 

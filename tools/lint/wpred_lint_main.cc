@@ -1,8 +1,19 @@
 // wpred_lint CLI: scans .h/.cc trees and reports wpred invariant violations.
 //
-//   wpred_lint src tools bench          # lint the production tree
-//   wpred_lint --self-test              # run the embedded rule corpus
-//   wpred_lint --list-rules             # print rules + descriptions
+//   wpred_lint src tools bench                    # lint the production tree
+//   wpred_lint --consumers=tests --consumers=fuzz src tools bench
+//   wpred_lint --format=json --graph-json=lint_graph.json src tools bench
+//   wpred_lint --self-test                        # run the embedded corpus
+//   wpred_lint --list-rules                       # print rules + descriptions
+//
+// The whole argument set is linted as one program (LintProgram): concurrency
+// contracts declared in headers bind the .cc files that touch them, and the
+// include-graph pass sees every edge. `--consumers` roots (tests, fuzz
+// harnesses, examples) count as includers — so a header only tests consume
+// is not an orphan — but are not themselves linted.
+//
+// Output is deterministic at any `--threads` value: diagnostics are sorted
+// by (file, line, rule, message) and JSON arrays preserve that order.
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -13,6 +24,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint/lint.h"
@@ -67,22 +79,105 @@ bool CollectFiles(const std::string& root, std::vector<std::string>* out) {
   return true;
 }
 
+bool ReadAll(const std::vector<std::string>& paths,
+             std::vector<wpred::lint::SourceFile>* out) {
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "wpred_lint: cannot read " << path << "\n";
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out->push_back({path, buffer.str()});
+  }
+  return true;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+std::string DiagnosticsJson(
+    const std::vector<wpred::lint::Diagnostic>& diagnostics,
+    size_t files_scanned) {
+  std::string json = "{\n  \"diagnostics\": [\n";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const wpred::lint::Diagnostic& d = diagnostics[i];
+    json += "    {\"file\": ";
+    AppendJsonString(d.file, &json);
+    json += ", \"line\": " + std::to_string(d.line) + ", \"rule\": ";
+    AppendJsonString(d.rule, &json);
+    json += ", \"message\": ";
+    AppendJsonString(d.message, &json);
+    json += "}";
+    json += i + 1 < diagnostics.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"files_scanned\": " + std::to_string(files_scanned) +
+          ",\n  \"issues\": " + std::to_string(diagnostics.size()) + "\n}\n";
+  return json;
+}
+
+int Usage(int code) {
+  (code == 0 ? std::cout : std::cerr)
+      << "usage: wpred_lint [--self-test] [--list-rules] [--format=text|json]"
+         "\n                  [--threads=N] [--graph-json=PATH]"
+         " [--consumers=PATH]... <path>...\n";
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::vector<std::string> consumer_roots;
   bool self_test = false;
   bool list_rules = false;
+  bool json_format = false;
+  std::string graph_json_path;
+  int threads = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
       self_test = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string format = arg.substr(9);
+      if (format == "json") {
+        json_format = true;
+      } else if (format != "text") {
+        std::cerr << "wpred_lint: unknown format " << format << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      try {
+        threads = std::stoi(arg.substr(10));
+      } catch (...) {
+        threads = 0;
+      }
+      if (threads < 1) {
+        std::cerr << "wpred_lint: --threads wants a positive integer\n";
+        return 2;
+      }
+    } else if (arg.rfind("--graph-json=", 0) == 0) {
+      graph_json_path = arg.substr(13);
+    } else if (arg.rfind("--consumers=", 0) == 0) {
+      consumer_roots.push_back(arg.substr(12));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: wpred_lint [--self-test] [--list-rules] "
-                   "<path>...\n";
-      return 0;
+      return Usage(0);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "wpred_lint: unknown flag " << arg << "\n";
       return 2;
@@ -109,37 +204,52 @@ int main(int argc, char** argv) {
     if (roots.empty()) return 0;
   }
 
-  if (roots.empty()) {
-    std::cerr << "usage: wpred_lint [--self-test] [--list-rules] <path>...\n";
+  if (roots.empty()) return Usage(2);
+
+  std::vector<std::string> file_paths;
+  for (const std::string& root : roots) {
+    if (!CollectFiles(root, &file_paths)) return 2;
+  }
+  std::sort(file_paths.begin(), file_paths.end());
+  std::vector<std::string> consumer_paths;
+  for (const std::string& root : consumer_roots) {
+    if (!CollectFiles(root, &consumer_paths)) return 2;
+  }
+  std::sort(consumer_paths.begin(), consumer_paths.end());
+
+  std::vector<wpred::lint::SourceFile> files;
+  std::vector<wpred::lint::SourceFile> consumers;
+  if (!ReadAll(file_paths, &files) || !ReadAll(consumer_paths, &consumers)) {
     return 2;
   }
 
-  std::vector<std::string> files;
-  for (const std::string& root : roots) {
-    if (!CollectFiles(root, &files)) return 2;
-  }
-  std::sort(files.begin(), files.end());
+  std::string graph_json;
+  const std::vector<wpred::lint::Diagnostic> diagnostics =
+      wpred::lint::LintProgram(files, consumers, threads, &graph_json);
 
-  size_t issues = 0;
-  for (const std::string& file : files) {
-    std::ifstream in(file, std::ios::binary);
-    if (!in) {
-      std::cerr << "wpred_lint: cannot read " << file << "\n";
+  if (!graph_json_path.empty()) {
+    std::ofstream out(graph_json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "wpred_lint: cannot write " << graph_json_path << "\n";
       return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    for (const wpred::lint::Diagnostic& diagnostic :
-         wpred::lint::LintSource(file, buffer.str())) {
+    out << graph_json;
+  }
+
+  if (json_format) {
+    std::cout << DiagnosticsJson(diagnostics, files.size());
+  } else {
+    for (const wpred::lint::Diagnostic& diagnostic : diagnostics) {
       std::cout << wpred::lint::FormatDiagnostic(diagnostic) << "\n";
-      ++issues;
     }
   }
-  if (issues > 0) {
-    std::cerr << "wpred_lint: " << issues << " issue(s) in " << files.size()
-              << " file(s)\n";
+  if (!diagnostics.empty()) {
+    std::cerr << "wpred_lint: " << diagnostics.size() << " issue(s) in "
+              << files.size() << " file(s)\n";
     return 1;
   }
-  std::cout << "wpred_lint: clean (" << files.size() << " files)\n";
+  if (!json_format) {
+    std::cout << "wpred_lint: clean (" << files.size() << " files)\n";
+  }
   return 0;
 }
