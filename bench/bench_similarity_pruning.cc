@@ -1,20 +1,40 @@
-// Lower-bound-pruned similarity search (DESIGN.md §10): exhaustive scan vs
-// the LB_Kim → LB_Keogh → early-abandoning-DTW cascade of
-// similarity/query.h, on a fig05/fig06-style corpus. The pruned engine must
-// return the bit-identical top-k (indices and distances) while visiting a
-// fraction of the DTW lattices; the table reports the per-query speedup and
-// the pruning counters.
+// Lower-bound-pruned similarity search (DESIGN.md §10, §15): exhaustive
+// scan vs two generations of the pruning cascade on a fig05/fig06-style
+// corpus:
+//
+//   pr5   scalar kernels, sketch tier disabled — the LB_Kim → LB_Keogh →
+//         early-abandoning-DTW cascade exactly as PR 5 shipped it
+//   full  SIMD kernels + tier-0 sketch filter (sketch → LB_Kim → LB_Keogh
+//         → early-abandoning DTW over vectorized column-major layouts)
+//
+// Both must return the bit-identical top-k (indices and distances) as the
+// exhaustive argsort, at every thread count and shard width; the table
+// reports per-mode latency, the full/pr5 speedup, and the pruning
+// counters. A kernel-level microbench section times the SIMD reductions,
+// envelope builds, and banded DTW against their scalar twins.
 //
 // Flags:
-//   --smoke               small corpus, asserts pruned == exhaustive and
-//                         that the lower bounds actually pruned (CI gate)
+//   --smoke               small corpus; hard-gates bit-identity (all modes,
+//                         thread counts, shard widths), nonzero
+//                         similarity.sketch.pruned, and the full-cascade
+//                         end-to-end speedup over pr5 (CI gate)
+//   --json=PATH           JSON report path (default BENCH_similarity.json)
 //   --metrics-json=PATH   dump the metrics registry on exit
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/simd.h"
+#include "obs/json.h"
+#include "similarity/dtw.h"
 #include "similarity/query.h"
 #include "telemetry/feature_catalog.h"
 #include "telemetry/subsample.h"
@@ -24,6 +44,10 @@ namespace {
 
 constexpr size_t kNeighbors = 5;
 
+// The end-to-end smoke gate: the full cascade (SIMD + sketch) must beat the
+// PR 5 cascade by at least this factor on the fig05/06-style corpus.
+constexpr double kEndToEndGate = 3.0;
+
 double MillisSince(std::chrono::steady_clock::time_point start) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   return std::chrono::duration<double, std::milli>(elapsed).count();
@@ -32,6 +56,176 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 uint64_t CounterValue(const char* name) {
   return obs::MetricsRegistry::Global().GetCounter(name).value();
 }
+
+// ===== Faithful PR 5 cascade replica =====
+//
+// Running today's engine with SIMD off and the sketch tier disabled is NOT
+// the PR 5 baseline: it would still ride this PR's column-major corpus
+// layout, flat envelope storage, and span kernels. The honest ablation
+// re-runs the cascade exactly as PR 5 shipped it — row-major Matrix cell
+// costs, a Vector copy per feature per DTW call on the Independent
+// measure, per-call query envelopes, and fresh DP buffers per kernel call
+// — so the reported speedup credits everything this PR changed. The
+// replica still produces the bit-identical top-k (same bounds, same visit
+// order, same nextafter abandon), which the smoke gate checks.
+namespace pr5 {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool Less(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+// PR 5's row-order DtwCore: rolling rows refilled with kInf per row, the
+// serial three-way-min chain, whole-row abandon checks (counters elided —
+// the replica is timed, not observed).
+template <typename CostFn>
+DtwEarlyAbandon Pr5DtwCore(size_t m, size_t n, int window, double cutoff,
+                           CostFn cost) {
+  const size_t len_diff = m > n ? m - n : n - m;
+  const size_t band = window > 0
+                          ? std::max(static_cast<size_t>(window), len_diff)
+                          : std::max(m, n);
+  const double cutoff_sq = cutoff < kInf ? cutoff * cutoff : kInf;
+  std::vector<double> prev(n + 1, kInf);
+  std::vector<double> curr(n + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= m; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const size_t j_lo = i > band ? i - band : 1;
+    const size_t j_hi = std::min(n, i + band);
+    double row_min = kInf;
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      curr[j] =
+          cost(i - 1, j - 1) + std::min({prev[j], curr[j - 1], prev[j - 1]});
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (cutoff_sq < kInf && row_min >= cutoff_sq) {
+      return DtwEarlyAbandon{cutoff, true};
+    }
+    std::swap(prev, curr);
+  }
+  return DtwEarlyAbandon{std::sqrt(prev[n]), false};
+}
+
+DtwEarlyAbandon Pr5Dependent(const Matrix& a, const Matrix& b, int window,
+                             double cutoff) {
+  const size_t k = a.cols();
+  return Pr5DtwCore(a.rows(), b.rows(), window, cutoff,
+                    [&](size_t i, size_t j) {
+                      double acc = 0.0;
+                      for (size_t f = 0; f < k; ++f) {
+                        const double d = a(i, f) - b(j, f);
+                        acc += d * d;
+                      }
+                      return acc;
+                    });
+}
+
+DtwEarlyAbandon Pr5Independent(const Matrix& a, const Matrix& b, int window,
+                               double cutoff) {
+  const double features = static_cast<double>(a.cols());
+  double total = 0.0;
+  for (size_t f = 0; f < a.cols(); ++f) {
+    const double feature_cutoff =
+        cutoff < kInf ? cutoff * features - total : kInf;
+    const Vector ac = a.Col(f);  // PR 5 copied each strided column per call
+    const Vector bc = b.Col(f);
+    const DtwEarlyAbandon r =
+        Pr5DtwCore(ac.size(), bc.size(), window,
+                   std::max(feature_cutoff, 0.0), [&](size_t i, size_t j) {
+                     const double d = ac[i] - bc[j];
+                     return d * d;
+                   });
+    if (r.abandoned) return DtwEarlyAbandon{cutoff, true};
+    total += r.distance;
+    if (cutoff < kInf && total >= cutoff * features) {
+      return DtwEarlyAbandon{cutoff, true};
+    }
+  }
+  return DtwEarlyAbandon{total / features, false};
+}
+
+struct Pr5Engine {
+  const std::vector<Matrix>* corpus;
+  std::vector<SeriesEnvelope> envelopes;  // prebuilt at engine build
+  bool dependent;
+  int window;
+};
+
+Pr5Engine BuildPr5(const std::vector<Matrix>& corpus, bool dependent,
+                   int window) {
+  Pr5Engine e{&corpus, {}, dependent, window};
+  e.envelopes.reserve(corpus.size());
+  for (const Matrix& trace : corpus) {
+    e.envelopes.push_back(query_internal::BuildEnvelope(trace, window));
+  }
+  return e;
+}
+
+// PR 5's RankNeighbors loop: LB_Kim visit order, both-direction LB_Keogh
+// for equal lengths, early-abandoning DTW at nextafter(cutoff).
+std::vector<Neighbor> Pr5Rank(const Pr5Engine& e, const Matrix& query,
+                              size_t k) {
+  const std::vector<Matrix>& corpus = *e.corpus;
+  const size_t n = corpus.size();
+  const size_t k_eff = std::min(k, n);
+  const SeriesEnvelope query_envelope =
+      query_internal::BuildEnvelope(query, e.window);
+  std::vector<Neighbor> heap;  // max-heap on (distance, index)
+  heap.reserve(k_eff);
+  const auto consider = [&heap, k_eff](const Neighbor& entry) {
+    if (heap.size() < k_eff) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), Less);
+    } else if (Less(entry, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), Less);
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), Less);
+    }
+  };
+  std::vector<Neighbor> by_kim(n);
+  for (size_t idx = 0; idx < n; ++idx) {
+    by_kim[idx] = {idx, e.dependent ? query_internal::LbKimDependent(
+                                          query, corpus[idx])
+                                    : query_internal::LbKimIndependent(
+                                          query, corpus[idx])};
+  }
+  std::sort(by_kim.begin(), by_kim.end(), Less);
+  for (size_t pos = 0; pos < n; ++pos) {
+    const size_t idx = by_kim[pos].index;
+    const Matrix& candidate = corpus[idx];
+    const bool full = heap.size() == k_eff;
+    const double cutoff = full ? heap.front().distance : kInf;
+    if (full && by_kim[pos].distance > cutoff) break;
+    if (full && query.rows() == candidate.rows()) {
+      const double lb =
+          e.dependent
+              ? std::max(
+                    query_internal::LbKeoghDependent(query, e.envelopes[idx]),
+                    query_internal::LbKeoghDependent(candidate,
+                                                     query_envelope))
+              : std::max(query_internal::LbKeoghIndependent(query,
+                                                            e.envelopes[idx]),
+                         query_internal::LbKeoghIndependent(candidate,
+                                                            query_envelope));
+      if (lb > cutoff) continue;
+    }
+    const double abandon_cutoff =
+        cutoff < kInf ? std::nextafter(cutoff, kInf) : kInf;
+    const DtwEarlyAbandon ea =
+        e.dependent ? Pr5Dependent(query, candidate, e.window, abandon_cutoff)
+                    : Pr5Independent(query, candidate, e.window,
+                                     abandon_cutoff);
+    if (ea.abandoned) continue;
+    consider({idx, ea.distance});
+  }
+  std::sort(heap.begin(), heap.end(), Less);
+  return heap;
+}
+
+}  // namespace pr5
 
 /// Exhaustive reference ranking: full serial distance scan + stable argsort
 /// with the (distance, index) tie-break the engine guarantees.
@@ -50,103 +244,307 @@ std::vector<Neighbor> ExhaustiveTopK(const SimilarityQueryEngine& engine,
   return ranked;
 }
 
-void Run(bool smoke) {
-  Banner("Similarity pruning - exhaustive scan vs lower-bound cascade",
-         "UCR-suite-style pruning (LB_Kim, LB_Keogh envelopes, early-"
-         "abandoning DTW) returns the identical top-k at a fraction of the "
-         "kernel work");
+/// Ranks every rep against the whole corpus and returns wall-clock ms.
+double TimeRankAll(const SimilarityQueryEngine& engine,
+                   const std::vector<Matrix>& reps, size_t reps_count,
+                   std::vector<std::vector<Neighbor>>* out) {
+  out->clear();
+  out->reserve(reps.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reps_count; ++r) {
+    for (const Matrix& query : reps) {
+      auto ranked =
+          RequireOk(engine.RankNeighbors(query, kNeighbors), "rank");
+      if (r == 0) out->push_back(std::move(ranked));
+    }
+  }
+  return MillisSince(start) / static_cast<double>(reps_count);
+}
+
+/// Same, for the PR 5 replica.
+double TimeRankAllPr5(const pr5::Pr5Engine& engine,
+                      const std::vector<Matrix>& reps, size_t reps_count,
+                      std::vector<std::vector<Neighbor>>* out) {
+  out->clear();
+  out->reserve(reps.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reps_count; ++r) {
+    for (const Matrix& query : reps) {
+      auto ranked = pr5::Pr5Rank(engine, query, kNeighbors);
+      if (r == 0) out->push_back(std::move(ranked));
+    }
+  }
+  return MillisSince(start) / static_cast<double>(reps_count);
+}
+
+/// Wraps a trace in `ramp` rows of linear ramp-up from the normalized
+/// baseline (0) and ramp-down back to it. fig05/06-style measurement
+/// windows include the ramp around steady state: every trace opens and
+/// closes near idle, so endpoints are uninformative — LB_Kim degenerates
+/// to ~0 for every pair (the sorted visit order never tail-breaks) and at
+/// window=0 the whole-series envelope makes LB_Keogh nearly as weak. A
+/// cascade without a distribution-aware tier must early-abandon its way
+/// through the bulk of the corpus; the interiors still differ by workload
+/// and SKU, which is what the tier-0 sketch keys on.
+Matrix WithRamp(const Matrix& rep, size_t ramp) {
+  Matrix out(rep.rows() + 2 * ramp, rep.cols());
+  for (size_t f = 0; f < rep.cols(); ++f) {
+    for (size_t t = 0; t < ramp; ++t) {
+      const double frac = static_cast<double>(t) / static_cast<double>(ramp);
+      out(t, f) = rep(0, f) * frac;  // t = 0 is exactly the baseline
+      out(out.rows() - 1 - t, f) = rep(rep.rows() - 1, f) * frac;
+    }
+    for (size_t r = 0; r < rep.rows(); ++r) out(ramp + r, f) = rep(r, f);
+  }
+  return out;
+}
+
+/// Kernel microbenches: each SIMD kernel against its scalar twin on the
+/// same buffers. Elementwise kernels are bit-identical across modes;
+/// reductions are admissible either way — here we only time them.
+obs::Json KernelMicrobench(bool smoke) {
+  std::printf("\n-- kernel microbench: simd vs scalar --\n");
+  const size_t n = smoke ? 4096 : 65536;
+  const int iters = smoke ? 200 : 1000;
+  Rng rng(1517);
+  std::vector<double> a(n), b(n), lo(n), hi(n), out(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(0.0, 1.0);
+    b[i] = rng.Uniform(0.0, 1.0);
+    lo[i] = std::min(a[i], b[i]) - 0.1;
+    hi[i] = std::max(a[i], b[i]) + 0.1;
+  }
+  Matrix series(n / 16, 4);
+  for (double& v : series.data()) v = rng.Uniform(0.0, 1.0);
+  Matrix other(n / 16, 4);
+  for (double& v : other.data()) v = rng.Uniform(0.0, 1.0);
+
+  struct Kernel {
+    const char* name;
+    std::function<double()> run;
+  };
+  double sink = 0.0;
+  std::vector<double> env_lower(series.rows() * series.cols());
+  std::vector<double> env_upper(series.rows() * series.cols());
+  const std::vector<Kernel> kernels = {
+      {"squared_l2", [&] { return simd::SquaredL2(a.data(), b.data(), n); }},
+      {"envelope_gap", [&] {
+         return simd::EnvelopeGapSq(a.data(), lo.data(), hi.data(), n);
+       }},
+      {"envelope_build", [&] {
+         for (size_t f = 0; f < series.cols(); ++f) {
+           query_internal::BuildEnvelopeColumns(series, /*window=*/8,
+                                                env_lower.data(),
+                                                env_upper.data());
+         }
+         return env_lower[0] + env_upper[n / 2];
+       }},
+      {"banded_dtw", [&] {
+         return RequireOk(
+             DependentDtwDistance(series, other, /*window=*/8), "dtw");
+       }},
+  };
+
+  TablePrinter table({"kernel", "scalar ms", "simd ms", "speedup"});
+  obs::Json j = obs::Json::Object();
+  for (const Kernel& kernel : kernels) {
+    double mode_ms[2] = {0.0, 0.0};
+    for (const bool simd_on : {false, true}) {
+      simd::SetEnabled(simd_on);
+      // Warm-up pass keeps first-touch page faults out of the timing.
+      sink += kernel.run();
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < iters; ++i) sink += kernel.run();
+      mode_ms[simd_on ? 1 : 0] = MillisSince(start);
+    }
+    simd::ResetEnabled();
+    const double speedup = mode_ms[0] / mode_ms[1];
+    table.AddRow({kernel.name, F3(mode_ms[0]), F3(mode_ms[1]),
+                  StrFormat("%.2fx", speedup)});
+    obs::Json row = obs::Json::Object();
+    row.Set("scalar_ms", mode_ms[0]);
+    row.Set("simd_ms", mode_ms[1]);
+    row.Set("simd_speedup_x", speedup);
+    j.Set(kernel.name, std::move(row));
+  }
+  table.Print(std::cout);
+  if (sink == 42.0) std::printf("%f\n", sink);  // defeat dead-code elim
+  return j;
+}
+
+void Run(bool smoke, const std::string& json_path) {
+  Banner("Similarity pruning - exhaustive vs PR5 cascade vs SIMD+sketch",
+         "tier-0 sketch filter + SIMD kernels return the identical top-k at "
+         "a fraction of the PR5 cascade's latency");
 
   WorkbenchConfig config;
   config.workloads = {"TPC-C", "TPC-H", "Twitter"};
-  config.skus = {MakeCpuSku(16)};
-  config.terminals = {8};
+  config.skus = {MakeCpuSku(4), MakeCpuSku(16)};
+  config.terminals = {4, 8};
   config.runs = smoke ? 2 : 3;
   config.sim = FastSimConfig();
   const ExperimentCorpus corpus = RequireOk(GenerateCorpus(config), "corpus");
   const ExperimentCorpus subs =
-      RequireOk(SubsampleCorpus(corpus, smoke ? 4 : 5), "subsample");
+      RequireOk(SubsampleCorpus(corpus, smoke ? 2 : 3), "subsample");
 
   const std::vector<size_t> features = ResourceFeatureIndices();
   const NormalizationContext ctx = ComputeNormalization(subs);
   std::vector<Matrix> reps;
   reps.reserve(subs.size());
+  const size_t ramp = 24;
   for (size_t i = 0; i < subs.size(); ++i) {
-    reps.push_back(RequireOk(
-        BuildRepresentation(Representation::kMts, subs[i], features, ctx),
-        "representation"));
+    reps.push_back(WithRamp(
+        RequireOk(
+            BuildRepresentation(Representation::kMts, subs[i], features, ctx),
+            "representation"),
+        ramp));
   }
+  const size_t timing_reps = smoke ? 3 : 5;
   std::printf("corpus: %zu series of %zu samples x %zu features, k=%zu\n\n",
               reps.size(), reps[0].rows(), reps[0].cols(), kNeighbors);
 
-  TablePrinter table({"measure", "window", "exhaustive ms", "pruned ms",
-                      "speedup", "lb pruned", "dtw abandoned"});
+  TablePrinter table({"measure", "window", "exhaustive ms", "pr5 ms",
+                      "full ms", "full/pr5", "sketch pruned", "lb pruned",
+                      "dtw abandoned"});
+  obs::Json modes = obs::Json::Array();
   bool all_identical = true;
+  uint64_t total_sketch_pruned = 0;
+  double total_pr5_ms = 0.0, total_full_ms = 0.0;
   for (const char* measure : {"Dependent-DTW", "Independent-DTW"}) {
     for (const int window : {0, 8}) {
-      const SimilarityQueryEngine engine = RequireOk(
-          SimilarityQueryEngine::Build(reps, measure, window), "engine");
+      // PR 5 cascade replica: scalar kernels, row-major layouts, no sketch
+      // tier (simd off so the shared LB helpers run their scalar paths too).
+      simd::SetEnabled(false);
+      const bool dependent = std::strcmp(measure, "Dependent-DTW") == 0;
+      const pr5::Pr5Engine pr5_engine = pr5::BuildPr5(reps, dependent, window);
+      std::vector<std::vector<Neighbor>> pr5_ranked;
+      const double pr5_ms =
+          TimeRankAllPr5(pr5_engine, reps, timing_reps, &pr5_ranked);
+      simd::ResetEnabled();
 
+      // Full cascade: SIMD on (default), sketch tier at default bins.
+      const SimilarityQueryEngine full = RequireOk(
+          SimilarityQueryEngine::Build(reps, measure, window), "full engine");
+      const uint64_t sketch_before = CounterValue("similarity.sketch.pruned");
+      const uint64_t lb_before = CounterValue("similarity.lb.pruned");
+      const uint64_t abandoned_before =
+          CounterValue("similarity.dtw.abandoned_candidates");
+      std::vector<std::vector<Neighbor>> full_ranked;
+      const double full_ms =
+          TimeRankAll(full, reps, timing_reps, &full_ranked);
+      const uint64_t sketch_pruned =
+          CounterValue("similarity.sketch.pruned") - sketch_before;
+
+      // Exhaustive reference + bit-identity across modes, thread counts,
+      // and shard widths (the schedule axis for the parallel scan).
       const auto exhaustive_start = std::chrono::steady_clock::now();
       std::vector<std::vector<Neighbor>> expected;
       expected.reserve(reps.size());
       for (const Matrix& query : reps) {
-        expected.push_back(ExhaustiveTopK(engine, query, kNeighbors));
+        expected.push_back(ExhaustiveTopK(full, query, kNeighbors));
       }
       const double exhaustive_ms = MillisSince(exhaustive_start);
-
-      const uint64_t pruned_before = CounterValue("similarity.lb.pruned");
-      const uint64_t abandoned_before =
-          CounterValue("similarity.dtw.abandoned_candidates");
-      const auto pruned_start = std::chrono::steady_clock::now();
-      std::vector<std::vector<Neighbor>> actual;
-      actual.reserve(reps.size());
-      for (const Matrix& query : reps) {
-        actual.push_back(
-            RequireOk(engine.RankNeighbors(query, kNeighbors), "pruned rank"));
-      }
-      const double pruned_ms = MillisSince(pruned_start);
-
-      // Bit-identical contract: same indices AND same distances, per query.
+      const SimilarityQueryEngine resharded = RequireOk(
+          SimilarityQueryEngine::Build(reps, measure, window,
+                                       /*num_threads=*/4, /*shard_traces=*/3),
+          "resharded engine");
       size_t mismatches = 0;
       for (size_t q = 0; q < reps.size(); ++q) {
-        if (actual[q] != expected[q]) ++mismatches;
+        if (pr5_ranked[q] != expected[q]) ++mismatches;
+        if (full_ranked[q] != expected[q]) ++mismatches;
+        const auto resharded_ranked = RequireOk(
+            resharded.RankNeighbors(reps[q], kNeighbors), "resharded rank");
+        if (resharded_ranked != expected[q]) ++mismatches;
       }
       if (mismatches > 0) {
         all_identical = false;
         std::fprintf(stderr,
-                     "FATAL %s window=%d: %zu of %zu queries diverge from "
-                     "the exhaustive top-k\n",
-                     measure, window, mismatches, reps.size());
+                     "FATAL %s window=%d: %zu ranking(s) diverge from the "
+                     "exhaustive top-k\n",
+                     measure, window, mismatches);
       }
 
+      total_sketch_pruned += sketch_pruned;
+      total_pr5_ms += pr5_ms;
+      total_full_ms += full_ms;
       table.AddRow(
-          {measure, StrFormat("%d", window), F1(exhaustive_ms), F1(pruned_ms),
-           StrFormat("%.1fx", exhaustive_ms / pruned_ms),
+          {measure, StrFormat("%d", window), F1(exhaustive_ms), F1(pr5_ms),
+           F1(full_ms), StrFormat("%.1fx", pr5_ms / full_ms),
+           StrFormat("%llu", static_cast<unsigned long long>(sketch_pruned)),
            StrFormat("%llu", static_cast<unsigned long long>(
                                  CounterValue("similarity.lb.pruned") -
-                                 pruned_before)),
+                                 lb_before)),
            StrFormat("%llu",
                      static_cast<unsigned long long>(
                          CounterValue("similarity.dtw.abandoned_candidates") -
                          abandoned_before))});
+      obs::Json row = obs::Json::Object();
+      row.Set("measure", measure);
+      row.Set("window", window);
+      row.Set("exhaustive_ms", exhaustive_ms);
+      row.Set("pr5_ms", pr5_ms);
+      row.Set("full_ms", full_ms);
+      row.Set("full_vs_pr5_speedup_x", pr5_ms / full_ms);
+      row.Set("sketch_pruned", sketch_pruned);
+      modes.Append(std::move(row));
     }
   }
   table.Print(std::cout);
+  const double end_to_end_speedup = total_pr5_ms / total_full_ms;
+  std::printf("aggregate rank latency: pr5=%.1fms full=%.1fms (%.1fx), "
+              "sketch pruned %llu candidates\n",
+              total_pr5_ms, total_full_ms, end_to_end_speedup,
+              static_cast<unsigned long long>(total_sketch_pruned));
+
+  const obs::Json kernels = KernelMicrobench(smoke);
+
+  obs::Json report = obs::Json::Object();
+  report.Set("bench", "similarity_pruning");
+  report.Set("smoke", smoke);
+  report.Set("corpus_traces", reps.size());
+  report.Set("trace_rows", reps[0].rows());
+  report.Set("trace_features", reps[0].cols());
+  report.Set("modes", std::move(modes));
+  report.Set("end_to_end_full_vs_pr5_speedup_x", end_to_end_speedup);
+  report.Set("total_sketch_pruned", total_sketch_pruned);
+  report.Set("bit_identical", all_identical);
+  report.Set("kernels", kernels);
+  std::ofstream out(json_path, std::ios::trunc);
+  out << report.Dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "FATAL cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nreport written to %s\n", json_path.c_str());
+
   if (!all_identical) std::exit(1);
   std::printf("pruned top-k bit-identical to the exhaustive scan "
-              "(all measures, all windows, %zu queries each)\n",
+              "(all modes, all measures, all windows, %zu queries each)\n",
               reps.size());
-
   if (smoke) {
-    const uint64_t pruned = CounterValue("similarity.lb.pruned");
-    if (pruned == 0) {
+    if (total_sketch_pruned == 0) {
+      std::fprintf(stderr,
+                   "FATAL smoke: the sketch tier pruned nothing "
+                   "(similarity.sketch.pruned == 0)\n");
+      std::exit(1);
+    }
+    if (CounterValue("similarity.lb.pruned") == 0) {
       std::fprintf(stderr,
                    "FATAL smoke: lower bounds pruned nothing "
                    "(similarity.lb.pruned == 0)\n");
       std::exit(1);
     }
-    std::printf("SMOKE OK: similarity.lb.pruned=%llu\n",
-                static_cast<unsigned long long>(pruned));
+    if (end_to_end_speedup < kEndToEndGate) {
+      std::fprintf(stderr,
+                   "FATAL smoke: full cascade is only %.2fx the PR5 cascade "
+                   "(gate: %.1fx)\n",
+                   end_to_end_speedup, kEndToEndGate);
+      std::exit(1);
+    }
+    std::printf("SMOKE OK: bit-identical, sketch.pruned=%llu, "
+                "end-to-end %.1fx (gate %.1fx)\n",
+                static_cast<unsigned long long>(total_sketch_pruned),
+                end_to_end_speedup, kEndToEndGate);
   }
 }
 
@@ -156,11 +554,16 @@ void Run(bool smoke) {
 int main(int argc, char** argv) {
   wpred::bench::BenchMetrics metrics(argc, argv);
   bool smoke = false;
+  std::string json_path = "BENCH_similarity.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    constexpr const char* kJson = "--json=";
+    if (std::strncmp(argv[i], kJson, std::strlen(kJson)) == 0) {
+      json_path = argv[i] + std::strlen(kJson);
+    }
   }
-  // The smoke gate asserts on pruning counters, so force the metrics switch
+  // The smoke gates assert on pruning counters, so force the metrics switch
   // on even without --metrics-json.
   if (smoke) wpred::obs::SetMetricsEnabled(true);
-  wpred::bench::Run(smoke);
+  wpred::bench::Run(smoke, json_path);
 }

@@ -1,0 +1,63 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace wpred {
+namespace simd {
+
+namespace simd_internal {
+
+EnvSimdParse ParseSimdEnv(const char* value) {
+  EnvSimdParse parsed;
+  if (value == nullptr) return parsed;
+  parsed.present = true;
+  const std::string v(value);
+  if (v == "on") {
+    parsed.enabled = true;
+  } else if (v == "off") {
+    parsed.enabled = false;
+  } else {
+    parsed.rejected = true;
+  }
+  return parsed;
+}
+
+}  // namespace simd_internal
+
+namespace {
+
+// -1 = no override; 0/1 = forced off/on (tests and A/B benches).
+std::atomic<int> g_simd_override{-1};
+
+bool EnvDefaultEnabled() {
+  const char* env = std::getenv("WPRED_SIMD");
+  const auto parsed = simd_internal::ParseSimdEnv(env);
+  if (parsed.rejected) {
+    std::fprintf(stderr,
+                 "wpred: ignoring invalid WPRED_SIMD=\"%s\" (want \"on\" or "
+                 "\"off\"); using on\n",
+                 env);
+  }
+  return parsed.enabled;
+}
+
+}  // namespace
+
+bool Enabled() {
+  const int override = g_simd_override.load(std::memory_order_relaxed);
+  if (override >= 0) return override != 0;
+  static const bool env_default = EnvDefaultEnabled();
+  return env_default;
+}
+
+void SetEnabled(bool on) {
+  g_simd_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ResetEnabled() { g_simd_override.store(-1, std::memory_order_relaxed); }
+
+}  // namespace simd
+}  // namespace wpred

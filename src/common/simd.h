@@ -1,0 +1,225 @@
+#ifndef WPRED_COMMON_SIMD_H_
+#define WPRED_COMMON_SIMD_H_
+
+#include <algorithm>
+#include <cstddef>
+
+// Portable SIMD layer (DESIGN.md §15).
+//
+// wpred's similarity hot loops (envelope build, LB_Keogh accumulation, the
+// DTW band recurrence, sketch dot products) are memory-streaming kernels
+// over contiguous double spans. This header gives them one vocabulary of
+// fixed-width lane operations written so any modern compiler
+// auto-vectorizes them — independent lane accumulators, branchless
+// min/max/clamp arithmetic, unit-stride loads — with NO intrinsics and no
+// ISA dependency. On a scalar-only target the same code compiles to the
+// plain loop and stays correct.
+//
+// Two kernel classes with different bit-level contracts:
+//
+//  - Elementwise kernels (PairMin, accumulating a squared-difference cost
+//    row): each output element is one fixed expression of its inputs, so
+//    the result is bit-identical however the loop is scheduled. Exact DTW
+//    distances are built only from these (plus exact min), which is why
+//    the engine's top-k stays bit-identical with SIMD on or off.
+//
+//  - Reduction kernels (SquaredL2, Dot, EnvelopeGapSq, MinValue/MaxValue):
+//    the vector path sums into kLanes independent accumulators and reduces
+//    them in one fixed order, so any one mode is deterministic, but the
+//    vector and scalar modes may differ in the last ulp (float addition is
+//    not associative; min/max reductions ARE exact). wpred only uses these
+//    for lower bounds and diagnostics — quantities whose value may change
+//    pruning work but never query results.
+//
+// The scalar fallback is selectable at runtime (`WPRED_SIMD=off`, or
+// SetEnabled(false) in tests/benches) and reproduces the pre-SIMD
+// sequential loops, so A/B runs can attribute speedups to the lane
+// structure alone.
+
+namespace wpred {
+namespace simd {
+
+/// Lane count of the vectorized paths. Eight doubles: one AVX-512 register,
+/// two AVX2 registers, four NEON registers — wide enough that the compiler
+/// can unroll into whatever the target offers, small enough that the tail
+/// loop stays negligible for wpred's typical span lengths (tens to a few
+/// thousand).
+inline constexpr size_t kLanes = 8;
+
+/// Whether the vectorized paths are active (default on; `WPRED_SIMD=off`
+/// or SetEnabled(false) selects the sequential reference loops). Never
+/// changes query results — only which bit-identical (elementwise) or
+/// last-ulp-equivalent (reduction) code path runs.
+bool Enabled();
+
+/// Process-wide override for tests and A/B benches; thread-safe, but flip
+/// it only between queries — kernels sample the switch per call.
+void SetEnabled(bool on);
+
+/// Drops the SetEnabled override, returning to the WPRED_SIMD env default.
+void ResetEnabled();
+
+/// Σ (a[i] − b[i])². Reduction kernel (lane-split when enabled).
+inline double SquaredL2(const double* a, const double* b, size_t n) {
+  if (!Enabled()) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return acc;
+  }
+  double lane[kLanes] = {0.0};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      const double d = a[i + l] - b[i + l];
+      lane[l] += d * d;
+    }
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return (((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+          ((lane[4] + lane[5]) + (lane[6] + lane[7]))) +
+         tail;
+}
+
+/// Σ a[i]·b[i]. Reduction kernel (lane-split when enabled).
+inline double Dot(const double* a, const double* b, size_t n) {
+  if (!Enabled()) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+    return acc;
+  }
+  double lane[kLanes] = {0.0};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) lane[l] += a[i + l] * b[i + l];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return (((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+          ((lane[4] + lane[5]) + (lane[6] + lane[7]))) +
+         tail;
+}
+
+/// LB_Keogh accumulator: Σ over i of the squared distance from v[i] to the
+/// interval [lo[i], hi[i]] (zero inside). Branchless — exactly one of the
+/// two max() terms is nonzero per element when lo <= hi — so the compiler
+/// turns the body into maxpd/fma with no unpredictable branch, unlike the
+/// if/else ladder it replaces. Reduction kernel (lane-split when enabled).
+inline double EnvelopeGapSq(const double* v, const double* lo,
+                            const double* hi, size_t n) {
+  if (!Enabled()) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double above = std::max(v[i] - hi[i], 0.0);
+      const double below = std::max(lo[i] - v[i], 0.0);
+      acc += above * above + below * below;
+    }
+    return acc;
+  }
+  double lane[kLanes] = {0.0};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      const double above = std::max(v[i + l] - hi[i + l], 0.0);
+      const double below = std::max(lo[i + l] - v[i + l], 0.0);
+      lane[l] += above * above + below * below;
+    }
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double above = std::max(v[i] - hi[i], 0.0);
+    const double below = std::max(lo[i] - v[i], 0.0);
+    tail += above * above + below * below;
+  }
+  return (((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+          ((lane[4] + lane[5]) + (lane[6] + lane[7]))) +
+         tail;
+}
+
+/// out[i] = min(a[i], b[i]). Elementwise (bit-identical in both modes; the
+/// split exists so A/B runs measure the lane path against a plain loop the
+/// compiler is told not to restructure differently). `out` must not alias
+/// a future read of `a`/`b` at a lower index (in-place out == a is fine).
+inline void PairMin(const double* a, const double* b, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = std::min(a[i], b[i]);
+}
+
+/// cost[i] += (a_val − b[i])². Elementwise; the accumulation order over
+/// successive calls (one per feature) is the caller's, so repeated
+/// application reproduces the sequential per-cell feature sum bit-exactly.
+inline void AccumulateRowCost(double a_val, const double* b, double* cost,
+                              size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a_val - b[i];
+    cost[i] += d * d;
+  }
+}
+
+/// cost[t] += (a[t] − b_rev[−t])² — the anti-diagonal cost fill: `a` walks
+/// forward while `b_rev` walks BACKWARD from its start, which is how cell
+/// (i, j) coordinates move along a DTW anti-diagonal (i+j constant).
+/// Elementwise; compilers vectorize the reversed stream with permuted
+/// loads. Same per-call accumulation-order contract as AccumulateRowCost.
+inline void AccumulateAntiDiagCost(const double* a, const double* b_rev,
+                                   double* cost, size_t n) {
+  for (size_t t = 0; t < n; ++t) {
+    const double d = a[t] - b_rev[-static_cast<ptrdiff_t>(t)];
+    cost[t] += d * d;
+  }
+}
+
+/// out[t] = cost[t] + min(left[t], min(up[t], diag[t])) — the DTW wavefront
+/// relax: every cell on an anti-diagonal depends only on the two previous
+/// diagonals, so the whole span is one independent elementwise pass (this
+/// is what removes the row recurrence's serial min chain). min is exact and
+/// the grouping matches the sequential three-way min, so each cell's value
+/// is bit-identical to the row-order reference whatever the lane schedule.
+inline void RelaxAntiDiag(const double* cost, const double* left,
+                          const double* up, const double* diag, double* out,
+                          size_t n) {
+  for (size_t t = 0; t < n; ++t) {
+    out[t] = cost[t] + std::min(left[t], std::min(up[t], diag[t]));
+  }
+}
+
+/// min / max over a span. Exact reductions (min/max lose nothing to
+/// reassociation), so both modes agree bitwise.
+inline double MinValue(const double* a, size_t n) {
+  double m = a[0];
+  for (size_t i = 1; i < n; ++i) m = std::min(m, a[i]);
+  return m;
+}
+inline double MaxValue(const double* a, size_t n) {
+  double m = a[0];
+  for (size_t i = 1; i < n; ++i) m = std::max(m, a[i]);
+  return m;
+}
+
+namespace simd_internal {
+
+/// Outcome of parsing a WPRED_SIMD env value. Exposed so the rejection
+/// paths are unit-testable without mutating the process environment
+/// (mirrors parallel_internal::ParseScheduleEnv).
+struct EnvSimdParse {
+  bool enabled = true;    // the default: vector paths on
+  bool present = false;   // value was set (even if rejected)
+  bool rejected = false;  // present but neither "on" nor "off"
+};
+
+/// Strict parser for WPRED_SIMD: exactly "on" or "off" (lowercase, no
+/// surrounding whitespace). Anything else present is rejected with a
+/// stderr warning at first use and the default (on) applies.
+EnvSimdParse ParseSimdEnv(const char* value);
+
+}  // namespace simd_internal
+
+}  // namespace simd
+}  // namespace wpred
+
+#endif  // WPRED_COMMON_SIMD_H_

@@ -52,6 +52,12 @@ Status PipelineConfig::Validate() const {
                   "default); got %d",
                   num_threads));
   }
+  if (similarity_sketch_bins == 1) {
+    return Status::InvalidArgument(
+        "PipelineConfig::similarity_sketch_bins must be 0 (default), >= 2, "
+        "or negative (sketch tier disabled); a one-bin histogram can never "
+        "separate traces");
+  }
   if (quality_gate) {
     if (!(quality.mad_outlier_threshold > 0.0) ||
         !std::isfinite(quality.mad_outlier_threshold)) {
@@ -193,7 +199,8 @@ Status Pipeline::FitFromSelection(ExperimentCorpus gated) {
         SimilarityQueryEngine::Build(std::move(reference_reps),
                                      config_.measure, /*window=*/0,
                                      config_.num_threads,
-                                     config_.similarity_shard_traces));
+                                     config_.similarity_shard_traces,
+                                     config_.similarity_sketch_bins));
     query_engine_ = std::move(engine);
   }
   reference_workloads_.clear();
@@ -375,7 +382,8 @@ Result<std::vector<Neighbor>> Pipeline::NearestReferences(
         const SimilarityQueryEngine engine,
         SimilarityQueryEngine::Build(std::move(rebuilt), config_.measure,
                                      /*window=*/0, config_.num_threads,
-                                     config_.similarity_shard_traces));
+                                     config_.similarity_shard_traces,
+                                     config_.similarity_sketch_bins));
     return engine.RankNeighbors(rep, k);
   }
   return query_engine_->RankNeighbors(rep, k);

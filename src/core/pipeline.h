@@ -42,6 +42,12 @@ struct PipelineConfig {
   /// similarity stages); 0 means ShardedCorpus::kDefaultShardTraces.
   /// Never changes results — only how work is laid out and scheduled.
   size_t similarity_shard_traces = 0;
+  /// Histogram width of the similarity engine's tier-0 sketch filter
+  /// (similarity/sketch.h): 0 means TraceSketchSet::kDefaultBins, >= 2 is
+  /// honoured as-is, < 0 disables the sketch tier (the pre-sketch cascade).
+  /// 1 is rejected by Validate(). Only the DTW measures sketch; like the
+  /// shard width, the knob never changes results — only pruning effort.
+  int similarity_sketch_bins = 0;
   /// Run the data-quality gate: Fit() repairs or quarantines dirty
   /// reference experiments; prediction repairs observed telemetry and falls
   /// back to the next-ranked healthy features when a selected feature's
@@ -162,6 +168,14 @@ class Pipeline {
   /// snapshot serves with.
   size_t reference_shards() const {
     return query_engine_.has_value() ? query_engine_->num_shards() : 0;
+  }
+
+  /// Effective tier-0 sketch histogram width of the fitted similarity
+  /// engine (0 before a successful Fit(), when the sketch tier is disabled,
+  /// or for non-DTW measures). Exported by serving snapshots alongside
+  /// reference_shards().
+  int sketch_bins() const {
+    return query_engine_.has_value() ? query_engine_->sketch_bins() : 0;
   }
 
   /// Full end-to-end prediction.

@@ -88,6 +88,15 @@ Matrix Matrix::Transposed() const {
   return out;
 }
 
+std::vector<double> Matrix::ColumnMajor() const {
+  std::vector<double> out(data_.size());
+  for (size_t c = 0; c < cols_; ++c) {
+    double* col = out.data() + c * rows_;
+    for (size_t r = 0; r < rows_; ++r) col[r] = data_[r * cols_ + c];
+  }
+  return out;
+}
+
 Matrix Matrix::operator+(const Matrix& other) const {
   WPRED_CHECK_EQ(rows_, other.rows_);
   WPRED_CHECK_EQ(cols_, other.cols_);

@@ -69,6 +69,11 @@ class Matrix {
 
   Matrix Transposed() const;
 
+  /// Flat column-major copy (column c occupies entries [c·rows, (c+1)·rows)).
+  /// The SIMD similarity kernels consume this layout so per-feature columns
+  /// are contiguous (DESIGN.md §15); a bitwise copy, no arithmetic.
+  std::vector<double> ColumnMajor() const;
+
   Matrix operator+(const Matrix& other) const;
   Matrix operator-(const Matrix& other) const;
   Matrix operator*(const Matrix& other) const;  // matrix product

@@ -317,6 +317,8 @@ void PredictionService::PublishSnapshot(SnapshotPtr snapshot) {
                   static_cast<double>(published.epoch));
   WPRED_GAUGE_SET("serve.snapshot.reference_shards",
                   static_cast<double>(published.pipeline->reference_shards()));
+  WPRED_GAUGE_SET("serve.snapshot.sketch_bins",
+                  static_cast<double>(published.pipeline->sketch_bins()));
   WPRED_HIST_RECORD("serve.fit.seconds", published.fit_seconds);
   if (!config_.checkpoint_path.empty() && config_.checkpoint_on_publish) {
     const Status written =

@@ -65,6 +65,45 @@ Result<DtwEarlyAbandon> IndependentDtwDistanceEarlyAbandon(const Matrix& a,
                                                            int window,
                                                            double cutoff);
 
+// --- Column-major span kernels (DESIGN.md §15) ---
+//
+// The contiguous-span entry points behind the Matrix/Vector wrappers
+// above. The similarity engine calls these directly against the sharded
+// corpus's column-major mirror (ShardedCorpus::col_data), so the hot loop
+// never copies a column per (candidate, feature) pair. The band recurrence
+// is restructured for vectorization when common/simd is enabled — cost-row
+// precompute, an elementwise pairwise-min pass, then the single
+// loop-carried chain — and stays bit-identical to the sequential per-cell
+// loop in either mode (min is exact; cell costs keep the same per-feature
+// accumulation order). Inputs must be finite: the public wrappers
+// validate, the engine validates at Build/RankNeighbors.
+
+/// Univariate DTW over two contiguous spans (same contract as
+/// DtwDistanceEarlyAbandon).
+Result<DtwEarlyAbandon> DtwSpanEarlyAbandon(const double* a, size_t m,
+                                            const double* b, size_t n,
+                                            int window, double cutoff);
+
+/// Dependent multivariate DTW over column-major spans: `a` is `features`
+/// columns of `m` doubles (column f at a + f·m), likewise `b` with `n`.
+Result<DtwEarlyAbandon> DependentDtwColsEarlyAbandon(const double* a,
+                                                     size_t m,
+                                                     const double* b,
+                                                     size_t n,
+                                                     size_t features,
+                                                     int window,
+                                                     double cutoff);
+
+/// Independent multivariate DTW over column-major spans, with the same
+/// chained per-feature cutoff as IndependentDtwDistanceEarlyAbandon.
+Result<DtwEarlyAbandon> IndependentDtwColsEarlyAbandon(const double* a,
+                                                       size_t m,
+                                                       const double* b,
+                                                       size_t n,
+                                                       size_t features,
+                                                       int window,
+                                                       double cutoff);
+
 }  // namespace wpred
 
 #endif  // WPRED_SIMILARITY_DTW_H_

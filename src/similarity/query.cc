@@ -1,15 +1,16 @@
 #include "similarity/query.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <deque>
-#include <atomic>
 #include <limits>
 #include <mutex>
 #include <numeric>
 #include <utility>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "similarity/dtw.h"
@@ -38,43 +39,140 @@ double RowSquaredDistance(const Matrix& a, size_t ra, const Matrix& b,
   return acc;
 }
 
+// Lemire-style streaming min/max over one contiguous column: each index
+// enters and leaves each monotonic deque once, so the envelope costs
+// O(rows) regardless of the band width. The scalar reference algorithm.
+void EnvelopeColumnDeque(const double* col, size_t rows, size_t band,
+                         double* lower, double* upper) {
+  std::deque<size_t> max_q;
+  std::deque<size_t> min_q;
+  size_t next = 0;  // first row not yet offered to the deques
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t hi = std::min(rows - 1, i + band);
+    while (next <= hi) {
+      const double v = col[next];
+      while (!max_q.empty() && col[max_q.back()] <= v) max_q.pop_back();
+      max_q.push_back(next);
+      while (!min_q.empty() && col[min_q.back()] >= v) min_q.pop_back();
+      min_q.push_back(next);
+      ++next;
+    }
+    const size_t lo = i > band ? i - band : 0;
+    while (max_q.front() < lo) max_q.pop_front();
+    while (min_q.front() < lo) min_q.pop_front();
+    upper[i] = col[max_q.front()];
+    lower[i] = col[min_q.front()];
+  }
+}
+
+// Scratch buffers for the van Herk / Gil-Werman envelope pass, hoisted so
+// one allocation serves every column of a series.
+struct EnvelopeScratch {
+  std::vector<double> xmax, xmin;
+  std::vector<double> pre_max, pre_min;
+  std::vector<double> suf_max, suf_min;
+};
+
+// van Herk / Gil-Werman windowed min/max: pad the column to length
+// rows + 2·band, take block prefix and suffix scans with block width
+// w = 2·band + 1, then every window [i, i + 2·band] (padded coordinates)
+// spans at most two adjacent blocks and its extremum is
+// combine(suffix[i], prefix[i + 2·band]). Three comparisons per element,
+// no branches or deque churn, and the combine pass is elementwise. Exact —
+// only comparisons, no arithmetic — so it agrees with the deque up to the
+// sign of a zero (both return the true windowed extremum).
+//
+// Requires band + 1 < rows (wider bands take the global min/max shortcut
+// in BuildEnvelopeColumns).
+void EnvelopeColumnVanHerk(const double* col, size_t rows, size_t band,
+                           EnvelopeScratch& s, double* lower, double* upper) {
+  const size_t w = 2 * band + 1;
+  const size_t np = rows + 2 * band;
+  s.xmax.assign(np, -kInf);
+  s.xmin.assign(np, kInf);
+  std::copy(col, col + rows, s.xmax.begin() + band);
+  std::copy(col, col + rows, s.xmin.begin() + band);
+  s.pre_max.resize(np);
+  s.pre_min.resize(np);
+  s.suf_max.resize(np);
+  s.suf_min.resize(np);
+  for (size_t j = 0; j < np; ++j) {
+    if (j % w == 0) {
+      s.pre_max[j] = s.xmax[j];
+      s.pre_min[j] = s.xmin[j];
+    } else {
+      s.pre_max[j] = std::max(s.pre_max[j - 1], s.xmax[j]);
+      s.pre_min[j] = std::min(s.pre_min[j - 1], s.xmin[j]);
+    }
+  }
+  for (size_t j = np; j-- > 0;) {
+    if (j % w == w - 1 || j == np - 1) {
+      s.suf_max[j] = s.xmax[j];
+      s.suf_min[j] = s.xmin[j];
+    } else {
+      s.suf_max[j] = std::max(s.suf_max[j + 1], s.xmax[j]);
+      s.suf_min[j] = std::min(s.suf_min[j + 1], s.xmin[j]);
+    }
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    upper[i] = std::max(s.suf_max[i], s.pre_max[i + 2 * band]);
+    lower[i] = std::min(s.suf_min[i], s.pre_min[i + 2 * band]);
+  }
+}
+
 }  // namespace
 
 namespace query_internal {
 
-SeriesEnvelope BuildEnvelope(const Matrix& series, int window) {
+void BuildEnvelopeColumns(const Matrix& series, int window, double* lower,
+                          double* upper) {
   const size_t rows = series.rows();
   const size_t cols = series.cols();
   const size_t band = window > 0 ? static_cast<size_t>(window) : rows;
+  std::vector<double> col(rows);
+  const auto load_column = [&](size_t f) {
+    for (size_t r = 0; r < rows; ++r) col[r] = series(r, f);
+  };
+  if (band + 1 >= rows) {
+    // Every window covers the whole column: the envelope degenerates to the
+    // global min/max (the common unbounded-window case), one reduction per
+    // column instead of a windowed pass.
+    for (size_t f = 0; f < cols; ++f) {
+      load_column(f);
+      const double hi = simd::MaxValue(col.data(), rows);
+      const double lo = simd::MinValue(col.data(), rows);
+      std::fill(upper + f * rows, upper + (f + 1) * rows, hi);
+      std::fill(lower + f * rows, lower + (f + 1) * rows, lo);
+    }
+    return;
+  }
+  if (simd::Enabled()) {
+    EnvelopeScratch scratch;
+    for (size_t f = 0; f < cols; ++f) {
+      load_column(f);
+      EnvelopeColumnVanHerk(col.data(), rows, band, scratch, lower + f * rows,
+                            upper + f * rows);
+    }
+  } else {
+    for (size_t f = 0; f < cols; ++f) {
+      load_column(f);
+      EnvelopeColumnDeque(col.data(), rows, band, lower + f * rows,
+                          upper + f * rows);
+    }
+  }
+}
+
+SeriesEnvelope BuildEnvelope(const Matrix& series, int window) {
+  const size_t rows = series.rows();
+  const size_t cols = series.cols();
+  std::vector<double> lower(series.size());
+  std::vector<double> upper(series.size());
+  BuildEnvelopeColumns(series, window, lower.data(), upper.data());
   SeriesEnvelope envelope{Matrix(rows, cols), Matrix(rows, cols)};
-  // Lemire-style streaming min/max: each index enters and leaves each
-  // monotonic deque once, so the envelope costs O(rows) per column
-  // regardless of the band width.
-  std::deque<size_t> max_q;
-  std::deque<size_t> min_q;
   for (size_t f = 0; f < cols; ++f) {
-    max_q.clear();
-    min_q.clear();
-    size_t next = 0;  // first row not yet offered to the deques
-    for (size_t i = 0; i < rows; ++i) {
-      const size_t hi = std::min(rows - 1, i + band);
-      while (next <= hi) {
-        const double v = series(next, f);
-        while (!max_q.empty() && series(max_q.back(), f) <= v) {
-          max_q.pop_back();
-        }
-        max_q.push_back(next);
-        while (!min_q.empty() && series(min_q.back(), f) >= v) {
-          min_q.pop_back();
-        }
-        min_q.push_back(next);
-        ++next;
-      }
-      const size_t lo = i > band ? i - band : 0;
-      while (max_q.front() < lo) max_q.pop_front();
-      while (min_q.front() < lo) min_q.pop_front();
-      envelope.upper(i, f) = series(max_q.front(), f);
-      envelope.lower(i, f) = series(min_q.front(), f);
+    for (size_t r = 0; r < rows; ++r) {
+      envelope.lower(r, f) = lower[f * rows + r];
+      envelope.upper(r, f) = upper[f * rows + r];
     }
   }
   return envelope;
@@ -211,11 +309,20 @@ Result<const EnvelopeSet*> EnvelopeCache::GetOrBuild(
   WPRED_RETURN_IF_ERROR(
       ParallelFor(corpus.num_shards(), num_threads, [&](size_t s) -> Status {
         const CorpusShard shard = corpus.shard(s);
-        std::vector<SeriesEnvelope>& block = set.blocks_[s];
-        block.resize(shard.size());
+        EnvelopeSet::Block& block = set.blocks_[s];
+        block.offsets.assign(shard.size(), 0);
+        size_t total = 0;
         for (size_t i = shard.begin; i < shard.end; ++i) {
-          block[i - shard.begin] =
-              query_internal::BuildEnvelope(corpus[i], window);
+          block.offsets[i - shard.begin] = total;
+          total += corpus[i].size();
+        }
+        block.lower.assign(total, 0.0);
+        block.upper.assign(total, 0.0);
+        for (size_t i = shard.begin; i < shard.end; ++i) {
+          const size_t off = block.offsets[i - shard.begin];
+          query_internal::BuildEnvelopeColumns(corpus[i], window,
+                                               block.lower.data() + off,
+                                               block.upper.data() + off);
         }
         return Status::OK();
       }));
@@ -244,18 +351,38 @@ Status EnvelopeCache::ExtendForAppend(const ShardedCorpus& corpus,
        node = node->next) {
     EnvelopeSet& set = node->set;
     WPRED_DCHECK_EQ(set.shard_traces_, corpus.shard_traces());
-    // Pre-size the per-shard blocks so the parallel loop below only does
+    // Pre-size the tail blocks — extend the possibly part-filled last old
+    // shard and add new ones — so the parallel loop below only does
     // slot-indexed writes (determinism discipline of DESIGN.md §7).
+    // Existing offsets and envelope data are untouched: appends only grow
+    // each block's arrays at the tail.
     set.blocks_.resize(corpus.num_shards());
     for (size_t s = corpus.shard_of(old_size == 0 ? 0 : old_size - 1);
          s < corpus.num_shards(); ++s) {
-      set.blocks_[s].resize(corpus.shard(s).size());
+      const CorpusShard shard = corpus.shard(s);
+      EnvelopeSet::Block& block = set.blocks_[s];
+      const size_t old_local = block.offsets.size();
+      block.offsets.resize(shard.size());
+      size_t total =
+          old_local == 0
+              ? 0
+              : block.offsets[old_local - 1] +
+                    corpus[shard.begin + old_local - 1].size();
+      for (size_t t = old_local; t < shard.size(); ++t) {
+        block.offsets[t] = total;
+        total += corpus[shard.begin + t].size();
+      }
+      block.lower.resize(total, 0.0);
+      block.upper.resize(total, 0.0);
     }
     WPRED_RETURN_IF_ERROR(
         ParallelFor(new_count, num_threads, [&](size_t j) -> Status {
           const size_t i = old_size + j;
-          set.blocks_[i / set.shard_traces_][i % set.shard_traces_] =
-              query_internal::BuildEnvelope(corpus[i], node->window);
+          EnvelopeSet::Block& block = set.blocks_[i / set.shard_traces_];
+          const size_t off = block.offsets[i % set.shard_traces_];
+          query_internal::BuildEnvelopeColumns(corpus[i], node->window,
+                                               block.lower.data() + off,
+                                               block.upper.data() + off);
           return Status::OK();
         }));
     WPRED_COUNT_ADD("similarity.envelope.builds",
@@ -278,9 +405,14 @@ const EnvelopeSet* EnvelopeCache::Lookup(int window) const {
 
 Result<SimilarityQueryEngine> SimilarityQueryEngine::Build(
     std::vector<Matrix> corpus, const std::string& measure, int window,
-    int num_threads, size_t shard_traces) {
+    int num_threads, size_t shard_traces, int sketch_bins) {
   if (corpus.empty()) {
     return Status::InvalidArgument("need at least one corpus entry");
+  }
+  if (sketch_bins == 1) {
+    return Status::InvalidArgument(
+        "sketch_bins must be 0 (default), >= 2, or negative (disabled); a "
+        "one-bin histogram can never separate traces");
   }
   SimilarityQueryEngine engine;
   if (measure == "Dependent-DTW") {
@@ -320,6 +452,13 @@ Result<SimilarityQueryEngine> SimilarityQueryEngine::Build(
     WPRED_RETURN_IF_ERROR(
         engine.envelopes_.GetOrBuild(engine.corpus_, window, num_threads)
             .status());
+    if (sketch_bins >= 0) {
+      const int bins =
+          sketch_bins == 0 ? TraceSketchSet::kDefaultBins : sketch_bins;
+      WPRED_RETURN_IF_ERROR(
+          engine.sketches_.Build(engine.corpus_, bins, num_threads));
+      engine.sketch_bins_ = bins;
+    }
   }
   return engine;
 }
@@ -357,6 +496,10 @@ Status SimilarityQueryEngine::AppendTraces(std::vector<Matrix> traces,
   if (kind_ != MeasureKind::kGeneric) {
     WPRED_RETURN_IF_ERROR(
         envelopes_.ExtendForAppend(corpus_, old_size, num_threads));
+    if (sketch_bins_ > 0) {
+      WPRED_RETURN_IF_ERROR(
+          sketches_.ExtendForAppend(corpus_, old_size, num_threads));
+    }
   }
   return Status::OK();
 }
@@ -384,6 +527,35 @@ Result<Vector> SimilarityQueryEngine::Distances(const Matrix& query,
   // slot-indexed writes into the global-index output, so results are in
   // corpus order and independent of schedule and thread count.
   Vector out(corpus_.size());
+  if (kind_ != MeasureKind::kGeneric) {
+    if (query.cols() != corpus_[0].cols()) {
+      return Status::InvalidArgument("feature count mismatch");
+    }
+    // One column-major query copy serves every candidate; candidates come
+    // from the corpus's shard-contiguous column-major mirror, so the DTW
+    // span kernels never copy a column.
+    const std::vector<double> query_cols = query.ColumnMajor();
+    WPRED_RETURN_IF_ERROR(ParallelFor(
+        corpus_.num_shards(), num_threads, [&](size_t s) -> Status {
+          const CorpusShard shard = corpus_.shard(s);
+          for (size_t i = shard.begin; i < shard.end; ++i) {
+            Result<DtwEarlyAbandon> r =
+                kind_ == MeasureKind::kDependentDtw
+                    ? DependentDtwColsEarlyAbandon(
+                          query_cols.data(), query.rows(),
+                          corpus_.col_data(i), corpus_[i].rows(),
+                          query.cols(), window_, kInf)
+                    : IndependentDtwColsEarlyAbandon(
+                          query_cols.data(), query.rows(),
+                          corpus_.col_data(i), corpus_[i].rows(),
+                          query.cols(), window_, kInf);
+            WPRED_ASSIGN_OR_RETURN(const DtwEarlyAbandon ea, std::move(r));
+            out[i] = ea.distance;
+          }
+          return Status::OK();
+        }));
+    return out;
+  }
   WPRED_RETURN_IF_ERROR(
       ParallelFor(corpus_.num_shards(), num_threads, [&](size_t s) -> Status {
         const CorpusShard shard = corpus_.shard(s);
@@ -419,7 +591,10 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
 
   const bool dtw = kind_ != MeasureKind::kGeneric;
   const EnvelopeSet* envelopes = nullptr;
-  SeriesEnvelope query_envelope;
+  std::vector<double> query_cols;
+  std::vector<double> query_env_lower;
+  std::vector<double> query_env_upper;
+  std::vector<double> query_sketch;
   if (dtw) {
     if (query.cols() != corpus_[0].cols()) {
       return Status::InvalidArgument("feature count mismatch");
@@ -430,10 +605,17 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
           "envelope cache missing the engine window");  // unreachable: Build
                                                         // prebuilds it
     }
-    // LB_Keogh is symmetric in which series provides the envelope; building
-    // the query's envelope once per call buys the tighter max of both
-    // directions for every equal-length candidate.
-    query_envelope = query_internal::BuildEnvelope(query, window_);
+    // Per-call query-side state, built once and reused by every candidate:
+    // the column-major mirror feeds the SIMD Keogh and DTW kernels, the
+    // query envelope buys the tighter max of both LB_Keogh directions, and
+    // the query sketch drives the tier-0 bound.
+    query_cols = query.ColumnMajor();
+    query_env_lower.resize(query.size());
+    query_env_upper.resize(query.size());
+    query_internal::BuildEnvelopeColumns(query, window_,
+                                         query_env_lower.data(),
+                                         query_env_upper.data());
+    if (sketch_bins_ > 0) query_sketch = sketches_.SketchSeries(query);
   }
 
   WPRED_COUNT_ADD("similarity.query.candidates", static_cast<uint64_t>(n));
@@ -462,9 +644,11 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
     return heap;
   }
 
-  // UCR-suite visit order: candidates ascend by (LB_Kim, index), so the
-  // true neighbours tend to tighten the cutoff first, and because the sort
-  // key is itself the first cascade stage, the first Kim prune discards
+  // UCR-suite visit order: candidates ascend by (tier-0 bound, index) — the
+  // sketch bound when the tier is on (max of LB_Kim and the histogram/PAA
+  // bounds, O(d·bins) per candidate), bare LB_Kim otherwise — so the true
+  // neighbours tend to tighten the cutoff first, and because the sort key
+  // is itself the first cascade stage, the first tier-0 prune discards
   // every remaining candidate at once.
   //
   // Correctness under an arbitrary visit order needs two guards the naive
@@ -476,27 +660,58 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
   //     abandonment proves distance > cutoff, never distance == cutoff.
   // Survivors' distances come from the same kernel cells as the plain scan
   // (the cutoff decides when to stop, never what is computed), so the
-  // result stays bit-identical to the exhaustive argsort.
-  std::vector<Neighbor> by_kim(n);
-  for (size_t idx = 0; idx < n; ++idx) {
-    by_kim[idx] = {idx, kind_ == MeasureKind::kDependentDtw
-                            ? query_internal::LbKimDependent(query,
-                                                             corpus_[idx])
-                            : query_internal::LbKimIndependent(query,
-                                                               corpus_[idx])};
+  // result stays bit-identical to the exhaustive argsort — with the sketch
+  // tier on or off.
+  std::vector<Neighbor> by_lb(n);
+  std::vector<double> kims;  // sketch mode: the kim component, for counters
+  if (sketch_bins_ > 0) {
+    kims.resize(n);
+    const SketchLayout& layout = sketches_.layout();
+    for (size_t idx = 0; idx < n; ++idx) {
+      const SketchBound bound =
+          kind_ == MeasureKind::kDependentDtw
+              ? DependentSketchBound(query_sketch.data(), sketches_.At(idx),
+                                     layout, window_)
+              : IndependentSketchBound(query_sketch.data(), sketches_.At(idx),
+                                       layout, window_);
+      by_lb[idx] = {idx, bound.combined};
+      kims[idx] = bound.kim;
+    }
+  } else {
+    for (size_t idx = 0; idx < n; ++idx) {
+      by_lb[idx] = {idx,
+                    kind_ == MeasureKind::kDependentDtw
+                        ? query_internal::LbKimDependent(query, corpus_[idx])
+                        : query_internal::LbKimIndependent(query,
+                                                           corpus_[idx])};
+    }
   }
-  std::sort(by_kim.begin(), by_kim.end(), NeighborLess);
+  std::sort(by_lb.begin(), by_lb.end(), NeighborLess);
 
   for (size_t pos = 0; pos < n; ++pos) {
-    const size_t idx = by_kim[pos].index;
+    const size_t idx = by_lb[pos].index;
     const Matrix& candidate = corpus_[idx];
     const bool full = heap.size() == k_eff;
     const double cutoff = full ? heap.front().distance : kInf;
-    if (full && by_kim[pos].distance > cutoff) {
+    if (full && by_lb[pos].distance > cutoff) {
+      // Sorted by the tier-0 bound: every remaining candidate is out too.
+      // Attribution: a tail candidate whose kim component alone clears the
+      // cutoff would have been pruned by the pre-sketch cascade as well
+      // (kim_pruned); the rest are pruned only because the sketch's
+      // histogram/PAA bounds are tighter (sketch.pruned).
       const auto remaining = static_cast<uint64_t>(n - pos);
       WPRED_COUNT_ADD("similarity.lb.pruned", remaining);
-      WPRED_COUNT_ADD("similarity.lb.kim_pruned", remaining);
-      break;  // sorted by LB_Kim: every remaining candidate is out too
+      if (kims.empty()) {
+        WPRED_COUNT_ADD("similarity.lb.kim_pruned", remaining);
+      } else {
+        uint64_t kim_alone = 0;
+        for (size_t p = pos; p < n; ++p) {
+          if (kims[by_lb[p].index] > cutoff) ++kim_alone;
+        }
+        WPRED_COUNT_ADD("similarity.lb.kim_pruned", kim_alone);
+        WPRED_COUNT_ADD("similarity.sketch.pruned", remaining - kim_alone);
+      }
+      break;
     }
     if (full && query.rows() == candidate.rows()) {
       // LB_Keogh is only valid when the Sakoe-Chiba band is exactly the
@@ -504,19 +719,37 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
       // the band to the length difference); other candidates fall through
       // to the early-abandoning kernel. Both directions (query against the
       // cached candidate envelope, candidate against the query's) are
-      // valid lower bounds, so the max prunes strictly more.
-      const double lb =
-          kind_ == MeasureKind::kDependentDtw
-              ? std::max(
-                    query_internal::LbKeoghDependent(query,
-                                                     envelopes->At(idx)),
-                    query_internal::LbKeoghDependent(candidate,
-                                                     query_envelope))
-              : std::max(
-                    query_internal::LbKeoghIndependent(query,
-                                                       envelopes->At(idx)),
-                    query_internal::LbKeoghIndependent(candidate,
-                                                       query_envelope));
+      // valid lower bounds, so the max prunes strictly more. All operands
+      // are column-major and contiguous, so each direction is one SIMD
+      // envelope-gap reduction (per feature, for the independent measure).
+      const size_t rows = candidate.rows();
+      const double* cand_cols = corpus_.col_data(idx);
+      double lb;
+      if (kind_ == MeasureKind::kDependentDtw) {
+        lb = std::max(
+            std::sqrt(simd::EnvelopeGapSq(query_cols.data(),
+                                          envelopes->lower(idx),
+                                          envelopes->upper(idx),
+                                          query.size())),
+            std::sqrt(simd::EnvelopeGapSq(cand_cols, query_env_lower.data(),
+                                          query_env_upper.data(),
+                                          query.size())));
+      } else {
+        const size_t d = query.cols();
+        double forward = 0.0;
+        double backward = 0.0;
+        for (size_t f = 0; f < d; ++f) {
+          forward += std::sqrt(
+              simd::EnvelopeGapSq(query_cols.data() + f * rows,
+                                  envelopes->lower(idx) + f * rows,
+                                  envelopes->upper(idx) + f * rows, rows));
+          backward += std::sqrt(
+              simd::EnvelopeGapSq(cand_cols + f * rows,
+                                  query_env_lower.data() + f * rows,
+                                  query_env_upper.data() + f * rows, rows));
+        }
+        lb = std::max(forward, backward) / static_cast<double>(d);
+      }
       if (lb > cutoff) {
         WPRED_COUNT_ADD("similarity.lb.pruned", 1);
         WPRED_COUNT_ADD("similarity.lb.keogh_pruned", 1);
@@ -528,10 +761,14 @@ Result<std::vector<Neighbor>> SimilarityQueryEngine::RankNeighbors(
         cutoff < kInf ? std::nextafter(cutoff, kInf) : kInf;
     Result<DtwEarlyAbandon> outcome =
         kind_ == MeasureKind::kDependentDtw
-            ? DependentDtwDistanceEarlyAbandon(query, candidate, window_,
-                                               abandon_cutoff)
-            : IndependentDtwDistanceEarlyAbandon(query, candidate, window_,
-                                                 abandon_cutoff);
+            ? DependentDtwColsEarlyAbandon(query_cols.data(), query.rows(),
+                                           corpus_.col_data(idx),
+                                           candidate.rows(), query.cols(),
+                                           window_, abandon_cutoff)
+            : IndependentDtwColsEarlyAbandon(query_cols.data(), query.rows(),
+                                             corpus_.col_data(idx),
+                                             candidate.rows(), query.cols(),
+                                             window_, abandon_cutoff);
     WPRED_ASSIGN_OR_RETURN(const DtwEarlyAbandon ea, std::move(outcome));
     if (ea.abandoned) {
       WPRED_COUNT_ADD("similarity.dtw.abandoned_candidates", 1);

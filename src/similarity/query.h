@@ -11,28 +11,33 @@
 #include "linalg/matrix.h"
 #include "similarity/representation.h"
 #include "similarity/sharded_corpus.h"
+#include "similarity/sketch.h"
 #include "telemetry/experiment.h"
 
-// Lower-bound-pruned similarity search (DESIGN.md §10).
+// Lower-bound-pruned similarity search (DESIGN.md §10, §15).
 //
 // Top-k retrieval against a fixed corpus of representation matrices without
 // evaluating the full distance kernel for every candidate. For the DTW
 // measures a cascade of cheap lower bounds runs in front of the O(m·n)
 // lattice:
 //
-//   LB_Kim (O(d))  →  LB_Keogh (O(m·d), cached envelopes, both
-//   directions)  →  early-abandoning DTW (cutoff threaded through the
-//   per-row band)
+//   tier-0 sketch (O(d·bins), similarity/sketch.h — max of LB_Kim and the
+//   histogram/PAA bounds, no O(m·d) work)  →  LB_Keogh (O(m·d), cached
+//   column-major envelopes, both directions, SIMD kernels)  →
+//   early-abandoning DTW (cutoff threaded through the per-row band,
+//   vectorized recurrence over the corpus's column-major mirror)
 //
-// Candidates are visited in ascending (LB_Kim, index) order — the UCR-suite
-// trick — so near neighbours tighten the best-so-far cutoff first and the
-// first LB_Kim prune discards the whole remaining tail. A stage only ever
+// Candidates are visited in ascending (tier-0 bound, index) order — the
+// UCR-suite trick, with the sketch bound replacing bare LB_Kim as the sort
+// key — so near neighbours tighten the best-so-far cutoff first and the
+// first tier-0 prune discards the whole remaining tail. A stage only ever
 // discards candidates whose true distance provably *exceeds* the current
 // k-th best (lower bounds prune on strict >, the kernel abandons against
 // the next double above the cutoff), so equal-distance candidates always
 // reach the heap and lose or win on the index tie-break there. The
 // surviving top-k — indices and distances — is therefore bit-identical to
-// a stable argsort of the exhaustive distance vector, at any thread count.
+// a stable argsort of the exhaustive distance vector, at any thread count,
+// with the sketch tier on or off, and with SIMD on or off.
 //
 // Norm and LCSS measures have no usable lower bound; for those the engine
 // degrades to an exact scan that still avoids materialising an n×n pairwise
@@ -55,27 +60,41 @@ struct SeriesEnvelope {
   Matrix upper;
 };
 
-/// All envelopes of one (corpus, window), stored as one contiguous block
-/// per corpus shard so a worker scanning shard s streams one allocation.
-/// Global corpus indices address it (`At`), so callers never see the shard
-/// seams. Published by EnvelopeCache; after publication it changes only by
-/// appending blocks for corpus traces appended at the tail
-/// (EnvelopeCache::ExtendForAppend) — existing entries never move.
+/// All envelopes of one (corpus, window), stored as flat column-major
+/// blocks — one contiguous lower and one upper allocation per corpus shard,
+/// traces back to back, each trace laid out exactly like
+/// ShardedCorpus::col_data (column f at offset f·rows). A worker scanning
+/// shard s streams two allocations, and the SIMD LB_Keogh kernel
+/// (simd::EnvelopeGapSq) consumes query columns, envelope columns, and the
+/// corpus mirror at unit stride. Global corpus indices address it
+/// (`lower`/`upper`), so callers never see the shard seams. Published by
+/// EnvelopeCache; after publication it changes only by appending entries
+/// for corpus traces appended at the tail (EnvelopeCache::ExtendForAppend)
+/// — existing entries never move within their block.
 class EnvelopeSet {
  public:
-  /// Envelope of corpus trace `index` (global index, as in Neighbor).
-  const SeriesEnvelope& At(size_t index) const {
-    return blocks_[index / shard_traces_][index % shard_traces_];
+  /// Column-major running min (lower) / max (upper) envelope of corpus
+  /// trace `index` (global index, as in Neighbor): cols blocks of rows
+  /// doubles, same shape as the trace.
+  const double* lower(size_t index) const {
+    const Block& block = blocks_[index / shard_traces_];
+    return block.lower.data() + block.offsets[index % shard_traces_];
+  }
+  const double* upper(size_t index) const {
+    const Block& block = blocks_[index / shard_traces_];
+    return block.upper.data() + block.offsets[index % shard_traces_];
   }
 
   size_t num_blocks() const { return blocks_.size(); }
-  const std::vector<SeriesEnvelope>& block(size_t s) const {
-    return blocks_[s];
-  }
 
  private:
   friend class EnvelopeCache;
-  std::vector<std::vector<SeriesEnvelope>> blocks_;
+  struct Block {
+    std::vector<double> lower;
+    std::vector<double> upper;
+    std::vector<size_t> offsets;  // local trace t's start within the block
+  };
+  std::vector<Block> blocks_;
   size_t shard_traces_ = 1;
 };
 
@@ -159,11 +178,21 @@ class SimilarityQueryEngine {
   /// means unbounded). `num_threads` follows common/parallel semantics;
   /// neither it nor the shard width ever changes results — sharding decides
   /// layout and scheduling granularity only.
+  ///
+  /// `sketch_bins` sizes the tier-0 sketch filter's per-feature histogram
+  /// (similarity/sketch.h): 0 selects TraceSketchSet::kDefaultBins, >= 2 is
+  /// honoured as-is, < 0 disables the sketch tier (RankNeighbors then sorts
+  /// by bare LB_Kim, exactly the pre-sketch cascade), and 1 is rejected (a
+  /// one-bin histogram can never separate anything — almost certainly a
+  /// misconfiguration). Generic measures never build sketches. Like the
+  /// shard width, the knob is pure layout/pruning policy: results are
+  /// bit-identical for every legal value.
   static Result<SimilarityQueryEngine> Build(std::vector<Matrix> corpus,
                                              const std::string& measure,
                                              int window = 0,
                                              int num_threads = 0,
-                                             size_t shard_traces = 0);
+                                             size_t shard_traces = 0,
+                                             int sketch_bins = 0);
 
   /// Grows the reference corpus at the tail: validates the new traces
   /// (nonempty, finite, same feature arity as the existing corpus), appends
@@ -195,6 +224,9 @@ class SimilarityQueryEngine {
   size_t num_shards() const { return corpus_.num_shards(); }
   const std::string& measure() const { return measure_; }
   int window() const { return window_; }
+  /// Effective sketch histogram width; 0 when the tier is disabled (generic
+  /// measure or Build(..., sketch_bins < 0)).
+  int sketch_bins() const { return sketch_bins_; }
 
  private:
   enum class MeasureKind { kGeneric, kDependentDtw, kIndependentDtw };
@@ -209,6 +241,8 @@ class SimilarityQueryEngine {
   int window_ = 0;
   MeasureKind kind_ = MeasureKind::kGeneric;
   EnvelopeCache envelopes_;
+  TraceSketchSet sketches_;
+  int sketch_bins_ = 0;  // effective width; 0 = tier disabled
 };
 
 /// One-shot convenience: builds the shared normalisation and the chosen
@@ -226,6 +260,17 @@ namespace query_internal {
 /// Envelope of one series over the band (window <= 0 means unbounded):
 /// upper(i, f) / lower(i, f) = max/min of column f over rows [i-b, i+b].
 SeriesEnvelope BuildEnvelope(const Matrix& series, int window);
+
+/// BuildEnvelope into caller-owned column-major storage: writes
+/// series.size() doubles each at `lower`/`upper`, column f at offset
+/// f·rows — the layout EnvelopeSet and ShardedCorpus::col_data share. Two
+/// algorithms, selected by simd::Enabled(): a branch-light van Herk /
+/// Gil-Werman block prefix/suffix max that autovectorizes, and the Lemire
+/// monotonic-deque reference. Both compute the exact windowed min/max (no
+/// arithmetic, only comparisons), so their outputs are bitwise identical —
+/// pinned by SimdTest.
+void BuildEnvelopeColumns(const Matrix& series, int window, double* lower,
+                          double* upper);
 
 /// LB_Kim: the alignment path must match the first cells and the last
 /// cells, so their costs alone lower-bound the DTW distance. Valid for any

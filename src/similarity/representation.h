@@ -72,12 +72,22 @@ namespace representation_internal {
 /// both edges clamped into range. The upper-edge clamp is load-bearing — a
 /// value exactly at the feature max normalises to 1.0 and floor(1.0·bins)
 /// is the out-of-range bin `bins`; it must land in the last bin, bins-1.
-/// Batch BuildHistFp and the streaming incremental histogram
-/// (stream/window.h) both route through this helper, so the edge policy
-/// lives in exactly one place.
+/// Both edges clamp in DOUBLE space, before the int conversion: a value
+/// far outside [0, 1] (streaming min/max drift before a window refresh, or
+/// the similarity sketches' frozen value frame after appends) would make
+/// `static_cast<int>(v * bins)` undefined behaviour once v·bins leaves
+/// int's range, so a post-cast clamp cannot be relied on. NaN also pins to
+/// bin 0 instead of an undefined conversion. Batch BuildHistFp, the
+/// streaming incremental histogram (stream/window.h), and the tier-0
+/// similarity sketches (similarity/sketch.h) all route through this
+/// helper, so the edge policy lives in exactly one place.
 inline int HistFpBin(double v, int bins) {
-  const int b = static_cast<int>(v * bins);
-  return b < 0 ? 0 : (b > bins - 1 ? bins - 1 : b);
+  if (!(v > 0.0)) return 0;        // lower edge, arbitrarily far, and NaN
+  if (v >= 1.0) return bins - 1;   // upper edge, arbitrarily far, and +inf
+  const int b = static_cast<int>(v * static_cast<double>(bins));
+  // v < 1 can still round v·bins up to exactly `bins` for large bin
+  // counts; keep the in-range clamp for that last ulp.
+  return b > bins - 1 ? bins - 1 : b;
 }
 
 }  // namespace representation_internal

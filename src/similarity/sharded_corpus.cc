@@ -10,11 +10,42 @@ namespace wpred {
 ShardedCorpus::ShardedCorpus(std::vector<Matrix> traces, size_t shard_traces)
     : traces_(std::move(traces)),
       shard_traces_(shard_traces == 0 ? kDefaultShardTraces
-                                      : std::max<size_t>(1, shard_traces)) {}
+                                      : std::max<size_t>(1, shard_traces)) {
+  RebuildColBlocksFrom(0);
+}
 
 void ShardedCorpus::Append(std::vector<Matrix> traces) {
-  traces_.reserve(traces_.size() + traces.size());
+  if (traces.empty()) return;  // strict no-op: no zero-width tail work
+  const size_t old_size = traces_.size();
+  traces_.reserve(old_size + traces.size());
   for (Matrix& trace : traces) traces_.push_back(std::move(trace));
+  // The first affected shard is the one holding the last pre-append trace
+  // (it may have been part-filled); every later shard is new.
+  RebuildColBlocksFrom(old_size == 0 ? 0 : shard_of(old_size - 1));
+}
+
+void ShardedCorpus::RebuildColBlocksFrom(size_t first_shard) {
+  col_blocks_.resize(num_shards());
+  for (size_t s = first_shard; s < col_blocks_.size(); ++s) {
+    const CorpusShard sh = shard(s);
+    ColBlock& block = col_blocks_[s];
+    block.offsets.assign(sh.size(), 0);
+    size_t total = 0;
+    for (size_t i = sh.begin; i < sh.end; ++i) {
+      block.offsets[i - sh.begin] = total;
+      total += traces_[i].size();
+    }
+    block.data.assign(total, 0.0);
+    for (size_t i = sh.begin; i < sh.end; ++i) {
+      const Matrix& trace = traces_[i];
+      double* out = block.data.data() + block.offsets[i - sh.begin];
+      const size_t rows = trace.rows();
+      const size_t cols = trace.cols();
+      for (size_t f = 0; f < cols; ++f) {
+        for (size_t r = 0; r < rows; ++r) out[f * rows + r] = trace(r, f);
+      }
+    }
+  }
 }
 
 size_t ShardedCorpus::num_shards() const {

@@ -65,6 +65,19 @@ class ShardedCorpus {
   const Matrix& operator[](size_t index) const { return traces_[index]; }
   const std::vector<Matrix>& traces() const { return traces_; }
 
+  /// Column-major mirror of trace `index`: cols blocks of rows contiguous
+  /// doubles (column f starts at offset f·rows). The SIMD similarity
+  /// kernels stream per-feature columns of many candidates; the row-major
+  /// Matrix layout would cost either a strided walk or a Vector copy per
+  /// (candidate, feature) pair, so the corpus carries a column-major copy,
+  /// laid out shard-contiguously (one allocation per shard, traces of a
+  /// shard back to back) and maintained through Append. A bitwise copy —
+  /// no arithmetic — so both layouts always hold identical values.
+  const double* col_data(size_t index) const {
+    const ColBlock& block = col_blocks_[index / shard_traces_];
+    return block.data.data() + block.offsets[index % shard_traces_];
+  }
+
   /// Shard width in traces (>= 1, even for an empty corpus).
   size_t shard_traces() const { return shard_traces_; }
   /// ceil(size / shard_traces); 0 for an empty corpus.
@@ -75,8 +88,21 @@ class ShardedCorpus {
   size_t shard_of(size_t index) const { return index / shard_traces_; }
 
  private:
+  /// Shard-contiguous column-major storage: one flat allocation per shard,
+  /// `offsets[t]` the start of local trace t's cols·rows block.
+  struct ColBlock {
+    std::vector<double> data;
+    std::vector<size_t> offsets;
+  };
+
+  /// (Re)builds the column-major blocks for shards [first_shard, end);
+  /// called from the constructor (all shards) and Append (the possibly
+  /// part-filled tail shard plus any new ones).
+  void RebuildColBlocksFrom(size_t first_shard);
+
   std::vector<Matrix> traces_;
   size_t shard_traces_ = kDefaultShardTraces;
+  std::vector<ColBlock> col_blocks_;
 };
 
 }  // namespace wpred

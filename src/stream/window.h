@@ -30,7 +30,10 @@
 // exactly; the emit replays count_b additions of 1/n per bin and then the
 // same cumulative sum. Both paths route the edge policy through
 // representation_internal::HistFpBin, so a sample sitting exactly on the
-// running feature max lands in the last bin in both.
+// running feature max lands in the last bin in both — and values far
+// outside [lo, hi] (NormalizeValue clamps, but HistFpBin no longer trusts
+// that) pin to the edge bins instead of tripping the int-cast UB the old
+// post-cast clamp had.
 
 namespace wpred {
 

@@ -545,9 +545,19 @@ TEST(EnvelopeCacheTest, EnvelopeSetMatchesPerTraceBuild) {
   for (size_t i = 0; i < corpus.size(); ++i) {
     const SeriesEnvelope expected =
         query_internal::BuildEnvelope(corpus[i], /*window=*/2);
-    const SeriesEnvelope& actual = set.At(i);
-    EXPECT_EQ(actual.lower.data(), expected.lower.data()) << "index " << i;
-    EXPECT_EQ(actual.upper.data(), expected.upper.data()) << "index " << i;
+    // The flat blocks are column-major (column f at offset f·rows), matching
+    // ShardedCorpus::col_data.
+    const double* lower = set.lower(i);
+    const double* upper = set.upper(i);
+    const size_t rows = corpus[i].rows();
+    for (size_t f = 0; f < corpus[i].cols(); ++f) {
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(lower[f * rows + r], expected.lower(r, f))
+            << "index " << i << " row " << r << " col " << f;
+        EXPECT_EQ(upper[f * rows + r], expected.upper(r, f))
+            << "index " << i << " row " << r << " col " << f;
+      }
+    }
   }
 }
 

@@ -1,0 +1,348 @@
+// Tier-0 similarity sketches (similarity/sketch.h): the combined bound must
+// be admissible against the true DTW distance for every measure, window,
+// and shape; sketch-driven pruning must leave the engine's top-k
+// bit-identical to an exhaustive scan (including exact ties crossing the
+// prune boundary); appended sketch sets must stay query-identical to
+// rebuilds (frozen value frame); and empty appends must be strict no-ops.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "similarity/dtw.h"
+#include "similarity/query.h"
+#include "similarity/sketch.h"
+
+namespace wpred {
+namespace {
+
+Matrix RandomSeries(Rng& rng, size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.Uniform(0.0, 1.0);
+  return m;
+}
+
+std::vector<Matrix> RandomCorpus(uint64_t seed, size_t n, size_t rows,
+                                 size_t cols) {
+  Rng rng(seed);
+  std::vector<Matrix> corpus;
+  corpus.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    corpus.push_back(RandomSeries(rng, rows, cols));
+  }
+  return corpus;
+}
+
+std::vector<Neighbor> ExhaustiveTopK(const SimilarityQueryEngine& engine,
+                                     const Matrix& query, size_t k) {
+  const Result<Vector> distances = engine.Distances(query);
+  EXPECT_TRUE(distances.ok()) << distances.status().ToString();
+  std::vector<Neighbor> ranked(distances->size());
+  for (size_t i = 0; i < distances->size(); ++i) {
+    ranked[i] = {i, (*distances)[i]};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Neighbor& a, const Neighbor& b) {
+                     return a.distance < b.distance;
+                   });
+  ranked.resize(std::min(k, ranked.size()));
+  return ranked;
+}
+
+TEST(SimilaritySketchTest, BoundIsAdmissibleProperty) {
+  // Property sweep: for random corpora, queries, windows, and unequal
+  // lengths, the combined sketch bound never exceeds the true DTW distance
+  // (within one part in 10^9 for floating-point accumulation), and the kim
+  // component never exceeds the combined bound it feeds.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 1000);
+    const size_t rows = 4 + seed % 9;
+    const size_t cols = 1 + seed % 3;
+    const std::vector<Matrix> traces = RandomCorpus(seed, 10, rows, cols);
+    const ShardedCorpus corpus(traces, /*shard_traces=*/3);
+    TraceSketchSet sketches;
+    ASSERT_TRUE(sketches.Build(corpus, /*bins=*/8, /*num_threads=*/2).ok());
+    // Unequal query lengths exercise the band widening inside the bound.
+    for (const size_t qrows : {rows, rows > 2 ? rows - 2 : rows, rows + 3}) {
+      const Matrix query = RandomSeries(rng, qrows, cols);
+      const std::vector<double> qsketch = sketches.SketchSeries(query);
+      for (const int window : {0, 2}) {
+        for (size_t i = 0; i < corpus.size(); ++i) {
+          const SketchBound dep = DependentSketchBound(
+              qsketch.data(), sketches.At(i), sketches.layout(), window);
+          const SketchBound ind = IndependentSketchBound(
+              qsketch.data(), sketches.At(i), sketches.layout(), window);
+          const Result<double> dep_dist =
+              DependentDtwDistance(query, corpus[i], window);
+          const Result<double> ind_dist =
+              IndependentDtwDistance(query, corpus[i], window);
+          ASSERT_TRUE(dep_dist.ok() && ind_dist.ok());
+          EXPECT_LE(dep.combined, *dep_dist * (1.0 + 1e-9) + 1e-12)
+              << "seed=" << seed << " i=" << i << " qrows=" << qrows
+              << " window=" << window;
+          EXPECT_LE(ind.combined, *ind_dist * (1.0 + 1e-9) + 1e-12)
+              << "seed=" << seed << " i=" << i << " qrows=" << qrows
+              << " window=" << window;
+          // combined is a max over components including kim.
+          EXPECT_LE(dep.kim, dep.combined);
+          EXPECT_LE(ind.kim, ind.combined);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilaritySketchTest, LbKimAdmissibleOnDegenerateLengths) {
+  // Length-1 and length-2 series: the first and last cells of the warping
+  // path coincide (1x1) or touch every cell (2x2) — the regime where an
+  // endpoint double-count would push LB_Kim above the true distance. Pin
+  // LB <= distance on every combination, both measures, and the sketch
+  // bound with them.
+  Rng rng(77);
+  std::vector<Matrix> shapes;
+  for (const size_t r : {1ul, 2ul}) {
+    shapes.push_back(RandomSeries(rng, r, 3));
+    shapes.push_back(RandomSeries(rng, r, 3));
+  }
+  const ShardedCorpus corpus(shapes);
+  TraceSketchSet sketches;
+  ASSERT_TRUE(sketches.Build(corpus, /*bins=*/4, /*num_threads=*/1).ok());
+  for (const Matrix& query : shapes) {
+    const std::vector<double> qsketch = sketches.SketchSeries(query);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      const Matrix& candidate = corpus[i];
+      const Result<double> dep = DependentDtwDistance(query, candidate);
+      const Result<double> ind = IndependentDtwDistance(query, candidate);
+      ASSERT_TRUE(dep.ok() && ind.ok());
+      EXPECT_LE(query_internal::LbKimDependent(query, candidate),
+                *dep * (1.0 + 1e-12))
+          << "q.rows=" << query.rows() << " c.rows=" << candidate.rows();
+      EXPECT_LE(query_internal::LbKimIndependent(query, candidate),
+                *ind * (1.0 + 1e-12))
+          << "q.rows=" << query.rows() << " c.rows=" << candidate.rows();
+      const SketchBound dep_b = DependentSketchBound(
+          qsketch.data(), sketches.At(i), sketches.layout(), /*window=*/0);
+      const SketchBound ind_b = IndependentSketchBound(
+          qsketch.data(), sketches.At(i), sketches.layout(), /*window=*/0);
+      EXPECT_LE(dep_b.combined, *dep * (1.0 + 1e-9) + 1e-12);
+      EXPECT_LE(ind_b.combined, *ind * (1.0 + 1e-9) + 1e-12);
+    }
+  }
+}
+
+TEST(SimilaritySketchTest, TopKBitIdenticalWithSketchPruningAndTies) {
+  obs::SetMetricsEnabled(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  // Clustered corpus with EXACT duplicates straddling the k boundary: a
+  // near cluster (including duplicated copies of the query's twin, so the
+  // k-th and (k+1)-th distances tie exactly) plus a far cluster the sketch
+  // tier must discard. The ranked result must equal the exhaustive argsort
+  // bitwise — ties resolved by index — while sketch.pruned fires.
+  Rng rng(91);
+  std::vector<Matrix> corpus;
+  for (size_t i = 0; i < 6; ++i) {
+    corpus.push_back(RandomSeries(rng, 10, 2));
+  }
+  // Duplicates of corpus[2]: identical sketches AND identical distances, so
+  // a k cutting through them exercises tie handling at the prune boundary.
+  corpus.push_back(corpus[2]);
+  corpus.push_back(corpus[2]);
+  // Far traces share the query's FIRST and LAST rows, so LB_Kim (endpoints
+  // only) stays tiny — only the sketch's histogram/PAA terms see the +25
+  // interior and can discard them, forcing sketch-attributed prunes.
+  const Matrix query = corpus[2];
+  for (size_t i = 0; i < 24; ++i) {
+    Matrix far = RandomSeries(rng, 10, 2);
+    for (double& v : far.data()) v += 25.0;
+    for (size_t f = 0; f < far.cols(); ++f) {
+      far(0, f) = query(0, f);
+      far(far.rows() - 1, f) = query(query.rows() - 1, f);
+    }
+    corpus.push_back(std::move(far));
+  }
+  for (const char* measure : {"Dependent-DTW", "Independent-DTW"}) {
+    for (const int window : {0, 3}) {
+      const auto engine = SimilarityQueryEngine::Build(
+          corpus, measure, window, /*num_threads=*/2, /*shard_traces=*/4);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      EXPECT_EQ(engine->sketch_bins(), TraceSketchSet::kDefaultBins);
+      // k = 2 cuts through the three identical copies (indices 2, 6, 7):
+      // the result must keep 2 and 6 and drop 7 purely on the index
+      // tie-break, even though all three distances are equal.
+      for (const size_t k : {2ul, 3ul, 5ul}) {
+        const auto ranked = engine->RankNeighbors(query, k);
+        ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+        EXPECT_EQ(*ranked, ExhaustiveTopK(*engine, query, k))
+            << measure << " window=" << window << " k=" << k;
+      }
+    }
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_GT(registry.GetCounter("similarity.sketch.pruned").value(), 0u);
+  EXPECT_GT(registry.GetCounter("similarity.sketch.built").value(), 0u);
+  obs::SetMetricsEnabled(false);
+  registry.ResetAll();
+}
+
+TEST(SimilaritySketchTest, AppendedEngineMatchesRebuild) {
+  // AppendTraces sketches new traces against the FROZEN value frame, so an
+  // appended engine makes different pruning decisions than a rebuild — but
+  // must return bit-identical results. Appended values deliberately leave
+  // the original frame (x5 + offset) to exercise the unbounded edge bins.
+  const std::vector<Matrix> initial = RandomCorpus(101, 14, 9, 2);
+  std::vector<Matrix> appended = RandomCorpus(102, 9, 9, 2);
+  for (Matrix& m : appended) {
+    for (double& v : m.data()) v = v * 5.0 - 2.0;  // out-of-frame values
+  }
+  std::vector<Matrix> full = initial;
+  full.insert(full.end(), appended.begin(), appended.end());
+  Rng rng(103);
+  const Matrix query = RandomSeries(rng, 9, 2);
+  for (const char* measure : {"Dependent-DTW", "Independent-DTW"}) {
+    for (const int window : {0, 2}) {
+      auto grown = SimilarityQueryEngine::Build(initial, measure, window,
+                                                /*num_threads=*/2,
+                                                /*shard_traces=*/4);
+      ASSERT_TRUE(grown.ok());
+      ASSERT_TRUE(grown->AppendTraces(appended, /*num_threads=*/2).ok());
+      const auto rebuilt = SimilarityQueryEngine::Build(
+          full, measure, window, /*num_threads=*/2, /*shard_traces=*/4);
+      ASSERT_TRUE(rebuilt.ok());
+      for (const size_t k : {1ul, 4ul, 23ul}) {
+        const auto grown_ranked = grown->RankNeighbors(query, k);
+        const auto rebuilt_ranked = rebuilt->RankNeighbors(query, k);
+        ASSERT_TRUE(grown_ranked.ok() && rebuilt_ranked.ok());
+        EXPECT_EQ(*grown_ranked, *rebuilt_ranked)
+            << measure << " window=" << window << " k=" << k;
+        EXPECT_EQ(*grown_ranked, ExhaustiveTopK(*grown, query, k));
+      }
+    }
+  }
+}
+
+TEST(SimilaritySketchTest, EmptyAppendIsStrictNoOp) {
+  // Empty batches must not create zero-width shards, grow envelope or
+  // sketch blocks, or change any result.
+  const std::vector<Matrix> traces = RandomCorpus(111, 7, 8, 2);
+  ShardedCorpus corpus(traces, /*shard_traces=*/3);
+  const size_t shards_before = corpus.num_shards();
+  corpus.Append({});
+  EXPECT_EQ(corpus.num_shards(), shards_before);
+  EXPECT_EQ(corpus.size(), traces.size());
+
+  TraceSketchSet sketches;
+  ASSERT_TRUE(sketches.Build(corpus, /*bins=*/4, /*num_threads=*/1).ok());
+  const size_t sketch_blocks = sketches.num_blocks();
+  ASSERT_TRUE(
+      sketches.ExtendForAppend(corpus, corpus.size(), /*num_threads=*/1)
+          .ok());
+  EXPECT_EQ(sketches.num_blocks(), sketch_blocks);
+
+  EnvelopeCache cache;
+  const auto built = cache.GetOrBuild(corpus, /*window=*/2, /*num_threads=*/1);
+  ASSERT_TRUE(built.ok());
+  const size_t env_blocks = (*built)->num_blocks();
+  ASSERT_TRUE(
+      cache.ExtendForAppend(corpus, corpus.size(), /*num_threads=*/1).ok());
+  EXPECT_EQ((*built)->num_blocks(), env_blocks);
+
+  auto engine = SimilarityQueryEngine::Build(traces, "Dependent-DTW",
+                                             /*window=*/2);
+  ASSERT_TRUE(engine.ok());
+  Rng rng(112);
+  const Matrix query = RandomSeries(rng, 8, 2);
+  const auto before = engine->RankNeighbors(query, 3);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine->AppendTraces({}).ok());
+  const auto after = engine->RankNeighbors(query, 3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+}
+
+TEST(SimilaritySketchTest, BinsValidation) {
+  const std::vector<Matrix> traces = RandomCorpus(121, 4, 6, 2);
+  // Engine: 1 is a hard error; negatives disable; 0 defaults; >= 2 honoured.
+  EXPECT_FALSE(SimilarityQueryEngine::Build(traces, "Dependent-DTW",
+                                            /*window=*/0, /*num_threads=*/1,
+                                            /*shard_traces=*/0,
+                                            /*sketch_bins=*/1)
+                   .ok());
+  const auto disabled = SimilarityQueryEngine::Build(
+      traces, "Dependent-DTW", 0, 1, 0, /*sketch_bins=*/-1);
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_EQ(disabled->sketch_bins(), 0);
+  const auto custom = SimilarityQueryEngine::Build(traces, "Dependent-DTW", 0,
+                                                   1, 0, /*sketch_bins=*/16);
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ(custom->sketch_bins(), 16);
+  // Generic measures never sketch, whatever the knob says.
+  const auto generic = SimilarityQueryEngine::Build(traces, "L2,1-Norm", 0, 1,
+                                                    0, /*sketch_bins=*/8);
+  ASSERT_TRUE(generic.ok());
+  EXPECT_EQ(generic->sketch_bins(), 0);
+  // Raw sketch set: bins < 2 rejected.
+  const ShardedCorpus corpus(traces);
+  TraceSketchSet sketches;
+  EXPECT_FALSE(sketches.Build(corpus, /*bins=*/1, /*num_threads=*/1).ok());
+  EXPECT_FALSE(sketches.Build(corpus, /*bins=*/0, /*num_threads=*/1).ok());
+}
+
+TEST(SimilaritySketchTest, RecordFieldsMatchSeries) {
+  // The flat record must carry exactly the per-feature endpoints, range,
+  // histogram mass, and PAA envelopes of the series it sketches.
+  Rng rng(131);
+  const Matrix series = RandomSeries(rng, 12, 2);
+  const ShardedCorpus corpus(std::vector<Matrix>{series});
+  TraceSketchSet sketches;
+  ASSERT_TRUE(sketches.Build(corpus, /*bins=*/8, /*num_threads=*/1).ok());
+  const SketchLayout& layout = sketches.layout();
+  const double* rec = sketches.At(0);
+  EXPECT_EQ(rec[0], static_cast<double>(series.rows()));
+  for (size_t f = 0; f < series.cols(); ++f) {
+    EXPECT_EQ(rec[layout.first() + f], series(0, f));
+    EXPECT_EQ(rec[layout.last() + f], series(series.rows() - 1, f));
+    double lo = series(0, f), hi = series(0, f);
+    for (size_t r = 1; r < series.rows(); ++r) {
+      lo = std::min(lo, series(r, f));
+      hi = std::max(hi, series(r, f));
+    }
+    EXPECT_EQ(rec[layout.min() + f], lo);
+    EXPECT_EQ(rec[layout.max() + f], hi);
+    // Histogram mass: counts sum to rows; occupied bins have zero gap.
+    double mass = 0.0;
+    for (int b = 0; b < layout.bins; ++b) {
+      const double count =
+          rec[layout.counts() + f * static_cast<size_t>(layout.bins) +
+              static_cast<size_t>(b)];
+      const double gapsq =
+          rec[layout.gapsq() + f * static_cast<size_t>(layout.bins) +
+              static_cast<size_t>(b)];
+      mass += count;
+      if (count > 0.0) EXPECT_EQ(gapsq, 0.0) << "f=" << f << " b=" << b;
+      EXPECT_GE(gapsq, 0.0);
+    }
+    EXPECT_EQ(mass, static_cast<double>(series.rows()));
+    // PAA envelopes contain every row mapped into their segment.
+    for (size_t r = 0; r < series.rows(); ++r) {
+      const size_t seg =
+          ((r + 1) * static_cast<size_t>(layout.segments) - 1) / series.rows();
+      const double seg_lo =
+          rec[layout.paa_lo() + f * static_cast<size_t>(layout.segments) +
+              seg];
+      const double seg_hi =
+          rec[layout.paa_hi() + f * static_cast<size_t>(layout.segments) +
+              seg];
+      EXPECT_LE(seg_lo, series(r, f)) << "f=" << f << " r=" << r;
+      EXPECT_GE(seg_hi, series(r, f)) << "f=" << f << " r=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wpred

@@ -103,6 +103,26 @@ TEST(StreamWindowTest, UpperEdgeSampleLandsInLastBin) {
   EXPECT_EQ(representation_internal::HistFpBin(0.0, 10), 0);
   EXPECT_EQ(representation_internal::HistFpBin(-0.5, 10), 0);
   EXPECT_EQ(representation_internal::HistFpBin(1.5, 10), 9);
+  // The lower edge must mirror the upper-edge pin for values arbitrarily
+  // far out of frame: v·bins beyond int's range would be an undefined
+  // static_cast, so both clamps act in double space before the conversion.
+  // (The similarity sketches feed out-of-frame values here after appends.)
+  EXPECT_EQ(representation_internal::HistFpBin(-1e18, 10), 0);
+  EXPECT_EQ(representation_internal::HistFpBin(1e18, 10), 9);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(representation_internal::HistFpBin(-inf, 10), 0);
+  EXPECT_EQ(representation_internal::HistFpBin(inf, 10), 9);
+  EXPECT_EQ(representation_internal::HistFpBin(
+                std::numeric_limits<double>::quiet_NaN(), 10),
+            0);
+  // One ulp below 1.0 stays in the last bin, one ulp above 0.0 in the
+  // first: the clamp never moves interior values.
+  EXPECT_EQ(representation_internal::HistFpBin(
+                std::nextafter(1.0, 0.0), 10),
+            9);
+  EXPECT_EQ(representation_internal::HistFpBin(
+                std::nextafter(0.0, 1.0), 10),
+            0);
 
   const std::vector<size_t> features = {0};
   const NormalizationContext ctx = UnitContext();

@@ -1463,6 +1463,17 @@ constexpr SelfTestCase kSelfTests[] = {
      "#include \"similarity/measures.h\"\n#include \"obs/metrics.h\"\n"
      "#include \"telemetry/experiment.h\"\n",
      nullptr, 0},
+    // The SIMD layer is a common/ leaf: anything may include it, and it
+    // must never reach upward (a kernel header that pulled in similarity/
+    // would invert the dependency the sketch tier relies on).
+    {"layering-simd-ok", "src/similarity/dtw.cc",
+     "#include \"common/simd.h\"\n#include \"similarity/query.h\"\n", nullptr,
+     0},
+    {"layering-common-simd-upward", "src/common/simd.cc",
+     "#include \"similarity/sketch.h\"\n", "layering", 1},
+    {"layering-sketch-ok", "src/similarity/sketch.cc",
+     "#include \"similarity/representation.h\"\n#include \"common/simd.h\"\n",
+     nullptr, 0},
     {"string-literal-ok", "src/ml/model.cc",
      "const char* s = \"call rand() and float time(\";\n", nullptr, 0},
     {"layering-serve-ok", "src/serve/service.cc",
